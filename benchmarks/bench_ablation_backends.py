@@ -1,0 +1,30 @@
+"""Ablation: engine counting vs the SQL-text pipeline.
+
+Section 4.4 notes the prototype computes measures via SQL and that the
+cost "heavily depends on the query plan implemented by the DBMS".  This
+bench runs every FD assessment both ways and asserts:
+
+* the two backends agree exactly on confidence and goodness;
+* the SQL path issues exactly 3 queries per assessment (Q1/Q2 + |π_Y|);
+* the parsing/filtering overhead of the SQL path is visible in
+  wall-clock (it re-scans rows; the engine memoizes distinct counts).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.ablation import backend_rows
+from repro.bench.tables import render_rows
+
+
+def test_backend_equivalence_and_overhead(benchmark, show):
+    rows = run_once(benchmark, backend_rows)
+    show(render_rows(rows, title="Ablation: engine vs SQL-text counting"))
+
+    assert all(row["agree"] for row in rows)
+    assert all(row["sql_queries"] == 3 for row in rows)
+
+    total_engine = sum(row["engine_seconds"] for row in rows)
+    total_sql = sum(row["sql_seconds"] for row in rows)
+    assert total_sql > total_engine

@@ -1,0 +1,34 @@
+"""Ablation: intensional (CB) vs extensional (delete / update) repair.
+
+The §1 contrast, priced on the same violated workloads.  Asserts the
+shape claims:
+
+* CB keeps every tuple and repairs by adding at most a few attributes;
+* deletion repair loses a positive fraction of tuples on every violated
+  workload (the information the paper's method preserves);
+* update repair keeps tuples but rewrites cells, and converges.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.strategies import repair_strategy_rows
+from repro.bench.tables import render_rows
+
+
+def test_repair_strategies(benchmark, show):
+    rows = run_once(benchmark, repair_strategy_rows)
+    show(render_rows(rows, title="Ablation: repair strategies (CB vs data repair)"))
+
+    assert rows, "expected at least one violated workload"
+    for row in rows:
+        assert row["cb_tuples_kept"] == row["rows"]
+        assert row["del_tuples_lost"] > 0
+        assert 0 < row["del_fraction"] < 1
+        assert row["upd_converged"]
+        assert row["upd_cells_changed"] > 0
+
+    repaired = [row for row in rows if row["cb_attrs_added"] is not None]
+    assert repaired, "CB should repair most workloads"
+    assert all(row["cb_attrs_added"] <= 2 for row in repaired)

@@ -1,0 +1,51 @@
+"""Paper Figure 3: processing time vs attributes / tuples / table size.
+
+Regenerates the three panels for the largest configured database and
+asserts the correlations the paper reads off the plots: bigger tables
+take longer, and once size is controlled for, arity drives the cost.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.figure3 import figure3_series
+from repro.bench.tables import render_rows
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y)
+
+
+def test_figure3_panels(benchmark, show):
+    series = run_once(benchmark, figure3_series, "large")
+    show(render_rows(series["by_attributes"], title="Figure 3a: time vs #attributes"))
+    show(render_rows(series["by_tuples"], title="Figure 3b: time vs #tuples"))
+    show(render_rows(series["by_size"], title="Figure 3c: time vs table size (cells)"))
+
+    # Panel (c): overall size is strongly positively correlated with time.
+    sizes = [p["cells"] for p in series["by_size"]]
+    times = [p["seconds"] for p in series["by_size"]]
+    assert _pearson(sizes, times) > 0.8
+
+    # Panel (b): the biggest table by tuples is the slowest; the
+    # smallest is the fastest (the paper's monotone-looking tuple plot).
+    by_tuples = series["by_tuples"]
+    assert by_tuples[-1]["seconds"] == max(p["seconds"] for p in by_tuples)
+    assert min(by_tuples[0]["seconds"], by_tuples[1]["seconds"]) == min(
+        p["seconds"] for p in by_tuples
+    )
+
+    # Panel (a): the widest table (lineitem, 16 attrs) dominates, and
+    # the narrow fixed tables (3-4 attrs) sit at the bottom.
+    by_attrs = series["by_attributes"]
+    assert by_attrs[-1]["table"] == "lineitem"
+    assert by_attrs[-1]["seconds"] == max(p["seconds"] for p in by_attrs)

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the relational substrate's hot paths.
+
+These are the operations whose cost model the paper leans on: distinct
+counting (``O(n log n)`` worst case in their SQL analysis; hash-based
+``O(n)`` here), partitioning, and one-step candidate ranking.  They run
+under pytest-benchmark's normal statistics (multiple rounds), unlike
+the experiment benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import extend_by_one
+from repro.datagen.synthetic import random_relation
+from repro.datagen.tpch import generate_table, tpch_fd
+from repro.eb.entropy import variation_of_information
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import assess
+
+
+@pytest.fixture(scope="module")
+def orders():
+    return generate_table("orders", "tiny", seed=42)
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return random_relation("wide", num_rows=5_000, num_attrs=12, cardinality=50, seed=3)
+
+
+def test_count_distinct_single(benchmark, orders):
+    benchmark(orders.count_distinct_raw, ["custkey"])
+
+
+def test_count_distinct_pair(benchmark, orders):
+    benchmark(orders.count_distinct_raw, ["custkey", "orderstatus"])
+
+
+def test_count_distinct_memoized(benchmark, orders):
+    orders.count_distinct(["custkey", "orderstatus"])  # warm the cache
+    result = benchmark(orders.count_distinct, ["custkey", "orderstatus"])
+    assert result > 0
+
+
+def test_partition_pair(benchmark, orders):
+    partition = benchmark(orders.partition, ["custkey", "orderstatus"])
+    assert partition.num_rows == orders.num_rows
+
+
+def test_partition_refine(benchmark, orders):
+    base = orders.partition(["custkey"])
+    codes = orders.column("orderstatus").codes
+    refined = benchmark(base.refine, codes)
+    assert refined.num_classes >= base.num_classes
+
+
+def test_assess_fd(benchmark, orders):
+    fd = tpch_fd("orders")
+    result = benchmark.pedantic(
+        lambda: assess(_fresh(orders), fd), rounds=5, iterations=1
+    )
+    assert 0 < result.confidence < 1
+
+
+def test_extend_by_one_wide(benchmark, wide):
+    fd = FunctionalDependency(("A0",), ("A1",))
+    candidates = benchmark.pedantic(
+        lambda: extend_by_one(_fresh(wide), fd), rounds=5, iterations=1
+    )
+    assert len(candidates) == 10
+
+
+def test_variation_of_information(benchmark, orders):
+    left = orders.partition(["custkey"])
+    right = orders.partition(["orderstatus"])
+    value = benchmark(variation_of_information, left, right)
+    assert value > 0
+
+
+def _fresh(relation):
+    """Defeat the stats memoizer so the bench measures raw counting."""
+    relation.stats.clear()
+    return relation

@@ -1,0 +1,106 @@
+"""Paper Tables 1–3 (running example) + micro-benchmarks of the ranking.
+
+Golden-value regeneration is asserted exactly (these are the paper's
+worked numbers); the micro benches time ``ExtendByOne`` and the full
+queue search on Places.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.running_example import (
+    section3_measures,
+    section41_ordering,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.tables import render_rows
+from repro.core.candidates import extend_by_one
+from repro.core.config import RepairConfig
+from repro.core.repair import find_repairs
+from repro.datagen.places import F1, F4, places_relation
+
+
+def test_section3_measures(benchmark, show):
+    rows = run_once(benchmark, section3_measures)
+    show(render_rows(rows, title="Section 3/4.3: FD measures on Places"))
+    expected = {
+        "[District, Region] -> [AreaCode]": (0.5, -2),
+        "[Zip] -> [City, State]": (0.667, -1),
+        "[PhNo, Zip] -> [Street]": (0.889, 1),
+        "[District] -> [PhNo]": (0.286, -4),
+    }
+    for row in rows:
+        confidence, goodness = expected[row["fd"]]
+        assert row["confidence"] == confidence
+        assert row["goodness"] == goodness
+
+
+def test_section41_ordering(benchmark, show):
+    rows = run_once(benchmark, section41_ordering)
+    show(render_rows(rows, title="Section 4.1: repair order"))
+    assert [row["fd"] for row in rows] == [
+        "[District, Region] -> [AreaCode]",
+        "[Zip] -> [City, State]",
+        "[PhNo, Zip] -> [Street]",
+    ]
+    # The paper's printed ranks assume cf = 0 (see DESIGN.md §3); the
+    # F1 value matches exactly, and the order matches throughout.
+    assert rows[0]["rank"] == 0.25
+
+
+def test_table1(benchmark, show):
+    rows = run_once(benchmark, table1_rows)
+    show(render_rows(rows, title="Table 1: evolving F1"))
+    expected = [
+        ("Municipal", 1.0, 0),
+        ("PhNo", 1.0, 3),
+        ("Street", 0.875, 3),
+        ("City", 0.8, 0),
+        ("Zip", 0.8, 0),
+        ("State", 0.6, -1),
+    ]
+    got = [(r["attribute"], r["confidence"], r["goodness"]) for r in rows]
+    assert got == expected
+
+
+def test_table2(benchmark, show):
+    rows = run_once(benchmark, table2_rows)
+    show(render_rows(rows, title="Table 2: evolving F4"))
+    assert rows[0] == {"attribute": "Street", "confidence": 0.875, "goodness": 1}
+    by_attr = {r["attribute"]: r for r in rows}
+    for attr in ("Municipal", "AreaCode", "City"):
+        assert by_attr[attr]["confidence"] == 0.571
+        assert by_attr[attr]["goodness"] == -2
+    assert by_attr["Zip"]["confidence"] == 0.5
+    assert by_attr["State"]["confidence"] == 0.429
+    assert by_attr["Region"]["confidence"] == 0.286
+
+
+def test_table3(benchmark, show):
+    rows = run_once(benchmark, table3_rows)
+    show(render_rows(rows, title="Table 3: evolving F4 + Street"))
+    by_attr = {r["attribute"]: r for r in rows}
+    # Confidences match the paper exactly; the printed goodness column
+    # is a known paper erratum (see repro.datagen.places).
+    assert by_attr["Municipal"]["confidence"] == 1.0
+    assert by_attr["AreaCode"]["confidence"] == 1.0
+    assert by_attr["Zip"]["confidence"] == 0.889
+    assert by_attr["City"]["confidence"] == 0.875
+    assert by_attr["State"]["confidence"] == 0.875
+    assert by_attr["Municipal"]["goodness"] == by_attr["AreaCode"]["goodness"]
+
+
+def test_micro_extend_by_one(benchmark):
+    relation = places_relation()
+    result = benchmark(extend_by_one, relation, F1)
+    assert result[0].added == ("Municipal",)
+
+
+def test_micro_full_search(benchmark):
+    relation = places_relation()
+    config = RepairConfig.find_all()
+    result = benchmark(find_repairs, relation, F4, config)
+    assert result.minimal_size == 2

@@ -1,0 +1,49 @@
+"""Paper Table 4: TPC-H databases overview (arity, cardinalities).
+
+Asserts the structural fidelity of the DBGEN substitute: exact arities
+from the paper, cardinality ratios across the three databases, and the
+fixed nation/region sizes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.table5 import presets_in_use, table4_rows
+from repro.bench.tables import render_rows
+
+#: Arities from paper Table 4 (identical at every scale).
+PAPER_ARITIES = {
+    "customer": 8,
+    "lineitem": 16,
+    "nation": 4,
+    "orders": 9,
+    "part": 9,
+    "partsupp": 5,
+    "region": 3,
+    "supplier": 7,
+}
+
+
+def test_table4_overview(benchmark, show):
+    presets = presets_in_use()
+    rows = run_once(benchmark, table4_rows, presets)
+    show(render_rows(rows, title="Table 4: TPC-H databases overview"))
+    by_table = {row["table"]: row for row in rows}
+    for table, arity in PAPER_ARITIES.items():
+        assert by_table[table]["arity"] == arity, table
+    # Fixed tables keep the spec sizes at every scale.
+    assert by_table["nation"][f"card({presets[0]})"] == 25
+    assert by_table["region"][f"card({presets[0]})"] == 5
+    # Scaled tables grow monotonically across the three databases, with
+    # the paper's ordering (lineitem > orders > customer > supplier).
+    for table in ("customer", "lineitem", "orders", "part", "partsupp", "supplier"):
+        cards = [by_table[table][f"card({p})"] for p in presets]
+        assert cards == sorted(cards) and cards[0] < cards[-1], table
+    for preset in presets:
+        assert (
+            by_table["lineitem"][f"card({preset})"]
+            > by_table["orders"][f"card({preset})"]
+            > by_table["customer"][f"card({preset})"]
+            > by_table["supplier"][f"card({preset})"]
+        )

@@ -1,0 +1,60 @@
+"""Paper Table 6: real databases overview and first-repair times.
+
+Runs the find-first search on Places (exact Figure 1 data) and the five
+dataset simulators, asserting the paper's §6.2 findings:
+
+* repair length — not tuple count — drives the *work*: Places needs a
+  2-attribute repair and issues more distinct-count queries than the
+  bigger Country table with its 1-attribute repair (on the paper's
+  MySQL backend this inversion shows up directly in wall-clock; our
+  in-process engine pays per row, so the claim is asserted on the
+  query-count cost model — see EXPERIMENTS.md);
+* PageLinks beats Image in wall-clock despite ~7x the tuples (arity 3);
+* Veterans (the wide table) is the slowest of all;
+* the repair lengths match the engineered/paper values.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.table6 import table6_rows
+from repro.bench.tables import render_rows
+
+EXPECTED_REPAIR_LEN = {
+    "Places": 2,  # the paper: "the algorithm added 2 attributes"
+    "Country": 1,  # "for relation Country it added only 1"
+    "Rental": 1,
+    "Image": 2,  # "the algorithm had to add 2 attributes"
+    "PageLinks": 1,  # one candidate attribute exists (arity 3)
+    "Veterans": 2,  # Rfa1+Rfa2 (or a key-forming attribute pair)
+}
+
+
+def test_table6_real_databases(benchmark, show):
+    rows = run_once(benchmark, table6_rows)
+    show(
+        render_rows(
+            rows,
+            ["table", "arity", "card", "fd", "pretty", "count_queries", "repair_len"],
+            title="Table 6: real databases overview and processing times",
+        )
+    )
+    by_table = {row["table"]: row for row in rows}
+
+    for table, length in EXPECTED_REPAIR_LEN.items():
+        assert by_table[table]["repair_len"] == length, table
+
+    # Places: smaller than Country on both axes, yet needs more work
+    # (more COUNT DISTINCT queries) because its repair is longer.
+    assert by_table["Places"]["arity"] < by_table["Country"]["arity"]
+    assert by_table["Places"]["card"] < by_table["Country"]["card"]
+    assert by_table["Places"]["count_queries"] > by_table["Country"]["count_queries"]
+
+    # PageLinks: far more tuples than Image, but faster (arity 3 means a
+    # single candidate to evaluate).
+    assert by_table["PageLinks"]["card"] > 3 * by_table["Image"]["card"]
+    assert by_table["PageLinks"]["seconds"] < by_table["Image"]["seconds"]
+
+    # Veterans: the widest table is the slowest overall.
+    assert by_table["Veterans"]["seconds"] == max(r["seconds"] for r in rows)

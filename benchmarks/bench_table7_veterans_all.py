@@ -1,0 +1,59 @@
+"""Paper Table 7: Veterans grid, find ALL repairs.
+
+{1K..7K} tuples × {10, 20, 30} attributes (the paper's grid scaled 1/10
+in tuples; ``REPRO_VETERANS_FULL=1`` runs 10K..70K).  Asserts the §6.2.1
+findings:
+
+* for fixed tuples, time grows much faster in attributes than it grows
+  in tuples for fixed attributes;
+* time grows monotonically down each attribute column;
+* the 10-attribute slice admits no repair at any tuple count.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.veterans_grid import (
+    DEFAULT_ATTR_COUNTS,
+    tuple_counts_in_use,
+    veterans_grid_rows,
+)
+from repro.bench.tables import render_rows
+
+
+def test_table7_find_all(benchmark, show):
+    tuple_counts = tuple_counts_in_use()
+    rows = run_once(benchmark, veterans_grid_rows, "all", tuple_counts)
+    columns = ["tuples"] + [f"pretty({a})" for a in DEFAULT_ATTR_COUNTS]
+    show(render_rows(rows, columns, title="Table 7: Veterans, find all repairs"))
+    by_tuples = {row["tuples"]: row for row in rows}
+
+    # No repair exists with 10 attributes, at any tuple count.
+    for row in rows:
+        assert row["repairs(10)"] == 0
+        assert row["repairs(20)"] > 0
+        assert row["repairs(30)"] > 0
+
+    # Attribute growth dominates tuple growth: going 10 -> 30 attributes
+    # at the smallest tuple count costs more than going smallest ->
+    # largest tuple count at 10 attributes.
+    smallest, largest = tuple_counts[0], tuple_counts[-1]
+    attr_growth = by_tuples[smallest]["seconds(30)"] / max(
+        by_tuples[smallest]["seconds(10)"], 1e-9
+    )
+    tuple_growth = by_tuples[largest]["seconds(10)"] / max(
+        by_tuples[smallest]["seconds(10)"], 1e-9
+    )
+    assert attr_growth > tuple_growth
+
+    # Each attribute column grows with the tuple count overall.
+    for attrs in DEFAULT_ATTR_COUNTS:
+        assert (
+            by_tuples[largest][f"seconds({attrs})"]
+            > by_tuples[smallest][f"seconds({attrs})"]
+        )
+
+    # Within every row, more attributes means more time.
+    for row in rows:
+        assert row["seconds(30)"] > row["seconds(10)"]

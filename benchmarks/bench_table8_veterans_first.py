@@ -1,0 +1,54 @@
+"""Paper Table 8: Veterans grid, find the FIRST repair.
+
+Same grid as Table 7 in find-first mode.  Asserts the paper's §6.2.1
+comparisons between the two tables:
+
+* find-first ≤ find-all in every cell (needs both grids, so this bench
+  re-runs a reduced Table 7 for the comparison cells);
+* where no repair exists (the 10-attribute column) the two modes cost
+  about the same — "it might happen that the two times are very
+  similar ... when the algorithm is not able to find a repair";
+* find-first is dramatically cheaper than find-all at 20+ attributes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.veterans_grid import (
+    DEFAULT_ATTR_COUNTS,
+    tuple_counts_in_use,
+    veterans_grid_rows,
+)
+from repro.bench.tables import render_rows
+
+
+def test_table8_find_first(benchmark, show):
+    tuple_counts = tuple_counts_in_use()
+    first_rows = run_once(benchmark, veterans_grid_rows, "first", tuple_counts)
+    columns = ["tuples"] + [f"pretty({a})" for a in DEFAULT_ATTR_COUNTS]
+    show(render_rows(first_rows, columns, title="Table 8: Veterans, find first repair"))
+
+    # Comparison cells against find-all, on the grid's corner rows.
+    corner_counts = (tuple_counts[0], tuple_counts[-1])
+    all_rows = veterans_grid_rows("all", corner_counts)
+    show(render_rows(all_rows, columns, title="(comparison) find all, corner rows"))
+    first_by_tuples = {row["tuples"]: row for row in first_rows}
+    all_by_tuples = {row["tuples"]: row for row in all_rows}
+
+    for tuples in corner_counts:
+        first = first_by_tuples[tuples]
+        full = all_by_tuples[tuples]
+        for attrs in DEFAULT_ATTR_COUNTS:
+            # Find-first never exceeds find-all (tolerance for timer noise
+            # on the no-repair column, where the search space is identical).
+            assert first[f"seconds({attrs})"] <= full[f"seconds({attrs})"] * 1.5
+
+        # 10 attributes: no repair exists, so find-first degenerates to
+        # the full walk — times are comparable (within 2x).
+        assert first["repairs(10)"] == 0
+        ratio = full["seconds(10)"] / max(first["seconds(10)"], 1e-9)
+        assert ratio < 2.0
+
+        # 20+ attributes: a repair exists, so find-first is much cheaper.
+        assert first[f"seconds(30)"] * 3 < full[f"seconds(30)"]

@@ -1,0 +1,25 @@
+"""Drift detection delay and repair recovery on an injected regime change.
+
+The paper's premise (constraints should evolve with reality) made
+end-to-end: a log switches regimes mid-stream, detectors must flag the
+change quickly, and the triggered CB repair must recover the
+ground-truth extension that generated the new regime.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments.strategies import drift_detection_rows
+from repro.bench.tables import render_rows
+
+
+def test_drift_detection(benchmark, show):
+    rows = run_once(benchmark, drift_detection_rows)
+    show(render_rows(rows, title="Temporal: drift detection and recovery"))
+
+    assert len(rows) == 2
+    for row in rows:
+        assert row["drifted"], f"{row['detector']} missed the drift"
+        assert row["delay"] is not None and row["delay"] <= 1, row["detector"]
+        assert row["ground_truth_proposed"], row["detector"]

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one paper table/figure (DESIGN.md §5 maps them),
+prints the regenerated table so runs can be eyeballed against the paper,
+and asserts the *shape* claims listed in EXPERIMENTS.md — never absolute
+times (our substrate is a pure-Python engine, not the authors' MySQL
+testbed).
+
+Environment knobs:
+
+* ``REPRO_TPCH_FULL=1`` — paper-sized TPC-H instances (slow);
+* ``REPRO_VETERANS_FULL=1`` — the paper's 10K–70K Veterans grid (slow).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table under ``-s`` (and into captured output)."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Experiment runners are minutes-long workloads; statistical repetition
+    belongs to the micro benches, not here.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

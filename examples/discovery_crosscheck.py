@@ -1,0 +1,89 @@
+"""Cross-checking the CB method against its two competitors.
+
+Section 2 of the paper discusses two alternatives to CB repair and
+argues against both.  This example runs all three on the same violated
+FD so the trade-offs are visible:
+
+1. **CB repair** (this paper): directed search from the designer's FD —
+   a handful of COUNT(DISTINCT) queries;
+2. **EB repair** (Chiang & Miller, §5): entropy ranking over cluster
+   intersections — same verdicts, more work per candidate;
+3. **Discover-then-relax** ([16]-style): mine *all* minimal FDs, then
+   look for extensions of the designer's FD — expensive, and the
+   discovered set may not even contain such an extension (the paper's
+   §2 complaint), because minimal mined antecedents need not include
+   the designer's attributes.
+
+Run:  python examples/discovery_crosscheck.py
+"""
+
+from repro.bench.tables import render_rows
+from repro.bench.timing import Timer
+from repro.core.config import RepairConfig
+from repro.core.repair import find_repairs
+from repro.datagen.realworld import country_spec
+from repro.datagen.engineered import engineered_relation
+from repro.discovery.tane import discover_fds
+from repro.eb.repair import eb_repair
+
+spec = country_spec()
+relation = engineered_relation(spec)
+fd = spec.fd
+print(f"workload: {spec.name} ({relation.arity} attrs, {relation.num_rows} rows)")
+print(f"declared FD: {fd}  (engineered minimal repair: +{', '.join(spec.repair_names)})")
+print()
+
+rows = []
+
+with Timer() as cb_timer:
+    cb = find_repairs(relation, fd, RepairConfig.find_first())
+rows.append(
+    {
+        "method": "CB (this paper)",
+        "seconds": cb_timer.elapsed,
+        "outcome": f"repair {cb.best.fd}" if cb.best else "no repair",
+    }
+)
+
+with Timer() as eb_timer:
+    eb = eb_repair(relation, fd, max_added_attributes=2)
+rows.append(
+    {
+        "method": "EB (Chiang & Miller)",
+        "seconds": eb_timer.elapsed,
+        "outcome": (
+            f"repair {eb.repaired}" if eb.found else "no repair"
+        )
+        + f"; {eb.cost.rows_touched} rows touched in intersections",
+    }
+)
+
+with Timer() as disc_timer:
+    discovered = discover_fds(relation, max_lhs_size=2)
+extensions = discovered.extensions_of(fd)
+rows.append(
+    {
+        "method": "discover-then-relax",
+        "seconds": disc_timer.elapsed,
+        "outcome": (
+            f"{len(discovered.fds)} minimal FDs mined "
+            f"({discovered.candidates_tested} candidates tested); "
+            f"{len(extensions)} extension(s) of the declared FD"
+        ),
+    }
+)
+
+print(render_rows(rows, title="== Three routes to the same repair =="))
+print()
+if extensions:
+    print("extensions surfaced by discovery:")
+    for item in extensions[:5]:
+        print(f"  {item}")
+else:
+    print("discovery mined minimal FDs but NONE extends the designer's FD —")
+    print("exactly the §2 failure mode the paper describes: the minimal")
+    print("antecedents it found do not contain the designer's attribute.")
+print()
+print("sample of other mined FDs (knowledge discovery view):")
+for item in discovered.exact()[:5]:
+    print(f"  {item}")

@@ -1,0 +1,61 @@
+"""Auditing a generated TPC-H database (the paper's §6.1 workload).
+
+Generates the eight TPC-H relations at the ``tiny`` preset, declares
+the paper's Table 5 FDs, and runs the full FindFDRepairs pipeline
+(Algorithm 1): order the FDs, validate each, search for repairs on the
+violated ones — printing a Table 5-style report.
+
+Run:  python examples/tpch_audit.py           (~10-20 s)
+"""
+
+from repro.bench.tables import render_rows
+from repro.bench.timing import Timer, format_duration
+from repro.core.config import RepairConfig
+from repro.core.repair import find_repairs
+from repro.datagen.tpch import TPCH_TABLE_NAMES, generate_tpch, tpch_fd
+from repro.fd.measures import assess
+
+catalog = generate_tpch("tiny", seed=42)
+
+print("== Database overview (cf. paper Table 4) ==")
+overview = [
+    {
+        "table": name,
+        "arity": catalog.relation(name).arity,
+        "card": catalog.relation(name).num_rows,
+        "fd": str(tpch_fd(name)),
+    }
+    for name in TPCH_TABLE_NAMES
+]
+print(render_rows(overview))
+
+print()
+print("== FindFDRepairs per relation (cf. paper Table 5) ==")
+config = RepairConfig.find_all(max_expansions=5_000)
+report_rows = []
+for name in TPCH_TABLE_NAMES:
+    relation = catalog.relation(name)
+    fd = tpch_fd(name)
+    assessment = assess(relation, fd)
+    with Timer() as timer:
+        result = find_repairs(relation, fd, config)
+    report_rows.append(
+        {
+            "table": name,
+            "fd": str(fd),
+            "confidence": round(assessment.confidence, 3),
+            "violated": "yes" if result.was_violated else "no",
+            "repairs": len(result.all_repairs),
+            "best repair": str(result.best.fd) if result.best else "",
+            "time": format_duration(timer.elapsed),
+        }
+    )
+print(render_rows(report_rows))
+
+print()
+print("Shape check against the paper's Table 5:")
+print("  * name-keyed FDs (customer/nation/part/region/supplier) are exact ->")
+print("    their time is pure validation;")
+print("  * lineitem.partkey -> suppkey is badly violated (four suppliers per")
+print("    part) and dominates the runtime, as in the paper's 1h59m row;")
+print("  * partsupp and orders are violated but repair quickly.")

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` on offline machines whose
+setuptools predates built-in editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Index advisory and FD-aware query execution (paper §6.3).
+
+The paper's quality section argues that CB-preferred repairs
+("invertible" FDs, goodness ≈ 0) pay off beyond consistency: they
+justify indexes and enable two-way lookups between antecedent and
+consequent.  This package turns the argument into code:
+
+* :mod:`~repro.advisor.index` — hash indexes over attribute sets;
+* :mod:`~repro.advisor.advisor` — recommendations derived from exact
+  FDs, with estimated speedups;
+* :mod:`~repro.advisor.rewrite` — index-aware execution of the mini
+  SQL dialect, plus the FD shortcut lookups (consequent fetch and,
+  for invertible FDs, the reverse antecedent fetch).
+"""
+
+from .advisor import AdvisorReport, IndexRecommendation, recommend_indexes
+from .index import AttributeIndex, IndexedRelation
+from .rewrite import (
+    InvertibilityError,
+    QueryPlan,
+    execute_indexed,
+    fetch_antecedent,
+    fetch_consequent,
+    plan_access,
+)
+
+__all__ = [
+    "AdvisorReport",
+    "AttributeIndex",
+    "IndexRecommendation",
+    "IndexedRelation",
+    "InvertibilityError",
+    "QueryPlan",
+    "execute_indexed",
+    "fetch_antecedent",
+    "fetch_consequent",
+    "plan_access",
+    "recommend_indexes",
+]

@@ -1,0 +1,136 @@
+"""The index advisor: which indexes do (repaired) FDs justify?
+
+Section 6.3's quality argument, made executable.  For every exact FD
+``X → Y`` on the instance:
+
+* an index on ``X`` serves two query families — point lookups on the
+  antecedent, and *consequent fetches* (read ``Y`` of the unique
+  matching class) — so the FD alone justifies recommending it;
+* if the FD is also **invertible** (goodness 0, the bijective case the
+  CB ranking steers repairs toward), the correspondence between
+  X-classes and Y-classes is one-to-one, so an index on ``Y`` answers
+  antecedent queries *in reverse* — "not only the antecedent determines
+  the consequent but also vice-versa" (§6.3).
+
+Recommendations carry an estimated benefit: the expected number of rows
+a point query touches through the index (mean bucket size) versus the
+full scan the executor would otherwise do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import assess
+from repro.relational.relation import Relation
+
+from .index import AttributeIndex, IndexedRelation
+
+__all__ = ["IndexRecommendation", "AdvisorReport", "recommend_indexes"]
+
+
+@dataclass(frozen=True)
+class IndexRecommendation:
+    """One recommended index with its justification."""
+
+    attributes: tuple[str, ...]
+    reason: str
+    source_fd: FunctionalDependency
+    invertible: bool
+    mean_bucket_size: float
+    scan_rows: int
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Scan rows over expected probe rows (≥ 1 means the index wins)."""
+        if self.mean_bucket_size <= 0:
+            return float(self.scan_rows) if self.scan_rows else 1.0
+        return self.scan_rows / self.mean_bucket_size
+
+    def __str__(self) -> str:
+        attrs = ", ".join(self.attributes)
+        inv = ", invertible" if self.invertible else ""
+        return (
+            f"INDEX ON ({attrs}) — {self.reason}{inv} "
+            f"(~{self.speedup_estimate:.0f}x over scan)"
+        )
+
+
+@dataclass
+class AdvisorReport:
+    """All recommendations for one relation under its FDs."""
+
+    relation_name: str
+    recommendations: list[IndexRecommendation]
+    skipped: list[tuple[FunctionalDependency, str]]
+
+    def build(self, relation: Relation) -> IndexedRelation:
+        """Materialize every recommended index."""
+        seen: set[frozenset[str]] = set()
+        indexes: list[AttributeIndex] = []
+        for rec in self.recommendations:
+            key = frozenset(rec.attributes)
+            if key in seen:
+                continue
+            seen.add(key)
+            indexes.append(AttributeIndex(relation, rec.attributes))
+        return IndexedRelation(relation, indexes)
+
+    def __str__(self) -> str:
+        lines = [f"Advisor report for {self.relation_name}:"]
+        lines.extend(f"  {rec}" for rec in self.recommendations)
+        for fd, why in self.skipped:
+            lines.append(f"  skipped {fd}: {why}")
+        return "\n".join(lines)
+
+
+def recommend_indexes(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    max_goodness_for_reverse: int = 0,
+) -> AdvisorReport:
+    """Derive index recommendations from the exact FDs among ``fds``.
+
+    Violated FDs are skipped with a pointer at the repair workflow —
+    the advisor consumes the *output* of the paper's method, it does
+    not replace it.  ``max_goodness_for_reverse`` loosens the
+    invertibility requirement for the reverse index (|g| ≤ bound
+    instead of g = 0) for nearly-bijective FDs.
+    """
+    recommendations: list[IndexRecommendation] = []
+    skipped: list[tuple[FunctionalDependency, str]] = []
+    scan_rows = relation.num_rows
+    for declared in fds:
+        for fd in declared.decompose():
+            assessment = assess(relation, fd)
+            if not assessment.is_exact:
+                skipped.append(
+                    (fd, f"violated (c={assessment.confidence:.4g}); repair it first")
+                )
+                continue
+            invertible = abs(assessment.goodness) <= max_goodness_for_reverse
+            x_buckets = assessment.distinct_x
+            recommendations.append(
+                IndexRecommendation(
+                    attributes=fd.antecedent,
+                    reason=f"antecedent of exact {fd}",
+                    source_fd=fd,
+                    invertible=invertible,
+                    mean_bucket_size=scan_rows / x_buckets if x_buckets else 0.0,
+                    scan_rows=scan_rows,
+                )
+            )
+            if invertible:
+                y_buckets = assessment.distinct_y
+                recommendations.append(
+                    IndexRecommendation(
+                        attributes=fd.consequent,
+                        reason=f"consequent of invertible {fd}",
+                        source_fd=fd,
+                        invertible=True,
+                        mean_bucket_size=scan_rows / y_buckets if y_buckets else 0.0,
+                        scan_rows=scan_rows,
+                    )
+                )
+    return AdvisorReport(relation.name, recommendations, skipped)

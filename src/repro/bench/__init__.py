@@ -1,0 +1,12 @@
+"""Benchmark harness (system S8 in DESIGN.md).
+
+* :mod:`repro.bench.timing` — wall-clock timers and the paper's
+  duration format;
+* :mod:`repro.bench.tables` — ASCII rendering of regenerated tables;
+* :mod:`repro.bench.experiments` — one runner per paper table/figure.
+"""
+
+from .tables import render_rows, render_table
+from .timing import Timer, format_duration
+
+__all__ = ["Timer", "format_duration", "render_rows", "render_table"]

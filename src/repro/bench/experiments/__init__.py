@@ -1,0 +1,16 @@
+"""Per-experiment runners: one module per paper table/figure + ablations.
+
+See DESIGN.md §5 for the experiment index mapping each module to the
+paper artifact it regenerates.
+"""
+
+from . import ablation, figure3, running_example, table5, table6, veterans_grid
+
+__all__ = [
+    "ablation",
+    "figure3",
+    "running_example",
+    "table5",
+    "table6",
+    "veterans_grid",
+]

@@ -1,0 +1,67 @@
+"""Experiment: Figure 3 — processing time vs attributes / tuples / size.
+
+The paper plots, for the 1GB database, per-table repair time against
+(a) the number of attributes, (b) the number of tuples and (c) the
+overall table size (cells = arity × tuples).  We regenerate the same
+three series from a Table 5-style run over one preset.
+
+Shape claims (EXPERIMENTS.md): time correlates positively with all
+three; the attribute effect is the strongest (the paper's §6.2 finding,
+sharpened by Tables 7–8).
+"""
+
+from __future__ import annotations
+
+from repro.datagen.tpch import TPCH_TABLE_NAMES, generate_table
+
+from .table5 import DEFAULT_MAX_EXPANSIONS, table5_rows
+
+__all__ = ["figure3_series"]
+
+
+def figure3_series(
+    preset: str = "large",
+    seed: int = 42,
+    tables: tuple[str, ...] = TPCH_TABLE_NAMES,
+    max_expansions: int | None = DEFAULT_MAX_EXPANSIONS,
+) -> dict[str, list[dict]]:
+    """The three Figure 3 panels as point lists.
+
+    Returns ``{"by_attributes": [...], "by_tuples": [...], "by_size":
+    [...]}``; each point carries the table name, the x value, and the
+    measured time in seconds.
+    """
+    timing_rows = table5_rows(
+        presets=(preset,), seed=seed, tables=tables, max_expansions=max_expansions
+    )
+    shapes = {
+        table: generate_table(table, preset, seed) for table in tables
+    }
+    by_attributes: list[dict] = []
+    by_tuples: list[dict] = []
+    by_size: list[dict] = []
+    for row in timing_rows:
+        table = row["table"]
+        relation = shapes[table]
+        seconds = row[f"time({preset})"]
+        by_attributes.append(
+            {"table": table, "attributes": relation.arity, "seconds": seconds}
+        )
+        by_tuples.append(
+            {"table": table, "tuples": relation.num_rows, "seconds": seconds}
+        )
+        by_size.append(
+            {
+                "table": table,
+                "cells": relation.arity * relation.num_rows,
+                "seconds": seconds,
+            }
+        )
+    by_attributes.sort(key=lambda p: p["attributes"])
+    by_tuples.sort(key=lambda p: p["tuples"])
+    by_size.sort(key=lambda p: p["cells"])
+    return {
+        "by_attributes": by_attributes,
+        "by_tuples": by_tuples,
+        "by_size": by_size,
+    }

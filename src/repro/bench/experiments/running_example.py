@@ -1,0 +1,82 @@
+"""Regenerates the running-example tables (paper Tables 1–3 and §3/§4 values).
+
+These are exact-value reproductions (no timing): the golden numbers the
+rest of the paper's narrative is built on.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import extend_by_one
+from repro.datagen.places import F1, F2, F3, F4, places_fds, places_relation
+from repro.fd.measures import assess
+from repro.fd.ordering import order_fds
+
+__all__ = [
+    "section3_measures",
+    "section41_ordering",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]
+
+
+def section3_measures() -> list[dict]:
+    """Confidence/goodness of F1–F4 on Places (paper §3 and §4.3)."""
+    relation = places_relation()
+    rows = []
+    for fd in (F1, F2, F3, F4):
+        assessment = assess(relation, fd)
+        rows.append(
+            {
+                "fd": str(fd),
+                "confidence": round(assessment.confidence, 3),
+                "goodness": assessment.goodness,
+            }
+        )
+    return rows
+
+
+def section41_ordering() -> list[dict]:
+    """The repair order of F1–F3 (paper §4.1 worked example)."""
+    relation = places_relation()
+    return [
+        {
+            "fd": str(item.fd),
+            "inconsistency": round(item.inconsistency, 3),
+            "conflict": round(item.conflict, 3),
+            "rank": round(item.rank, 3),
+        }
+        for item in order_fds(relation, places_fds())
+    ]
+
+
+def _candidate_rows(fd, base=None) -> list[dict]:
+    relation = places_relation()
+    return [
+        {
+            "attribute": candidate.added[-1],
+            "confidence": round(candidate.confidence, 3),
+            "goodness": candidate.goodness,
+        }
+        for candidate in extend_by_one(relation, fd, base=base)
+    ]
+
+
+def table1_rows() -> list[dict]:
+    """Table 1: candidates to evolve F1 : [District, Region] → [AreaCode]."""
+    return _candidate_rows(F1)
+
+
+def table2_rows() -> list[dict]:
+    """Table 2: candidates to evolve F4 : [District] → [PhNo]."""
+    return _candidate_rows(F4)
+
+
+def table3_rows() -> list[dict]:
+    """Table 3: second-step candidates for F4^Street.
+
+    Confidences match the paper exactly; the goodness column of the
+    printed Table 3 is inconsistent with Definition 3 (see
+    ``repro.datagen.places`` and EXPERIMENTS.md).
+    """
+    return _candidate_rows(F4.extended("Street"), base=F4)

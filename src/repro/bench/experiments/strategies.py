@@ -1,0 +1,220 @@
+"""Ablations over *repair strategies* and their payoffs.
+
+Three studies extending the paper's evaluation along its own arguments:
+
+* :func:`repair_strategy_rows` — the §1 philosophical contrast, priced:
+  the CB intensional repair (add attributes, keep every tuple) against
+  the two extensional repairs (delete tuples / rewrite cells) on the
+  same violated workloads;
+* :func:`dc_relax_rows` — the §2 impracticality argument, end to end:
+  CB's first-repair search against the full discover-then-relax
+  workflow of [16], comparing both wall time and whether the workflow
+  can produce a usable replacement at all;
+* :func:`advisor_rows` — the §6.3 quality claim: point-query cost with
+  the FD-derived indexes versus the plain scan, on the engineered
+  Table 6 workloads after repair.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.advisor import recommend_indexes
+from repro.advisor.rewrite import execute_indexed
+from repro.bench.timing import Timer
+from repro.core.repair import find_first_repair
+from repro.datagen.engineered import engineered_relation
+from repro.datagen.places import places_fds, places_relation
+from repro.datagen.realworld import country_spec, rental_spec
+from repro.datarepair.deletion import DeletionStrategy, minimum_deletion_repair
+from repro.datarepair.update import value_update_repair
+from repro.dc.relax import discover_then_relax
+from repro.fd.measures import assess
+from repro.sql.executor import execute_on_relation
+
+__all__ = [
+    "repair_strategy_rows",
+    "dc_relax_rows",
+    "advisor_rows",
+    "drift_detection_rows",
+]
+
+
+def _strategy_workloads(scale: float = 0.02, seed: int = 7) -> list[tuple]:
+    """(name, relation, fd) triples with genuinely violated FDs."""
+    workloads = [
+        (f"Places.{fd}", places_relation(), fd) for fd in places_fds()
+    ]
+    country = country_spec(1.0, seed)
+    rental = rental_spec(scale, seed)
+    for spec in (country, rental):
+        workloads.append((f"{spec.name}.{spec.fd}", engineered_relation(spec), spec.fd))
+    return workloads
+
+
+def repair_strategy_rows(scale: float = 0.02, seed: int = 7) -> list[dict]:
+    """Intensional (CB) vs extensional (deletion / update) repair."""
+    rows: list[dict] = []
+    for name, relation, fd in _strategy_workloads(scale, seed):
+        if assess(relation, fd).is_exact:
+            continue
+        with Timer() as cb_timer:
+            repair = find_first_repair(relation, fd)
+        with Timer() as deletion_timer:
+            deletion = minimum_deletion_repair(
+                relation, [fd], strategy=DeletionStrategy.GREEDY
+            )
+        with Timer() as update_timer:
+            update = value_update_repair(relation, [fd])
+        rows.append(
+            {
+                "workload": name,
+                "rows": relation.num_rows,
+                "cb_attrs_added": repair.num_added if repair else None,
+                "cb_tuples_kept": relation.num_rows,
+                "cb_seconds": cb_timer.elapsed,
+                "del_tuples_lost": deletion.num_deleted,
+                "del_fraction": round(deletion.deletion_fraction, 4),
+                "del_seconds": deletion_timer.elapsed,
+                "upd_cells_changed": update.num_changes,
+                "upd_converged": update.converged,
+                "upd_seconds": update_timer.elapsed,
+            }
+        )
+    return rows
+
+
+def dc_relax_rows(scale: float = 0.02, seed: int = 7, max_pairs: int = 60_000) -> list[dict]:
+    """CB direct repair vs the [16] discover-then-relax workflow."""
+    rows: list[dict] = []
+    for name, relation, fd in _strategy_workloads(scale, seed):
+        if assess(relation, fd).is_exact:
+            continue
+        with Timer() as cb_timer:
+            repair = find_first_repair(relation, fd)
+        with Timer() as relax_timer:
+            report = discover_then_relax(
+                relation, [fd], max_size=4, max_pairs=max_pairs
+            )
+        verdict = report.verdicts[0]
+        rows.append(
+            {
+                "workload": name,
+                "rows": relation.num_rows,
+                "cb_repaired": repair is not None,
+                "cb_seconds": cb_timer.elapsed,
+                "relax_outcome": verdict.outcome.value,
+                "relax_repaired": verdict.repaired,
+                "mined_constraints": report.discovery.num_constraints,
+                "relax_seconds": relax_timer.elapsed,
+                "sampled": report.discovery.sampled,
+            }
+        )
+    return rows
+
+
+def drift_detection_rows(
+    window_size: int = 25,
+    clean_windows: int = 6,
+    drifted_windows: int = 6,
+    seed: int = 7,
+) -> list[dict]:
+    """Detection delay and repair recovery on an injected semantic drift.
+
+    A log starts with ``clean_windows`` of data satisfying the Country
+    FD, then switches to the drifted regime (Y depends on the repair
+    attribute too).  For each detector we record the window where drift
+    is declared (delay = windows after the true change point) and
+    whether the triggered CB repair proposes the ground-truth
+    extension.
+    """
+    from repro.datagen.violations import inject_drift
+    from repro.temporal.drift import CusumDetector, ThresholdDetector
+    from repro.temporal.evolve import evolve_fd
+    from repro.temporal.tfd import TemporalFD
+    from repro.temporal.window import TupleLog
+
+    spec = country_spec(1.0, seed)
+    base = engineered_relation(spec)
+    fd = spec.fd
+    determinant = spec.repair_names[0]
+    # A clean regime: Y already extended so X -> Y holds exactly.
+    clean = value_update_repair(base, [fd]).repaired
+    drifted = inject_drift(clean, fd, determinant, seed=seed)
+
+    rows_needed = window_size * max(clean_windows, drifted_windows)
+    clean_rows = [
+        clean.row(i % clean.num_rows) for i in range(window_size * clean_windows)
+    ]
+    drift_rows = [
+        drifted.row(i % drifted.num_rows)
+        for i in range(window_size * drifted_windows)
+    ]
+    log = TupleLog(clean.schema, clean_rows + drift_rows)
+    tfd = TemporalFD(fd, window_size=window_size)
+    truth_window = clean_windows  # first window containing drifted rows
+    ground_truth = fd.extended(determinant)
+
+    results: list[dict] = []
+    detectors = [
+        ("threshold(p=2)", ThresholdDetector(patience=2)),
+        ("cusum", CusumDetector(decision=0.1)),
+    ]
+    for name, detector in detectors:
+        report = evolve_fd(log, tfd, detector=detector)
+        declared = report.verdict.change_window
+        results.append(
+            {
+                "detector": name,
+                "windows": report.series.num_windows,
+                "true_change": truth_window,
+                "declared_at": declared,
+                "delay": None if declared is None else declared - truth_window,
+                "drifted": report.drifted,
+                "ground_truth_proposed": ground_truth in report.proposals,
+            }
+        )
+    return results
+
+
+def advisor_rows(scale: float = 0.05, seed: int = 7, probes: int = 200) -> list[dict]:
+    """Index-backed point queries vs scans on repaired workloads."""
+    rows: list[dict] = []
+    for spec in (country_spec(1.0, seed), rental_spec(scale, seed)):
+        relation = engineered_relation(spec)
+        repaired_fd = spec.repaired_fd
+        report = recommend_indexes(relation, [repaired_fd])
+        indexed = report.build(relation)
+        antecedent = repaired_fd.antecedent
+        columns = {name: relation.column_values(name) for name in antecedent}
+        table = relation.name
+
+        def _quote(value) -> str:
+            return f"'{value}'" if isinstance(value, str) else str(value)
+
+        queries = []
+        for i in range(probes):
+            row = i % relation.num_rows
+            where = " and ".join(
+                f"{name} = {_quote(columns[name][row])}" for name in antecedent
+            )
+            queries.append(f"select count(*) from {table} where {where}")
+        with Timer() as scan_timer:
+            for sql in queries:
+                execute_on_relation(relation, sql)
+        index_hits = 0
+        with Timer() as index_timer:
+            for sql in queries:
+                _, plan = execute_indexed(indexed, sql)
+                index_hits += plan.access_path == "index"
+        rows.append(
+            {
+                "workload": f"{spec.name}.{repaired_fd}",
+                "rows": relation.num_rows,
+                "indexes_built": len(indexed.indexes),
+                "probes": probes,
+                "index_hits": index_hits,
+                "scan_seconds": scan_timer.elapsed,
+                "index_seconds": index_timer.elapsed,
+                "speedup": round(scan_timer.elapsed / max(index_timer.elapsed, 1e-9), 1),
+            }
+        )
+    return rows

@@ -1,0 +1,85 @@
+"""Experiment: Tables 7–8 — the Veterans case study grid.
+
+The paper slices the Veterans table into {10K..70K} tuples × {10,20,30}
+attributes, and measures (i) find-all-repairs time (Table 7) and (ii)
+find-first-repair time (Table 8).
+
+Shape claims (EXPERIMENTS.md):
+
+* for fixed tuples, time grows much faster with attribute count than
+  it grows with tuple count for fixed attributes;
+* find-first ≤ find-all everywhere;
+* at 10 attributes no repair exists, so find-first ≈ find-all (the
+  paper's 70K/10 observation).
+
+The default grid is scaled 1/10 in tuples (1K..7K) to stay
+laptop-friendly in pure Python; pass ``tuple_counts`` explicitly (or
+set ``REPRO_VETERANS_FULL=1``) for the paper-sized grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.timing import Timer, format_duration
+from repro.core.config import RepairConfig
+from repro.core.repair import find_repairs
+from repro.datagen.veterans import VETERANS_FD, veterans_relation
+
+__all__ = [
+    "DEFAULT_TUPLE_COUNTS",
+    "DEFAULT_ATTR_COUNTS",
+    "veterans_grid_rows",
+    "tuple_counts_in_use",
+]
+
+#: Four of the paper's seven tuple counts, scaled 1/10 (the full scaled
+#: grid adds ~20 minutes of find-all time without changing any shape;
+#: REPRO_VETERANS_FULL=1 runs the paper's 10K–70K grid).
+DEFAULT_TUPLE_COUNTS = (1_000, 2_000, 3_000, 5_000)
+_PAPER_TUPLE_COUNTS = tuple(n * 10_000 for n in range(1, 8))
+DEFAULT_ATTR_COUNTS = (10, 20, 30)
+
+#: Queue-pop budget for the find-all grid (None = unbounded, as paper).
+DEFAULT_MAX_EXPANSIONS = 50_000
+
+
+def tuple_counts_in_use(full_size: bool | None = None) -> tuple[int, ...]:
+    """Scaled tuple counts by default; the paper's with the env override."""
+    if full_size is None:
+        full_size = os.environ.get("REPRO_VETERANS_FULL", "") == "1"
+    return _PAPER_TUPLE_COUNTS if full_size else DEFAULT_TUPLE_COUNTS
+
+
+def veterans_grid_rows(
+    mode: str,
+    tuple_counts: tuple[int, ...] = DEFAULT_TUPLE_COUNTS,
+    attr_counts: tuple[int, ...] = DEFAULT_ATTR_COUNTS,
+    seed: int = 98,
+    max_expansions: int | None = DEFAULT_MAX_EXPANSIONS,
+) -> list[dict]:
+    """Run the grid in ``mode`` ∈ {"all", "first"}.
+
+    Returns one row per tuple count with ``seconds(attrs)`` /
+    ``pretty(attrs)`` / ``repairs(attrs)`` columns per attribute count —
+    the exact layout of the paper's Tables 7 and 8.
+    """
+    if mode not in ("all", "first"):
+        raise ValueError("mode must be 'all' or 'first'")
+    config = (
+        RepairConfig.find_all(max_expansions=max_expansions)
+        if mode == "all"
+        else RepairConfig.find_first(max_expansions=max_expansions)
+    )
+    rows = []
+    for num_rows in tuple_counts:
+        row: dict = {"tuples": num_rows}
+        for num_attrs in attr_counts:
+            relation = veterans_relation(num_attrs, num_rows, seed)
+            with Timer() as timer:
+                result = find_repairs(relation, VETERANS_FD, config)
+            row[f"seconds({num_attrs})"] = timer.elapsed
+            row[f"pretty({num_attrs})"] = format_duration(timer.elapsed)
+            row[f"repairs({num_attrs})"] = len(result.all_repairs)
+        rows.append(row)
+    return rows

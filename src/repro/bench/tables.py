@@ -1,0 +1,55 @@
+"""Plain-text table rendering for regenerated paper tables.
+
+Every experiment runner returns row dicts; :func:`render_table` turns
+them into the aligned ASCII tables the benches print, so a bench run's
+output can be eyeballed against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["render_table", "render_rows"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dicts; columns default to first row's keys."""
+    if not rows:
+        return title or "(no rows)"
+    keys = list(columns) if columns else list(rows[0].keys())
+    body = [[row.get(key, "") for key in keys] for row in rows]
+    return render_table(keys, body, title=title)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

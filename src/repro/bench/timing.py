@@ -1,0 +1,70 @@
+"""Timing utilities for the experiment harness.
+
+The paper reports durations in a ``1h 59m 19s 884ms`` style (Table 5);
+:func:`format_duration` reproduces that format so the regenerated
+tables read like the originals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's tables do.
+
+    >>> format_duration(0.005)
+    '5ms'
+    >>> format_duration(83.62)
+    '1m 23s 620ms'
+    >>> format_duration(7159.884)
+    '1h 59m 19s 884ms'
+    """
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    millis = round(seconds * 1000)
+    hours, millis = divmod(millis, 3_600_000)
+    minutes, millis = divmod(millis, 60_000)
+    secs, millis = divmod(millis, 1000)
+    parts: list[str] = []
+    if hours:
+        parts.append(f"{hours}h")
+    if minutes or hours:
+        parts.append(f"{minutes}m")
+    if secs or minutes or hours:
+        parts.append(f"{secs}s")
+    parts.append(f"{millis}ms")
+    # Drop a trailing 0ms when there is a bigger unit, as the paper does
+    # for round values ("4s 678ms" but "1s" stays "1s 0ms"-free).
+    if len(parts) > 1 and parts[-1] == "0ms":
+        parts.pop()
+    return " ".join(parts)
+
+
+@dataclass
+class Timer:
+    """A context manager measuring wall-clock time.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def formatted(self) -> str:
+        """The elapsed time in the paper's duration format."""
+        return format_duration(self.elapsed)

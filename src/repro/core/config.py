@@ -1,0 +1,100 @@
+"""Configuration of the CB repair search.
+
+The defaults follow the paper exactly; every knob corresponds to a
+paragraph of Section 4:
+
+* ``stop_at_first`` — §4.4: "the stop condition of the algorithm can be
+  easily changed to end when the first repair is found"; with the queue
+  order used, that first repair is also a *minimal* one.
+* ``max_added_attributes`` — a bound on ``|U|``; ``None`` explores the
+  whole search space as the paper's "find all repairs" mode does.
+* ``goodness_threshold`` + ``goodness_mode`` — the §4.4 "future work"
+  extension: a user-specified maximum goodness used to privilege (or
+  outright exclude) repairs whose |goodness| stays under the threshold,
+  discouraging UNIQUE-attribute repairs.
+* ``exclude_unique`` — the blunt version of the same idea: never offer a
+  UNIQUE attribute as a repair candidate (Section 3 explains why such
+  repairs are undesirable).
+* ``max_expansions`` — a safety budget on queue pops for benchmarking
+  very wide relations; ``None`` means unbounded (paper behaviour).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["GoodnessMode", "RepairConfig"]
+
+
+class GoodnessMode(enum.Enum):
+    """How a configured goodness threshold is applied to exact repairs."""
+
+    #: Repairs over the threshold are kept but ranked after every repair
+    #: within it (the paper's "privilege" wording).
+    PREFER = "prefer"
+    #: Repairs over the threshold are dropped entirely.
+    EXCLUDE = "exclude"
+
+
+class CandidateOrder(enum.Enum):
+    """How one-step candidates are ranked (ablation knob).
+
+    The paper's ranking (§4.2) is confidence descending with |goodness|
+    ascending as the secondary key.  The alternatives exist so the
+    ordering ablation bench can quantify what each ingredient buys:
+
+    * ``CONFIDENCE_ONLY`` drops the goodness tie-break — same repairs
+      found, but ties resolve arbitrarily (by name), so the *first*
+      repair may be a UNIQUE-ish attribute the paper's ranking avoids;
+    * ``NAME`` drops ranking altogether (alphabetical) — the search is
+      still correct but no longer guided, exploring more nodes before
+      the first repair in stop-at-first mode.
+    """
+
+    RANK = "rank"
+    CONFIDENCE_ONLY = "confidence-only"
+    NAME = "name"
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Immutable settings for one repair search."""
+
+    stop_at_first: bool = False
+    max_added_attributes: int | None = None
+    goodness_threshold: int | None = None
+    goodness_mode: GoodnessMode = GoodnessMode.PREFER
+    exclude_unique: bool = False
+    max_expansions: int | None = None
+    #: Conflict-score convention for FD ordering (see DESIGN.md §3).
+    include_self_in_conflict: bool = False
+    #: Candidate ranking policy (ablation knob; paper = RANK).
+    candidate_order: CandidateOrder = CandidateOrder.RANK
+
+    def __post_init__(self) -> None:
+        if self.max_added_attributes is not None and self.max_added_attributes < 1:
+            raise ValueError("max_added_attributes must be >= 1 or None")
+        if self.goodness_threshold is not None and self.goodness_threshold < 0:
+            raise ValueError("goodness_threshold must be >= 0 or None")
+        if self.max_expansions is not None and self.max_expansions < 1:
+            raise ValueError("max_expansions must be >= 1 or None")
+
+    # Convenience presets -------------------------------------------------
+    @classmethod
+    def find_first(cls, **overrides) -> "RepairConfig":
+        """The paper's first-repair mode (minimal repair, early stop)."""
+        overrides.setdefault("stop_at_first", True)
+        return cls(**overrides)
+
+    @classmethod
+    def find_all(cls, **overrides) -> "RepairConfig":
+        """The paper's find-all-repairs mode (full search-space walk)."""
+        overrides.setdefault("stop_at_first", False)
+        return cls(**overrides)
+
+    def within_threshold(self, goodness: int) -> bool:
+        """Whether a repair with this goodness passes the threshold."""
+        if self.goodness_threshold is None:
+            return True
+        return abs(goodness) <= self.goodness_threshold

@@ -1,0 +1,210 @@
+"""Continuous FD validity checking over a growing instance.
+
+The paper assumes "the DBMS is able to detect that (e.g. by means of
+periodic or continuous checks of FDs validity)" (§1).  Re-running
+``COUNT(DISTINCT …)`` from scratch on every insert makes continuous
+checking O(n) per tuple; this monitor makes it O(#FDs) per tuple by
+maintaining, for each watched FD, the three distinct-counts of
+Definition 3 incrementally:
+
+* ``|π_X|``, ``|π_XY|``, ``|π_Y|`` as hash sets of value tuples —
+  appending a row is three set insertions;
+* confidence/goodness are recomputed from the counters on read.
+
+The monitor raises *alerts* through a callback whenever an FD's
+confidence crosses below a configured threshold — the trigger for the
+semi-automatic evolution loop.  It also keeps a short confidence
+history per FD so drift (systematic, sustained decay) can be told from
+a blip (the noise-vs-drift distinction the paper's premise rests on).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import FDAssessment
+from repro.relational.errors import ArityError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+__all__ = ["FDAlert", "MonitoredFD", "FDMonitor"]
+
+
+@dataclass(frozen=True)
+class FDAlert:
+    """Raised (via callback) when an FD's confidence crosses a threshold."""
+
+    fd: FunctionalDependency
+    confidence: float
+    threshold: float
+    num_rows: int
+
+    def __str__(self) -> str:
+        return (
+            f"ALERT {self.fd}: confidence {self.confidence:.4f} fell below "
+            f"{self.threshold} at {self.num_rows} rows"
+        )
+
+
+@dataclass
+class MonitoredFD:
+    """Incremental state for one watched FD."""
+
+    fd: FunctionalDependency
+    threshold: float
+    x_positions: tuple[int, ...]
+    y_positions: tuple[int, ...]
+    distinct_x: set = field(default_factory=set)
+    distinct_xy: set = field(default_factory=set)
+    distinct_y: set = field(default_factory=set)
+    alerted: bool = False
+    history: list[float] = field(default_factory=list)
+
+    def observe(self, row: Sequence[Any]) -> None:
+        """Fold one tuple into the counters."""
+        x_key = tuple(row[i] for i in self.x_positions)
+        y_key = tuple(row[i] for i in self.y_positions)
+        self.distinct_x.add(x_key)
+        self.distinct_y.add(y_key)
+        self.distinct_xy.add(x_key + y_key)
+
+    @property
+    def confidence(self) -> float:
+        """Current ``|π_X| / |π_XY|`` (1.0 on an empty stream)."""
+        if not self.distinct_xy:
+            return 1.0
+        return len(self.distinct_x) / len(self.distinct_xy)
+
+    @property
+    def goodness(self) -> int:
+        """Current ``|π_X| − |π_Y|``."""
+        return len(self.distinct_x) - len(self.distinct_y)
+
+    def assessment(self) -> FDAssessment:
+        """A snapshot compatible with the batch measure API."""
+        return FDAssessment(
+            fd=self.fd,
+            distinct_x=len(self.distinct_x),
+            distinct_xy=len(self.distinct_xy),
+            distinct_y=len(self.distinct_y),
+        )
+
+
+class FDMonitor:
+    """Watches FDs over an append-only stream of tuples.
+
+    Seed it with a schema (or an existing relation, whose rows are
+    replayed), then feed tuples with :meth:`append`.  Alerts fire once
+    per FD, when its confidence first drops below the threshold; a
+    subsequent recovery above the threshold re-arms the alert.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema | Relation,
+        on_alert: Callable[[FDAlert], None] | None = None,
+        default_threshold: float = 1.0,
+        history_every: int = 100,
+    ) -> None:
+        if isinstance(schema, Relation):
+            relation: Relation | None = schema
+            self._schema = schema.schema
+        else:
+            relation = None
+            self._schema = schema
+        self._watched: list[MonitoredFD] = []
+        self._on_alert = on_alert
+        self._default_threshold = default_threshold
+        self._history_every = max(1, history_every)
+        self._num_rows = 0
+        self._pending_replay = relation
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def watch(
+        self, fd: FunctionalDependency, threshold: float | None = None
+    ) -> MonitoredFD:
+        """Start watching an FD; replays already-seen seed rows."""
+        threshold = self._default_threshold if threshold is None else threshold
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("alert threshold must be in (0, 1]")
+        state = MonitoredFD(
+            fd=fd,
+            threshold=threshold,
+            x_positions=self._schema.positions(fd.antecedent),
+            y_positions=self._schema.positions(fd.consequent),
+        )
+        self._watched.append(state)
+        if self._pending_replay is not None:
+            replay, self._pending_replay = self._pending_replay, None
+            for row in replay.rows():
+                self.append(row)
+        else:
+            # Late watcher on a live stream: it only sees future rows;
+            # its counters start empty by design (documented behaviour).
+            pass
+        return state
+
+    @property
+    def num_rows(self) -> int:
+        """Tuples observed so far."""
+        return self._num_rows
+
+    @property
+    def watched(self) -> list[MonitoredFD]:
+        """The monitored FD states (live objects)."""
+        return list(self._watched)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def append(self, row: Sequence[Any]) -> list[FDAlert]:
+        """Observe one tuple; returns (and dispatches) any new alerts."""
+        if len(row) != self._schema.arity:
+            raise ArityError(self._schema.arity, len(row))
+        self._num_rows += 1
+        alerts: list[FDAlert] = []
+        for state in self._watched:
+            state.observe(row)
+            confidence = state.confidence
+            if self._num_rows % self._history_every == 0:
+                state.history.append(confidence)
+            if confidence < state.threshold and not state.alerted:
+                state.alerted = True
+                alert = FDAlert(
+                    fd=state.fd,
+                    confidence=confidence,
+                    threshold=state.threshold,
+                    num_rows=self._num_rows,
+                )
+                alerts.append(alert)
+                if self._on_alert is not None:
+                    self._on_alert(alert)
+            elif confidence >= state.threshold and state.alerted:
+                state.alerted = False  # re-arm after recovery
+        return alerts
+
+    def extend(self, rows: Sequence[Sequence[Any]]) -> list[FDAlert]:
+        """Observe many tuples; returns all alerts raised."""
+        alerts: list[FDAlert] = []
+        for row in rows:
+            alerts.extend(self.append(row))
+        return alerts
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def state_of(self, fd: FunctionalDependency) -> MonitoredFD:
+        """The monitored state of one FD; raises ``KeyError`` if unwatched."""
+        for state in self._watched:
+            if state.fd == fd:
+                return state
+        raise KeyError(f"FD {fd} is not watched")
+
+    def violated(self) -> list[MonitoredFD]:
+        """Watched FDs whose current confidence is below 1."""
+        return [state for state in self._watched if state.confidence < 1.0]

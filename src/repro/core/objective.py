@@ -1,0 +1,102 @@
+"""The §4.4 "future work" extension: a combined repair objective.
+
+The paper closes Section 4.4 noting that a minimal repair is not always
+the best one (a UNIQUE attribute repairs anything but trivializes the
+FD) and that the authors are "currently considering combining such a
+threshold with our confidence and goodness measures in order to provide
+an objective function that guides our repair strategy".  This module
+supplies that objective:
+
+    score(F^U) = w_len · |U|  +  w_good · |g| / (|g| + 1)  +  penalty
+
+* ``w_len`` prices each added attribute (the minimality pressure of the
+  queue ordering);
+* ``w_good`` prices distance from bijectivity, squashed to [0, 1) so a
+  single huge-goodness repair cannot dominate the length term;
+* ``penalty`` adds ``unique_penalty`` when the repair contains an
+  attribute that is UNIQUE on the instance (the paper's §3 worst case)
+  and ``threshold_penalty`` when |g| exceeds ``goodness_threshold``.
+
+Lower scores are better.  :func:`rank_by_objective` re-ranks the exact
+repairs a search produced; :func:`accept_by_objective` packages the
+same policy as a designer callback for
+:class:`~repro.core.session.RepairSession`.  The objective deliberately
+*post-ranks* rather than steering the queue: the Alg. 3 ordering keeps
+its first-found-is-minimal guarantee, and the designer-facing list is
+re-scored afterwards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+
+from .candidates import Candidate
+from .repair import RepairSearchResult
+
+__all__ = ["RepairObjective", "rank_by_objective", "accept_by_objective"]
+
+
+@dataclass(frozen=True)
+class RepairObjective:
+    """Weights of the combined repair objective (lower score = better)."""
+
+    length_weight: float = 1.0
+    goodness_weight: float = 1.0
+    goodness_threshold: int | None = None
+    threshold_penalty: float = 10.0
+    unique_penalty: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.length_weight < 0 or self.goodness_weight < 0:
+            raise ValueError("objective weights must be non-negative")
+        if self.threshold_penalty < 0 or self.unique_penalty < 0:
+            raise ValueError("objective penalties must be non-negative")
+
+    def score(self, relation: Relation, candidate: Candidate) -> float:
+        """The objective value of one (exact) repair candidate."""
+        goodness = abs(candidate.goodness)
+        value = (
+            self.length_weight * candidate.num_added
+            + self.goodness_weight * goodness / (goodness + 1)
+        )
+        if self.goodness_threshold is not None and goodness > self.goodness_threshold:
+            value += self.threshold_penalty
+        if self.unique_penalty and any(
+            relation.stats.is_unique(attr) for attr in candidate.added
+        ):
+            value += self.unique_penalty
+        return value
+
+
+def rank_by_objective(
+    relation: Relation,
+    candidates: Sequence[Candidate],
+    objective: RepairObjective | None = None,
+) -> list[Candidate]:
+    """Sort repairs by objective score (stable; ties keep search order)."""
+    objective = objective or RepairObjective()
+    return sorted(
+        candidates, key=lambda c: (objective.score(relation, c), c.rank_key)
+    )
+
+
+def accept_by_objective(
+    relation: Relation, objective: RepairObjective | None = None
+) -> Callable[[RepairSearchResult], Candidate | None]:
+    """A designer policy choosing the objective-best proposed repair.
+
+    Use with :meth:`RepairSession.run`::
+
+        session.run("Places", accept_by_objective(relation,
+                    RepairObjective(goodness_threshold=1)))
+    """
+    objective = objective or RepairObjective()
+
+    def _choose(result: RepairSearchResult) -> Candidate | None:
+        ranked = rank_by_objective(relation, result.all_repairs, objective)
+        return ranked[0] if ranked else None
+
+    return _choose

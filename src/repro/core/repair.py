@@ -1,0 +1,269 @@
+"""The CB repair search (paper Algorithms 1 and 3).
+
+Two entry points:
+
+* :func:`find_repairs` — Algorithm 3's best-first queue search for one
+  FD.  The queue is ordered by (antecedent cardinality ascending, rank
+  descending), so the first exact candidate popped is a **minimal**
+  repair; ``stop_at_first`` returns it immediately, otherwise the whole
+  space is walked and every exact repair is collected.
+* :func:`find_fd_repairs` — Algorithm 1: order all declared FDs by the
+  Section 4.1 rank, then repair each violated one.
+
+Search-space notes (Section 4.4):
+
+* Extending an *exact* node is never useful: supersets of an exact
+  antecedent stay exact and their goodness only grows, so exact nodes
+  are leaves.  (The paper's Algorithm 3 behaves the same way.)
+* Candidates are attribute *sets*, not sequences; a visited-set keyed on
+  ``frozenset(added)`` prevents the factorial blow-up of exploring the
+  same set along different insertion orders.  The paper's exponential
+  bound (2^|R\\XY| nodes) is thereby met exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import FDAssessment, assess
+from repro.fd.ordering import RankedFD, order_fds
+from repro.relational.relation import Relation
+
+from .candidates import Candidate, extend_by_one, order_key
+from .config import GoodnessMode, RepairConfig
+
+__all__ = [
+    "RepairSearchResult",
+    "RelationRepairReport",
+    "find_repairs",
+    "find_first_repair",
+    "find_fd_repairs",
+]
+
+
+@dataclass
+class RepairSearchResult:
+    """Outcome of one FD's repair search, with search statistics."""
+
+    base: FunctionalDependency
+    assessment: FDAssessment
+    repairs: list[Candidate] = field(default_factory=list)
+    #: Exact repairs that failed the goodness threshold in PREFER mode;
+    #: they are still reported, after every within-threshold repair.
+    over_threshold: list[Candidate] = field(default_factory=list)
+    explored: int = 0
+    enqueued: int = 0
+    elapsed_seconds: float = 0.0
+    exhausted: bool = True
+
+    @property
+    def was_violated(self) -> bool:
+        """Whether the base FD needed repairing at all."""
+        return not self.assessment.is_exact
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one exact repair was found."""
+        return bool(self.repairs) or bool(self.over_threshold)
+
+    @property
+    def all_repairs(self) -> list[Candidate]:
+        """Within-threshold repairs first, then over-threshold ones."""
+        return self.repairs + self.over_threshold
+
+    @property
+    def best(self) -> Candidate | None:
+        """The top-ranked repair (minimal, then best (c, |g|)), if any."""
+        ordered = self.all_repairs
+        return ordered[0] if ordered else None
+
+    @property
+    def minimal_size(self) -> int | None:
+        """``|U|`` of the minimal repairs, if any repair exists."""
+        ordered = self.all_repairs
+        return min(c.num_added for c in ordered) if ordered else None
+
+    def __str__(self) -> str:
+        if not self.was_violated:
+            return f"{self.base}: already exact"
+        if not self.found:
+            return f"{self.base}: violated, no repair found"
+        return f"{self.base}: violated, {len(self.all_repairs)} repair(s), best {self.best}"
+
+
+def find_repairs(
+    relation: Relation,
+    fd: FunctionalDependency,
+    config: RepairConfig | None = None,
+) -> RepairSearchResult:
+    """Algorithm 3: best-first search for antecedent extensions of ``fd``.
+
+    Returns a :class:`RepairSearchResult` whose ``repairs`` list is in
+    discovery order — i.e. sorted by (|U|, rank), so minimal repairs
+    come first and ``repairs[0]`` (when present) is the paper's
+    "first repair".
+    """
+    config = config or RepairConfig()
+    start = time.perf_counter()
+    assessment = assess(relation, fd)
+    result = RepairSearchResult(base=fd, assessment=assessment)
+    if assessment.is_exact:
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    def queue_key(candidate: Candidate) -> tuple:
+        # Alg. 3 queue order: antecedent cardinality first, then the
+        # configured candidate ranking (paper = confidence/|goodness|).
+        return (candidate.num_added, *order_key(candidate, config.candidate_order))
+
+    # Seed the queue with all one-attribute extensions (Alg. 3 line 1-2).
+    counter = 0  # heap tiebreaker; keeps Candidate comparison out of the heap
+    heap: list[tuple[tuple, int, Candidate]] = []
+    visited: set[frozenset[str]] = set()
+    for candidate in extend_by_one(relation, fd, config):
+        key = frozenset(candidate.added)
+        visited.add(key)
+        heapq.heappush(heap, (queue_key(candidate), counter, candidate))
+        counter += 1
+        result.enqueued += 1
+
+    while heap:
+        if config.max_expansions is not None and result.explored >= config.max_expansions:
+            result.exhausted = False
+            break
+        _, _, candidate = heapq.heappop(heap)
+        result.explored += 1
+        if candidate.is_exact:
+            accepted = _record_repair(result, candidate, config)
+            if accepted and config.stop_at_first:
+                result.exhausted = False
+                break
+            continue  # exact nodes are leaves (see module docstring)
+        if (
+            config.max_added_attributes is not None
+            and candidate.num_added >= config.max_added_attributes
+        ):
+            continue
+        for child in extend_by_one(relation, candidate.fd, config, base=fd):
+            key = frozenset(child.added)
+            if key in visited:
+                continue
+            visited.add(key)
+            heapq.heappush(heap, (queue_key(child), counter, child))
+            counter += 1
+            result.enqueued += 1
+
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+def _record_repair(
+    result: RepairSearchResult, candidate: Candidate, config: RepairConfig
+) -> bool:
+    """File an exact candidate under the goodness-threshold policy.
+
+    Returns ``True`` when the candidate counts as an accepted repair for
+    the purpose of ``stop_at_first``.
+    """
+    if config.within_threshold(candidate.goodness):
+        result.repairs.append(candidate)
+        return True
+    if config.goodness_mode is GoodnessMode.PREFER:
+        result.over_threshold.append(candidate)
+    return False
+
+
+def find_first_repair(
+    relation: Relation,
+    fd: FunctionalDependency,
+    config: RepairConfig | None = None,
+) -> Candidate | None:
+    """The paper's first-repair mode: the minimal repair, or ``None``.
+
+    Equivalent to :func:`find_repairs` with ``stop_at_first=True``.
+    """
+    base = config or RepairConfig()
+    first_config = dataclasses.replace(base, stop_at_first=True)
+    return find_repairs(relation, fd, first_config).best
+
+
+@dataclass
+class RelationRepairReport:
+    """Outcome of Algorithm 1 over a whole declared-FD set."""
+
+    relation_name: str
+    order: list[RankedFD]
+    results: list[RepairSearchResult]
+    elapsed_seconds: float = 0.0
+
+    @property
+    def violated(self) -> list[RepairSearchResult]:
+        """Results for the FDs that needed repairing."""
+        return [r for r in self.results if r.was_violated]
+
+    @property
+    def exact_new_fds(self) -> list[Candidate]:
+        """The paper's ``Exact`` output: every exact new FD found."""
+        repairs: list[Candidate] = []
+        for result in self.results:
+            repairs.extend(result.all_repairs)
+        return repairs
+
+    def __str__(self) -> str:
+        lines = [f"Repair report for {self.relation_name!r}:"]
+        lines.extend(f"  {result}" for result in self.results)
+        return "\n".join(lines)
+
+
+def find_fd_repairs(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    config: RepairConfig | None = None,
+    one_step_only: bool = False,
+) -> RelationRepairReport:
+    """Algorithm 1 (``FindFDRepairs``): order 𝔽, repair each violated FD.
+
+    ``one_step_only=True`` reproduces the printed Algorithm 1 exactly
+    (a single ``ExtendByOne`` pass per FD, collecting the exact
+    one-attribute extensions); the default uses the full Algorithm 3
+    queue search per FD, as Section 4.3 prescribes when one attribute is
+    not enough.
+    """
+    config = config or RepairConfig()
+    start = time.perf_counter()
+    ranked = order_fds(relation, fds, include_self=config.include_self_in_conflict)
+    results: list[RepairSearchResult] = []
+    for item in ranked:
+        if one_step_only:
+            results.append(_one_step_search(relation, item.fd, config))
+        else:
+            results.append(find_repairs(relation, item.fd, config))
+    return RelationRepairReport(
+        relation_name=relation.name,
+        order=ranked,
+        results=results,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _one_step_search(
+    relation: Relation, fd: FunctionalDependency, config: RepairConfig
+) -> RepairSearchResult:
+    """Printed Algorithm 1 body: one ExtendByOne pass, keep exact FDs."""
+    start = time.perf_counter()
+    assessment = assess(relation, fd)
+    result = RepairSearchResult(base=fd, assessment=assessment)
+    if assessment.is_exact:
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+    candidates = extend_by_one(relation, fd, config)
+    result.explored = len(candidates)
+    for candidate in candidates:
+        if candidate.is_exact:
+            _record_repair(result, candidate, config)
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,175 @@
+"""The semi-automatic designer loop.
+
+The paper's workflow (Sections 1 and 6) is: the system detects violated
+FDs, computes candidate repairs, and *presents them to the designer to
+be evaluated* — the human decides whether a violation is noise (fix the
+data) or genuine semantic drift (evolve the constraint).  A
+:class:`RepairSession` scripts that loop:
+
+1. ``violations()`` lists violated FDs in the Section 4.1 repair order;
+2. ``propose(fd)`` runs the CB search and returns ranked repairs;
+3. ``accept(fd, candidate)`` swaps the declared FD for the repaired one
+   in the catalog; ``reject(fd)`` records that the designer kept the FD
+   (e.g. will clean the data instead).
+
+``run(chooser)`` automates the whole loop with a designer-policy
+callback, which is how the examples and the violation-drift benchmarks
+simulate a human.  Every step is appended to ``history`` for audit.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.ordering import RankedFD, order_fds
+from repro.relational.catalog import Catalog
+
+from .candidates import Candidate
+from .config import RepairConfig
+from .repair import RepairSearchResult, find_repairs
+
+__all__ = ["Decision", "SessionEvent", "RepairSession", "accept_best", "accept_none"]
+
+#: A designer policy: given the search result, return the accepted
+#: candidate or ``None`` to keep the FD unchanged.
+Chooser = Callable[[RepairSearchResult], Candidate | None]
+
+
+class Decision(enum.Enum):
+    """What the designer did with a violated FD."""
+
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    NO_REPAIR_FOUND = "no-repair-found"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One audit-trail entry of the semi-automatic loop."""
+
+    relation_name: str
+    original: FunctionalDependency
+    decision: Decision
+    accepted: Candidate | None
+    num_proposed: int
+    elapsed_seconds: float
+
+    def __str__(self) -> str:
+        if self.decision is Decision.ACCEPTED and self.accepted is not None:
+            return (
+                f"{self.relation_name}: {self.original}  evolved to  "
+                f"{self.accepted.fd}"
+            )
+        return f"{self.relation_name}: {self.original}  {self.decision.value}"
+
+
+def accept_best(result: RepairSearchResult) -> Candidate | None:
+    """Designer policy: always take the top-ranked (minimal) repair."""
+    return result.best
+
+
+def accept_none(result: RepairSearchResult) -> Candidate | None:
+    """Designer policy: never evolve (audit-only run)."""
+    return None
+
+
+class RepairSession:
+    """Stateful semi-automatic repair loop over one catalog."""
+
+    def __init__(self, catalog: Catalog, config: RepairConfig | None = None) -> None:
+        self.catalog = catalog
+        self.config = config or RepairConfig()
+        self.history: list[SessionEvent] = []
+
+    # ------------------------------------------------------------------
+    # Step-by-step API
+    # ------------------------------------------------------------------
+    def violations(self, relation_name: str) -> list[RankedFD]:
+        """Violated FDs of one relation, in repair order (Section 4.1)."""
+        relation = self.catalog.relation(relation_name)
+        fds = self.catalog.fds(relation_name)
+        ranked = order_fds(
+            relation, fds, include_self=self.config.include_self_in_conflict
+        )
+        return [item for item in ranked if item.inconsistency > 0.0]
+
+    def propose(
+        self, relation_name: str, fd: FunctionalDependency
+    ) -> RepairSearchResult:
+        """Run the CB search for one FD and return the ranked repairs."""
+        relation = self.catalog.relation(relation_name)
+        return find_repairs(relation, fd, self.config)
+
+    def accept(
+        self,
+        relation_name: str,
+        result: RepairSearchResult,
+        candidate: Candidate,
+    ) -> None:
+        """Record the designer accepting ``candidate`` and evolve the catalog."""
+        if candidate not in result.all_repairs:
+            raise ValueError(f"candidate {candidate} was not proposed for {result.base}")
+        self.catalog.replace_fd(relation_name, result.base, candidate.fd)
+        self.history.append(
+            SessionEvent(
+                relation_name=relation_name,
+                original=result.base,
+                decision=Decision.ACCEPTED,
+                accepted=candidate,
+                num_proposed=len(result.all_repairs),
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        )
+
+    def reject(self, relation_name: str, result: RepairSearchResult) -> None:
+        """Record the designer keeping the FD unchanged."""
+        decision = (
+            Decision.REJECTED if result.found else Decision.NO_REPAIR_FOUND
+        )
+        self.history.append(
+            SessionEvent(
+                relation_name=relation_name,
+                original=result.base,
+                decision=decision,
+                accepted=None,
+                num_proposed=len(result.all_repairs),
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Automated loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        relation_name: str,
+        chooser: Chooser = accept_best,
+    ) -> list[SessionEvent]:
+        """Validate, propose, and apply the chooser to every violation.
+
+        Returns the events of this run (also appended to ``history``).
+        The violation list is computed once up front, as the paper's
+        periodic check does; repairs accepted earlier do not re-rank the
+        remaining ones mid-run.
+        """
+        start_index = len(self.history)
+        for ranked in self.violations(relation_name):
+            result = self.propose(relation_name, ranked.fd)
+            choice = chooser(result) if result.found else None
+            if choice is not None:
+                self.accept(relation_name, result, choice)
+            else:
+                self.reject(relation_name, result)
+        return self.history[start_index:]
+
+    def run_all(self, chooser: Chooser = accept_best) -> list[SessionEvent]:
+        """Run the loop over every relation in the catalog."""
+        start_index = len(self.history)
+        for name in self.catalog.relation_names():
+            if self.catalog.fds(name):
+                self.run(name, chooser)
+        return self.history[start_index:]

@@ -1,0 +1,108 @@
+"""FD validation: which declared FDs still hold on the current data.
+
+This is step (i) of the paper's method — "find the functional
+dependencies that are violated by the current data" — the periodic /
+continuous check the prototype runs before proposing any evolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import FDAssessment, assess, violating_pairs
+from repro.fd.ordering import RankedFD, order_fds
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+
+__all__ = ["ValidationEntry", "ValidationReport", "validate_relation", "validate_catalog"]
+
+
+@dataclass(frozen=True)
+class ValidationEntry:
+    """One FD's validation outcome, with optional violation witnesses."""
+
+    relation_name: str
+    assessment: FDAssessment
+    witnesses: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def fd(self) -> FunctionalDependency:
+        """The validated FD."""
+        return self.assessment.fd
+
+    @property
+    def is_violated(self) -> bool:
+        """Whether the instance is inconsistent w.r.t. this FD."""
+        return not self.assessment.is_exact
+
+    def __str__(self) -> str:
+        status = "VIOLATED" if self.is_violated else "satisfied"
+        return (
+            f"{self.relation_name}.{self.fd}: {status} "
+            f"(c={self.assessment.confidence:.4g}, g={self.assessment.goodness})"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Validation outcomes for a set of FDs, plus the repair order."""
+
+    entries: list[ValidationEntry]
+    order: list[RankedFD]
+
+    @property
+    def violated(self) -> list[ValidationEntry]:
+        """Entries for violated FDs only, in report order."""
+        return [entry for entry in self.entries if entry.is_violated]
+
+    @property
+    def satisfied(self) -> list[ValidationEntry]:
+        """Entries for satisfied FDs only."""
+        return [entry for entry in self.entries if not entry.is_violated]
+
+    @property
+    def all_satisfied(self) -> bool:
+        """Whether the instance is consistent with every declared FD."""
+        return not self.violated
+
+    def __str__(self) -> str:
+        return "\n".join(str(entry) for entry in self.entries)
+
+
+def validate_relation(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    witness_limit: int = 0,
+) -> ValidationReport:
+    """Validate ``fds`` against ``relation``.
+
+    ``witness_limit > 0`` attaches up to that many violating tuple pairs
+    per violated FD, for the designer to inspect.
+    """
+    entries: list[ValidationEntry] = []
+    for fd in fds:
+        assessment = assess(relation, fd)
+        witnesses: tuple[tuple[int, int], ...] = ()
+        if witness_limit > 0 and not assessment.is_exact:
+            witnesses = tuple(violating_pairs(relation, fd, limit=witness_limit))
+        entries.append(
+            ValidationEntry(
+                relation_name=relation.name,
+                assessment=assessment,
+                witnesses=witnesses,
+            )
+        )
+    return ValidationReport(entries=entries, order=order_fds(relation, fds))
+
+
+def validate_catalog(catalog: Catalog, witness_limit: int = 0) -> dict[str, ValidationReport]:
+    """Validate every relation of a catalog against its declared FDs."""
+    reports: dict[str, ValidationReport] = {}
+    for name in catalog.relation_names():
+        fds = catalog.fds(name)
+        if fds:
+            reports[name] = validate_relation(
+                catalog.relation(name), fds, witness_limit=witness_limit
+            )
+    return reports

@@ -1,0 +1,88 @@
+"""Data generation (system S6 in DESIGN.md).
+
+Everything the paper's evaluation feeds the algorithm, rebuilt
+deterministically and offline:
+
+* :mod:`repro.datagen.places` — the exact Figure 1 running example;
+* :mod:`repro.datagen.tpch` — the DBGEN substitute (Tables 4–5, Fig. 3);
+* :mod:`repro.datagen.realworld` — Table 6's real-dataset simulators;
+* :mod:`repro.datagen.veterans` — the KDD Cup 98 wide table (Tables 7–8);
+* :mod:`repro.datagen.engineered` — the known-minimal-repair builder
+  underneath the simulators;
+* :mod:`repro.datagen.violations` — noise vs semantic-drift injection;
+* :mod:`repro.datagen.synthetic` — plain random relations for tests.
+"""
+
+from .engineered import EngineeredSpec, engineered_relation
+from .places import F1, F2, F3, F4, places_catalog, places_fds, places_relation
+from .realworld import (
+    REAL_DATASET_SPECS,
+    country_relation,
+    country_spec,
+    image_relation,
+    image_spec,
+    pagelinks_relation,
+    pagelinks_spec,
+    rental_relation,
+    rental_spec,
+)
+from .rng import child_rng, derive_seed
+from .synthetic import random_relation
+from .tpch import (
+    SCALE_PRESETS,
+    TPCH_FDS,
+    TPCH_TABLE_NAMES,
+    TpchScale,
+    generate_table,
+    generate_tpch,
+    tpch_fd,
+)
+from .veterans import (
+    FULL_ARITY,
+    FULL_NON_NULL,
+    FULL_ROWS,
+    VETERANS_FD,
+    veterans_attribute_names,
+    veterans_relation,
+)
+from .violations import inject_drift, inject_noise, with_target_confidence
+
+__all__ = [
+    "EngineeredSpec",
+    "F1",
+    "F2",
+    "F3",
+    "F4",
+    "FULL_ARITY",
+    "FULL_NON_NULL",
+    "FULL_ROWS",
+    "REAL_DATASET_SPECS",
+    "SCALE_PRESETS",
+    "TPCH_FDS",
+    "TPCH_TABLE_NAMES",
+    "TpchScale",
+    "VETERANS_FD",
+    "child_rng",
+    "country_relation",
+    "country_spec",
+    "derive_seed",
+    "engineered_relation",
+    "generate_table",
+    "generate_tpch",
+    "image_relation",
+    "image_spec",
+    "inject_drift",
+    "inject_noise",
+    "pagelinks_relation",
+    "pagelinks_spec",
+    "places_catalog",
+    "places_fds",
+    "places_relation",
+    "random_relation",
+    "rental_relation",
+    "rental_spec",
+    "tpch_fd",
+    "veterans_attribute_names",
+    "veterans_relation",
+    "with_target_confidence",
+]

@@ -1,0 +1,146 @@
+"""Engineered relations with a *known* minimal repair.
+
+The real datasets of Table 6 (Country, Rental, Image, PageLinks,
+Veterans) cannot be downloaded offline, so we simulate them (DESIGN.md
+§4).  What the paper's experiments actually exercise is structural: the
+arity, the tuple count, and — crucially — the *length of the repair* the
+algorithm must find (Places took longer than the bigger Country table
+because its FD needed a 2-attribute repair, Section 6.2).  This module
+builds relations where those properties are controlled exactly:
+
+* a declared FD ``X → Y`` that the instance violates;
+* a designated set of *repair attributes* ``R1..Rk`` such that
+  ``X R1..Rk → Y`` is exact **by construction** (``Y`` is generated as a
+  deterministic function of ``(X, R1..Rk)``);
+* filler attributes that are independent of ``Y`` so they cannot repair
+  the FD on their own (verified for the shipped dataset specs in
+  ``tests/datagen/test_engineered.py``);
+* optional NULL-bearing attributes, which the repair search must skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fd.fd import FunctionalDependency
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+from .rng import child_rng, derive_seed
+
+__all__ = ["EngineeredSpec", "engineered_relation"]
+
+
+@dataclass(frozen=True)
+class EngineeredSpec:
+    """Recipe for one engineered relation.
+
+    ``filler_cardinalities`` maps filler attribute name → number of
+    distinct values; fillers are i.i.d. uniform.  ``null_rate`` applies
+    to the attributes listed in ``nullable_fillers`` (a subset of the
+    fillers), making them ineligible for FDs and repairs.
+    """
+
+    name: str
+    num_rows: int
+    x_name: str
+    y_name: str
+    repair_names: tuple[str, ...]
+    x_cardinality: int
+    y_cardinality: int
+    repair_cardinalities: tuple[int, ...]
+    filler_cardinalities: dict[str, int] = field(default_factory=dict)
+    nullable_fillers: tuple[str, ...] = ()
+    null_rate: float = 0.1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if len(self.repair_names) != len(self.repair_cardinalities):
+            raise ValueError("repair_names and repair_cardinalities lengths differ")
+        if self.x_cardinality < 2 or self.y_cardinality < 2:
+            raise ValueError("x and y need at least two distinct values")
+        unknown = set(self.nullable_fillers) - set(self.filler_cardinalities)
+        if unknown:
+            raise ValueError(f"nullable fillers {sorted(unknown)} are not fillers")
+
+    @property
+    def fd(self) -> FunctionalDependency:
+        """The declared (violated) FD ``X → Y``."""
+        return FunctionalDependency((self.x_name,), (self.y_name,))
+
+    @property
+    def repaired_fd(self) -> FunctionalDependency:
+        """The engineered exact repair ``X R1..Rk → Y``."""
+        return self.fd.extended(*self.repair_names)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """All attribute names: X, Y, repairs, then fillers."""
+        return (
+            (self.x_name, self.y_name)
+            + self.repair_names
+            + tuple(self.filler_cardinalities)
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of the generated relation."""
+        return len(self.attribute_names)
+
+
+def engineered_relation(spec: EngineeredSpec) -> Relation:
+    """Generate the relation described by ``spec``.
+
+    ``Y`` is a pseudo-random but deterministic function of
+    ``(X, R1..Rk)``, so the repaired FD is exact on every instance while
+    ``X → Y`` (and ``X`` plus any proper subset of the repairs) is
+    violated with overwhelming probability for the shipped specs.
+    """
+    rng = child_rng(spec.seed, "engineered", spec.name)
+    n = spec.num_rows
+    x_values = [rng.randrange(spec.x_cardinality) for _ in range(n)]
+    repair_columns: list[list[int]] = []
+    for index, cardinality in enumerate(spec.repair_cardinalities):
+        column_rng = child_rng(spec.seed, "repair", spec.name, index)
+        repair_columns.append([column_rng.randrange(cardinality) for _ in range(n)])
+
+    y_values = [
+        _y_of(spec, x_values[row], tuple(col[row] for col in repair_columns))
+        for row in range(n)
+    ]
+
+    columns: dict[str, list] = {
+        spec.x_name: [f"{spec.x_name}_{v}" for v in x_values],
+        spec.y_name: [f"{spec.y_name}_{v}" for v in y_values],
+    }
+    for name, values in zip(spec.repair_names, repair_columns):
+        columns[name] = [f"{name}_{v}" for v in values]
+    for name, cardinality in spec.filler_cardinalities.items():
+        column_rng = child_rng(spec.seed, "filler", spec.name, name)
+        values: list[str | None] = [
+            f"{name}_{column_rng.randrange(cardinality)}" for _ in range(n)
+        ]
+        if name in spec.nullable_fillers:
+            null_rng = child_rng(spec.seed, "nulls", spec.name, name)
+            values = [
+                None if null_rng.random() < spec.null_rate else value
+                for value in values
+            ]
+        columns[name] = values
+
+    attrs = [
+        Attribute(
+            name,
+            AttributeType.STRING,
+            nullable=name in spec.nullable_fillers,
+        )
+        for name in spec.attribute_names
+    ]
+    schema = RelationSchema(spec.name, attrs)
+    return Relation.from_columns(schema, {name: columns[name] for name in spec.attribute_names})
+
+
+def _y_of(spec: EngineeredSpec, x: int, repairs: tuple[int, ...]) -> int:
+    """The hidden ground-truth function ``Y = f(X, R1..Rk)``."""
+    return derive_seed(spec.seed, "ymap", spec.name, x, *repairs) % spec.y_cardinality

@@ -1,0 +1,109 @@
+"""The running example: relation ``Places`` (paper Figure 1) and its FDs.
+
+The machine-extracted text of Figure 1 is column-scrambled, so the
+instance below is *reconstructed* to satisfy every worked number in the
+paper simultaneously:
+
+* "All the tuples in Places violate F1; tuples t1, t2 and t3 violate F2
+  and tuples t10 and t11 violate F3" (Section 1);
+* ``c_F1 = 0.5, g_F1 = −2``; ``c_F2 = 0.667, g_F2 = −1``;
+  ``c_F3 = 0.889, g_F3 = 1`` (Section 3);
+* ``c_F4 = 2/7, g_F4 = −4`` (Section 4.3);
+* every (confidence, goodness) row of Table 1 and every confidence of
+  Tables 2–3, and the Figure 2 clusterings.
+
+Known paper inconsistencies, documented in ``tests/fd/test_paper_examples.py``:
+
+* Table 3's goodness column does not agree with Definition 3 under any
+  assignment consistent with the rest of the paper (the printed values
+  appear to subtract ``|π_AreaCode| = 4`` instead of ``|π_PhNo| = 6``);
+  our Table 3 confidences match exactly, goodnesses are uniformly
+  smaller.
+* Table 6 lists Places with cardinality 10; Figure 1 shows 11 tuples.
+  We keep the 11 tuples of Figure 1.
+
+The ``tid`` labels of Figure 1 are row identifiers, not attributes (the
+relation's arity is 9 in Table 6, and no paper ranking ever offers
+``tid`` as a repair candidate), so they are exposed only as row order:
+tuple ``t{i}`` is row ``i-1``.
+"""
+
+from __future__ import annotations
+
+from repro.fd.fd import FunctionalDependency
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+__all__ = [
+    "places_relation",
+    "places_fds",
+    "places_catalog",
+    "F1",
+    "F2",
+    "F3",
+    "F4",
+]
+
+#: F1 : [District, Region] → [AreaCode]  — violated by every tuple.
+F1 = FunctionalDependency(("District", "Region"), ("AreaCode",))
+#: F2 : [Zip] → [City, State]  — violated by t1, t2, t3.
+F2 = FunctionalDependency(("Zip",), ("City", "State"))
+#: F3 : [PhNo, Zip] → [Street]  — violated by t10, t11.
+F3 = FunctionalDependency(("PhNo", "Zip"), ("Street",))
+#: F4 : [District] → [PhNo]  — the Section 4.3 two-step repair example.
+F4 = FunctionalDependency(("District",), ("PhNo",))
+
+_SCHEMA = RelationSchema(
+    "Places",
+    [
+        Attribute("District", AttributeType.STRING, nullable=False),
+        Attribute("Region", AttributeType.STRING, nullable=False),
+        Attribute("Municipal", AttributeType.STRING, nullable=False),
+        Attribute("AreaCode", AttributeType.STRING, nullable=False),
+        Attribute("PhNo", AttributeType.STRING, nullable=False),
+        Attribute("Street", AttributeType.STRING, nullable=False),
+        Attribute("Zip", AttributeType.STRING, nullable=False),
+        Attribute("City", AttributeType.STRING, nullable=False),
+        Attribute("State", AttributeType.STRING, nullable=False),
+    ],
+)
+
+# Rows t1..t11.  District/Region split {t1..t5} vs {t6..t11}; Municipal is
+# constant on each AreaCode class ({t1-t3}, {t4,t5}, {t6-t8}, {t9-t11}),
+# which is what makes [District, Region, Municipal] → [AreaCode] the
+# paper's preferred (bijective) repair of F1.
+_ROWS = [
+    # District,   Region,       Municipal,   Area, PhNo,        Street,     Zip,     City,      State
+    ("Brookside", "Granville", "Glendale", "613", "974-2345", "Boxwood", "10211", "NY", "NY"),  # t1
+    ("Brookside", "Granville", "Glendale", "613", "974-2345", "Boxwood", "10211", "NY", "NY"),  # t2
+    ("Brookside", "Granville", "Glendale", "613", "299-1010", "Westlane", "10211", "NY", "MA"),  # t3
+    ("Brookside", "Granville", "QueenAnne", "515", "220-1200", "Squire", "02215", "Boston", "MA"),  # t4
+    ("Brookside", "Granville", "QueenAnne", "515", "220-1200", "Squire", "02215", "Boston", "MA"),  # t5
+    ("Alexandria", "Moore Park", "Guildwood", "415", "220-1200", "Napa", "60415", "Chicago", "IL"),  # t6
+    ("Alexandria", "Moore Park", "Guildwood", "415", "930-2525", "Main", "60415", "Chicago", "IL"),  # t7
+    ("Alexandria", "Moore Park", "Guildwood", "415", "555-1234", "Tower", "60415", "Chester", "IL"),  # t8
+    ("Alexandria", "Moore Park", "NapaHill", "517", "888-5152", "Main", "60415", "Chicago", "IL"),  # t9
+    ("Alexandria", "Moore Park", "NapaHill", "517", "888-5152", "Main", "60601", "Chicago", "IL"),  # t10
+    ("Alexandria", "Moore Park", "NapaHill", "517", "888-5152", "Bay", "60601", "Chicago", "IL"),  # t11
+]
+
+
+def places_relation() -> Relation:
+    """The 11-tuple ``Places`` instance of Figure 1 (reconstructed)."""
+    return Relation.from_rows(_SCHEMA, _ROWS)
+
+
+def places_fds() -> list[FunctionalDependency]:
+    """The three FDs declared on ``Places`` in the running example."""
+    return [F1, F2, F3]
+
+
+def places_catalog() -> Catalog:
+    """A catalog holding ``Places`` with F1–F3 declared, as the paper's
+    prototype would present it to the designer."""
+    catalog = Catalog()
+    catalog.add_relation(places_relation())
+    catalog.declare_fds("Places", places_fds())
+    return catalog

@@ -1,0 +1,131 @@
+"""Word lists and text synthesis for the generators.
+
+TPC-H's DBGEN builds comments and part names from fixed vocabularies;
+we do the same with small curated lists, so generated relations look
+like the originals (multi-word part names, short comment sentences)
+while staying fully offline and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "ADJECTIVES",
+    "COLORS",
+    "NOUNS",
+    "VERBS",
+    "REGION_NAMES",
+    "NATION_NAMES",
+    "NATION_REGION",
+    "SEGMENTS",
+    "PRIORITIES",
+    "SHIP_MODES",
+    "SHIP_INSTRUCTIONS",
+    "CONTAINERS",
+    "PART_TYPES",
+    "comment",
+    "part_name",
+    "phone",
+    "address",
+]
+
+ADJECTIVES = [
+    "quick", "silent", "bold", "ironic", "final", "even", "special", "express",
+    "regular", "pending", "furious", "careful", "daring", "quiet", "slow",
+    "busy", "idle", "ruthless", "blithe", "dogged",
+]
+
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+
+NOUNS = [
+    "deposits", "foxes", "accounts", "pinto beans", "instructions", "requests",
+    "packages", "theodolites", "dependencies", "excuses", "platelets", "asymptotes",
+    "courts", "dolphins", "multipliers", "sauternes", "warthogs", "frets",
+    "dinos", "attainments", "somas", "braids", "hockey players", "sheaves",
+]
+
+VERBS = [
+    "sleep", "haggle", "nag", "wake", "are", "cajole", "run", "snooze",
+    "detect", "integrate", "engage", "lose", "use", "boost", "affix",
+    "doze", "play", "doubt", "grow", "maintain",
+]
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+#: Region index of each nation, as in the TPC-H specification.
+NATION_REGION = [0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+SHIP_INSTRUCTIONS = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+
+CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG",
+    "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG", "JUMBO JAR",
+    "WRAP DRUM", "WRAP CASE", "WRAP BOX",
+]
+
+PART_TYPES = [
+    "STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED NICKEL",
+    "ECONOMY BURNISHED STEEL", "PROMO BRUSHED BRASS", "LARGE ANODIZED STEEL",
+    "STANDARD POLISHED BRASS", "SMALL BURNISHED TIN", "ECONOMY PLATED NICKEL",
+    "PROMO POLISHED COPPER", "MEDIUM BRUSHED STEEL", "LARGE PLATED BRASS",
+]
+
+
+def comment(rng: random.Random, words: int = 5) -> str:
+    """A DBGEN-style comment sentence with roughly ``words`` words."""
+    parts = []
+    for _ in range(max(2, words) // 2):
+        parts.append(rng.choice(ADJECTIVES))
+        parts.append(rng.choice(NOUNS))
+        parts.append(rng.choice(VERBS))
+    return " ".join(parts[: max(2, words)])
+
+
+def part_name(rng: random.Random) -> str:
+    """A part name: five distinct colors, as DBGEN builds them."""
+    return " ".join(rng.sample(COLORS, 5))
+
+
+def phone(rng: random.Random, nation_key: int) -> str:
+    """A TPC-H phone number: country code derived from the nation."""
+    return (
+        f"{10 + nation_key}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+def address(rng: random.Random) -> str:
+    """A short pseudo-address (DBGEN uses random v-strings)."""
+    length = rng.randint(10, 30)
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,."
+    return "".join(rng.choice(alphabet) for _ in range(length)).strip()

@@ -1,0 +1,191 @@
+"""The ``Veterans`` wide-table simulator (KDD Cup 98) for Tables 7–8.
+
+The paper's case study (Section 6.2.1) slices the 481-attribute,
+95 412-tuple KDD Cup 98 table into instances of {10, 20, 30} attributes
+× {10K..70K} tuples, declares a 1→1 FD, and measures find-all vs
+find-first repair times.  Its observations, which this simulator is
+built to reproduce:
+
+* time grows much faster with the number of attributes than with the
+  number of tuples (Tables 7 and 8);
+* at 10 attributes **no repair exists**, so find-first degenerates to
+  find-all (the 70K/10-attribute near-equality the paper points out);
+* at 20 and 30 attributes repairs exist, so find-first is much faster.
+
+Construction (seeded, deterministic):
+
+* ``X`` (``State``) and ``Y`` (``GiftLevel``): the declared violated FD;
+* eight *latent-tied* fillers: deterministic functions of one hidden
+  low-cardinality latent variable.  Any combination of them collapses
+  to the latent's partition, so the first 10 attributes genuinely admit
+  **no** repair — and the find-all search over them stays bounded
+  (2^8 antecedent sets), exactly the regime the paper's 10-attribute
+  column lives in;
+* the true determinants ``Rfa1``/``Rfa2`` (``Y = f(X, Rfa1, Rfa2)``)
+  appear only from attribute 11 on, plus high-cardinality donation
+  fields that quickly form keys with ``X`` — real-data behaviour that
+  keeps the wider searches from exploding while still growing steeply
+  with arity;
+* beyond the case-study slice, ``full=True`` appends NULL-bearing
+  attributes up to the original 481/323 non-NULL profile.
+"""
+
+from __future__ import annotations
+
+from repro.fd.fd import FunctionalDependency
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+from .rng import child_rng, derive_seed
+
+__all__ = [
+    "VETERANS_FD",
+    "veterans_relation",
+    "veterans_attribute_names",
+    "FULL_ARITY",
+    "FULL_NON_NULL",
+    "FULL_ROWS",
+]
+
+#: The case-study FD: one attribute per side, violated by construction.
+VETERANS_FD = FunctionalDependency(("State",), ("GiftLevel",))
+
+#: Profile of the original KDD Cup 98 table (paper Section 6.2.1).
+FULL_ARITY = 481
+FULL_NON_NULL = 323
+FULL_ROWS = 95_412
+
+_LATENT_CARD = 40
+_X_CARD = 50
+_Y_CARD = 20
+_RFA1_CARD = 24
+_RFA2_CARD = 14
+
+#: The 8 latent-tied fillers completing the 10-attribute slice.
+_LATENT_FILLERS = (
+    "ZipBand",
+    "Region",
+    "UrbanCode",
+    "IncomeBand",
+    "HomeOwner",
+    "WealthBand",
+    "Cluster",
+    "AgeBand",
+)
+
+#: High-cardinality donation attributes for the 20/30-attribute slices.
+_HIGH_CARD_FILLERS = (
+    "LastGiftAmount",
+    "AvgGiftAmount",
+    "MaxGiftAmount",
+    "MinGiftAmount",
+    "TotalGifts",
+    "MonthsSinceLast",
+    "PromoCount",
+    "CardPromoCount",
+    "LifetimeGifts",
+    "FirstGiftYear",
+    "LastPromoDate",
+    "MajorDonorScore",
+    "RecencyScore",
+    "FrequencyScore",
+    "MonetaryScore",
+    "HouseholdIncome",
+    "NeighborhoodAvg",
+    "DonorAge",
+)
+
+
+def veterans_attribute_names(num_attrs: int) -> list[str]:
+    """The attribute names of a ``num_attrs``-wide case-study slice."""
+    names = ["State", "GiftLevel", *_LATENT_FILLERS]
+    names += ["Rfa1", "Rfa2"]
+    names += list(_HIGH_CARD_FILLERS)
+    if num_attrs > len(names):
+        names += [f"Extra{i:03d}" for i in range(num_attrs - len(names))]
+    return names[:num_attrs]
+
+
+def veterans_relation(
+    num_attrs: int = 30,
+    num_rows: int = 10_000,
+    seed: int = 98,
+    full: bool = False,
+    null_rate: float = 0.25,
+) -> Relation:
+    """Generate a Veterans slice (or, with ``full=True``, the full profile).
+
+    ``num_attrs`` ≥ 10 includes the no-repair core; ≥ 12 adds the true
+    determinants (so repairs of length 2 exist); larger values add
+    high-cardinality donation columns.  ``full=True`` overrides
+    ``num_attrs`` to 481, of which 158 carry NULLs.
+    """
+    if num_attrs < 3:
+        raise ValueError("veterans_relation needs at least 3 attributes")
+    if full:
+        num_attrs = FULL_ARITY
+    rng = child_rng(seed, "veterans", num_rows)
+    n = num_rows
+
+    latent = [rng.randrange(_LATENT_CARD) for _ in range(n)]
+    x = [rng.randrange(_X_CARD) for _ in range(n)]
+    rfa1 = [rng.randrange(_RFA1_CARD) for _ in range(n)]
+    rfa2 = [rng.randrange(_RFA2_CARD) for _ in range(n)]
+    y = [
+        derive_seed(seed, "gift", x[i], rfa1[i], rfa2[i]) % _Y_CARD
+        for i in range(n)
+    ]
+
+    names = veterans_attribute_names(num_attrs)
+    columns: dict[str, list] = {}
+    nullable: set[str] = set()
+    for name in names:
+        if name == "State":
+            columns[name] = [f"ST{v:02d}" for v in x]
+        elif name == "GiftLevel":
+            columns[name] = [f"G{v:02d}" for v in y]
+        elif name == "Rfa1":
+            columns[name] = [f"R1_{v}" for v in rfa1]
+        elif name == "Rfa2":
+            columns[name] = [f"R2_{v}" for v in rfa2]
+        elif name in _LATENT_FILLERS:
+            # A per-attribute permutation of the latent value: each
+            # filler is informative-looking but collapses to the latent.
+            offset = derive_seed(seed, "perm", name) % _LATENT_CARD
+            columns[name] = [f"{name}_{(v + offset) % _LATENT_CARD}" for v in latent]
+        elif name in _HIGH_CARD_FILLERS:
+            column_rng = child_rng(seed, "high", name, num_rows)
+            spread = max(50, n // 3)
+            columns[name] = [column_rng.randrange(spread) for _ in range(n)]
+        else:  # ExtraNNN: NULL-bearing wide-table padding (full profile)
+            column_rng = child_rng(seed, "extra", name, num_rows)
+            base = [f"{name}_{column_rng.randrange(30)}" for _ in range(n)]
+            if _is_nullable_extra(name, seed):
+                nullable.add(name)
+                columns[name] = [
+                    None if column_rng.random() < null_rate else value
+                    for value in base
+                ]
+            else:
+                columns[name] = base
+
+    attrs = []
+    for name in names:
+        attr_type = (
+            AttributeType.INTEGER if name in _HIGH_CARD_FILLERS else AttributeType.STRING
+        )
+        attrs.append(Attribute(name, attr_type, nullable=name in nullable))
+    schema = RelationSchema("Veterans", attrs)
+    return Relation.from_columns(schema, columns)
+
+
+def _is_nullable_extra(name: str, seed: int) -> bool:
+    """Whether an ExtraNNN column carries NULLs.
+
+    Tuned so the full 481-attribute profile has 158 NULL-bearing
+    attributes (481 − 323), matching the paper's description.
+    """
+    index = int(name.removeprefix("Extra"))
+    # 481 - 30 named = 451 extras; 158 of them nullable.
+    return (index * 158) % 451 < 158

@@ -1,0 +1,129 @@
+"""Violation injection: simulating the "evolving reality" of the paper.
+
+The paper's premise is that systematic violations of a declared FD
+signal semantic drift — "law or policy changes" — rather than noise.
+These helpers manufacture both situations on demand so tests, examples
+and ablation benches can distinguish them:
+
+* :func:`inject_noise` flips the consequent of a few random tuples —
+  the *error* scenario, where a designer would fix the data;
+* :func:`inject_drift` makes the consequent genuinely depend on an
+  extra attribute (a *hidden determinant*) for a fraction of the rows —
+  the *evolution* scenario, where the correct action is to repair the
+  FD by adding that attribute to its antecedent;
+* :func:`with_target_confidence` degrades an exact FD until its
+  confidence falls to (approximately) a requested level, which the
+  scaling benches use to control initial confidence — one of the
+  Section 6.2 parameters the paper names as influencing runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import assess
+from repro.relational.relation import Relation
+
+from .rng import child_rng
+
+__all__ = ["inject_noise", "inject_drift", "with_target_confidence"]
+
+
+def _replace_column(relation: Relation, attr: str, values: list[Any]) -> Relation:
+    columns = {name: relation.column_values(name) for name in relation.attribute_names}
+    columns[attr] = values
+    return Relation.from_columns(relation.schema, columns)
+
+
+def inject_noise(
+    relation: Relation,
+    fd: FunctionalDependency,
+    num_tuples: int,
+    seed: int = 0,
+) -> Relation:
+    """Corrupt the consequent of ``num_tuples`` random rows.
+
+    Each chosen row's Y value is swapped with the Y value of another
+    random row (so domains stay realistic).  This models entry errors:
+    isolated, unsystematic, usually best fixed in the data.
+    """
+    if not fd.is_single_consequent:
+        raise ValueError("inject_noise expects a single-consequent FD")
+    rng = child_rng(seed, "noise", relation.name)
+    attr = fd.consequent[0]
+    values = relation.column_values(attr)
+    n = len(values)
+    for _ in range(min(num_tuples, n)):
+        victim = rng.randrange(n)
+        donor = rng.randrange(n)
+        values[victim] = values[donor]
+    return _replace_column(relation, attr, values)
+
+
+def inject_drift(
+    relation: Relation,
+    fd: FunctionalDependency,
+    determinant: str,
+    affected_fraction: float = 1.0,
+    seed: int = 0,
+) -> Relation:
+    """Make Y genuinely depend on ``determinant`` as well as X.
+
+    The drift is systematic, as a real policy change is: it applies to
+    a subset of *determinant values* (``affected_fraction`` of them),
+    and every row carrying an affected value gets a new Y that is a
+    deterministic function of the (old Y, determinant value) pair.
+    Because whole determinant categories drift together,
+    ``X determinant → Y`` is exact after injection whenever ``X → Y``
+    was exact before — the CB method's suggested repair is the ground
+    truth by construction.  (Sampling at the row level instead would
+    mix drifted and un-drifted rows inside one (X, determinant) group
+    and no antecedent extension could repair that — that scenario is
+    :func:`inject_noise`'s.)
+    """
+    if not fd.is_single_consequent:
+        raise ValueError("inject_drift expects a single-consequent FD")
+    if determinant in fd.attributes:
+        raise ValueError("the drift determinant must be outside the FD")
+    rng = child_rng(seed, "drift", relation.name, determinant)
+    y_attr = fd.consequent[0]
+    y_values = relation.column_values(y_attr)
+    det_column = relation.column(determinant)
+    affected_codes = {
+        code
+        for code in range(det_column.cardinality)
+        if rng.random() < affected_fraction
+    }
+    new_values: list[Any] = []
+    for row, old in enumerate(y_values):
+        det_code = det_column.codes[row]
+        if det_code < 0 or det_code not in affected_codes:
+            new_values.append(old)
+            continue
+        new_values.append(f"{old}/{det_code}")
+    return _replace_column(relation, y_attr, new_values)
+
+
+def with_target_confidence(
+    relation: Relation,
+    fd: FunctionalDependency,
+    target: float,
+    seed: int = 0,
+    max_rounds: int = 60,
+) -> Relation:
+    """Degrade ``relation`` until ``fd``'s confidence ≤ ``target``.
+
+    Repeatedly injects small amounts of noise, re-measuring after each
+    round; returns as soon as the confidence reaches the target (or
+    after ``max_rounds``).  Used by the parameter-study benches.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target confidence must be in (0, 1]")
+    current = relation
+    batch = max(1, relation.num_rows // 200)
+    for round_index in range(max_rounds):
+        if assess(current, fd).confidence <= target:
+            break
+        current = inject_noise(current, fd, batch, seed=seed + round_index)
+    return current

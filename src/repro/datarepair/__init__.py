@@ -1,0 +1,47 @@
+"""Extensional repair: the "change the data" alternative (paper §1–§2).
+
+The paper's introduction contrasts its intensional method (evolve the
+constraint, keep every tuple) with the mainstream extensional response
+(restore consistency by changing the violating data, [9–14]).  This
+package implements the extensional side so both philosophies run on
+the same substrate:
+
+* :mod:`~repro.datarepair.conflicts` — the conflict graph of an
+  instance under a set of FDs;
+* :mod:`~repro.datarepair.deletion` — minimum tuple-deletion repair
+  (exact branch-and-bound, greedy, matching 2-approximation);
+* :mod:`~repro.datarepair.update` — minimal cell-update repair with
+  multi-FD fixpoint iteration;
+* :mod:`~repro.datarepair.cqa` — consistent query answering over all
+  subset repairs (certain vs possible answers).
+"""
+
+from .conflicts import (
+    Conflict,
+    ConflictGraph,
+    all_violating_pairs,
+    build_conflict_graph,
+    violating_groups,
+)
+from .cqa import AnswerTier, TieredRow, answer_tiers, certain_answers, possible_answers
+from .deletion import DeletionRepair, DeletionStrategy, minimum_deletion_repair
+from .update import CellChange, UpdateRepair, value_update_repair
+
+__all__ = [
+    "AnswerTier",
+    "CellChange",
+    "Conflict",
+    "ConflictGraph",
+    "DeletionRepair",
+    "DeletionStrategy",
+    "TieredRow",
+    "UpdateRepair",
+    "all_violating_pairs",
+    "answer_tiers",
+    "build_conflict_graph",
+    "certain_answers",
+    "minimum_deletion_repair",
+    "possible_answers",
+    "value_update_repair",
+    "violating_groups",
+]

@@ -1,0 +1,188 @@
+"""Conflict graphs: which tuples jointly violate the declared FDs.
+
+The mainstream response to constraint violation — the one the paper's
+introduction contrasts itself against — "re-establish[es] consistency
+by changing the data that violate the constraints" ([9–14]).  This
+package implements that extensional alternative so the two repair
+philosophies can be compared on the same workloads.
+
+The substrate is the *conflict graph* (Arenas, Bertossi & Chomicki):
+one node per tuple, one edge per pair of tuples that together violate
+some FD (they agree on an antecedent, disagree on the consequent).
+Its structure drives everything downstream:
+
+* subset repairs by tuple deletion = maximal independent sets;
+* a minimum-size deletion repair = complement of a maximum independent
+  set = a minimum vertex cover (:mod:`~repro.datarepair.deletion`);
+* consistent query answers over all repairs are readable off vertex
+  degrees (:mod:`~repro.datarepair.cqa`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import check_fd_attributes
+from repro.relational.relation import Relation
+
+__all__ = [
+    "Conflict",
+    "ConflictGraph",
+    "all_violating_pairs",
+    "build_conflict_graph",
+    "violating_groups",
+]
+
+
+def violating_groups(
+    relation: Relation, fd: FunctionalDependency
+) -> list[list[list[int]]]:
+    """For each violating X-class, its Y-groups (lists of row indices).
+
+    Inside one X-class the conflict edges form a *complete multipartite*
+    graph between the Y-groups; this grouped view is the compact form
+    both the exact deletion solver and the value-update repair consume.
+    Only classes with ≥ 2 Y-groups (i.e. actual violations) appear.
+    """
+    x_partition = relation.partition(list(fd.antecedent))
+    y_columns = [relation.column(a).codes for a in fd.consequent]
+    grouped: list[list[list[int]]] = []
+    for cls_rows in x_partition:
+        if len(cls_rows) < 2:
+            continue
+        by_y: dict[tuple[int, ...], list[int]] = {}
+        for row in cls_rows:
+            key = tuple(codes[row] for codes in y_columns)
+            by_y.setdefault(key, []).append(row)
+        if len(by_y) > 1:
+            grouped.append(list(by_y.values()))
+    return grouped
+
+
+def all_violating_pairs(
+    relation: Relation, fd: FunctionalDependency, limit: int | None = None
+) -> list[tuple[int, int]]:
+    """*Every* unordered violating pair of ``fd`` (unlike the witness
+    sampler :func:`repro.fd.measures.violating_pairs`).
+
+    Complete enumeration is what gives the conflict graph its repair
+    semantics (maximal independent sets = subset repairs); it is
+    quadratic within each violating X-class, so ``limit`` exists for
+    previews only.
+    """
+    pairs: list[tuple[int, int]] = []
+    for groups in violating_groups(relation, fd):
+        for i, group in enumerate(groups):
+            for other in groups[i + 1 :]:
+                for left in group:
+                    for right in other:
+                        pairs.append((left, right) if left < right else (right, left))
+                        if limit is not None and len(pairs) >= limit:
+                            return pairs
+    return pairs
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One violating pair: rows ``(left, right)`` break ``fd``."""
+
+    left: int
+    right: int
+    fd: FunctionalDependency
+
+    def __str__(self) -> str:
+        return f"rows ({self.left}, {self.right}) violate {self.fd}"
+
+
+@dataclass
+class ConflictGraph:
+    """The conflict graph of a relation instance under a set of FDs."""
+
+    relation: Relation
+    fds: tuple[FunctionalDependency, ...]
+    conflicts: list[Conflict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.relation.num_rows))
+        for conflict in self.conflicts:
+            graph.add_edge(conflict.left, conflict.right)
+        self._graph = graph
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :mod:`networkx` graph (nodes = row indices)."""
+        return self._graph
+
+    @property
+    def num_conflicts(self) -> int:
+        """Number of violating pairs (multi-FD duplicates included)."""
+        return len(self.conflicts)
+
+    @property
+    def num_edges(self) -> int:
+        """Distinct conflicting row pairs."""
+        return self._graph.number_of_edges()
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether the instance satisfies every declared FD."""
+        return not self.conflicts
+
+    def conflicting_rows(self) -> set[int]:
+        """Rows involved in at least one conflict."""
+        return {row for conflict in self.conflicts for row in (conflict.left, conflict.right)}
+
+    def clean_rows(self) -> set[int]:
+        """Rows involved in no conflict (present in *every* subset repair)."""
+        return set(range(self.relation.num_rows)) - self.conflicting_rows()
+
+    def conflicts_of(self, row: int) -> list[Conflict]:
+        """All conflicts touching one row."""
+        return [c for c in self.conflicts if row in (c.left, c.right)]
+
+    def fds_violated(self) -> list[FunctionalDependency]:
+        """The declared FDs with at least one conflict, in declaration order."""
+        violated = {c.fd for c in self.conflicts}
+        return [fd for fd in self.fds if fd in violated]
+
+    def components(self) -> list[set[int]]:
+        """Connected components with ≥ 2 nodes (the conflict clusters).
+
+        Deletion repairs decompose over components, which is what makes
+        exact minimum repairs feasible: components are usually small
+        even when the instance is large.
+        """
+        return [
+            set(component)
+            for component in nx.connected_components(self._graph)
+            if len(component) > 1
+        ]
+
+
+def build_conflict_graph(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    max_conflicts_per_fd: int | None = None,
+) -> ConflictGraph:
+    """Collect the violating pairs of every FD into one graph.
+
+    Multi-consequent FDs are decomposed first, matching the repair
+    layer's normalization.  ``max_conflicts_per_fd`` truncates pair
+    enumeration per FD (designer-facing previews); exact repairs need
+    the full graph.
+    """
+    conflicts: list[Conflict] = []
+    decomposed: list[FunctionalDependency] = []
+    for declared in fds:
+        for fd in declared.decompose():
+            check_fd_attributes(relation, fd)
+            decomposed.append(fd)
+            for left, right in all_violating_pairs(
+                relation, fd, limit=max_conflicts_per_fd
+            ):
+                conflicts.append(Conflict(left, right, fd))
+    return ConflictGraph(relation, tuple(decomposed), conflicts)

@@ -1,0 +1,123 @@
+"""Consistent query answering over all subset repairs (the [9–14] view).
+
+Instead of materializing one repair, CQA answers queries with the
+tuples that survive in *every* repair.  For FD violations and subset
+repairs (maximal independent sets of the conflict graph) the certain /
+possible split is structural:
+
+* a tuple is **certain** iff it is isolated in the conflict graph —
+  any conflicting tuple ``t`` has a neighbour ``u``, and a maximal
+  independent set grown from ``u`` excludes ``t``;
+* every tuple is **possible**: each node belongs to some maximal
+  independent set (grow one from the node itself).
+
+:func:`certain_answers` / :func:`possible_answers` apply a selection
+predicate on top, and :func:`answer_tiers` labels each matching tuple —
+the inconsistency-aware SELECT the consistent-query-answering
+literature proposes.  The contrast with the paper's approach is the
+point: CQA *discards* information the violating tuples carry, while FD
+evolution treats exactly those tuples as the signal that the rule, not
+the data, changed (paper §1).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.fd.fd import FunctionalDependency
+from repro.relational.relation import Relation
+
+from .conflicts import ConflictGraph, build_conflict_graph
+
+__all__ = [
+    "AnswerTier",
+    "TieredRow",
+    "answer_tiers",
+    "certain_answers",
+    "possible_answers",
+]
+
+RowPredicate = Callable[[dict[str, Any]], bool]
+
+
+class AnswerTier(enum.Enum):
+    """Certainty of one tuple under the repair semantics."""
+
+    CERTAIN = "certain"      # in every subset repair
+    POSSIBLE = "possible"    # in some repair, not all
+
+
+@dataclass(frozen=True)
+class TieredRow:
+    """One selected row with its certainty tier."""
+
+    index: int
+    values: dict[str, Any]
+    tier: AnswerTier
+
+    def __str__(self) -> str:
+        return f"[{self.tier.value}] row {self.index}: {self.values}"
+
+
+def _graph(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    conflict_graph: ConflictGraph | None,
+) -> ConflictGraph:
+    return conflict_graph or build_conflict_graph(relation, fds)
+
+
+def certain_answers(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    predicate: RowPredicate | None = None,
+    conflict_graph: ConflictGraph | None = None,
+) -> Relation:
+    """σ_predicate over the tuples present in **every** subset repair."""
+    graph = _graph(relation, fds, conflict_graph)
+    keep = sorted(graph.clean_rows())
+    result = relation.take(keep)
+    if predicate is not None:
+        result = result.select(predicate)
+    return result
+
+
+def possible_answers(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    predicate: RowPredicate | None = None,
+    conflict_graph: ConflictGraph | None = None,
+) -> Relation:
+    """σ_predicate over the tuples present in **some** subset repair.
+
+    Under subset repairs every tuple survives in some maximal
+    independent set, so this is just the plain selection — provided for
+    symmetry and for the tier report.
+    """
+    _graph(relation, fds, conflict_graph)  # validate FDs against the schema
+    if predicate is None:
+        return relation
+    return relation.select(predicate)
+
+
+def answer_tiers(
+    relation: Relation,
+    fds: list[FunctionalDependency],
+    predicate: RowPredicate | None = None,
+    conflict_graph: ConflictGraph | None = None,
+) -> list[TieredRow]:
+    """Every selected tuple, labelled certain or merely possible."""
+    graph = _graph(relation, fds, conflict_graph)
+    certain = graph.clean_rows()
+    names = relation.attribute_names
+    tiers: list[TieredRow] = []
+    for index, row in enumerate(relation.rows()):
+        values = dict(zip(names, row))
+        if predicate is not None and not predicate(values):
+            continue
+        tier = AnswerTier.CERTAIN if index in certain else AnswerTier.POSSIBLE
+        tiers.append(TieredRow(index, values, tier))
+    return tiers

@@ -1,0 +1,56 @@
+"""Denial constraints: model, FastDC-style discovery, discover-then-relax.
+
+This package implements the constraint class and mining algorithm of
+the paper's [16] (Chu, Ilyas, Papotti, *Discovering Denial
+Constraints*, PVLDB 2013) — the "discover everything, then relax the
+designer's constraints" alternative Section 2 argues is impractical —
+so that argument can be benchmarked instead of merely cited:
+
+* :mod:`~repro.dc.model` — predicates, denial constraints, violations;
+* :mod:`~repro.dc.predicates` — the finite predicate space;
+* :mod:`~repro.dc.evidence` — pair evidence sets (bitmask multiset);
+* :mod:`~repro.dc.search` — minimal-cover enumeration of valid DCs;
+* :mod:`~repro.dc.bridge` — FD ↔ DC translation;
+* :mod:`~repro.dc.relax` — the end-to-end workflow with per-FD verdicts;
+* :mod:`~repro.dc.repair` — CB-style repair lifted to DCs (the paper's
+  §7 "other kinds of constraints" future work).
+"""
+
+from .bridge import dc_to_fd, fd_to_dc, fds_among
+from .evidence import EvidenceSet, build_evidence_set
+from .model import DCError, DenialConstraint, Operator, Predicate
+from .predicates import PredicateSpace, build_predicate_space
+from .relax import RelaxOutcome, RelaxReport, RelaxVerdict, discover_then_relax
+from .repair import (
+    DCCandidate,
+    DCRepairResult,
+    dc_confidence,
+    extend_dc_by_one,
+    repair_dc,
+)
+from .search import DCDiscoveryResult, mine_denial_constraints
+
+__all__ = [
+    "DCCandidate",
+    "DCDiscoveryResult",
+    "DCError",
+    "DCRepairResult",
+    "DenialConstraint",
+    "EvidenceSet",
+    "Operator",
+    "Predicate",
+    "PredicateSpace",
+    "RelaxOutcome",
+    "RelaxReport",
+    "RelaxVerdict",
+    "build_evidence_set",
+    "build_predicate_space",
+    "dc_confidence",
+    "dc_to_fd",
+    "discover_then_relax",
+    "extend_dc_by_one",
+    "fd_to_dc",
+    "fds_among",
+    "mine_denial_constraints",
+    "repair_dc",
+]

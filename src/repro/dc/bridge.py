@@ -1,0 +1,64 @@
+"""FD ↔ DC translation (the two constraint views of the same rule).
+
+An FD ``X → A`` denies "agree on X, disagree on A"::
+
+    ¬ ( ⋀_{B ∈ X} t.B = s.B  ∧  t.A ≠ s.A )
+
+so it maps to a DC with one equality per antecedent attribute and one
+inequality on the consequent.  The inverse direction recognizes exactly
+that shape among mined DCs — the lookup the "discover then relax"
+strategy needs to find FD-expressible constraints in discovery output.
+"""
+
+from __future__ import annotations
+
+from repro.fd.fd import FDSyntaxError, FunctionalDependency
+
+from .model import DCError, DenialConstraint, Operator, Predicate
+
+__all__ = ["fd_to_dc", "dc_to_fd", "fds_among"]
+
+
+def fd_to_dc(fd: FunctionalDependency) -> DenialConstraint:
+    """The denial-constraint form of (single-consequent) ``fd``."""
+    if not fd.is_single_consequent:
+        raise DCError(
+            f"decompose {fd} first: only single-consequent FDs map to one DC"
+        )
+    predicates = [Predicate(attr, Operator.EQ) for attr in fd.antecedent]
+    predicates.append(Predicate(fd.consequent[0], Operator.NE))
+    return DenialConstraint(predicates)
+
+
+def dc_to_fd(dc: DenialConstraint) -> FunctionalDependency | None:
+    """The FD expressed by ``dc``, or ``None`` if it is not FD-shaped.
+
+    FD-shaped means: every predicate is an equality except exactly one
+    inequality (the consequent), and at least one equality exists (an
+    FD antecedent cannot be empty).
+    """
+    equalities: list[str] = []
+    inequalities: list[str] = []
+    for pred in dc.predicates:
+        if pred.operator is Operator.EQ:
+            equalities.append(pred.attribute)
+        elif pred.operator is Operator.NE:
+            inequalities.append(pred.attribute)
+        else:
+            return None
+    if len(inequalities) != 1 or not equalities:
+        return None
+    try:
+        return FunctionalDependency(tuple(equalities), (inequalities[0],))
+    except FDSyntaxError:  # pragma: no cover - the DC ctor forbids this shape
+        return None
+
+
+def fds_among(constraints: list[DenialConstraint]) -> list[FunctionalDependency]:
+    """All FD-shaped constraints of a mined set, as FDs."""
+    found: list[FunctionalDependency] = []
+    for dc in constraints:
+        fd = dc_to_fd(dc)
+        if fd is not None:
+            found.append(fd)
+    return found

@@ -1,0 +1,262 @@
+"""Denial constraints: the constraint class of the paper's [16] comparator.
+
+Section 2 discuses Chu, Ilyas & Papotti's *Discovering Denial
+Constraints* (PVLDB 2013) as the alternative to FD evolution: mine
+every constraint that holds on the instance, then "relax" the
+designer's obsolete constraints against the mined set.  The paper
+argues this is "rather impractical"; this package makes the argument
+executable by implementing the constraint class and its discovery.
+
+A denial constraint (DC) forbids a combination of predicates over a
+pair of tuples::
+
+    ∀ t, s ∈ r :  ¬ (p₁ ∧ p₂ ∧ … ∧ p_k)
+
+where each :class:`Predicate` compares one attribute across the two
+tuples (``t.A op s.A``) with an operator drawn from
+{=, ≠, <, ≤, >, ≥}.  Functional dependencies are the special case
+
+    X → A   ≡   ¬ ( ⋀_{B ∈ X} t.B = s.B  ∧  t.A ≠ s.A )
+
+so every mined FD appears as a DC whose predicates are all equalities
+plus one inequality; :func:`repro.dc.bridge.dc_to_fd` recognizes that
+shape.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.relational.errors import ReproError
+
+__all__ = ["Operator", "Predicate", "DenialConstraint", "DCError"]
+
+_PREDICATE_RE = re.compile(
+    r"^\s*t\.(?P<left>\w+)\s*(?P<op>!=|<=|>=|=|<|>)\s*s\.(?P<right>\w+)\s*$"
+)
+
+
+class DCError(ReproError):
+    """A structural problem with a denial constraint."""
+
+
+class Operator(enum.Enum):
+    """Comparison operators between ``t.A`` and ``s.A``.
+
+    ``EQ``/``NE`` apply to every attribute type; the four order
+    operators only to orderable (numeric) attributes, mirroring the
+    predicate-space restriction of the original FastDC.
+    """
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def negation(self) -> "Operator":
+        """The operator satisfied exactly when this one is not."""
+        return _NEGATIONS[self]
+
+    @property
+    def is_order(self) -> bool:
+        """Whether the operator requires an ordered domain."""
+        return self in (Operator.LT, Operator.LE, Operator.GT, Operator.GE)
+
+    def evaluate(self, left: Any, right: Any) -> bool:
+        """Apply the operator to two concrete values (no NULLs)."""
+        if self is Operator.EQ:
+            return left == right
+        if self is Operator.NE:
+            return left != right
+        if self is Operator.LT:
+            return left < right
+        if self is Operator.LE:
+            return left <= right
+        if self is Operator.GT:
+            return left > right
+        return left >= right
+
+
+_NEGATIONS = {
+    Operator.EQ: Operator.NE,
+    Operator.NE: Operator.EQ,
+    Operator.LT: Operator.GE,
+    Operator.LE: Operator.GT,
+    Operator.GT: Operator.LE,
+    Operator.GE: Operator.LT,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``t.attribute  op  s.attribute`` over an (ordered) tuple pair.
+
+    Only single-attribute, same-attribute predicates are modeled — the
+    fragment FastDC calls *homogeneous* and the only one needed to
+    express FDs and their repairs.
+    """
+
+    attribute: str
+    operator: Operator
+
+    def evaluate(self, left_row: dict[str, Any], right_row: dict[str, Any]) -> bool:
+        """Whether the predicate holds for the pair ``(t, s)``."""
+        return self.operator.evaluate(
+            left_row[self.attribute], right_row[self.attribute]
+        )
+
+    @property
+    def negation(self) -> "Predicate":
+        """The complementary predicate on the same attribute."""
+        return Predicate(self.attribute, self.operator.negation)
+
+    def __str__(self) -> str:
+        return f"t.{self.attribute} {self.operator.value} s.{self.attribute}"
+
+
+class DenialConstraint:
+    """``¬(p₁ ∧ … ∧ p_k)``: at most k−1 of the predicates may co-hold.
+
+    Predicates are kept sorted (attribute, operator) so equality and
+    hashing are structural and printouts are deterministic.
+    """
+
+    __slots__ = ("_predicates",)
+
+    def __init__(self, predicates: Iterable[Predicate]) -> None:
+        items = sorted(
+            set(predicates), key=lambda p: (p.attribute, p.operator.value)
+        )
+        if not items:
+            raise DCError("a denial constraint needs at least one predicate")
+        by_attr: dict[str, list[Predicate]] = {}
+        for pred in items:
+            by_attr.setdefault(pred.attribute, []).append(pred)
+        for attr, preds in by_attr.items():
+            ops = {p.operator for p in preds}
+            for op in ops:
+                if op.negation in ops:
+                    raise DCError(
+                        f"contradictory predicates on {attr!r}: the constraint "
+                        "would be trivially satisfied"
+                    )
+        self._predicates = tuple(items)
+
+    @classmethod
+    def parse(cls, text: str) -> "DenialConstraint":
+        """Parse the :meth:`__str__` format, e.g.
+        ``"not(t.A = s.A and t.B != s.B)"`` (case-insensitive ``not``/
+        ``and``, outer parentheses required)."""
+        cleaned = text.strip()
+        match = re.match(r"^not\s*\((?P<body>.*)\)\s*$", cleaned, re.IGNORECASE)
+        if match is None:
+            raise DCError(f"expected 'not( ... )' around the conjunction: {text!r}")
+        predicates: list[Predicate] = []
+        for part in re.split(r"\band\b", match.group("body"), flags=re.IGNORECASE):
+            pred_match = _PREDICATE_RE.match(part)
+            if pred_match is None:
+                raise DCError(f"cannot parse predicate {part.strip()!r}")
+            left = pred_match.group("left")
+            right = pred_match.group("right")
+            if left != right:
+                raise DCError(
+                    f"only same-attribute predicates are supported: "
+                    f"t.{left} vs s.{right}"
+                )
+            predicates.append(Predicate(left, Operator(pred_match.group("op"))))
+        return cls(predicates)
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        """The conjuncts, in canonical order."""
+        return self._predicates
+
+    @property
+    def size(self) -> int:
+        """Number of predicates."""
+        return len(self._predicates)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the constraint."""
+        return frozenset(p.attribute for p in self._predicates)
+
+    def is_satisfied_by_pair(
+        self, left_row: dict[str, Any], right_row: dict[str, Any]
+    ) -> bool:
+        """Whether the *constraint* holds for one ordered pair.
+
+        The constraint is violated exactly when every predicate holds.
+        """
+        return not all(p.evaluate(left_row, right_row) for p in self._predicates)
+
+    def violations(
+        self, rows: Sequence[dict[str, Any]], limit: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Ordered index pairs ``(i, j)``, ``i ≠ j``, violating the DC.
+
+        Quadratic by definition of the constraint class; intended for
+        tests and small designer-facing reports.  Discovery uses the
+        evidence-set machinery instead.
+        """
+        found: list[tuple[int, int]] = []
+        for i, left in enumerate(rows):
+            for j, right in enumerate(rows):
+                if i == j:
+                    continue
+                if not self.is_satisfied_by_pair(left, right):
+                    found.append((i, j))
+                    if limit is not None and len(found) >= limit:
+                        return found
+        return found
+
+    def implies(self, other: "DenialConstraint") -> bool:
+        """Syntactic implication: a subset of conjuncts denies more pairs.
+
+        If this DC's predicates are a subset of ``other``'s, every pair
+        violating ``other`` also violates this DC, so this DC is the
+        stronger (more general) constraint and ``other`` is redundant.
+        """
+        return set(self._predicates) <= set(other._predicates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenialConstraint):
+            return NotImplemented
+        return self._predicates == other._predicates
+
+    def __hash__(self) -> int:
+        return hash(self._predicates)
+
+    def __repr__(self) -> str:
+        return f"DenialConstraint({str(self)!r})"
+
+    def __str__(self) -> str:
+        body = " and ".join(str(p) for p in self._predicates)
+        return f"not({body})"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dict."""
+        return {
+            "predicates": [
+                {"attribute": p.attribute, "operator": p.operator.value}
+                for p in self._predicates
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DenialConstraint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            Predicate(item["attribute"], Operator(item["operator"]))
+            for item in data["predicates"]
+        )

@@ -1,0 +1,131 @@
+"""The predicate space: which predicates discovery may combine.
+
+FastDC first fixes a finite *predicate space* P for the relation, then
+searches for minimal subsets of P whose conjunction never holds on a
+tuple pair.  We build P per attribute from the schema type:
+
+* every attribute contributes ``=`` and ``≠``;
+* orderable (integer/float) attributes additionally contribute
+  ``<, ≤, >, ≥`` — unless ``order_predicates=False`` narrows the space
+  to the FD-expressible fragment, which is the honest comparator for
+  the paper's use case (FD repair) and keeps evidence sets small.
+
+NULL-bearing attributes are excluded by default for consistency with
+the FD layer (paper footnote 1): a NULL compares as *unknown*, and the
+simplest sound treatment is to keep such attributes out of the mined
+constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+from repro.relational.types import AttributeType
+
+from .model import Operator, Predicate
+
+__all__ = ["PredicateSpace", "build_predicate_space"]
+
+_ORDERED_TYPES = (AttributeType.INTEGER, AttributeType.FLOAT)
+
+
+@dataclass(frozen=True)
+class PredicateSpace:
+    """An indexed, finite set of predicates over one relation.
+
+    Predicates are addressed by position so evidence sets can be bit
+    masks: bit ``i`` of an evidence mask says predicate ``i`` holds for
+    the pair.  ``index_of`` and ``mask_of`` translate between the two
+    views.
+    """
+
+    relation_name: str
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_index",
+            {pred: i for i, pred in enumerate(self.predicates)},
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of predicates in the space."""
+        return len(self.predicates)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes covered, in first-appearance order."""
+        seen: list[str] = []
+        for pred in self.predicates:
+            if pred.attribute not in seen:
+                seen.append(pred.attribute)
+        return tuple(seen)
+
+    def index_of(self, predicate: Predicate) -> int:
+        """Bit position of ``predicate`` (KeyError if absent)."""
+        return self._index[predicate]
+
+    def mask_of(self, predicates: tuple[Predicate, ...] | list[Predicate]) -> int:
+        """Bitmask with one bit set per predicate."""
+        mask = 0
+        for pred in predicates:
+            mask |= 1 << self._index[pred]
+        return mask
+
+    def predicates_of(self, mask: int) -> tuple[Predicate, ...]:
+        """Inverse of :meth:`mask_of`."""
+        return tuple(
+            pred for i, pred in enumerate(self.predicates) if mask >> i & 1
+        )
+
+    def equality(self, attribute: str) -> Predicate:
+        """The ``t.A = s.A`` predicate (KeyError if not in the space)."""
+        pred = Predicate(attribute, Operator.EQ)
+        self.index_of(pred)
+        return pred
+
+    def inequality(self, attribute: str) -> Predicate:
+        """The ``t.A ≠ s.A`` predicate (KeyError if not in the space)."""
+        pred = Predicate(attribute, Operator.NE)
+        self.index_of(pred)
+        return pred
+
+
+def build_predicate_space(
+    relation: Relation,
+    attributes: list[str] | None = None,
+    order_predicates: bool = True,
+    include_nullable: bool = False,
+) -> PredicateSpace:
+    """The predicate space of ``relation``.
+
+    ``attributes`` restricts the space (default: all eligible
+    attributes); ``order_predicates=False`` keeps only =/≠, the
+    FD-expressible fragment.
+    """
+    if attributes is None:
+        pool = list(
+            relation.attribute_names
+            if include_nullable
+            else relation.non_null_attributes()
+        )
+    else:
+        pool = list(relation.schema.validate_names(attributes))
+        if not include_nullable:
+            pool = [a for a in pool if not relation.column(a).has_nulls]
+    predicates: list[Predicate] = []
+    for name in pool:
+        predicates.append(Predicate(name, Operator.EQ))
+        predicates.append(Predicate(name, Operator.NE))
+        attr_type = relation.schema.attribute(name).type
+        has_nulls = relation.column(name).has_nulls
+        # Order predicates are undefined against NULL, so nullable
+        # columns only get the =/≠ pair even when admitted via
+        # include_nullable.
+        if order_predicates and not has_nulls and attr_type in _ORDERED_TYPES:
+            for op in (Operator.LT, Operator.LE, Operator.GT, Operator.GE):
+                predicates.append(Predicate(name, op))
+    return PredicateSpace(relation.name, tuple(predicates))

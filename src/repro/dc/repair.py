@@ -1,0 +1,202 @@
+"""CB-style repair for denial constraints (the paper's §7 future work).
+
+The conclusion announces the intent "to extend the method to other
+kinds of constraints"; denial constraints are the natural next target
+because the CB repair move transfers directly.  An FD is repaired by
+*adding antecedent attributes*; in DC form that is exactly *adding a
+predicate to the conjunction* — a DC with more conjuncts denies fewer
+pairs, just as an FD with a wider antecedent constrains fewer class
+pairs.  (Removing predicates can never repair a DC, mirroring the
+paper's §1 argument that deleting antecedent attributes cannot repair
+an FD.)
+
+The measures also transfer:
+
+* **DC confidence** — the fraction of (ordered) tuple pairs that
+  satisfy the constraint; 1 ⇔ the DC holds.  For FD-shaped DCs this is
+  a pairwise analogue of the paper's confidence: both are 1 exactly on
+  satisfied constraints, and both degrade as violations accumulate.
+* **candidate ranking** — each candidate predicate is scored by the
+  confidence of the extended DC (primary, like §4.2) and by its
+  *specificity* — how many satisfied pairs the new predicate knocks out
+  beyond the violating ones (secondary, ascending).  A hyper-selective
+  predicate repairs anything but trivializes the constraint, the exact
+  analogue of the UNIQUE-attribute pathology the goodness coefficient
+  guards against (§3).
+
+Everything runs on the bitmask evidence multiset, so repairing a DC
+costs a handful of popcount passes — the same "only count, never touch
+tuples" economy the paper claims for CB over EB.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .evidence import EvidenceSet
+from .model import DCError, DenialConstraint, Predicate
+
+__all__ = [
+    "dc_confidence",
+    "DCCandidate",
+    "DCRepairResult",
+    "extend_dc_by_one",
+    "repair_dc",
+]
+
+
+def dc_confidence(evidence: EvidenceSet, dc: DenialConstraint) -> float:
+    """Fraction of summarized pairs satisfying ``dc`` (1 ⇔ valid)."""
+    if not evidence.total_pairs:
+        return 1.0
+    mask = evidence.space.mask_of(dc.predicates)
+    return 1.0 - evidence.violations_of(mask) / evidence.total_pairs
+
+
+@dataclass(frozen=True)
+class DCCandidate:
+    """One candidate extension ``dc ∧ p`` with its measures."""
+
+    dc: DenialConstraint
+    added: tuple[Predicate, ...]
+    confidence: float
+    collateral: int  #: satisfied pairs the new predicates additionally exempt
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the extended DC holds on the summarized pairs."""
+        return self.confidence >= 1.0
+
+    @property
+    def rank_key(self) -> tuple:
+        """Confidence descending, collateral ascending, then text."""
+        return (-self.confidence, self.collateral, str(self.dc))
+
+    def __str__(self) -> str:
+        extra = " and ".join(str(p) for p in self.added)
+        return f"{self.dc} (+{extra}; c={self.confidence:.4g}, spill={self.collateral})"
+
+
+@dataclass
+class DCRepairResult:
+    """Outcome of one DC repair search."""
+
+    base: DenialConstraint
+    base_confidence: float
+    repairs: list[DCCandidate] = field(default_factory=list)
+    expanded: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def was_violated(self) -> bool:
+        """Whether the base DC needed repair at all."""
+        return self.base_confidence < 1.0
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one exact repair was reached."""
+        return bool(self.repairs)
+
+    @property
+    def best(self) -> DCCandidate | None:
+        """The top-ranked exact repair, if any."""
+        return self.repairs[0] if self.repairs else None
+
+
+def extend_dc_by_one(
+    evidence: EvidenceSet,
+    dc: DenialConstraint,
+    base: DenialConstraint | None = None,
+) -> list[DCCandidate]:
+    """Rank every single-predicate extension of ``dc``.
+
+    ``base`` anchors the ``added`` bookkeeping across an iterated
+    repair (defaults to ``dc``).  Predicates already present, on
+    conflicting operators, or outside the evidence's predicate space
+    are skipped.
+    """
+    base = base or dc
+    space = evidence.space
+    dc_mask = space.mask_of(dc.predicates)
+    violating = evidence.violations_of(dc_mask)
+    base_set = set(base.predicates)
+    candidates: list[DCCandidate] = []
+    for pred in space.predicates:
+        if pred in dc.predicates:
+            continue
+        try:
+            extended = DenialConstraint((*dc.predicates, pred))
+        except DCError:
+            continue  # contradictory conjunction: trivially-true DC
+        ext_mask = space.mask_of(extended.predicates)
+        still_violating = evidence.violations_of(ext_mask)
+        # Specificity guard, the goodness analogue: a predicate that
+        # fails on nearly every pair (e.g. equality on a key column)
+        # repairs anything by making the conjunction vacuous — exactly
+        # the UNIQUE-attribute pathology of §3.  `collateral` counts the
+        # pairs the predicate exempts beyond the violations it had to
+        # fix; a surgical predicate scores ≈ 0, a trivializing one
+        # scores ≈ all pairs.
+        pred_bit = 1 << space.index_of(pred)
+        exempts_total = sum(
+            count
+            for mask, count in evidence.counts.items()
+            if not mask & pred_bit
+        )
+        needed = violating - still_violating
+        collateral = exempts_total - needed
+        confidence = (
+            1.0
+            if not evidence.total_pairs
+            else 1.0 - still_violating / evidence.total_pairs
+        )
+        candidates.append(
+            DCCandidate(
+                dc=extended,
+                added=tuple(p for p in extended.predicates if p not in base_set),
+                confidence=confidence,
+                collateral=collateral,
+            )
+        )
+    candidates.sort(key=lambda c: c.rank_key)
+    return candidates
+
+
+def repair_dc(
+    evidence: EvidenceSet,
+    dc: DenialConstraint,
+    max_added: int = 2,
+    stop_at_first: bool = False,
+) -> DCRepairResult:
+    """Best-first search for predicate extensions that make ``dc`` hold.
+
+    The queue ordering mirrors Algorithm 3: candidates sorted by number
+    of added predicates first, then rank — so the first repair found is
+    minimal in added predicates.
+    """
+    start = time.perf_counter()
+    result = DCRepairResult(base=dc, base_confidence=dc_confidence(evidence, dc))
+    if not result.was_violated:
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    queue: list[DCCandidate] = extend_dc_by_one(evidence, dc)
+    seen: set[DenialConstraint] = set()
+    while queue:
+        queue.sort(key=lambda c: (len(c.added), *c.rank_key))
+        candidate = queue.pop(0)
+        if candidate.dc in seen:
+            continue
+        seen.add(candidate.dc)
+        result.expanded += 1
+        if candidate.is_exact:
+            result.repairs.append(candidate)
+            if stop_at_first:
+                break
+            continue
+        if len(candidate.added) < max_added:
+            queue.extend(extend_dc_by_one(evidence, candidate.dc, base=dc))
+    result.repairs.sort(key=lambda c: (len(c.added), *c.rank_key))
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

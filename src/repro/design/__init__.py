@@ -1,0 +1,45 @@
+"""Schema design from (evolved) FDs: closure, keys, normal forms.
+
+Section 3 of the paper notes that in a well-normalized schema the only
+non-trivial FDs determine candidate keys — and that real schemas are
+rarely normalized, which is why FD evolution matters.  This package
+closes the loop: once the CB method has made the declared FDs truthful
+again, classical design machinery applies, and here it is:
+
+* :mod:`~repro.design.closure` — attribute closure, implication,
+  minimal covers (the Armstrong layer);
+* :mod:`~repro.design.normalize` — candidate keys, BCNF test and
+  decomposition, Bernstein 3NF synthesis.
+"""
+
+from .closure import (
+    attribute_closure,
+    equivalent_covers,
+    implies,
+    is_redundant,
+    minimal_cover,
+)
+from .normalize import (
+    Decomposition,
+    bcnf_violations,
+    candidate_keys,
+    decompose_bcnf,
+    is_bcnf,
+    prime_attributes,
+    synthesize_3nf,
+)
+
+__all__ = [
+    "Decomposition",
+    "attribute_closure",
+    "bcnf_violations",
+    "candidate_keys",
+    "decompose_bcnf",
+    "equivalent_covers",
+    "implies",
+    "is_bcnf",
+    "is_redundant",
+    "minimal_cover",
+    "prime_attributes",
+    "synthesize_3nf",
+]

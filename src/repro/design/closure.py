@@ -1,0 +1,132 @@
+"""Attribute closure, implication, and minimal covers (Armstrong layer).
+
+Section 3 closes with the observation that "if the DB schema is in a
+higher normal form, the only non-trivial FDs are those determining
+candidate keys" — and immediately rejects the assumption, because
+NoSQL-era schemas are rarely normalized.  To *reason* about either
+situation the library needs the classical FD inference machinery, which
+this module provides from scratch:
+
+* :func:`attribute_closure` — ``X⁺`` under a set of FDs (the linear
+  fixpoint algorithm);
+* :func:`implies` — whether ``Σ ⊨ X → Y`` (via the closure test);
+* :func:`is_redundant` / :func:`minimal_cover` — canonical cover
+  computation (decompose consequents, drop extraneous antecedent
+  attributes, drop implied FDs);
+* :func:`equivalent_covers` — whether two FD sets imply each other.
+
+Everything operates on schema-level attribute names; instance-level
+truth is the business of :mod:`repro.fd.measures`.  The two meet in
+:mod:`repro.design.normalize`, where evolved (repaired) FDs feed key
+discovery and decomposition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.fd.fd import FunctionalDependency
+
+__all__ = [
+    "attribute_closure",
+    "implies",
+    "is_redundant",
+    "minimal_cover",
+    "equivalent_covers",
+]
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> frozenset[str]:
+    """``X⁺``: every attribute determined by ``attributes`` under ``fds``.
+
+    The standard fixpoint: repeatedly fire FDs whose antecedent is
+    covered.  Runs in O(|fds| · |closure|) with the unfired-FD list
+    shrinking every pass.
+    """
+    closure = set(attributes)
+    remaining = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        still_unfired: list[FunctionalDependency] = []
+        for fd in remaining:
+            if set(fd.antecedent) <= closure:
+                before = len(closure)
+                closure.update(fd.consequent)
+                if len(closure) != before:
+                    changed = True
+            else:
+                still_unfired.append(fd)
+        remaining = still_unfired
+    return frozenset(closure)
+
+
+def implies(
+    fds: Sequence[FunctionalDependency],
+    candidate: FunctionalDependency,
+) -> bool:
+    """Whether ``fds ⊨ candidate`` (Armstrong-derivable)."""
+    closure = attribute_closure(candidate.antecedent, fds)
+    return set(candidate.consequent) <= closure
+
+
+def is_redundant(
+    fds: Sequence[FunctionalDependency],
+    target: FunctionalDependency,
+) -> bool:
+    """Whether ``target`` is implied by the *other* FDs in ``fds``."""
+    rest = [fd for fd in fds if fd is not target and fd != target]
+    return implies(rest, target)
+
+
+def minimal_cover(
+    fds: Sequence[FunctionalDependency],
+) -> list[FunctionalDependency]:
+    """A canonical (minimal) cover of ``fds``.
+
+    Three classical passes: (1) decompose to single consequents;
+    (2) remove extraneous antecedent attributes (left-reduction);
+    (3) remove FDs implied by the rest.  Deterministic: attributes and
+    FDs are processed in declaration order, so the same input always
+    yields the same cover.
+    """
+    working = [single for fd in fds for single in fd.decompose()]
+
+    # Left-reduction.
+    reduced: list[FunctionalDependency] = []
+    for index, fd in enumerate(working):
+        antecedent = list(fd.antecedent)
+        for attr in list(antecedent):
+            if len(antecedent) == 1:
+                break
+            trimmed = [a for a in antecedent if a != attr]
+            context = reduced + [fd] + working[index + 1 :]
+            if implies(context, FunctionalDependency(trimmed, fd.consequent)):
+                antecedent = trimmed
+        reduced.append(FunctionalDependency(antecedent, fd.consequent))
+    working = reduced
+
+    # Drop implied FDs (stable, first occurrence wins).
+    cover: list[FunctionalDependency] = []
+    deduped: list[FunctionalDependency] = []
+    for fd in working:
+        if fd not in deduped:
+            deduped.append(fd)
+    for index, fd in enumerate(deduped):
+        rest = cover + deduped[index + 1 :]
+        if not implies(rest, fd):
+            cover.append(fd)
+    return cover
+
+
+def equivalent_covers(
+    left: Sequence[FunctionalDependency],
+    right: Sequence[FunctionalDependency],
+) -> bool:
+    """Whether two FD sets imply each other (same closure)."""
+    return all(implies(right, fd) for fd in left) and all(
+        implies(left, fd) for fd in right
+    )

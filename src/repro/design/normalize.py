@@ -1,0 +1,230 @@
+"""Keys, normal forms, and decomposition from (evolved) FDs.
+
+The pay-off of keeping FDs truthful — the paper's whole program — is
+that every classical schema-design tool becomes applicable again.  This
+module implements those tools over the library's FD model:
+
+* :func:`candidate_keys` — all minimal keys of a relation schema under
+  an FD set (reduction-based enumeration, exact);
+* :func:`prime_attributes` — attributes appearing in some key;
+* :func:`bcnf_violations` / :func:`is_bcnf` — the BCNF test;
+* :func:`decompose_bcnf` — lossless-join BCNF decomposition (the
+  standard violation-splitting loop; dependency preservation is
+  reported, not guaranteed — it cannot be);
+* :func:`synthesize_3nf` — Bernstein synthesis into 3NF (lossless and
+  dependency-preserving).
+
+Inputs are attribute names plus :class:`FunctionalDependency` sets, so
+both designer-declared and CB-evolved FDs flow in directly; pair with
+:func:`repro.design.closure.minimal_cover` for canonical input.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.fd.fd import FunctionalDependency
+
+from .closure import attribute_closure, minimal_cover
+
+__all__ = [
+    "candidate_keys",
+    "prime_attributes",
+    "bcnf_violations",
+    "is_bcnf",
+    "Decomposition",
+    "decompose_bcnf",
+    "synthesize_3nf",
+]
+
+
+def candidate_keys(
+    attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+    max_keys: int | None = None,
+) -> list[frozenset[str]]:
+    """All minimal keys of ``attributes`` under ``fds``.
+
+    Starts from the core (attributes appearing in no consequent — they
+    belong to *every* key) and grows it with subsets of the remaining
+    candidates, smallest first, pruning supersets of found keys.  Exact
+    but exponential in the number of non-core attributes;
+    ``max_keys`` caps the output for adversarial schemas.
+    """
+    universe = frozenset(attributes)
+    in_consequent = {a for fd in fds for a in fd.consequent}
+    core = universe - in_consequent
+    optional = sorted(universe & in_consequent)
+
+    if attribute_closure(core, fds) == universe:
+        return [frozenset(core)]
+
+    keys: list[frozenset[str]] = []
+    for size in range(1, len(optional) + 1):
+        for combo in itertools.combinations(optional, size):
+            candidate = core | set(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if attribute_closure(candidate, fds) == universe:
+                keys.append(frozenset(candidate))
+                if max_keys is not None and len(keys) >= max_keys:
+                    return keys
+    return keys
+
+
+def prime_attributes(
+    attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+) -> frozenset[str]:
+    """Attributes that participate in at least one candidate key."""
+    return frozenset(
+        attr for key in candidate_keys(attributes, fds) for attr in key
+    )
+
+
+def bcnf_violations(
+    attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+) -> list[FunctionalDependency]:
+    """The (decomposed) FDs whose antecedent is not a superkey.
+
+    Trivial FDs cannot occur in this library's model (construction
+    forbids consequent ⊆ antecedent), so the test is just the superkey
+    check.
+    """
+    universe = frozenset(attributes)
+    violations: list[FunctionalDependency] = []
+    for declared in fds:
+        for fd in declared.decompose():
+            if attribute_closure(fd.antecedent, fds) != universe:
+                violations.append(fd)
+    return violations
+
+
+def is_bcnf(
+    attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Whether the schema is in Boyce-Codd normal form under ``fds``."""
+    return not bcnf_violations(attributes, fds)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The outcome of a decomposition: sub-schemas plus bookkeeping."""
+
+    fragments: tuple[tuple[str, ...], ...]
+    preserved: tuple[FunctionalDependency, ...]
+    lost: tuple[FunctionalDependency, ...]
+
+    @property
+    def is_dependency_preserving(self) -> bool:
+        """Whether every input FD is enforceable within some fragment."""
+        return not self.lost
+
+    def __str__(self) -> str:
+        parts = ["; ".join(", ".join(f) for f in self.fragments)]
+        if self.lost:
+            parts.append(f"lost: {', '.join(str(fd) for fd in self.lost)}")
+        return " | ".join(parts)
+
+
+def _project_fds(
+    fragment: frozenset[str],
+    fds: Sequence[FunctionalDependency],
+) -> list[FunctionalDependency]:
+    """FDs of the closure that hold within ``fragment``.
+
+    Exponential projection (closure of every antecedent subset); fine
+    for the schema sizes FD design handles.
+    """
+    projected: list[FunctionalDependency] = []
+    members = sorted(fragment)
+    for size in range(1, len(members)):
+        for combo in itertools.combinations(members, size):
+            closure = attribute_closure(combo, fds)
+            inside = (closure & fragment) - set(combo)
+            for attr in sorted(inside):
+                fd = FunctionalDependency(combo, (attr,))
+                if fd not in projected:
+                    projected.append(fd)
+    return minimal_cover(projected)
+
+
+def decompose_bcnf(
+    attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+) -> Decomposition:
+    """Lossless-join BCNF decomposition by violation splitting.
+
+    Classic loop: while some fragment has a violating FD ``X → A``,
+    replace the fragment with ``X⁺ ∩ fragment`` and
+    ``fragment − (X⁺ − X)``.  Deterministic: fragments and violations
+    are processed in declaration order.
+    """
+    cover = minimal_cover(fds)
+    fragments: list[frozenset[str]] = [frozenset(attributes)]
+    done: list[frozenset[str]] = []
+    while fragments:
+        fragment = fragments.pop(0)
+        local = _project_fds(fragment, cover) if fragment != frozenset(attributes) else cover
+        violation = None
+        for fd in local:
+            closure = attribute_closure(fd.antecedent, local)
+            if not fragment <= closure:
+                violation = fd
+                break
+        if violation is None:
+            done.append(fragment)
+            continue
+        closure = attribute_closure(violation.antecedent, local) & fragment
+        left = frozenset(closure)
+        right = fragment - (closure - set(violation.antecedent))
+        fragments.extend([left, right])
+
+    ordered = [tuple(sorted(f)) for f in done]
+    preserved: list[FunctionalDependency] = []
+    lost: list[FunctionalDependency] = []
+    for fd in cover:
+        needed = set(fd.attributes)
+        if any(needed <= set(f) for f in ordered):
+            preserved.append(fd)
+        else:
+            lost.append(fd)
+    return Decomposition(tuple(ordered), tuple(preserved), tuple(lost))
+
+
+def synthesize_3nf(
+    attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+) -> Decomposition:
+    """Bernstein 3NF synthesis: one fragment per cover FD group, plus a
+    key fragment when no fragment contains a candidate key.
+
+    Lossless and dependency-preserving by construction; fragments whose
+    attribute set is contained in another are merged away.
+    """
+    cover = minimal_cover(fds)
+    groups: dict[frozenset[str], set[str]] = {}
+    for fd in cover:
+        groups.setdefault(frozenset(fd.antecedent), set()).update(fd.attributes)
+    fragments = [frozenset(attrs) for attrs in groups.values()]
+
+    keys = candidate_keys(attributes, cover)
+    if keys and not any(any(key <= f for f in fragments) for key in keys):
+        fragments.append(frozenset(keys[0]))
+
+    # Absorb contained fragments.  Attributes outside every FD belong
+    # to the core of every candidate key, so the key fragment already
+    # covers them — no leftover fragment is ever needed.
+    fragments.sort(key=len, reverse=True)
+    kept: list[frozenset[str]] = []
+    for fragment in fragments:
+        if not any(fragment <= other for other in kept):
+            kept.append(fragment)
+
+    ordered = sorted((tuple(sorted(f)) for f in kept), key=lambda f: (-len(f), f))
+    preserved = tuple(cover)
+    return Decomposition(tuple(ordered), preserved, ())

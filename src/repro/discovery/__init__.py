@@ -1,0 +1,10 @@
+"""FD discovery (system S7 in DESIGN.md): the alternative the paper rejects.
+
+:func:`discover_fds` mines minimal (approximate) FDs levelwise so the
+"discover then relax" strategy of Section 2 can be benchmarked against
+direct CB repair (``benchmarks/bench_ablation_discovery.py``).
+"""
+
+from .tane import DiscoveredFD, DiscoveryResult, discover_fds
+
+__all__ = ["DiscoveredFD", "DiscoveryResult", "discover_fds"]

@@ -1,0 +1,46 @@
+"""The EB (entropy-based) baseline (system S5 in DESIGN.md).
+
+A faithful reconstruction of the Chiang & Miller repair method from the
+paper's Section 5 description, plus the ε measures used by Theorem 1:
+
+* :func:`entropy`, :func:`conditional_entropy`,
+  :func:`variation_of_information` — clustering information measures;
+* :func:`eb_extend_by_one` / :func:`eb_repair` — the EB candidate
+  ranking and repair loop, fully metered;
+* :func:`epsilon_cb` / :func:`epsilon_vi` — the equivalence measures
+  (with the Theorem 1 erratum documented in
+  :mod:`repro.eb.measures`).
+"""
+
+from .entropy import (
+    EntropyCost,
+    conditional_entropy,
+    entropy,
+    joint_class_counts,
+    variation_of_information,
+)
+from .measures import (
+    epsilon_cb,
+    epsilon_vi,
+    g3_error,
+    information_dependency,
+    measures_agree_on_zero,
+)
+from .repair import EBCandidate, EBRepairResult, eb_extend_by_one, eb_repair
+
+__all__ = [
+    "EBCandidate",
+    "EBRepairResult",
+    "EntropyCost",
+    "conditional_entropy",
+    "eb_extend_by_one",
+    "eb_repair",
+    "entropy",
+    "epsilon_cb",
+    "epsilon_vi",
+    "g3_error",
+    "information_dependency",
+    "joint_class_counts",
+    "measures_agree_on_zero",
+    "variation_of_information",
+]

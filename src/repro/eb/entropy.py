@@ -1,0 +1,118 @@
+"""Entropy, conditional entropy and Variation of Information over clusterings.
+
+These are the ingredients of the EB (entropy-based) repair method of
+Chiang & Miller that the paper compares against in Section 5.  All
+quantities are computed over :class:`~repro.relational.partition.Partition`
+objects using natural logarithms:
+
+* ``H(C) = − Σ_k P(k) · log P(k)``
+* ``H(C|C′) = − Σ_{k,k′} P(k,k′) · log P(k|k′)``
+* ``VI(C, C′) = H(C|C′) + H(C′|C)``  (Meilă's Variation of Information)
+
+The implementation also exposes an operation counter
+(:class:`EntropyCost`) because the paper's central efficiency argument
+is that EB "requires to store the tuples in order to be able to perform
+the intersections between clusters while with the CB technique we do
+not keep trace of all tuples in the groups but only of their amount" —
+the ablation bench quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.relational.partition import Partition
+
+__all__ = [
+    "EntropyCost",
+    "entropy",
+    "conditional_entropy",
+    "variation_of_information",
+    "joint_class_counts",
+]
+
+
+@dataclass
+class EntropyCost:
+    """Accumulates the row/intersection work done by entropy computations."""
+
+    rows_touched: int = 0
+    intersections: int = 0
+
+    def merge(self, other: "EntropyCost") -> None:
+        """Fold another cost record into this one."""
+        self.rows_touched += other.rows_touched
+        self.intersections += other.intersections
+
+
+def entropy(partition: Partition, cost: EntropyCost | None = None) -> float:
+    """Shannon entropy of a clustering (class sizes over n)."""
+    n = partition.num_rows
+    if n == 0:
+        return 0.0
+    if cost is not None:
+        cost.rows_touched += n
+    total = 0.0
+    for size in partition.class_sizes():
+        p = size / n
+        total -= p * math.log(p)
+    return total
+
+
+def joint_class_counts(
+    left: Partition, right: Partition, cost: EntropyCost | None = None
+) -> dict[tuple[int, int], int]:
+    """``|C_k ∩ C′_k′|`` for every intersecting class pair.
+
+    One pass over the rows via class-index arrays; this is the cluster
+    intersection work the paper charges the EB method for.
+    """
+    left_index = left.class_index()
+    right_index = right.class_index()
+    counts: dict[tuple[int, int], int] = {}
+    for row in range(left.num_rows):
+        key = (left_index[row], right_index[row])
+        counts[key] = counts.get(key, 0) + 1
+    if cost is not None:
+        cost.rows_touched += 2 * left.num_rows
+        cost.intersections += len(counts)
+    return counts
+
+
+def conditional_entropy(
+    target: Partition,
+    given: Partition,
+    cost: EntropyCost | None = None,
+    joint: dict[tuple[int, int], int] | None = None,
+) -> float:
+    """``H(target | given)``.
+
+    ``joint`` may carry precomputed :func:`joint_class_counts`
+    (keyed ``(target_class, given_class)``) to share one intersection
+    pass between the two conditional entropies of a VI computation.
+    """
+    n = target.num_rows
+    if n == 0:
+        return 0.0
+    if joint is None:
+        joint = joint_class_counts(target, given, cost)
+    given_sizes = given.class_sizes()
+    total = 0.0
+    for (_, given_class), count in joint.items():
+        p_joint = count / n
+        p_conditional = count / given_sizes[given_class]
+        if p_conditional < 1.0:
+            total -= p_joint * math.log(p_conditional)
+    return total
+
+
+def variation_of_information(
+    left: Partition, right: Partition, cost: EntropyCost | None = None
+) -> float:
+    """``VI(left, right)`` — symmetric, zero iff the clusterings coincide."""
+    joint = joint_class_counts(left, right, cost)
+    swapped = {(r, l): count for (l, r), count in joint.items()}
+    return conditional_entropy(left, right, joint=joint) + conditional_entropy(
+        right, left, joint=swapped
+    )

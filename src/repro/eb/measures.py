@@ -1,0 +1,129 @@
+"""The ε measures of Section 5 and the Theorem 1 equivalence.
+
+For a base FD ``F : X → Y`` and a candidate extension ``F^Z : XZ → Y``::
+
+    ε_VI(F^Z)  = VI(C_XY, C_XZ) = H(C_XY | C_XZ) + H(C_XZ | C_XY)
+    ε_CB(F^Z)  = ic_{F^Z} + |g_{F^Z}|  =  (1 − c_{F^Z}) + |g_{F^Z}|
+
+Theorem 1 claims the two measures are *equivalent* (same null sets).
+
+**Reproduction finding** (documented in EXPERIMENTS.md and exercised in
+``tests/eb/test_equivalence.py``): only one direction holds in general.
+
+* ``ε_CB = 0  ⟹  ε_VI = 0`` — sound, and property-tested here.
+* The converse fails: take two tuples ``(x=a, z=z1, y=y1)`` and
+  ``(x=b, z=z2, y=y1)``.  Then ``C_XZ = C_XY`` (both discrete), so
+  ``ε_VI = 0`` and the repair is exact (``c = 1``), but
+  ``g = |π_XZ| − |π_Y| = 2 − 1 = 1``, hence ``ε_CB = 1 > 0``.  The
+  paper's proof step "∀y ∃! (x, z)" silently assumes injectivity, which
+  ``VI(C_XY, C_XZ) = 0`` does not deliver.
+
+What *is* true in both directions (and also property-tested):
+``ε_VI = 0 ⟺ confidence = 1 and |π_XZ| = |π_XY|`` — i.e. ε_VI
+characterizes exactness plus completeness w.r.t. the ground truth
+clustering, while ε_CB additionally demands bijectivity onto ``C_Y``.
+"""
+
+from __future__ import annotations
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import assess
+from repro.relational.relation import Relation
+
+from .entropy import EntropyCost, conditional_entropy, variation_of_information
+
+__all__ = [
+    "epsilon_cb",
+    "epsilon_vi",
+    "g3_error",
+    "information_dependency",
+    "measures_agree_on_zero",
+]
+
+
+def epsilon_cb(
+    relation: Relation,
+    base: FunctionalDependency,
+    added: tuple[str, ...] = (),
+) -> float:
+    """``ε_CB = ic + |g|`` of the candidate ``base`` extended by ``added``."""
+    candidate = base.extended(*added) if added else base
+    assessment = assess(relation, candidate)
+    return assessment.inconsistency + abs(assessment.goodness)
+
+
+def epsilon_vi(
+    relation: Relation,
+    base: FunctionalDependency,
+    added: tuple[str, ...] = (),
+    cost: EntropyCost | None = None,
+) -> float:
+    """``ε_VI = VI(C_XY, C_XZ)`` for the candidate ``base`` + ``added``.
+
+    The ground-truth clustering is ``C_XY`` of the *base* FD, as in the
+    EB method's setup (Section 5).
+    """
+    candidate = base.extended(*added) if added else base
+    ground_truth = relation.partition(list(base.attributes))
+    extended = relation.partition(list(candidate.antecedent))
+    return variation_of_information(ground_truth, extended, cost)
+
+
+def information_dependency(
+    relation: Relation,
+    fd: FunctionalDependency,
+    cost: EntropyCost | None = None,
+) -> float:
+    """The axiomatic approximation measure of Giannella [21]: ``H(C_XY | C_X)``.
+
+    Section 5 observes that the measure shown axiomatically best in [21]
+    is (a normalized version of) this conditional entropy, and that the
+    paper's ``ic = 1 − c`` is equivalent to it in the null-set sense:
+    both vanish exactly on satisfied FDs.  The test suite verifies that
+    equivalence property-based.
+    """
+    ground = relation.partition(list(fd.attributes))
+    antecedent = relation.partition(list(fd.antecedent))
+    return conditional_entropy(ground, antecedent, cost)
+
+
+def g3_error(relation: Relation, fd: FunctionalDependency) -> float:
+    """Kivinen–Mannila ``g3``: the classical AFD approximation measure.
+
+    The minimum *fraction of tuples to delete* so the FD holds: within
+    each X-class keep the plurality Y-value, drop the rest.  Included
+    because the AFD literature the paper builds on (Giannella &
+    Robertson [5], cited for approximation measures) is defined in
+    terms of g3; ``g3 = 0 ⟺ ic = 0 ⟺ H(C_XY|C_X) = 0``.
+    """
+    n = relation.num_rows
+    if n == 0:
+        return 0.0
+    x_partition = relation.partition(list(fd.antecedent))
+    y_columns = [relation.column(a).codes for a in fd.consequent]
+    kept = 0
+    for cls_rows in x_partition:
+        counts: dict[tuple[int, ...], int] = {}
+        for row in cls_rows:
+            key = tuple(codes[row] for codes in y_columns)
+            counts[key] = counts.get(key, 0) + 1
+        kept += max(counts.values())
+    return (n - kept) / n
+
+
+def measures_agree_on_zero(
+    relation: Relation,
+    base: FunctionalDependency,
+    added: tuple[str, ...] = (),
+    tolerance: float = 1e-12,
+) -> bool:
+    """Check the *sound* direction of Theorem 1 on one candidate.
+
+    Returns ``True`` unless ``ε_CB = 0`` while ``ε_VI > 0`` — the
+    implication the paper proves correctly.  (The converse can fail;
+    see the module docstring.)
+    """
+    cb = epsilon_cb(relation, base, added)
+    if cb > tolerance:
+        return True
+    return epsilon_vi(relation, base, added) <= tolerance

@@ -1,0 +1,166 @@
+"""The EB (entropy-based) repair method, reconstructed from Section 5.
+
+The original tool of Chiang & Miller (ICDE 2011) "was unfortunately
+impossible" for the authors to compare against experimentally because it
+is unavailable; we reimplement the algorithm exactly as the paper
+describes it so the comparison becomes runnable:
+
+1. compute the ground-truth clustering ``C_XY`` of the violated FD;
+2. for each candidate attribute ``A ∈ R \\ XY``, compute ``C_XA`` and
+   ``C_A``;
+3. rank candidates by ``H(C_XY | C_XA)`` ascending (homogeneity), tie-
+   broken by ``H(C_A | C_XY)`` ascending (completeness);
+4. a candidate with ``VI(C_XY, C_XA) = 0`` is homogeneous *and*
+   complete — EB's best case.
+
+Every entropy call is metered through :class:`EntropyCost`, so the
+CB-vs-EB ablation bench can report the paper's qualitative claim — EB
+must intersect clusterings tuple by tuple, CB only counts — as measured
+numbers.  Multi-attribute extension (which the paper notes EB lacks and
+CB "easily supports") is provided as a greedy loop for completeness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import assess
+from repro.relational.relation import Relation
+
+from .entropy import EntropyCost, conditional_entropy, variation_of_information
+
+__all__ = ["EBCandidate", "EBRepairResult", "eb_extend_by_one", "eb_repair"]
+
+
+@dataclass(frozen=True)
+class EBCandidate:
+    """A candidate attribute with its EB ranking entropies."""
+
+    fd: FunctionalDependency
+    attribute: str
+    homogeneity: float  #: H(C_XY | C_XA) — 0 ⇔ homogeneous
+    completeness: float  #: H(C_A | C_XY) — 0 ⇔ complete (EB tie-break)
+    vi: float  #: VI(C_XY, C_XA)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether ``C_XA`` is homogeneous w.r.t. the ground truth."""
+        return self.homogeneity <= 1e-12
+
+    @property
+    def is_exact(self) -> bool:
+        """Homogeneity ⇔ the extended FD is exact (confidence 1)."""
+        return self.is_homogeneous
+
+    @property
+    def rank_key(self) -> tuple:
+        """EB's ordering: homogeneity first, completeness tie-break."""
+        return (self.homogeneity, self.completeness, self.attribute)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fd} (+{self.attribute}; H(XY|XA)={self.homogeneity:.4g}, "
+            f"H(A|XY)={self.completeness:.4g})"
+        )
+
+
+@dataclass
+class EBRepairResult:
+    """Outcome of one EB repair pass (single FD)."""
+
+    base: FunctionalDependency
+    candidates: list[EBCandidate] = field(default_factory=list)
+    added: tuple[str, ...] = ()
+    repaired: FunctionalDependency | None = None
+    cost: EntropyCost = field(default_factory=EntropyCost)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        """Whether an exact repaired FD was reached."""
+        return self.repaired is not None
+
+    @property
+    def best(self) -> EBCandidate | None:
+        """The top-ranked candidate of the last extension step."""
+        return self.candidates[0] if self.candidates else None
+
+
+def eb_extend_by_one(
+    relation: Relation,
+    fd: FunctionalDependency,
+    base: FunctionalDependency | None = None,
+    cost: EntropyCost | None = None,
+) -> list[EBCandidate]:
+    """One EB ranking pass over the candidate attributes of ``fd``.
+
+    ``base`` fixes the ground-truth clustering ``C_XY`` (it stays the
+    original FD's throughout an iterated repair, as in Section 5).
+    """
+    base = base or fd
+    cost = cost if cost is not None else EntropyCost()
+    ground_truth = relation.partition(list(base.attributes))
+    candidates: list[EBCandidate] = []
+    exclude = set(fd.attributes)
+    for attr in relation.attribute_names:
+        if attr in exclude:
+            continue
+        if relation.column(attr).has_nulls:
+            continue
+        extended = fd.extended(attr)
+        cxa = relation.partition(list(extended.antecedent))
+        ca = relation.partition([attr])
+        homogeneity = conditional_entropy(ground_truth, cxa, cost)
+        completeness = conditional_entropy(ca, ground_truth, cost)
+        vi = variation_of_information(ground_truth, cxa, cost)
+        candidates.append(
+            EBCandidate(
+                fd=extended,
+                attribute=attr,
+                homogeneity=homogeneity,
+                completeness=completeness,
+                vi=vi,
+            )
+        )
+    candidates.sort(key=lambda c: c.rank_key)
+    return candidates
+
+
+def eb_repair(
+    relation: Relation,
+    fd: FunctionalDependency,
+    max_added_attributes: int = 1,
+) -> EBRepairResult:
+    """Run the EB method on one violated FD.
+
+    With the default ``max_added_attributes=1`` this is the method as
+    published (single-attribute extension).  Larger values iterate
+    greedily — always following the top-ranked candidate — to give EB
+    the same multi-attribute capability the paper credits CB with; the
+    greedy path means EB still explores a single branch, not the CB
+    queue's full frontier.
+    """
+    start = time.perf_counter()
+    result = EBRepairResult(base=fd)
+    if assess(relation, fd).is_exact:
+        result.repaired = fd
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+    current = fd
+    added: list[str] = []
+    for _ in range(max_added_attributes):
+        candidates = eb_extend_by_one(relation, current, base=fd, cost=result.cost)
+        result.candidates = candidates
+        if not candidates:
+            break
+        best = candidates[0]
+        added.append(best.attribute)
+        current = best.fd
+        if best.is_exact:
+            result.repaired = current
+            break
+    result.added = tuple(added)
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,78 @@
+"""FD model (system S3 in DESIGN.md): syntax, measures, clusterings, ordering.
+
+This package makes the paper's Definitions 1–6 executable:
+
+* :class:`FunctionalDependency` — syntax, decomposition, extension;
+* :func:`assess` / :func:`confidence` / :func:`goodness` — Definition 3;
+* :mod:`repro.fd.clustering` — the clustering view (Definitions 5–6);
+* :func:`order_fds` — the repair ordering of Section 4.1.
+"""
+
+from .clustering import (
+    induced_mapping,
+    is_complete,
+    is_function,
+    is_homogeneous,
+    is_well_defined_function,
+    proper_association,
+    x_clustering,
+)
+from .cfd import (
+    ConditionRefinement,
+    ConditionalFD,
+    cfd_assess,
+    cfd_is_satisfied,
+    matching_rows,
+    refine_condition,
+    repair_cfd_antecedent,
+)
+from .diagram import explain_repair, render_clustering, render_fd_diagram
+from .fd import FDSyntaxError, FunctionalDependency, fd
+from .measures import (
+    FDAssessment,
+    assess,
+    check_fd_attributes,
+    confidence,
+    goodness,
+    inconsistency_degree,
+    is_exact,
+    is_satisfied,
+    violating_pairs,
+)
+from .ordering import RankedFD, conflict_score, order_fds, repair_rank
+
+__all__ = [
+    "ConditionRefinement",
+    "ConditionalFD",
+    "cfd_assess",
+    "cfd_is_satisfied",
+    "matching_rows",
+    "refine_condition",
+    "repair_cfd_antecedent",
+    "FDAssessment",
+    "FDSyntaxError",
+    "FunctionalDependency",
+    "RankedFD",
+    "assess",
+    "check_fd_attributes",
+    "confidence",
+    "conflict_score",
+    "fd",
+    "goodness",
+    "inconsistency_degree",
+    "induced_mapping",
+    "is_complete",
+    "is_exact",
+    "is_function",
+    "is_homogeneous",
+    "is_satisfied",
+    "is_well_defined_function",
+    "order_fds",
+    "proper_association",
+    "repair_rank",
+    "explain_repair",
+    "render_clustering",
+    "render_fd_diagram",
+    "violating_pairs",
+    "x_clustering",
+]

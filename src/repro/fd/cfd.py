@@ -1,0 +1,204 @@
+"""Conditional functional dependencies (the paper's §7 extension path).
+
+The conclusion announces the intent "to extend the method to other
+kinds of constraints"; CFDs (Fan et al., discussed in the paper's §2)
+are the nearest neighbour: an FD that must hold only on the subset of
+tuples matching a *pattern* of constant conditions.
+
+A :class:`ConditionalFD` couples an embedded
+:class:`~repro.fd.fd.FunctionalDependency` with a pattern
+``{attribute: constant}``.  Semantics: the embedded FD must be
+satisfied by ``σ_pattern(r)``.  All of the paper's machinery then
+lifts directly, because confidence/goodness are instance measures and a
+pattern just selects the instance:
+
+* :func:`cfd_assess` — confidence and goodness on the matching subset;
+* :func:`repair_cfd_antecedent` — the paper's repair move (extend the
+  antecedent) executed against the selected instance;
+* :func:`refine_condition` — the CFD-specific repair move the paper's
+  framework suggests but cannot express for plain FDs: instead of
+  adding antecedent attributes, *narrow the pattern* until the
+  embedded FD holds, reporting the largest consistent refinements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.relational.relation import Relation
+
+from .fd import FDSyntaxError, FunctionalDependency
+from .measures import FDAssessment, assess
+
+__all__ = [
+    "ConditionalFD",
+    "ConditionRefinement",
+    "cfd_assess",
+    "cfd_is_satisfied",
+    "matching_rows",
+    "repair_cfd_antecedent",
+    "refine_condition",
+]
+
+
+@dataclass(frozen=True)
+class ConditionalFD:
+    """A CFD: an embedded FD plus a pattern of constant conditions.
+
+    An empty pattern makes the CFD equivalent to its embedded FD.
+    Pattern attributes may not appear in the FD itself (variable
+    pattern entries of full CFD tableaux are exactly the FD's own
+    attributes, so only constants are carried here).
+    """
+
+    fd: FunctionalDependency
+    pattern: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.pattern]
+        if len(set(names)) != len(names):
+            raise FDSyntaxError("pattern repeats an attribute")
+        clash = set(names) & set(self.fd.attributes)
+        if clash:
+            raise FDSyntaxError(
+                f"pattern attributes {sorted(clash)} appear in the embedded FD"
+            )
+
+    @classmethod
+    def build(
+        cls, fd: FunctionalDependency, pattern: dict[str, Any] | None = None
+    ) -> "ConditionalFD":
+        """Construct from a plain dict pattern (ordering normalized)."""
+        items = tuple(sorted((pattern or {}).items(), key=lambda kv: kv[0]))
+        return cls(fd, items)
+
+    @property
+    def pattern_dict(self) -> dict[str, Any]:
+        """The pattern as a dict."""
+        return dict(self.pattern)
+
+    def with_condition(self, attribute: str, value: Any) -> "ConditionalFD":
+        """A refinement of this CFD with one more constant condition."""
+        merged = self.pattern_dict
+        merged[attribute] = value
+        return ConditionalFD.build(self.fd, merged)
+
+    def extended(self, *attrs: str) -> "ConditionalFD":
+        """The antecedent-extension repair move, lifted to CFDs."""
+        overlap = set(attrs) & set(self.pattern_dict)
+        if overlap:
+            raise FDSyntaxError(
+                f"attributes {sorted(overlap)} are fixed by the pattern"
+            )
+        return ConditionalFD(self.fd.extended(*attrs), self.pattern)
+
+    def __str__(self) -> str:
+        if not self.pattern:
+            return str(self.fd)
+        conditions = ", ".join(f"{name}={value!r}" for name, value in self.pattern)
+        return f"{self.fd} when ({conditions})"
+
+
+def matching_rows(relation: Relation, cfd: ConditionalFD) -> list[int]:
+    """Row indices matched by the CFD's pattern (all rows if empty)."""
+    if not cfd.pattern:
+        return list(range(relation.num_rows))
+    tests: list[tuple[list[int], int]] = []
+    for name, value in cfd.pattern:
+        column = relation.column(name)
+        code = column.code_for(value)
+        if code is None:
+            return []
+        tests.append((column.codes, code))
+    return [
+        row
+        for row in range(relation.num_rows)
+        if all(codes[row] == code for codes, code in tests)
+    ]
+
+
+def cfd_assess(relation: Relation, cfd: ConditionalFD) -> FDAssessment:
+    """Confidence/goodness of the embedded FD on the matching subset."""
+    rows = matching_rows(relation, cfd)
+    subset = relation.take(rows)
+    return assess(subset, cfd.fd)
+
+
+def cfd_is_satisfied(relation: Relation, cfd: ConditionalFD) -> bool:
+    """Whether the CFD holds (embedded FD exact on the selection)."""
+    return cfd_assess(relation, cfd).is_exact
+
+
+def repair_cfd_antecedent(
+    relation: Relation,
+    cfd: ConditionalFD,
+    config=None,
+):
+    """Run the CB repair search on the CFD's selected instance.
+
+    Returns the plain :class:`~repro.core.repair.RepairSearchResult`
+    over the subset; wrap the repaired FDs back into CFDs with the
+    original pattern.  Columns that are constant on the subset (the
+    pattern attributes, and anything else the selection fixed) are
+    projected away first: a constant column can never split a class,
+    so offering it as a repair candidate would only pad antecedents.
+    """
+    from repro.core.repair import find_repairs  # local: layering (core uses fd)
+
+    subset = relation.take(matching_rows(relation, cfd))
+    fd_attrs = set(cfd.fd.attributes)
+    keep = [
+        name
+        for name in subset.attribute_names
+        if name in fd_attrs or subset.column(name).cardinality > 1
+    ]
+    return find_repairs(subset.project(keep), cfd.fd, config)
+
+
+@dataclass(frozen=True)
+class ConditionRefinement:
+    """One condition-refinement repair: a narrower CFD that holds."""
+
+    cfd: ConditionalFD
+    support: int  #: matching tuples of the refined pattern
+
+    def __str__(self) -> str:
+        return f"{self.cfd} [support={self.support}]"
+
+
+def refine_condition(
+    relation: Relation,
+    cfd: ConditionalFD,
+    min_support: int = 1,
+) -> list[ConditionRefinement]:
+    """CFD-specific repair: narrow the pattern until the FD holds.
+
+    For every attribute outside the FD and the current pattern, and
+    every value of it (within the current selection), test whether the
+    embedded FD is exact on the narrowed selection.  Returns the
+    refinements that hold, best-supported first — i.e. the largest
+    consistent sub-populations.  This is the repair move available to
+    CFDs but not to plain FDs: instead of claiming the rule needs more
+    determinants, it claims the rule's *scope* shrank.
+    """
+    rows = matching_rows(relation, cfd)
+    subset = relation.take(rows)
+    refinements: list[ConditionRefinement] = []
+    used = set(cfd.fd.attributes) | set(cfd.pattern_dict)
+    for attr in relation.attribute_names:
+        if attr in used:
+            continue
+        column = subset.column(attr)
+        if column.has_nulls:
+            continue
+        for value in column.dictionary:
+            narrowed = cfd.with_condition(attr, value)
+            matched = matching_rows(relation, narrowed)
+            if len(matched) < min_support:
+                continue
+            narrowed_subset = relation.take(matched)
+            if assess(narrowed_subset, cfd.fd).is_exact:
+                refinements.append(ConditionRefinement(narrowed, len(matched)))
+    refinements.sort(key=lambda r: (-r.support, str(r.cfd)))
+    return refinements

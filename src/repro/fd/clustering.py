@@ -1,0 +1,114 @@
+"""The clustering view of FDs (paper Definitions 5–6 and Section 3).
+
+An FD ``F : X → Y`` induces two clusterings of the instance: ``C_X`` and
+``C_Y``.  ``F`` is satisfied iff the relation between them is a
+(necessarily surjective) function — equivalently, iff ``C_X`` is
+*homogeneous* w.r.t. ``C_Y`` (every class of ``C_X`` properly associated
+with a unique class of ``C_Y``).  When the function also is injective
+(goodness 0), it is bijective — the paper's preferred "well-defined"
+case.
+
+These helpers make that view executable; the test suite uses them to
+verify the counting view (confidence/goodness) against the clustering
+view on random instances, and the EB baseline builds its entropies on
+the same :class:`~repro.relational.partition.Partition` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.relational.partition import Partition
+from repro.relational.relation import Relation
+
+from .fd import FunctionalDependency
+
+__all__ = [
+    "x_clustering",
+    "is_homogeneous",
+    "is_complete",
+    "proper_association",
+    "induced_mapping",
+    "is_function",
+    "is_well_defined_function",
+]
+
+
+def x_clustering(relation: Relation, attrs: Sequence[str]) -> Partition:
+    """The X-clustering of Definition 5: rows grouped by ``attrs`` values."""
+    return relation.partition(list(attrs))
+
+
+def is_homogeneous(finer: Partition, coarser: Partition) -> bool:
+    """Whether every class of ``finer`` is contained in one class of ``coarser``.
+
+    This is homogeneity of ``finer`` w.r.t. ``coarser`` (Section 3): it
+    holds iff each class has a *proper association* (Definition 6).
+    """
+    return finer.refines(coarser)
+
+
+def is_complete(clustering: Partition, ground_truth: Partition) -> bool:
+    """Completeness of ``clustering`` vs ``ground_truth`` (Section 5).
+
+    Every ground-truth class must be contained in a single class of
+    ``clustering`` — i.e. the ground truth refines it.
+    """
+    return ground_truth.refines(clustering)
+
+
+def proper_association(
+    cluster_rows: Sequence[int], clustering: Partition
+) -> int | None:
+    """Index of the unique class of ``clustering`` containing all rows.
+
+    Returns ``None`` when the rows straddle several classes — i.e. there
+    is no proper association (Definition 6).
+    """
+    index = clustering.class_index()
+    first = index[cluster_rows[0]]
+    for row in cluster_rows[1:]:
+        if index[row] != first:
+            return None
+    return first
+
+
+def induced_mapping(
+    domain: Partition, codomain: Partition
+) -> dict[int, int] | None:
+    """The class-level function ``domain → codomain``, if it exists.
+
+    Maps each class index of ``domain`` to the class index of
+    ``codomain`` that properly contains it; ``None`` when some class has
+    no proper association (the relation between the clusterings is not a
+    function, so the FD is violated).
+    """
+    mapping: dict[int, int] = {}
+    for class_id, cls_rows in enumerate(domain.classes):
+        target = proper_association(cls_rows, codomain)
+        if target is None:
+            return None
+        mapping[class_id] = target
+    return mapping
+
+
+def is_function(relation: Relation, fd: FunctionalDependency) -> bool:
+    """Whether ``C_X → C_Y`` is a function — the clustering-view test of
+    Definition 2 satisfaction."""
+    cx = x_clustering(relation, fd.antecedent)
+    cy = x_clustering(relation, fd.consequent)
+    return induced_mapping(cx, cy) is not None
+
+
+def is_well_defined_function(relation: Relation, fd: FunctionalDependency) -> bool:
+    """Whether ``C_X → C_Y`` is a *bijective* function.
+
+    The paper's preferred case ``{c = 1, g = 0}``: surjectivity is
+    automatic (every Y-value occurs in some tuple), so a function with
+    ``|C_X| = |C_Y|`` is bijective.
+    """
+    cx = x_clustering(relation, fd.antecedent)
+    cy = x_clustering(relation, fd.consequent)
+    if induced_mapping(cx, cy) is None:
+        return False
+    return cx.num_classes == cy.num_classes

@@ -1,0 +1,208 @@
+"""Functional dependencies: syntax (paper Definition 1) and manipulation.
+
+An FD ``F : X → Y`` is an immutable pair of attribute-name tuples.  The
+paper assumes, "without loss of generality", that FDs are decomposed so
+the consequent holds a single attribute (Section 1); :meth:`decompose`
+performs that normalization and the repair layer requires it.
+
+The textual format accepted by :meth:`FunctionalDependency.parse`
+mirrors the paper's notation::
+
+    [District, Region] -> [AreaCode]
+    Zip -> City, State          # brackets optional
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+
+from repro.relational.errors import ReproError
+
+__all__ = ["FunctionalDependency", "FDSyntaxError", "fd"]
+
+_ARROW = re.compile(r"->|→")
+
+
+class FDSyntaxError(ReproError, ValueError):
+    """Raised when an FD string cannot be parsed."""
+
+
+class FunctionalDependency:
+    """An FD ``X → Y`` over attribute names.
+
+    Both sides keep their declaration order (rankings and printouts stay
+    deterministic) but equality and hashing are set-based per side, so
+    ``[A, B] → C`` equals ``[B, A] → C``.
+    """
+
+    __slots__ = ("_antecedent", "_consequent", "_ante_set", "_cons_set")
+
+    def __init__(
+        self,
+        antecedent: Sequence[str] | str,
+        consequent: Sequence[str] | str,
+    ) -> None:
+        ante = _normalize_side(antecedent, "antecedent")
+        cons = _normalize_side(consequent, "consequent")
+        overlap = set(ante) & set(cons)
+        if overlap:
+            raise FDSyntaxError(
+                f"attributes {sorted(overlap)} appear on both sides of the FD"
+            )
+        self._antecedent = ante
+        self._consequent = cons
+        self._ante_set = frozenset(ante)
+        self._cons_set = frozenset(cons)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FunctionalDependency":
+        """Parse ``"[A, B] -> [C]"`` (brackets and spacing optional)."""
+        parts = _ARROW.split(text)
+        if len(parts) != 2:
+            raise FDSyntaxError(f"expected exactly one '->' in {text!r}")
+        return cls(_parse_side(parts[0]), _parse_side(parts[1]))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def antecedent(self) -> tuple[str, ...]:
+        """The left-hand side ``X``, in declaration order."""
+        return self._antecedent
+
+    @property
+    def consequent(self) -> tuple[str, ...]:
+        """The right-hand side ``Y``, in declaration order."""
+        return self._consequent
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """``XY``: all attributes of the FD, antecedent first."""
+        return self._antecedent + self._consequent
+
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        """``XY`` as a set (used by the conflict score |F ∩ F′|)."""
+        return self._ante_set | self._cons_set
+
+    @property
+    def size(self) -> int:
+        """``|F| = |XY|``: number of attributes in the FD."""
+        return len(self._ante_set | self._cons_set)
+
+    @property
+    def is_single_consequent(self) -> bool:
+        """Whether the consequent holds exactly one attribute."""
+        return len(self._consequent) == 1
+
+    def overlap(self, other: "FunctionalDependency") -> int:
+        """``|F ∩ F′|``: attributes shared with ``other``."""
+        return len(self.attribute_set & other.attribute_set)
+
+    def is_trivial(self) -> bool:
+        """Whether ``Y ⊆ X`` would hold; by construction only via emptiness."""
+        return not self._consequent
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def decompose(self) -> list["FunctionalDependency"]:
+        """Split ``X → A1…Ak`` into ``k`` single-consequent FDs.
+
+        The paper's repair method assumes this normalization; the order
+        of the resulting FDs follows the consequent's declaration order.
+        """
+        return [
+            FunctionalDependency(self._antecedent, (attr,))
+            for attr in self._consequent
+        ]
+
+    def extended(self, *attrs: str) -> "FunctionalDependency":
+        """``F^U``: the FD with ``attrs`` appended to the antecedent.
+
+        This is the paper's repair move — adding attributes to the
+        antecedent (deleting from it can never repair an FD, Section 1).
+        """
+        additions = [a for a in attrs if a not in self._ante_set]
+        clash = [a for a in attrs if a in self._cons_set]
+        if clash:
+            raise FDSyntaxError(
+                f"cannot add consequent attributes {clash} to the antecedent"
+            )
+        return FunctionalDependency(self._antecedent + tuple(additions), self._consequent)
+
+    def added_over(self, base: "FunctionalDependency") -> tuple[str, ...]:
+        """The antecedent attributes this FD has beyond ``base``'s."""
+        return tuple(a for a in self._antecedent if a not in base._ante_set)
+
+    # ------------------------------------------------------------------
+    # Equality, hashing, rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return (
+            self._ante_set == other._ante_set and self._cons_set == other._cons_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._ante_set, self._cons_set))
+
+    def __repr__(self) -> str:
+        return f"FunctionalDependency({str(self)!r})"
+
+    def __str__(self) -> str:
+        left = ", ".join(self._antecedent)
+        right = ", ".join(self._consequent)
+        return f"[{left}] -> [{right}]"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dict."""
+        return {
+            "antecedent": list(self._antecedent),
+            "consequent": list(self._consequent),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionalDependency":
+        """Inverse of :meth:`to_dict`."""
+        return cls(tuple(data["antecedent"]), tuple(data["consequent"]))
+
+
+def fd(text: str) -> FunctionalDependency:
+    """Shorthand: ``fd("[A, B] -> [C]")``."""
+    return FunctionalDependency.parse(text)
+
+
+def _parse_side(text: str) -> tuple[str, ...]:
+    cleaned = text.strip()
+    if cleaned.startswith("[") and cleaned.endswith("]"):
+        cleaned = cleaned[1:-1]
+    names = tuple(part.strip() for part in cleaned.split(",") if part.strip())
+    return names
+
+
+def _normalize_side(side: Sequence[str] | str, label: str) -> tuple[str, ...]:
+    if isinstance(side, str):
+        names: Iterable[str] = (side,)
+    else:
+        names = side
+    result: list[str] = []
+    seen: set[str] = set()
+    for name in names:
+        if not isinstance(name, str) or not name.strip():
+            raise FDSyntaxError(f"invalid attribute name {name!r} in {label}")
+        cleaned = name.strip()
+        if cleaned not in seen:
+            seen.add(cleaned)
+            result.append(cleaned)
+    if not result:
+        raise FDSyntaxError(f"the {label} of an FD cannot be empty")
+    return tuple(result)

@@ -1,0 +1,189 @@
+"""Confidence, goodness and satisfaction of FDs (paper Definitions 2–4).
+
+For ``F : X → Y`` on instance ``r``::
+
+    confidence   c_{F,r} = |π_X(r)| / |π_XY(r)|        (c = 1  ⇔  exact FD)
+    goodness     g_{F,r} = |π_X(r)| − |π_Y(r)|
+    inconsistency  ic_{F,r} = 1 − c_{F,r}              (Section 4.1)
+
+Confidence measures the "degree of being a function" from the
+X-clustering to the Y-clustering; when it is 1, goodness measures how
+far that function is from being injective (0 ⇔ bijective, Section 3).
+
+Per the paper's footnote 1, attributes involved in FDs must not contain
+NULLs; every measure here raises :class:`NullValueError` otherwise
+(pass ``allow_nulls=True`` to opt out, in which case NULL is treated as
+a regular value as in GROUP BY).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.errors import NullValueError
+from repro.relational.relation import Relation
+
+from .fd import FunctionalDependency
+
+__all__ = [
+    "FDAssessment",
+    "assess",
+    "confidence",
+    "goodness",
+    "inconsistency_degree",
+    "is_satisfied",
+    "is_exact",
+    "violating_pairs",
+    "check_fd_attributes",
+]
+
+
+@dataclass(frozen=True)
+class FDAssessment:
+    """All instance-level measures of one FD, computed together.
+
+    Computing them together reuses the underlying distinct counts
+    (``|π_X|`` appears in both confidence and goodness).
+    """
+
+    fd: FunctionalDependency
+    distinct_x: int
+    distinct_xy: int
+    distinct_y: int
+
+    @property
+    def confidence(self) -> float:
+        """``|π_X| / |π_XY|``; an empty relation vacuously satisfies F."""
+        if self.distinct_xy == 0:
+            return 1.0
+        return self.distinct_x / self.distinct_xy
+
+    @property
+    def goodness(self) -> int:
+        """``|π_X| − |π_Y|``; positive ⇔ domain larger than codomain."""
+        return self.distinct_x - self.distinct_y
+
+    @property
+    def inconsistency(self) -> float:
+        """``ic = 1 − confidence`` (degree of inconsistency, Section 4.1)."""
+        return 1.0 - self.confidence
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the FD is exact (confidence 1, Definition 4)."""
+        return self.distinct_x == self.distinct_xy
+
+    @property
+    def is_bijective(self) -> bool:
+        """The best case ``{c = 1, g = 0}``: a bijection between clusterings."""
+        return self.is_exact and self.goodness == 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fd}: confidence={self.confidence:.4g}, goodness={self.goodness}"
+        )
+
+
+def check_fd_attributes(
+    relation: Relation, fd: FunctionalDependency, context: str = ""
+) -> None:
+    """Raise :class:`NullValueError` if any FD attribute contains NULLs."""
+    for attr in fd.attributes:
+        if relation.column(attr).has_nulls:
+            raise NullValueError(attr, context or f"in FD {fd}")
+
+
+def assess(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> FDAssessment:
+    """Compute confidence and goodness of ``fd`` on ``relation`` at once."""
+    if not allow_nulls:
+        check_fd_attributes(relation, fd)
+    x = list(fd.antecedent)
+    y = list(fd.consequent)
+    return FDAssessment(
+        fd=fd,
+        distinct_x=relation.count_distinct(x),
+        distinct_xy=relation.count_distinct(x + y),
+        distinct_y=relation.count_distinct(y),
+    )
+
+
+def confidence(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> float:
+    """``c_{F,r}`` alone."""
+    return assess(relation, fd, allow_nulls).confidence
+
+
+def goodness(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> int:
+    """``g_{F,r}`` alone."""
+    return assess(relation, fd, allow_nulls).goodness
+
+
+def inconsistency_degree(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> float:
+    """``ic_{F,r} = 1 − c_{F,r}``."""
+    return assess(relation, fd, allow_nulls).inconsistency
+
+
+def is_exact(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> bool:
+    """Whether ``fd`` is exact on ``relation`` (confidence 1)."""
+    return assess(relation, fd, allow_nulls).is_exact
+
+
+def is_satisfied(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> bool:
+    """Definition 2 satisfaction; equivalent to :func:`is_exact`.
+
+    The equivalence (exactness ⇔ pairwise satisfaction) is one of the
+    paper's observations; the test suite verifies it property-based
+    against :func:`violating_pairs`.
+    """
+    return is_exact(relation, fd, allow_nulls)
+
+
+def violating_pairs(
+    relation: Relation, fd: FunctionalDependency, limit: int | None = None
+) -> list[tuple[int, int]]:
+    """Row-index pairs ``(t1, t2)`` witnessing a Definition-2 violation.
+
+    Pairs agree on ``X`` but differ on ``Y``.  This is the O(n²)-free
+    implementation: group rows by X, and inside each class compare Y
+    codes.  ``limit`` truncates the output (the designer UI only needs a
+    few witnesses).
+    """
+    x_partition = relation.partition(list(fd.antecedent))
+    y_columns = [relation.column(a).codes for a in fd.consequent]
+    pairs: list[tuple[int, int]] = []
+    for cls_rows in x_partition:
+        if len(cls_rows) < 2:
+            continue
+        first_by_y: dict[tuple[int, ...], int] = {}
+        for row in cls_rows:
+            key = tuple(codes[row] for codes in y_columns)
+            first_by_y.setdefault(key, row)
+        if len(first_by_y) < 2:
+            continue
+        # Pair every row with the representative of each *other*
+        # Y-group, so each violating tuple shows up in some witness.
+        seen: set[tuple[int, int]] = set()
+        for row in cls_rows:
+            key = tuple(codes[row] for codes in y_columns)
+            for other_key, other_row in first_by_y.items():
+                if other_key == key:
+                    continue
+                pair = (other_row, row) if other_row < row else (row, other_row)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                pairs.append(pair)
+                if limit is not None and len(pairs) >= limit:
+                    return pairs
+    return pairs

@@ -1,0 +1,103 @@
+"""Repair ordering of violated FDs (paper Section 4.1).
+
+When several FDs are violated, the method repairs them in descending
+order of the rank::
+
+    O_F = (ic_{F,r} + cf_F) / 2
+
+where ``ic`` is the degree of inconsistency (``1 − confidence``) and
+``cf`` is the instance-independent *conflict score*::
+
+    cf_F = ( Σ_{F′ ∈ 𝔽} |F ∩ F′| / max(|F|, |F′|) ) / |𝔽|
+
+**Interpretation note** (also recorded in DESIGN.md §3): the paper's
+formula sums over all ``F′ ∈ 𝔽``; its worked example (F1 → 0.25,
+F2 → 0.167, F3 → 0.056 on `Places`) is only consistent with a conflict
+score of zero for all three FDs, even though F2 and F3 share ``Zip``.
+We implement the formula as written.  ``include_self`` controls whether
+``F`` itself participates in the sum; including it adds the constant
+``1/|𝔽|`` to every score and never changes the order, so the default is
+``False``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+
+from .fd import FunctionalDependency
+from .measures import assess
+
+__all__ = ["conflict_score", "repair_rank", "order_fds", "RankedFD"]
+
+
+def conflict_score(
+    fd: FunctionalDependency,
+    all_fds: Sequence[FunctionalDependency],
+    include_self: bool = False,
+) -> float:
+    """``cf_F``: normalized attribute overlap with the other declared FDs.
+
+    ``all_fds`` is the full set 𝔽 (it may or may not contain ``fd``
+    itself; the denominator is always ``|𝔽|`` as in the paper).
+    """
+    if not all_fds:
+        return 0.0
+    total = 0.0
+    for other in all_fds:
+        if not include_self and other == fd:
+            continue
+        total += fd.overlap(other) / max(fd.size, other.size)
+    return total / len(all_fds)
+
+
+def repair_rank(
+    relation: Relation,
+    fd: FunctionalDependency,
+    all_fds: Sequence[FunctionalDependency],
+    include_self: bool = False,
+) -> float:
+    """``O_F = (ic + cf) / 2``: the priority of ``fd`` in the repair queue."""
+    ic = assess(relation, fd).inconsistency
+    cf = conflict_score(fd, all_fds, include_self=include_self)
+    return (ic + cf) / 2.0
+
+
+@dataclass(frozen=True)
+class RankedFD:
+    """An FD with its ordering components, as reported to the designer."""
+
+    fd: FunctionalDependency
+    inconsistency: float
+    conflict: float
+
+    @property
+    def rank(self) -> float:
+        """``O_F = (ic + cf) / 2``."""
+        return (self.inconsistency + self.conflict) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.fd} (O={self.rank:.3f}, ic={self.inconsistency:.3f}, cf={self.conflict:.3f})"
+
+
+def order_fds(
+    relation: Relation,
+    fds: Sequence[FunctionalDependency],
+    include_self: bool = False,
+) -> list[RankedFD]:
+    """Order 𝔽 for repair: rank descending (paper's ``OrderFDs``).
+
+    Ties break on the FD's string form so the order is deterministic.
+    """
+    ranked = [
+        RankedFD(
+            fd=fd,
+            inconsistency=assess(relation, fd).inconsistency,
+            conflict=conflict_score(fd, fds, include_self=include_self),
+        )
+        for fd in fds
+    ]
+    ranked.sort(key=lambda item: (-item.rank, str(item.fd)))
+    return ranked

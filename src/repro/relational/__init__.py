@@ -1,0 +1,67 @@
+"""In-memory relational substrate (system S1 in DESIGN.md).
+
+The paper's prototype sits on MySQL; this package is our from-scratch
+replacement: a small, column-oriented relational engine whose core
+primitive is exactly what the CB repair method needs — counting distinct
+projections (``|π_X(r)|``) and partitioning rows into the X-clusterings
+of Definition 5.
+
+Public entry points:
+
+* :class:`Relation`, :class:`RelationSchema`, :class:`Attribute`,
+  :class:`AttributeType` — data model;
+* :class:`Partition` — position-list clusterings;
+* :class:`Catalog` — named relations + declared FDs, with persistence;
+* :func:`load_csv` / :func:`save_csv` — interchange.
+"""
+
+from .catalog import Catalog
+from .csvio import dumps_csv, load_csv, loads_csv, save_csv
+from .encoding import NULL_CODE, EncodedColumn
+from .errors import (
+    ArityError,
+    DuplicateAttributeError,
+    DuplicateRelationError,
+    NullValueError,
+    ReproError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from .join import is_lossless_decomposition, join_all, natural_join
+from .partition import Partition
+from .relation import Relation
+from .schema import Attribute, RelationSchema
+from .statistics import RelationStatistics
+from .types import NULL, AttributeType, infer_type
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "ArityError",
+    "Catalog",
+    "DuplicateAttributeError",
+    "DuplicateRelationError",
+    "EncodedColumn",
+    "NULL",
+    "NULL_CODE",
+    "NullValueError",
+    "Partition",
+    "Relation",
+    "RelationSchema",
+    "RelationStatistics",
+    "ReproError",
+    "SchemaError",
+    "TypeMismatchError",
+    "UnknownAttributeError",
+    "UnknownRelationError",
+    "dumps_csv",
+    "infer_type",
+    "is_lossless_decomposition",
+    "join_all",
+    "load_csv",
+    "natural_join",
+    "loads_csv",
+    "save_csv",
+]

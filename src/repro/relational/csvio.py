@@ -1,0 +1,127 @@
+"""CSV import/export for relations.
+
+The paper's datasets are all flat tables (MySQL samples, Wikipedia dump
+extracts, KDD Cup 98), so CSV is the interchange format of the tool.
+Loading infers attribute types unless an explicit schema is supplied;
+empty fields become NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any
+
+from .errors import SchemaError
+from .relation import Relation
+from .schema import Attribute, RelationSchema
+from .types import AttributeType, infer_type
+
+__all__ = ["load_csv", "loads_csv", "save_csv", "dumps_csv"]
+
+
+def load_csv(
+    path: str | Path,
+    name: str | None = None,
+    schema: RelationSchema | None = None,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    ``name`` defaults to the file stem.  When ``schema`` is given, the
+    header must match its attribute names and values are coerced to the
+    declared types; otherwise types are inferred column by column.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        return _read(handle, name or path.stem, schema, delimiter)
+
+
+def loads_csv(
+    text: str,
+    name: str = "relation",
+    schema: RelationSchema | None = None,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a relation from CSV text (header row required)."""
+    return _read(io.StringIO(text), name, schema, delimiter)
+
+
+def _read(
+    handle: Any,
+    name: str,
+    schema: RelationSchema | None,
+    delimiter: str,
+) -> Relation:
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty: a header row is required") from None
+    header = [column.strip() for column in header]
+    seen: set[str] = set()
+    for column in header:
+        if column in seen:
+            raise SchemaError(
+                f"duplicate column {column!r} in CSV header: columns would "
+                "silently overwrite each other"
+            )
+        seen.add(column)
+    raw_rows = [row for row in reader]
+    for index, row in enumerate(raw_rows):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"row {index + 1} has {len(row)} fields, header has {len(header)}"
+            )
+    columns: dict[str, list[Any]] = {
+        column: [row[i] for row in raw_rows] for i, column in enumerate(header)
+    }
+    if schema is None:
+        typed: dict[str, list[Any]] = {}
+        attrs: list[Attribute] = []
+        for column, values in columns.items():
+            attr_type = infer_type(values)
+            coerced = [attr_type.coerce(v) for v in values]
+            typed[column] = coerced
+            attrs.append(
+                Attribute(column, attr_type, nullable=any(v is None for v in coerced))
+            )
+        return Relation.from_columns(RelationSchema(name, attrs), typed, validate=False)
+    if list(schema.attribute_names) != header:
+        raise SchemaError(
+            f"CSV header {header} does not match schema attributes "
+            f"{list(schema.attribute_names)}"
+        )
+    coerced_columns = {
+        attr.name: [attr.type.coerce(v) for v in columns[attr.name]]
+        for attr in schema.attributes
+    }
+    return Relation.from_columns(schema, coerced_columns)
+
+
+def save_csv(relation: Relation, path: str | Path, delimiter: str = ",") -> None:
+    """Write a relation to a CSV file (header row + data; NULL → empty)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        _write(relation, handle, delimiter)
+
+
+def dumps_csv(relation: Relation, delimiter: str = ",") -> str:
+    """Render a relation as CSV text."""
+    buffer = io.StringIO()
+    _write(relation, buffer, delimiter)
+    return buffer.getvalue()
+
+
+def _write(relation: Relation, handle: Any, delimiter: str) -> None:
+    writer = csv.writer(handle, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(relation.attribute_names)
+    for row in relation.rows():
+        writer.writerow(["" if value is None else _render(value) for value in row])
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

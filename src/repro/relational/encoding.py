@@ -1,0 +1,147 @@
+"""Dictionary encoding of columns.
+
+Every column is stored as a dense vector of integer *codes* plus a
+*dictionary* mapping codes back to values.  This is the single most
+important performance decision in the engine: the CB method reduces to
+counting distinct code-tuples, which is orders of magnitude faster over
+small ints than over arbitrary Python values, and it lets partitions be
+computed with plain list indexing.
+
+NULL is encoded as :data:`NULL_CODE` (-1) and never enters the
+dictionary, mirroring SQL semantics where ``COUNT(DISTINCT x)`` ignores
+NULLs but grouping treats NULL as its own class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = ["NULL_CODE", "EncodedColumn", "encode_values"]
+
+#: Code reserved for NULL; codes for real values are 0..cardinality-1.
+NULL_CODE = -1
+
+
+class EncodedColumn:
+    """A dictionary-encoded column.
+
+    Attributes
+    ----------
+    codes:
+        One int per row; ``NULL_CODE`` for NULLs.
+    dictionary:
+        ``dictionary[code]`` is the decoded value for that code.
+    """
+
+    __slots__ = ("codes", "dictionary", "_value_to_code")
+
+    def __init__(self, codes: list[int], dictionary: list[Any]) -> None:
+        self.codes = codes
+        self.dictionary = dictionary
+        self._value_to_code: dict[Any, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Iterable[Any]) -> "EncodedColumn":
+        """Encode an iterable of Python values (``None`` = NULL)."""
+        codes: list[int] = []
+        dictionary: list[Any] = []
+        value_to_code: dict[Any, int] = {}
+        append = codes.append
+        for value in values:
+            if value is None:
+                append(NULL_CODE)
+                continue
+            code = value_to_code.get(value)
+            if code is None:
+                code = len(dictionary)
+                value_to_code[value] = code
+                dictionary.append(value)
+            append(code)
+        column = cls(codes, dictionary)
+        column._value_to_code = value_to_code
+        return column
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct non-NULL values."""
+        return len(self.dictionary)
+
+    @property
+    def null_count(self) -> int:
+        """Number of NULLs in the column."""
+        return sum(1 for code in self.codes if code == NULL_CODE)
+
+    @property
+    def has_nulls(self) -> bool:
+        """Whether the column contains at least one NULL."""
+        return any(code == NULL_CODE for code in self.codes)
+
+    def value(self, row: int) -> Any:
+        """Decoded value at ``row`` (``None`` for NULL)."""
+        code = self.codes[row]
+        if code == NULL_CODE:
+            return None
+        return self.dictionary[code]
+
+    def values(self) -> list[Any]:
+        """All decoded values, in row order."""
+        dictionary = self.dictionary
+        return [
+            None if code == NULL_CODE else dictionary[code] for code in self.codes
+        ]
+
+    def code_for(self, value: Any) -> int | None:
+        """Code of ``value``, or ``None`` if the value never occurs.
+
+        Builds the reverse map lazily; selection predicates use this to
+        turn a value comparison into an int comparison.
+        """
+        if value is None:
+            return NULL_CODE
+        if self._value_to_code is None:
+            self._value_to_code = {
+                v: code for code, v in enumerate(self.dictionary)
+            }
+        return self._value_to_code.get(value)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def take(self, rows: Sequence[int]) -> "EncodedColumn":
+        """A new column containing only ``rows`` (re-encoded compactly)."""
+        codes = self.codes
+        dictionary = self.dictionary
+        return EncodedColumn.from_values(
+            None if codes[r] == NULL_CODE else dictionary[codes[r]] for r in rows
+        )
+
+    def append_value(self, value: Any) -> None:
+        """Append one value in place (used by builders, not by Relation)."""
+        if value is None:
+            self.codes.append(NULL_CODE)
+            return
+        if self._value_to_code is None:
+            self._value_to_code = {
+                v: code for code, v in enumerate(self.dictionary)
+            }
+        code = self._value_to_code.get(value)
+        if code is None:
+            code = len(self.dictionary)
+            self._value_to_code[value] = code
+            self.dictionary.append(value)
+        self.codes.append(code)
+
+
+def encode_values(values: Iterable[Any]) -> EncodedColumn:
+    """Module-level alias of :meth:`EncodedColumn.from_values`."""
+    return EncodedColumn.from_values(values)

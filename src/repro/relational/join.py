@@ -1,0 +1,121 @@
+"""Natural join and decomposition checks (the design layer's verifier).
+
+The BCNF decomposition of :mod:`repro.design.normalize` promises a
+*lossless* join: projecting an instance onto the fragments and joining
+the projections back must reproduce exactly the original tuples.  That
+promise is only testable with a join, so here is one:
+
+* :func:`natural_join` — hash join on the shared attributes (cross
+  product when the schemas are disjoint, matching the relational
+  definition);
+* :func:`join_all` — left-to-right natural join of several relations;
+* :func:`is_lossless_decomposition` — the end-to-end check: project,
+  join, compare tuple *sets* (decompositions are set-semantics objects;
+  duplicates introduced by projection are collapsed).
+
+The engine stays deliberately small — joins exist to verify design
+output and to let examples reassemble decomposed schemas, not to grow a
+general query processor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .errors import SchemaError
+from .relation import Relation
+from .schema import Attribute, RelationSchema
+
+__all__ = ["natural_join", "join_all", "is_lossless_decomposition"]
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """``left ⋈ right`` on all shared attribute names.
+
+    Shared attributes must agree on type.  With no shared attributes
+    the result is the cross product.  Output attribute order: all of
+    ``left``'s, then ``right``'s non-shared ones.
+    """
+    shared = [a for a in left.attribute_names if a in set(right.attribute_names)]
+    for attr in shared:
+        left_type = left.schema.attribute(attr).type
+        right_type = right.schema.attribute(attr).type
+        if left_type is not right_type:
+            raise SchemaError(
+                f"join attribute {attr!r} has type {left_type.value} on the "
+                f"left but {right_type.value} on the right"
+            )
+    right_only = [a for a in right.attribute_names if a not in set(shared)]
+
+    # Hash the smaller input on the shared key.
+    build_rows: dict[tuple[Any, ...], list[int]] = {}
+    right_columns = {a: right.column_values(a) for a in right.attribute_names}
+    for row in range(right.num_rows):
+        key = tuple(right_columns[a][row] for a in shared)
+        build_rows.setdefault(key, []).append(row)
+
+    left_columns = {a: left.column_values(a) for a in left.attribute_names}
+    out_columns: dict[str, list[Any]] = {
+        a: [] for a in (*left.attribute_names, *right_only)
+    }
+    for row in range(left.num_rows):
+        key = tuple(left_columns[a][row] for a in shared)
+        matches = build_rows.get(key, () if shared else None)
+        if matches is None:  # disjoint schemas: cross product
+            matches = range(right.num_rows)
+        for other in matches:
+            for a in left.attribute_names:
+                out_columns[a].append(left_columns[a][row])
+            for a in right_only:
+                out_columns[a].append(right_columns[a][other])
+
+    attrs = [
+        left.schema.attribute(a) if a in set(left.attribute_names)
+        else right.schema.attribute(a)
+        for a in out_columns
+    ]
+    schema = RelationSchema(
+        name or f"{left.name}_join_{right.name}",
+        [Attribute(a.name, a.type, nullable=a.nullable) for a in attrs],
+    )
+    return Relation.from_columns(schema, out_columns, validate=False)
+
+
+def join_all(relations: Sequence[Relation], name: str | None = None) -> Relation:
+    """Left-to-right natural join of ``relations`` (at least one)."""
+    if not relations:
+        raise SchemaError("join_all needs at least one relation")
+    result = relations[0]
+    for other in relations[1:]:
+        result = natural_join(result, other)
+    if name is not None:
+        result = result.rename(name)
+    return result
+
+
+def is_lossless_decomposition(
+    relation: Relation, fragments: Sequence[Sequence[str]]
+) -> bool:
+    """Whether projecting onto ``fragments`` and joining reproduces ``relation``.
+
+    Set semantics: both sides are compared as tuple sets over the
+    original attribute order.  Fragments must cover every attribute.
+    """
+    covered = set().union(*(set(f) for f in fragments)) if fragments else set()
+    if covered != set(relation.attribute_names):
+        raise SchemaError(
+            f"fragments cover {sorted(covered)}, "
+            f"schema has {sorted(relation.attribute_names)}"
+        )
+    projections = [
+        relation.project(list(fragment), distinct=True) for fragment in fragments
+    ]
+    joined = join_all(projections)
+    order = list(relation.attribute_names)
+    rejoined = {
+        tuple(row[joined.attribute_names.index(a)] for a in order)
+        for row in joined.rows()
+    }
+    original = set(relation.rows())
+    return rejoined == original

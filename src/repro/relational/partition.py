@@ -1,0 +1,163 @@
+"""Position-list partitions (the paper's X-clusterings, Definition 5).
+
+A :class:`Partition` groups row indices of a relation by the values of
+an attribute set ``X``: one class per distinct ``X``-value.  Partitions
+are the bridge between the paper's two views of an FD — the counting
+view (confidence/goodness need only ``|π_X(r)|``) and the clustering
+view (Definitions 5–6, and the entropy computations of the EB method).
+
+Two operations matter:
+
+* ``from_codes`` builds a partition from one encoded column in O(n);
+* ``refine`` intersects a partition with another column in O(n), which
+  is how the repair search derives the partition of ``XA`` from the
+  cached partition of ``X`` without rescanning all attributes.
+
+NULL (code -1) forms its own class, matching GROUP BY semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """A partition of row indices ``0..n-1`` into disjoint classes.
+
+    Classes are stored as lists of row indices.  The class order is
+    deterministic (first-seen order), which keeps every downstream
+    ranking reproducible.
+    """
+
+    __slots__ = ("classes", "num_rows")
+
+    def __init__(self, classes: list[list[int]], num_rows: int) -> None:
+        self.classes = classes
+        self.num_rows = num_rows
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_class(cls, num_rows: int) -> "Partition":
+        """The trivial partition: every row in one class (``X = ∅``)."""
+        return cls([list(range(num_rows))] if num_rows else [], num_rows)
+
+    @classmethod
+    def from_codes(cls, codes: Sequence[int]) -> "Partition":
+        """Partition rows by the value codes of a single column."""
+        groups: dict[int, list[int]] = {}
+        for row, code in enumerate(codes):
+            group = groups.get(code)
+            if group is None:
+                groups[code] = [row]
+            else:
+                group.append(row)
+        return cls(list(groups.values()), len(codes))
+
+    @classmethod
+    def from_code_columns(cls, columns: Sequence[Sequence[int]], num_rows: int) -> "Partition":
+        """Partition rows by the combined codes of several columns."""
+        if not columns:
+            return cls.single_class(num_rows)
+        if len(columns) == 1:
+            return cls.from_codes(columns[0])
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for row, key in enumerate(zip(*columns)):
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [row]
+            else:
+                group.append(row)
+        return cls(list(groups.values()), num_rows)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def refine(self, codes: Sequence[int]) -> "Partition":
+        """Intersect with the partition induced by ``codes`` (O(n)).
+
+        The result is the product partition: rows are in the same class
+        iff they are in the same class here *and* share a code.
+        """
+        classes: list[list[int]] = []
+        for cls_rows in self.classes:
+            if len(cls_rows) == 1:
+                classes.append(cls_rows)
+                continue
+            sub: dict[int, list[int]] = {}
+            for row in cls_rows:
+                code = codes[row]
+                bucket = sub.get(code)
+                if bucket is None:
+                    sub[code] = [row]
+                else:
+                    bucket.append(row)
+            classes.extend(sub.values())
+        return Partition(classes, self.num_rows)
+
+    def refines(self, other: "Partition") -> bool:
+        """Whether every class of ``self`` is contained in a class of ``other``.
+
+        This is the paper's *homogeneity* of ``self`` w.r.t. ``other``
+        (every class properly associated, Definition 6).
+        """
+        owner = other.class_index()
+        for cls_rows in self.classes:
+            first = owner[cls_rows[0]]
+            for row in cls_rows[1:]:
+                if owner[row] != first:
+                    return False
+        return True
+
+    def class_index(self) -> list[int]:
+        """For each row, the index of the class containing it."""
+        index = [0] * self.num_rows
+        for class_id, cls_rows in enumerate(self.classes):
+            for row in cls_rows:
+                index[row] = class_id
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        """Number of classes (``|π_X(r)|`` when built over attributes X)."""
+        return len(self.classes)
+
+    def class_sizes(self) -> list[int]:
+        """Sizes of all classes, in class order."""
+        return [len(cls_rows) for cls_rows in self.classes]
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.classes)
+
+    def __repr__(self) -> str:
+        return f"Partition({self.num_classes} classes over {self.num_rows} rows)"
+
+    # ------------------------------------------------------------------
+    # TANE-style stripped form
+    # ------------------------------------------------------------------
+    def stripped(self) -> "Partition":
+        """Copy without singleton classes (TANE's stripped partitions).
+
+        Singletons can never witness an FD violation, so levelwise
+        discovery drops them to keep refinement cheap.  ``num_rows`` is
+        preserved so error measures stay well-defined.
+        """
+        return Partition([c for c in self.classes if len(c) > 1], self.num_rows)
+
+    def error(self) -> int:
+        """TANE's ``e(X)``: rows minus number of classes, over covered rows.
+
+        For a stripped partition this equals ``sum(|c| - 1)`` over the
+        remaining classes; it is zero iff the partition is (stripped
+        from) a key.
+        """
+        return sum(len(c) - 1 for c in self.classes)

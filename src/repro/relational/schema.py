@@ -1,0 +1,202 @@
+"""Relation schemas: named, typed, ordered attribute lists.
+
+A :class:`RelationSchema` is immutable.  It knows attribute order (tuples
+are positional), supports fast name → position lookup, and serializes to
+a plain dict for catalog persistence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from .errors import DuplicateAttributeError, SchemaError, UnknownAttributeError
+from .types import AttributeType
+
+__all__ = ["Attribute", "RelationSchema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute: name, scalar type, nullability.
+
+    ``nullable`` is a declaration, not an observation: a nullable
+    attribute may well contain no NULLs in a given instance.  The FD
+    layer checks actual instances, per the paper's footnote 1.
+    """
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dict."""
+        return {"name": self.name, "type": self.type.value, "nullable": self.nullable}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Attribute":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            type=AttributeType.from_name(data["type"]),
+            nullable=bool(data.get("nullable", True)),
+        )
+
+
+class RelationSchema:
+    """An ordered, immutable collection of :class:`Attribute` objects.
+
+    Supports iteration (over attributes), ``len``, ``in`` (by name), and
+    indexing by either position or name.
+
+    >>> schema = RelationSchema("places", ["District", "Region"])
+    >>> len(schema)
+    2
+    >>> "District" in schema
+    True
+    >>> schema.position("Region")
+    1
+    """
+
+    __slots__ = ("_name", "_attributes", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute | str],
+    ) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs: list[Attribute] = []
+        for item in attributes:
+            if isinstance(item, Attribute):
+                attrs.append(item)
+            elif isinstance(item, str):
+                attrs.append(Attribute(item))
+            else:
+                raise SchemaError(f"cannot build an attribute from {item!r}")
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        positions: dict[str, int] = {}
+        for index, attr in enumerate(attrs):
+            if attr.name in positions:
+                raise DuplicateAttributeError(attr.name)
+            positions[attr.name] = index
+        self._name = name
+        self._attributes = tuple(attrs)
+        self._positions = positions
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names, in declaration order."""
+        return tuple(attr.name for attr in self._attributes)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (written ``|R|`` in the paper)."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        return self._attributes[self.position(key)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._name == other._name and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes))
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.attribute_names)
+        return f"RelationSchema({self._name!r}: {names})"
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def position(self, name: str) -> int:
+        """Position of attribute ``name``; raises :class:`UnknownAttributeError`."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self._name) from None
+
+    def positions(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Positions of several attributes, in the order given."""
+        return tuple(self.position(name) for name in names)
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` called ``name``."""
+        return self._attributes[self.position(name)]
+
+    def validate_names(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Check that every name exists; return them as a tuple."""
+        resolved = tuple(names)
+        for name in resolved:
+            self.position(name)
+        return resolved
+
+    def complement(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Attributes of the schema *not* in ``names`` (``R \\ names``).
+
+        The repair search uses this to enumerate candidate attributes:
+        ``R \\ XY`` in the paper's Algorithm 2.
+        """
+        excluded = set(self.validate_names(names))
+        return tuple(n for n in self.attribute_names if n not in excluded)
+
+    # ------------------------------------------------------------------
+    # Derivation and serialization
+    # ------------------------------------------------------------------
+    def project(self, names: Iterable[str], new_name: str | None = None) -> "RelationSchema":
+        """A new schema containing only ``names``, preserving their order."""
+        resolved = self.validate_names(names)
+        attrs = [self.attribute(n) for n in resolved]
+        return RelationSchema(new_name or self._name, attrs)
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """A copy of this schema under a different relation name."""
+        return RelationSchema(new_name, list(self._attributes))
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dict."""
+        return {
+            "name": self._name,
+            "attributes": [attr.to_dict() for attr in self._attributes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RelationSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            data["name"],
+            [Attribute.from_dict(item) for item in data["attributes"]],
+        )

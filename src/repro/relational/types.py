@@ -1,0 +1,165 @@
+"""Attribute types for the relational substrate.
+
+The engine is deliberately small: four scalar types cover everything the
+paper's datasets need (TPC-H, CSV exports of MySQL sample databases, the
+KDD Cup 98 ``Veterans`` table).  Values are stored as plain Python
+objects; :class:`AttributeType` provides validation, coercion from text
+(for CSV loading) and type inference.
+
+NULL is represented by Python ``None`` everywhere in the public API.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+__all__ = ["AttributeType", "NULL", "infer_type", "coerce_value"]
+
+#: Canonical NULL marker used across the engine.  ``None`` in, ``None`` out.
+NULL = None
+
+_BOOL_TRUE = {"true", "t", "yes", "y", "1"}
+_BOOL_FALSE = {"false", "f", "no", "n", "0"}
+
+
+class AttributeType(enum.Enum):
+    """Scalar type of an attribute.
+
+    The member value is the lowercase SQL-ish name used in schema
+    serialization and in the mini SQL layer.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    # ------------------------------------------------------------------
+    # Validation and coercion
+    # ------------------------------------------------------------------
+    def validate(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` conforms to this type.
+
+        ``None`` (NULL) conforms to every type; nullability is enforced
+        at the schema level, not here.
+        """
+        if value is None:
+            return True
+        if self is AttributeType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(value, float) or (
+                isinstance(value, int) and not isinstance(value, bool)
+            )
+        if self is AttributeType.BOOLEAN:
+            return isinstance(value, bool)
+        return isinstance(value, str)
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this type, raising ``ValueError`` on failure.
+
+        Accepts native values as well as their text representations, so
+        the CSV loader can funnel everything through one code path.
+        ``None`` and the empty string are treated as NULL.
+        """
+        if value is None:
+            return None
+        if isinstance(value, str) and value == "":
+            return None
+        if self is AttributeType.INTEGER:
+            if isinstance(value, bool):
+                raise ValueError(f"cannot coerce boolean {value!r} to integer")
+            return int(value)
+        if self is AttributeType.FLOAT:
+            if isinstance(value, bool):
+                raise ValueError(f"cannot coerce boolean {value!r} to float")
+            return float(value)
+        if self is AttributeType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            text = str(value).strip().lower()
+            if text in _BOOL_TRUE:
+                return True
+            if text in _BOOL_FALSE:
+                return False
+            raise ValueError(f"cannot coerce {value!r} to boolean")
+        return str(value)
+
+    @classmethod
+    def from_name(cls, name: str) -> "AttributeType":
+        """Look a type up by its serialized name (case-insensitive)."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            aliases = {
+                "int": cls.INTEGER,
+                "bigint": cls.INTEGER,
+                "smallint": cls.INTEGER,
+                "double": cls.FLOAT,
+                "real": cls.FLOAT,
+                "decimal": cls.FLOAT,
+                "numeric": cls.FLOAT,
+                "text": cls.STRING,
+                "varchar": cls.STRING,
+                "char": cls.STRING,
+                "bool": cls.BOOLEAN,
+            }
+            key = name.strip().lower()
+            if key in aliases:
+                return aliases[key]
+            raise ValueError(f"unknown attribute type {name!r}") from None
+
+
+def infer_type(values: list[Any]) -> AttributeType:
+    """Infer the narrowest :class:`AttributeType` that fits ``values``.
+
+    Used by the CSV loader when no explicit schema is given.  Text
+    values are probed in the order boolean → integer → float → string;
+    NULLs (``None`` or empty strings) are ignored for inference.  An
+    all-NULL column defaults to STRING.
+    """
+    non_null = [v for v in values if v is not None and v != ""]
+    if not non_null:
+        return AttributeType.STRING
+    for candidate in (
+        AttributeType.BOOLEAN,
+        AttributeType.INTEGER,
+        AttributeType.FLOAT,
+    ):
+        if _all_coercible(candidate, non_null):
+            return candidate
+    return AttributeType.STRING
+
+
+def _all_coercible(attr_type: AttributeType, values: list[Any]) -> bool:
+    for value in values:
+        if isinstance(value, str):
+            text = value.strip()
+            if attr_type is AttributeType.INTEGER:
+                # Reject floats-as-text; int("3.5") raises anyway, but we
+                # also reject exponents and leading '+' oddities uniformly.
+                if not _looks_like_int(text):
+                    return False
+                continue
+            if attr_type is AttributeType.BOOLEAN:
+                if text.lower() not in _BOOL_TRUE | _BOOL_FALSE:
+                    return False
+                continue
+        try:
+            attr_type.coerce(value)
+        except (ValueError, TypeError):
+            return False
+    return True
+
+
+def _looks_like_int(text: str) -> bool:
+    if not text:
+        return False
+    body = text[1:] if text[0] in "+-" else text
+    return body.isdigit()
+
+
+def coerce_value(attr_type: AttributeType, value: Any) -> Any:
+    """Module-level convenience wrapper around :meth:`AttributeType.coerce`."""
+    return attr_type.coerce(value)

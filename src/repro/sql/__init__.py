@@ -1,0 +1,49 @@
+"""Mini SQL layer (system S2 in DESIGN.md).
+
+Lexer, parser and executor for the query surface the paper's prototype
+uses — ``SELECT COUNT(DISTINCT …) FROM R [WHERE …]`` plus plain
+SELECT / GROUP BY for inspection — and :class:`SqlCountBackend`, which
+computes FD measures through literal SQL text.
+"""
+
+from .ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    CountDistinct,
+    CountStar,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    SelectItem,
+    SelectQuery,
+)
+from .backend import SqlCountBackend
+from .executor import ResultSet, SqlExecutionError, execute, execute_on_relation
+from .parser import parse
+from .tokens import SqlSyntaxError, Token, TokenType, tokenize
+
+__all__ = [
+    "And",
+    "ColumnRef",
+    "Comparison",
+    "CountDistinct",
+    "CountStar",
+    "IsNull",
+    "Literal",
+    "Not",
+    "Or",
+    "ResultSet",
+    "SelectItem",
+    "SelectQuery",
+    "SqlCountBackend",
+    "SqlExecutionError",
+    "SqlSyntaxError",
+    "Token",
+    "TokenType",
+    "execute",
+    "execute_on_relation",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,125 @@
+"""AST nodes for the mini SQL layer.
+
+The grammar is deliberately small (DESIGN.md §2/S2); every node is an
+immutable dataclass, and the executor dispatches on node type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "IsNull",
+    "Not",
+    "And",
+    "Or",
+    "CountStar",
+    "CountDistinct",
+    "SelectItem",
+    "SelectQuery",
+    "Expression",
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to an attribute by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, number, boolean, or NULL."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op ∈ {=, <>, <, <=, >, >=}."""
+
+    op: str
+    left: Union["Expression", ColumnRef, Literal]
+    right: Union["Expression", ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS [NOT] NULL``."""
+
+    operand: Union[ColumnRef, Literal]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class And:
+    """Logical conjunction."""
+
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Logical disjunction."""
+
+    left: "Expression"
+    right: "Expression"
+
+
+Expression = Union[Comparison, IsNull, Not, And, Or, ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``COUNT(*)``."""
+
+
+@dataclass(frozen=True)
+class CountDistinct:
+    """``COUNT(DISTINCT A, B, …)`` — the paper's workhorse aggregate."""
+
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: a column, ``COUNT(*)`` or ``COUNT(DISTINCT …)``."""
+
+    expression: Union[ColumnRef, CountStar, CountDistinct]
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """Column name of this item in the result."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, CountStar):
+            return "count"
+        return "count_distinct"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed ``SELECT`` statement."""
+
+    items: tuple[SelectItem, ...]
+    table: str
+    where: Expression | None = None
+    group_by: tuple[str, ...] = ()
+    distinct: bool = False
+    limit: int | None = None

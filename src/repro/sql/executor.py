@@ -1,0 +1,264 @@
+"""Executor for the mini SQL layer.
+
+Evaluates a parsed :class:`~repro.sql.ast.SelectQuery` against a
+:class:`~repro.relational.catalog.Catalog` (or a single relation).
+Results come back as a :class:`ResultSet` — column names plus row
+tuples — so examples and the CLI can print MySQL-style output.
+
+Semantics follow SQL where it matters to the paper:
+
+* ``COUNT(DISTINCT a, b)`` ignores rows where *any* counted attribute
+  is NULL (MySQL behaviour; the FD layer forbids NULLs in FD attributes
+  anyway, so engine-counting and SQL-counting agree on FD measures —
+  a property the test suite checks);
+* comparisons with NULL are never true (no three-valued logic beyond
+  that: ``WHERE`` keeps a row only when the predicate evaluates to
+  truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.relational.catalog import Catalog
+from repro.relational.errors import ReproError
+from repro.relational.relation import Relation
+
+from .ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    CountDistinct,
+    CountStar,
+    Expression,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    SelectQuery,
+)
+from .parser import parse
+
+__all__ = ["ResultSet", "SqlExecutionError", "execute", "execute_on_relation"]
+
+
+class SqlExecutionError(ReproError):
+    """Raised when a well-formed query cannot be evaluated."""
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Query output: ordered column names and row tuples."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+
+    @property
+    def scalar(self) -> Any:
+        """The single value of a 1×1 result (e.g. a COUNT)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlExecutionError(
+                f"expected a scalar result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """A plain-text rendering (used by the CLI)."""
+        header = " | ".join(self.columns)
+        divider = "-" * len(header)
+        body = [
+            " | ".join("NULL" if v is None else str(v) for v in row)
+            for row in self.rows[:max_rows]
+        ]
+        if len(self.rows) > max_rows:
+            body.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join([header, divider, *body])
+
+
+def execute(catalog: Catalog, sql: str) -> ResultSet:
+    """Parse and run ``sql`` against a catalog."""
+    query = parse(sql)
+    relation = catalog.relation(query.table)
+    return _run(relation, query)
+
+
+def execute_on_relation(relation: Relation, sql: str) -> ResultSet:
+    """Parse and run ``sql``; the FROM clause must name this relation."""
+    query = parse(sql)
+    if query.table != relation.name:
+        raise SqlExecutionError(
+            f"query targets {query.table!r} but got relation {relation.name!r}"
+        )
+    return _run(relation, query)
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def _run(relation: Relation, query: SelectQuery) -> ResultSet:
+    rows = _filtered_rows(relation, query.where)
+    if query.group_by:
+        return _run_grouped(relation, query, rows)
+    aggregates = [
+        item for item in query.items
+        if isinstance(item.expression, (CountStar, CountDistinct))
+    ]
+    if aggregates:
+        if len(aggregates) != len(query.items):
+            raise SqlExecutionError(
+                "cannot mix aggregates and plain columns without GROUP BY"
+            )
+        values = tuple(
+            _aggregate(relation, item.expression, rows) for item in query.items
+        )
+        columns = tuple(item.output_name for item in query.items)
+        return ResultSet(columns, (values,))
+    return _run_projection(relation, query, rows)
+
+
+def _filtered_rows(relation: Relation, where: Expression | None) -> list[int]:
+    if where is None:
+        return list(range(relation.num_rows))
+    names = relation.attribute_names
+    columns = {name: relation.column(name) for name in names}
+    keep: list[int] = []
+    for row in range(relation.num_rows):
+        values = {name: columns[name].value(row) for name in names}
+        if _evaluate(where, values):
+            keep.append(row)
+    return keep
+
+
+def _evaluate(expr: Expression, values: dict[str, Any]) -> bool:
+    if isinstance(expr, Comparison):
+        left = _operand(expr.left, values)
+        right = _operand(expr.right, values)
+        if left is None or right is None:
+            return False
+        try:
+            if expr.op == "=":
+                return left == right
+            if expr.op == "<>":
+                return left != right
+            if expr.op == "<":
+                return left < right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">":
+                return left > right
+            if expr.op == ">=":
+                return left >= right
+        except TypeError:
+            raise SqlExecutionError(
+                f"cannot compare {left!r} and {right!r} with {expr.op}"
+            ) from None
+        raise SqlExecutionError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, IsNull):
+        value = _operand(expr.operand, values)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, Not):
+        return not _evaluate(expr.operand, values)
+    if isinstance(expr, And):
+        return _evaluate(expr.left, values) and _evaluate(expr.right, values)
+    if isinstance(expr, Or):
+        return _evaluate(expr.left, values) or _evaluate(expr.right, values)
+    raise SqlExecutionError(f"cannot evaluate {expr!r} as a predicate")
+
+
+def _operand(expr: Any, values: dict[str, Any]) -> Any:
+    if isinstance(expr, ColumnRef):
+        if expr.name not in values:
+            raise SqlExecutionError(f"unknown column {expr.name!r}")
+        return values[expr.name]
+    if isinstance(expr, Literal):
+        return expr.value
+    raise SqlExecutionError(f"cannot evaluate operand {expr!r}")
+
+
+def _aggregate(relation: Relation, expression: Any, rows: list[int]) -> int:
+    if isinstance(expression, CountStar):
+        return len(rows)
+    if isinstance(expression, CountDistinct):
+        columns = [relation.column(name) for name in expression.columns]
+        seen: set[tuple[int, ...]] = set()
+        for row in rows:
+            codes = tuple(column.codes[row] for column in columns)
+            if any(code < 0 for code in codes):  # SQL: NULLs are not counted
+                continue
+            seen.add(codes)
+        return len(seen)
+    raise SqlExecutionError(f"unsupported aggregate {expression!r}")
+
+
+def _run_projection(
+    relation: Relation, query: SelectQuery, rows: list[int]
+) -> ResultSet:
+    names: list[str] = []
+    for item in query.items:
+        assert isinstance(item.expression, ColumnRef)
+        if item.expression.name == "*":
+            names.extend(relation.attribute_names)
+        else:
+            names.append(item.expression.name)
+    columns = [relation.column(name) for name in names]
+    output_names: list[str] = []
+    star_used = any(
+        isinstance(item.expression, ColumnRef) and item.expression.name == "*"
+        for item in query.items
+    )
+    if star_used:
+        output_names = list(names)
+    else:
+        output_names = [item.output_name for item in query.items]
+    result_rows: list[tuple[Any, ...]] = []
+    seen: set[tuple[Any, ...]] = set()
+    for row in rows:
+        record = tuple(column.value(row) for column in columns)
+        if query.distinct:
+            if record in seen:
+                continue
+            seen.add(record)
+        result_rows.append(record)
+        if query.limit is not None and len(result_rows) >= query.limit:
+            break
+    return ResultSet(tuple(output_names), tuple(result_rows))
+
+
+def _run_grouped(
+    relation: Relation, query: SelectQuery, rows: list[int]
+) -> ResultSet:
+    group_columns = [relation.column(name) for name in query.group_by]
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for row in rows:
+        key = tuple(column.codes[row] for column in group_columns)
+        groups.setdefault(key, []).append(row)
+    output_names: list[str] = []
+    for item in query.items:
+        if isinstance(item.expression, ColumnRef):
+            if item.expression.name not in query.group_by:
+                raise SqlExecutionError(
+                    f"column {item.expression.name!r} must appear in GROUP BY"
+                )
+        output_names.append(item.output_name)
+    result_rows: list[tuple[Any, ...]] = []
+    for key, group_rows in groups.items():
+        record: list[Any] = []
+        for item in query.items:
+            if isinstance(item.expression, ColumnRef):
+                position = query.group_by.index(item.expression.name)
+                column = group_columns[position]
+                code = key[position]
+                record.append(None if code < 0 else column.dictionary[code])
+            else:
+                record.append(_aggregate(relation, item.expression, group_rows))
+        result_rows.append(tuple(record))
+        if query.limit is not None and len(result_rows) >= query.limit:
+            break
+    return ResultSet(tuple(output_names), tuple(result_rows))

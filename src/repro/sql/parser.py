@@ -1,0 +1,229 @@
+"""Recursive-descent parser for the mini SQL grammar.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT [DISTINCT] items FROM identifier
+                  [WHERE expr] [GROUP BY columns] [LIMIT number]
+    items      := item (',' item)* | '*'
+    item       := (COUNT '(' '*' ')' | COUNT '(' DISTINCT columns ')'
+                  | identifier) [AS identifier]
+    columns    := identifier (',' identifier)*
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | primary
+    primary    := '(' expr ')' | operand (comparison | IS [NOT] NULL)
+    operand    := identifier | literal
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    CountDistinct,
+    CountStar,
+    Expression,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    SelectItem,
+    SelectQuery,
+)
+from .tokens import SqlSyntaxError, Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse SQL text into a :class:`SelectQuery`."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._current
+        if not token.is_keyword(word):
+            raise SqlSyntaxError(f"expected {word.upper()}, got {token.value!r}", token.position)
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._current
+        if token.type is not TokenType.PUNCTUATION or token.value != char:
+            raise SqlSyntaxError(f"expected {char!r}, got {token.value!r}", token.position)
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _expect_identifier(self) -> str:
+        token = self._current
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(f"expected an identifier, got {token.value!r}", token.position)
+        self._advance()
+        return token.value
+
+    # -- grammar --------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = self._parse_items()
+        self._expect_keyword("from")
+        table = self._expect_identifier()
+        where: Expression | None = None
+        group_by: tuple[str, ...] = ()
+        limit: int | None = None
+        if self._accept_keyword("where"):
+            where = self._parse_expr()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._parse_columns())
+        if self._accept_keyword("limit"):
+            token = self._current
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("LIMIT expects a number", token.position)
+            self._advance()
+            limit = int(token.value)
+        end = self._current
+        if end.type is not TokenType.END:
+            raise SqlSyntaxError(f"unexpected trailing input {end.value!r}", end.position)
+        return SelectQuery(
+            items=tuple(items),
+            table=table,
+            where=where,
+            group_by=group_by,
+            distinct=distinct,
+            limit=limit,
+        )
+
+    def _parse_items(self) -> list[SelectItem]:
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            return [SelectItem(ColumnRef("*"))]
+        items = [self._parse_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_item())
+        return items
+
+    def _parse_item(self) -> SelectItem:
+        token = self._current
+        if token.is_keyword("count"):
+            self._advance()
+            self._expect_punct("(")
+            if self._current.type is TokenType.STAR:
+                self._advance()
+                self._expect_punct(")")
+                expression: CountStar | CountDistinct = CountStar()
+            else:
+                self._expect_keyword("distinct")
+                columns = self._parse_columns()
+                self._expect_punct(")")
+                expression = CountDistinct(tuple(columns))
+        elif token.type is TokenType.IDENTIFIER:
+            expression = ColumnRef(self._expect_identifier())
+        else:
+            raise SqlSyntaxError(
+                f"expected a column or COUNT, got {token.value!r}", token.position
+            )
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        return SelectItem(expression, alias)
+
+    def _parse_columns(self) -> list[str]:
+        columns = [self._expect_identifier()]
+        while self._accept_punct(","):
+            columns.append(self._expect_identifier())
+        return columns
+
+    def _parse_expr(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("not"):
+            return Not(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        if self._accept_punct("("):
+            inner = self._parse_expr()
+            self._expect_punct(")")
+            return inner
+        operand = self._parse_operand()
+        token = self._current
+        if token.is_keyword("is"):
+            self._advance()
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            if not isinstance(operand, (ColumnRef, Literal)):
+                raise SqlSyntaxError("IS NULL expects a column or literal", token.position)
+            return IsNull(operand, negated)
+        if token.type is TokenType.OPERATOR:
+            self._advance()
+            right = self._parse_operand()
+            op = "<>" if token.value == "!=" else token.value
+            return Comparison(op, operand, right)
+        raise SqlSyntaxError(
+            f"expected a comparison or IS NULL, got {token.value!r}", token.position
+        )
+
+    def _parse_operand(self) -> ColumnRef | Literal:
+        token = self._current
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return ColumnRef(token.value)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        raise SqlSyntaxError(f"expected an operand, got {token.value!r}", token.position)

@@ -1,0 +1,133 @@
+"""SQL tokenizer for the mini query layer.
+
+Supports exactly the surface the paper's prototype needs (Section 4.4
+computes confidence and goodness with ``SELECT COUNT(DISTINCT …)``
+queries) plus enough of SELECT/WHERE/GROUP BY for the examples: keyword
+and identifier tokens, quoted strings, numbers, comparison operators,
+parentheses, commas, ``*``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.relational.errors import ReproError
+
+__all__ = ["SqlSyntaxError", "TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class SqlSyntaxError(ReproError, ValueError):
+    """Raised on malformed SQL text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    STAR = "star"
+    END = "end"
+
+
+KEYWORDS = {
+    "select", "distinct", "count", "from", "where", "group", "by", "order",
+    "and", "or", "not", "is", "null", "as", "asc", "desc", "limit", "true",
+    "false",
+}
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">")
+_PUNCTUATION = "(),"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; always ends with an END token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "'":
+            end = text.find("'", index + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated string literal", index)
+            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if ch == '"':
+            end = text.find('"', index + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", index)
+            tokens.append(Token(TokenType.IDENTIFIER, text[index + 1 : end], index))
+            index = end + 1
+            continue
+        matched_operator = _match_operator(text, index)
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, index))
+            index += len(matched_operator)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, index))
+            index += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", index))
+            index += 1
+            continue
+        if ch.isdigit() or (ch in "+-" and index + 1 < length and text[index + 1].isdigit()):
+            end = index + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[index:end], index))
+            index = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+            index = end
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", index)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _match_operator(text: str, index: int) -> str | None:
+    for op in _OPERATORS:
+        if text.startswith(op, index):
+            return op
+    return None

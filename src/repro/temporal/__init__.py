@@ -1,0 +1,46 @@
+"""Temporal FDs and drift-aware constraint evolution.
+
+The paper's opening premise — constraints should evolve because the
+reality they describe evolves — is inherently temporal, and its
+related work points at TFDs/ATFDs ([7, 8]) as the formalism.  This
+package operationalizes the premise end to end:
+
+* :mod:`~repro.temporal.window` — tuple logs and tumbling / sliding /
+  prefix windows;
+* :mod:`~repro.temporal.tfd` — temporal FDs and per-window
+  confidence series;
+* :mod:`~repro.temporal.drift` — blip-vs-drift classification
+  (threshold-with-patience and CUSUM detectors);
+* :mod:`~repro.temporal.evolve` — the full loop: on confirmed drift,
+  run the CB repair on the post-change data and rank proposals.
+"""
+
+from .bridge import classify_monitor_state
+from .drift import CusumDetector, DriftKind, DriftVerdict, ThresholdDetector
+from .evolve import EvolutionReport, RepairScope, evolve_fd
+from .tfd import (
+    ConfidenceSeries,
+    TemporalFD,
+    WindowAssessment,
+    WindowMode,
+    assess_over_log,
+)
+from .window import TupleLog, Window
+
+__all__ = [
+    "ConfidenceSeries",
+    "CusumDetector",
+    "DriftKind",
+    "DriftVerdict",
+    "EvolutionReport",
+    "RepairScope",
+    "TemporalFD",
+    "ThresholdDetector",
+    "TupleLog",
+    "Window",
+    "WindowAssessment",
+    "WindowMode",
+    "assess_over_log",
+    "classify_monitor_state",
+    "evolve_fd",
+]

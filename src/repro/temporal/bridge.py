@@ -1,0 +1,47 @@
+"""Bridge: the continuous monitor's history feeds the drift detectors.
+
+:class:`repro.core.monitor.FDMonitor` keeps, per watched FD, a sampled
+*prefix-confidence* history (one reading every ``history_every`` rows).
+That series is exactly what the temporal detectors consume, so the two
+layers compose into the paper's full monitoring story:
+
+* the monitor's threshold alert fires the moment confidence first dips
+  — cheap, immediate, but blind to noise-vs-drift;
+* :func:`classify_monitor_state` runs a
+  :class:`~repro.temporal.drift.ThresholdDetector` or
+  :class:`~repro.temporal.drift.CusumDetector` over the recorded history
+  to decide whether the dip is a blip or genuine semantic drift — the
+  judgement the paper assigns to the designer, given decision support.
+
+Prefix confidences are monotone-ish and dilute late drift (old rows
+dominate the counts), so CUSUM with a small ``slack`` is the right
+default here; tumbling-window evaluation over a
+:class:`~repro.temporal.window.TupleLog` remains the sharper instrument
+when the raw stream is retained.
+"""
+
+from __future__ import annotations
+
+from repro.core.monitor import MonitoredFD
+
+from .drift import CusumDetector, DriftVerdict, ThresholdDetector
+
+__all__ = ["classify_monitor_state"]
+
+Detector = ThresholdDetector | CusumDetector
+
+
+def classify_monitor_state(
+    state: MonitoredFD,
+    detector: Detector | None = None,
+) -> DriftVerdict:
+    """Run a drift detector over one monitored FD's confidence history.
+
+    The default detector is CUSUM with tight slack, tuned for the
+    slow decay a prefix series shows under genuine drift.
+    """
+    detector = detector or CusumDetector(slack=0.005, decision=0.05, warmup=2)
+    history = list(state.history)
+    if not history:
+        history = [state.confidence]
+    return detector.detect(history)

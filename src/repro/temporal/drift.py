@@ -1,0 +1,166 @@
+"""Noise vs drift: deciding when a constraint's reality has changed.
+
+The paper's method is triggered by a human judgement — "the designer
+realizes that an FD not being satisfied … is not a mistake but a
+symptom of a real-world situation" (§1).  The monitor layer keeps a
+confidence history precisely so that judgement can be informed; this
+module supplies the decision rules:
+
+* :class:`ThresholdDetector` — flag a window as soon as confidence
+  drops below a floor and *stays* below it for ``patience`` windows
+  (a one-window dip is a blip, not a drift);
+* :class:`CusumDetector` — the classic cumulative-sum change-point
+  detector on the confidence series: accumulate downward deviations
+  from the running baseline and signal when the sum crosses a decision
+  threshold.  CUSUM reacts to small-but-systematic decay that a fixed
+  floor misses, which is exactly the "systematic and frequent
+  violations" phrasing of the paper's opening sentence.
+
+Both return a :class:`DriftVerdict` with the classification
+(``STABLE`` / ``BLIP`` / ``DRIFT``) and the window index where drift is
+declared, feeding :mod:`~repro.temporal.evolve`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.relational.errors import SchemaError
+
+__all__ = [
+    "DriftKind",
+    "DriftVerdict",
+    "ThresholdDetector",
+    "CusumDetector",
+]
+
+
+class DriftKind(enum.Enum):
+    """Classification of a confidence series."""
+
+    STABLE = "stable"  # no window below expectations
+    BLIP = "blip"      # isolated dips that recover
+    DRIFT = "drift"    # sustained or systematic decay
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """The outcome of one detector run."""
+
+    kind: DriftKind
+    change_window: int | None
+    statistic: float
+    detail: str
+
+    @property
+    def drifted(self) -> bool:
+        """Whether repair should be proposed."""
+        return self.kind is DriftKind.DRIFT
+
+    def __str__(self) -> str:
+        where = (
+            f" at window {self.change_window}"
+            if self.change_window is not None
+            else ""
+        )
+        return f"{self.kind.value}{where} ({self.detail})"
+
+
+@dataclass(frozen=True)
+class ThresholdDetector:
+    """Drift = confidence below ``floor`` for ``patience`` consecutive windows."""
+
+    floor: float = 1.0
+    patience: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.floor <= 1.0:
+            raise SchemaError("floor must be in (0, 1]")
+        if self.patience < 1:
+            raise SchemaError("patience must be >= 1")
+
+    def detect(self, confidences: list[float]) -> DriftVerdict:
+        """Classify a confidence series."""
+        below = [c < self.floor for c in confidences]
+        run = 0
+        for index, is_below in enumerate(below):
+            run = run + 1 if is_below else 0
+            if run >= self.patience:
+                first = index - self.patience + 1
+                return DriftVerdict(
+                    DriftKind.DRIFT,
+                    first,
+                    confidences[index],
+                    f"{self.patience} consecutive windows below {self.floor:g}",
+                )
+        if any(below):
+            return DriftVerdict(
+                DriftKind.BLIP,
+                None,
+                min(confidences),
+                f"isolated dips below {self.floor:g} that recovered",
+            )
+        return DriftVerdict(
+            DriftKind.STABLE, None, min(confidences, default=1.0), "no window below floor"
+        )
+
+
+@dataclass(frozen=True)
+class CusumDetector:
+    """One-sided CUSUM on downward confidence deviations.
+
+    ``S_i = max(0, S_{i-1} + (baseline − c_i − slack))``; drift is
+    declared when ``S_i > decision``.  ``baseline`` defaults to the
+    first ``warmup`` windows' mean, so the detector self-calibrates on
+    the period when the constraint still described reality.
+    """
+
+    slack: float = 0.02
+    decision: float = 0.2
+    warmup: int = 3
+    baseline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.slack < 0 or self.decision <= 0:
+            raise SchemaError("slack must be >= 0 and decision > 0")
+        if self.warmup < 1:
+            raise SchemaError("warmup must be >= 1")
+        if self.baseline is not None and not 0.0 <= self.baseline <= 1.0:
+            raise SchemaError("baseline must be in [0, 1]")
+
+    def detect(self, confidences: list[float]) -> DriftVerdict:
+        """Classify a confidence series."""
+        if not confidences:
+            return DriftVerdict(DriftKind.STABLE, None, 0.0, "empty series")
+        if self.baseline is not None:
+            baseline = self.baseline
+            start = 0
+        else:
+            warm = confidences[: self.warmup]
+            baseline = sum(warm) / len(warm)
+            start = len(warm)
+        statistic = 0.0
+        peak = 0.0
+        for index in range(start, len(confidences)):
+            deviation = baseline - confidences[index] - self.slack
+            statistic = max(0.0, statistic + deviation)
+            peak = max(peak, statistic)
+            if statistic > self.decision:
+                return DriftVerdict(
+                    DriftKind.DRIFT,
+                    index,
+                    statistic,
+                    f"CUSUM {statistic:.3g} > {self.decision:g} "
+                    f"(baseline {baseline:.3g})",
+                )
+        if peak > 0:
+            return DriftVerdict(
+                DriftKind.BLIP,
+                None,
+                peak,
+                f"CUSUM peaked at {peak:.3g} without crossing {self.decision:g}",
+            )
+        return DriftVerdict(
+            DriftKind.STABLE, None, 0.0, f"no downward deviation from {baseline:.3g}"
+        )

@@ -1,0 +1,111 @@
+"""The evolution timeline: monitor → detect drift → propose CB repair.
+
+This is the full loop the paper sketches across §1 and §4 — watch the
+constraints as data arrives, tell blips from genuine semantic change,
+and when change is confirmed, run the CB repair on the data that
+exhibits the new reality, handing ranked proposals to the designer.
+
+:func:`evolve_fd` runs the loop once over a complete log.  The repair
+is searched on the *recent* window span (from the detected change
+point onward) rather than the whole history: the tuples before the
+change obey the old rule and would drag the search toward repairing
+yesterday's semantics.  ``RepairScope.FULL_LOG`` overrides this for
+the conservative reading.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.config import RepairConfig
+from repro.core.repair import RepairSearchResult, find_repairs
+from repro.fd.fd import FunctionalDependency
+from repro.relational.relation import Relation
+
+from .drift import CusumDetector, DriftVerdict, ThresholdDetector
+from .tfd import ConfidenceSeries, TemporalFD, assess_over_log
+from .window import TupleLog
+
+__all__ = ["RepairScope", "EvolutionReport", "evolve_fd"]
+
+Detector = ThresholdDetector | CusumDetector
+
+
+class RepairScope(enum.Enum):
+    """Which tuples the post-drift repair search sees."""
+
+    SINCE_CHANGE = "since_change"
+    FULL_LOG = "full_log"
+
+
+@dataclass
+class EvolutionReport:
+    """Everything one evolution pass produced."""
+
+    tfd: TemporalFD
+    series: ConfidenceSeries
+    verdict: DriftVerdict
+    repair_scope: Relation | None
+    repair_result: RepairSearchResult | None
+
+    @property
+    def drifted(self) -> bool:
+        """Whether drift was confirmed."""
+        return self.verdict.drifted
+
+    @property
+    def proposals(self) -> list[FunctionalDependency]:
+        """The evolved FDs proposed to the designer, best first."""
+        if self.repair_result is None:
+            return []
+        return [candidate.fd for candidate in self.repair_result.repairs]
+
+    def summary(self) -> str:
+        """A designer-facing, multi-line account of the pass."""
+        lines = [
+            f"FD under watch : {self.tfd.fd}",
+            f"windows        : {self.series.num_windows} "
+            f"({self.tfd.mode.value}, size {self.tfd.window_size})",
+            f"confidences    : "
+            + ", ".join(f"{c:.3g}" for c in self.series.confidences),
+            f"verdict        : {self.verdict}",
+        ]
+        if self.repair_result is not None:
+            if self.proposals:
+                lines.append("proposals      :")
+                lines.extend(f"  {fd}" for fd in self.proposals[:5])
+            else:
+                lines.append("proposals      : none found (widen the search)")
+        return "\n".join(lines)
+
+
+def evolve_fd(
+    log: TupleLog,
+    tfd: TemporalFD,
+    detector: Detector | None = None,
+    scope: RepairScope = RepairScope.SINCE_CHANGE,
+    repair_config: RepairConfig | None = None,
+) -> EvolutionReport:
+    """One full monitor-detect-repair pass over ``log``.
+
+    A repair is searched only when the detector confirms drift; blips
+    and stable series return a report with ``repair_result=None`` —
+    the semi-automatic contract is that the tool never proposes
+    constraint changes on noise.
+    """
+    detector = detector or ThresholdDetector()
+    series = assess_over_log(log, tfd)
+    verdict = detector.detect(series.confidences)
+    if not verdict.drifted:
+        return EvolutionReport(tfd, series, verdict, None, None)
+
+    if scope is RepairScope.SINCE_CHANGE and verdict.change_window is not None:
+        changed = series.assessments[verdict.change_window].window
+        repair_relation = log.slice(changed.start, len(log))
+    else:
+        repair_relation = log.snapshot()
+    result = find_repairs(
+        repair_relation, tfd.fd, repair_config or RepairConfig()
+    )
+    return EvolutionReport(tfd, series, verdict, repair_relation, result)

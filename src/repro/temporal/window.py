@@ -1,0 +1,137 @@
+"""Windowed views over a growing instance (the TFD substrate).
+
+The paper's premise is temporal: "during the life of a database,
+systematic and frequent violations … may suggest that the represented
+reality is changing" (§1), and its related work points at temporal FDs
+([7, 8]) as the formalism where constraint satisfaction is evaluated
+per time window.  This module supplies those windows.
+
+A :class:`TupleLog` is an append-ordered sequence of tuples (arrival
+order = time order, the standard stream abstraction).  Two slicings
+turn it into relation snapshots:
+
+* :meth:`tumbling` — disjoint windows of ``size`` rows;
+* :meth:`sliding` — windows of ``size`` advancing by ``step`` rows;
+* :meth:`prefixes` — growing prefixes (the "full history so far" view
+  the continuous monitor of :mod:`repro.core.monitor` sees).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.relational.errors import ArityError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+__all__ = ["Window", "TupleLog"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One window: the rows ``[start, end)`` of the log, as a relation."""
+
+    index: int
+    start: int
+    end: int
+    relation: Relation
+
+    @property
+    def size(self) -> int:
+        """Number of tuples in the window."""
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return f"window {self.index} [{self.start}:{self.end})"
+
+
+class TupleLog:
+    """An append-only tuple sequence under a fixed schema."""
+
+    def __init__(self, schema: RelationSchema, rows: Sequence[Sequence[Any]] = ()) -> None:
+        self._schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+        for row in rows:
+            self.append(row)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "TupleLog":
+        """A log whose order is the relation's row order."""
+        return cls(relation.schema, list(relation.rows()))
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The log's (fixed) schema."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, row: Sequence[Any]) -> None:
+        """Append one tuple (arity-checked)."""
+        values = tuple(row)
+        if len(values) != self._schema.arity:
+            raise ArityError(self._schema.arity, len(values))
+        self._rows.append(values)
+
+    def extend(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Append many tuples."""
+        for row in rows:
+            self.append(row)
+
+    def slice(self, start: int, end: int) -> Relation:
+        """The rows ``[start, end)`` as a relation snapshot."""
+        if start < 0 or end < start:
+            raise SchemaError(f"invalid log slice [{start}:{end})")
+        return Relation.from_rows(
+            self._schema, self._rows[start:end], validate=False
+        )
+
+    def snapshot(self) -> Relation:
+        """The whole log as one relation."""
+        return self.slice(0, len(self._rows))
+
+    # ------------------------------------------------------------------
+    # Window generators
+    # ------------------------------------------------------------------
+    def tumbling(self, size: int, include_partial: bool = False) -> Iterator[Window]:
+        """Disjoint windows of ``size`` rows, oldest first.
+
+        The trailing partial window (fewer than ``size`` rows) is
+        skipped unless ``include_partial`` — confidence over a sliver
+        of tuples is mostly noise.
+        """
+        if size < 1:
+            raise SchemaError("window size must be >= 1")
+        total = len(self._rows)
+        index = 0
+        for start in range(0, total, size):
+            end = min(start + size, total)
+            if end - start < size and not include_partial:
+                break
+            yield Window(index, start, end, self.slice(start, end))
+            index += 1
+
+    def sliding(self, size: int, step: int = 1) -> Iterator[Window]:
+        """Windows of ``size`` rows advancing by ``step``."""
+        if size < 1 or step < 1:
+            raise SchemaError("window size and step must be >= 1")
+        total = len(self._rows)
+        index = 0
+        for start in range(0, total - size + 1, step):
+            yield Window(index, start, start + size, self.slice(start, start + size))
+            index += 1
+
+    def prefixes(self, step: int = 1) -> Iterator[Window]:
+        """Growing prefixes ``[0, step), [0, 2·step), …`` plus the full log."""
+        if step < 1:
+            raise SchemaError("prefix step must be >= 1")
+        total = len(self._rows)
+        index = 0
+        for end in range(step, total + 1, step):
+            yield Window(index, 0, end, self.slice(0, end))
+            index += 1
+        if total % step:
+            yield Window(index, 0, total, self.snapshot())

@@ -1,0 +1,171 @@
+"""Tests for index recommendations and index-aware query execution."""
+
+import pytest
+
+from repro.advisor.advisor import recommend_indexes
+from repro.advisor.index import IndexedRelation
+from repro.advisor.rewrite import (
+    InvertibilityError,
+    execute_indexed,
+    fetch_antecedent,
+    fetch_consequent,
+)
+from repro.fd.fd import fd
+from repro.relational.relation import Relation
+from repro.sql.executor import execute_on_relation
+
+F1_REPAIRED = fd("[District, Region, Municipal] -> [AreaCode]")
+
+
+class TestRecommendIndexes:
+    def test_exact_fd_yields_antecedent_index(self, places):
+        report = recommend_indexes(places, [fd("[Street] -> [City]")])
+        attrs = [rec.attributes for rec in report.recommendations]
+        assert ("Street",) in attrs
+
+    def test_invertible_fd_also_yields_consequent_index(self, places):
+        # Table 1: the repaired F1 has goodness 0, i.e. it is invertible.
+        report = recommend_indexes(places, [F1_REPAIRED])
+        attrs = [rec.attributes for rec in report.recommendations]
+        assert ("District", "Region", "Municipal") in attrs
+        assert ("AreaCode",) in attrs
+        assert all(rec.invertible for rec in report.recommendations)
+
+    def test_non_invertible_fd_gets_no_reverse_index(self, places):
+        # Street -> City is exact but g = |π_Street| - |π_City| > 0.
+        report = recommend_indexes(places, [fd("[Street] -> [City]")])
+        attrs = [rec.attributes for rec in report.recommendations]
+        assert ("City",) not in attrs
+
+    def test_violated_fd_is_skipped_with_reason(self, places):
+        report = recommend_indexes(places, [fd("[District, Region] -> [AreaCode]")])
+        assert not report.recommendations
+        ((skipped_fd, reason),) = report.skipped
+        assert "repair" in reason
+
+    def test_goodness_slack_enables_reverse(self, places):
+        report = recommend_indexes(
+            places, [fd("[Street] -> [City]")], max_goodness_for_reverse=5
+        )
+        attrs = [rec.attributes for rec in report.recommendations]
+        assert ("City",) in attrs
+
+    def test_speedup_estimate_positive(self, places):
+        report = recommend_indexes(places, [F1_REPAIRED])
+        assert all(rec.speedup_estimate >= 1.0 for rec in report.recommendations)
+
+    def test_build_deduplicates_attribute_sets(self, places):
+        report = recommend_indexes(
+            places, [F1_REPAIRED, F1_REPAIRED]
+        )
+        indexed = report.build(places)
+        sets = [frozenset(ix.attributes) for ix in indexed.indexes]
+        assert len(sets) == len(set(sets))
+
+
+class TestExecuteIndexed:
+    def test_equality_query_uses_index(self, places):
+        indexed = IndexedRelation.with_indexes(places, [["Street"]])
+        result, plan = execute_indexed(
+            indexed, "select City from Places where Street = 'Boxwood'"
+        )
+        assert plan.access_path == "index"
+        assert plan.index_attributes == ("Street",)
+        assert plan.rows_examined < places.num_rows
+
+    def test_uncovered_query_scans(self, places):
+        indexed = IndexedRelation.with_indexes(places, [["Street"]])
+        result, plan = execute_indexed(
+            indexed, "select City from Places where State = 'IL'"
+        )
+        assert plan.access_path == "scan"
+        assert plan.rows_examined == places.num_rows
+
+    def test_results_match_unindexed_executor(self, places):
+        indexed = IndexedRelation.with_indexes(places, [["Street"], ["Zip"]])
+        queries = [
+            "select City from Places where Street = 'Main'",
+            "select count(*) from Places where Zip = '60415'",
+            "select District from Places where Zip = '60601' and City = 'Chicago'",
+            "select Street from Places where PhNo = '888-5152'",
+        ]
+        for sql in queries:
+            expected = execute_on_relation(places, sql)
+            got, _ = execute_indexed(indexed, sql)
+            assert sorted(got.rows) == sorted(expected.rows), sql
+
+    def test_partial_coverage_post_filters(self, places):
+        # Index on Zip only; the City predicate must still apply.
+        indexed = IndexedRelation.with_indexes(places, [["Zip"]])
+        result, plan = execute_indexed(
+            indexed,
+            "select District from Places where Zip = '60415' and City = 'Chester'",
+        )
+        assert plan.access_path == "index"
+        assert len(result.rows) == 1
+
+    def test_or_predicates_fall_back_to_scan(self, places):
+        indexed = IndexedRelation.with_indexes(places, [["Zip"]])
+        _, plan = execute_indexed(
+            indexed,
+            "select District from Places where Zip = '60415' or Zip = '60601'",
+        )
+        assert plan.access_path == "scan"
+
+    def test_no_where_clause_scans(self, places):
+        indexed = IndexedRelation.with_indexes(places, [["Zip"]])
+        result, plan = execute_indexed(indexed, "select count(*) from Places")
+        assert plan.access_path == "scan"
+        assert result.scalar == places.num_rows
+
+
+class TestFDFetches:
+    def _indexed(self, places):
+        return recommend_indexes(places, [F1_REPAIRED]).build(places)
+
+    def test_fetch_consequent(self, places):
+        indexed = self._indexed(places)
+        value = fetch_consequent(
+            indexed, F1_REPAIRED, "Brookside", "Granville", "Glendale"
+        )
+        assert value == "613"
+
+    def test_fetch_consequent_missing_key(self, places):
+        indexed = self._indexed(places)
+        assert fetch_consequent(indexed, F1_REPAIRED, "X", "Y", "Z") is None
+
+    def test_fetch_antecedent_reverse_lookup(self, places):
+        indexed = self._indexed(places)
+        assert fetch_antecedent(indexed, F1_REPAIRED, "515") == (
+            "Brookside",
+            "Granville",
+            "QueenAnne",
+        )
+
+    def test_fetch_consequent_requires_exact_fd(self, places):
+        broken = fd("[District, Region] -> [AreaCode]")
+        indexed = IndexedRelation.with_indexes(places, [["District", "Region"]])
+        with pytest.raises(InvertibilityError):
+            fetch_consequent(indexed, broken, "Brookside", "Granville")
+
+    def test_fetch_antecedent_requires_invertibility(self, places):
+        noninvertible = fd("[Street] -> [City]")
+        indexed = IndexedRelation.with_indexes(places, [["City"]])
+        with pytest.raises(InvertibilityError):
+            fetch_antecedent(indexed, noninvertible, "NY")
+
+    def test_fetch_requires_index(self, places):
+        indexed = IndexedRelation(places, [])
+        with pytest.raises(InvertibilityError):
+            fetch_consequent(
+                indexed, F1_REPAIRED, "Brookside", "Granville", "Glendale"
+            )
+
+    def test_round_trip_forward_then_back(self, places):
+        indexed = self._indexed(places)
+        area = fetch_consequent(
+            indexed, F1_REPAIRED, "Alexandria", "Moore Park", "Guildwood"
+        )
+        back = fetch_antecedent(indexed, F1_REPAIRED, area)
+        # Invertibility: the X class recovered from Y must map back to Y.
+        assert fetch_consequent(indexed, F1_REPAIRED, *back) == area

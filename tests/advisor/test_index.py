@@ -1,0 +1,84 @@
+"""Tests for hash indexes and the indexed-relation container."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.advisor.index import AttributeIndex, IndexedRelation
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+
+class TestAttributeIndex:
+    def test_lookup_returns_matching_rows(self, places):
+        index = AttributeIndex(places, ["City"])
+        rows = index.lookup("Chicago")
+        assert sorted(rows) == [5, 6, 8, 9, 10]
+
+    def test_lookup_missing_key_is_empty(self, places):
+        index = AttributeIndex(places, ["City"])
+        assert index.lookup("Atlantis") == []
+
+    def test_multi_attribute_keys(self, places):
+        index = AttributeIndex(places, ["District", "Region"])
+        assert index.num_keys == 2
+        assert len(index.lookup("Brookside", "Granville")) == 5
+
+    def test_wrong_arity_raises(self, places):
+        index = AttributeIndex(places, ["District", "Region"])
+        with pytest.raises(ValueError):
+            index.lookup("Brookside")
+
+    def test_empty_attribute_list_raises(self, places):
+        with pytest.raises(ValueError):
+            AttributeIndex(places, [])
+
+    def test_is_unique_on_key_column(self):
+        relation = Relation.from_columns(
+            "r", {"K": ["a", "b", "c"], "V": ["1", "1", "2"]}
+        )
+        assert AttributeIndex(relation, ["K"]).is_unique
+        assert not AttributeIndex(relation, ["V"]).is_unique
+
+    def test_lookup_rows_returns_relation(self, places):
+        index = AttributeIndex(places, ["Zip"])
+        subset = index.lookup_rows("02215")
+        assert subset.num_rows == 2
+        assert all(row["Zip"] == "02215" for row in subset.to_dicts())
+
+    def test_bucket_sizes_sum_to_rows(self, places):
+        index = AttributeIndex(places, ["State"])
+        assert sum(index.bucket_sizes()) == places.num_rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations())
+    def test_index_agrees_with_scan(self, relation):
+        """Property: index lookup == filter scan, for every key."""
+        if not relation.num_rows:
+            return
+        name = relation.attribute_names[0]
+        index = AttributeIndex(relation, [name])
+        values = relation.column_values(name)
+        for key in index.keys():
+            expected = [i for i, v in enumerate(values) if v == key[0]]
+            assert sorted(index.lookup(*key)) == expected
+
+
+class TestIndexedRelation:
+    def test_index_on_exact_set_matching(self, places):
+        indexed = IndexedRelation.with_indexes(
+            places, [["District", "Region"], ["City"]]
+        )
+        assert indexed.index_on(["Region", "District"]) is not None  # set equality
+        assert indexed.index_on(["District"]) is None
+
+    def test_covering_index_prefers_widest(self, places):
+        indexed = IndexedRelation.with_indexes(
+            places, [["District"], ["District", "Region"]]
+        )
+        best = indexed.covering_index(["District", "Region", "City"])
+        assert best is not None
+        assert set(best.attributes) == {"District", "Region"}
+
+    def test_covering_index_none_when_uncovered(self, places):
+        indexed = IndexedRelation.with_indexes(places, [["City"]])
+        assert indexed.covering_index(["State"]) is None

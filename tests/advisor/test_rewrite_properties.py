@@ -1,0 +1,58 @@
+"""Property tests: the index access path never changes query results."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor.index import IndexedRelation
+from repro.advisor.rewrite import execute_indexed
+from repro.sql.executor import execute_on_relation
+from tests.strategies import relations
+
+
+@st.composite
+def indexed_relation_and_query(draw):
+    """A relation, an arbitrary single-column index, and an equality query."""
+    relation = draw(relations(min_rows=1, max_rows=20, min_attrs=2, max_attrs=4))
+    names = list(relation.attribute_names)
+    index_attr = draw(st.sampled_from(names))
+    query_attr = draw(st.sampled_from(names))
+    # Probe either a value that exists or one that does not.
+    values = relation.column_values(query_attr)
+    probe = draw(
+        st.one_of(st.sampled_from(sorted(set(values))), st.just("missing"))
+    )
+    select_attr = draw(st.sampled_from(names))
+    sql = (
+        f"select {select_attr} from {relation.name} "
+        f"where {query_attr} = '{probe}'"
+    )
+    indexed = IndexedRelation.with_indexes(relation, [[index_attr]])
+    return indexed, sql
+
+
+class TestIndexScanEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(indexed_relation_and_query())
+    def test_same_rows_regardless_of_access_path(self, case):
+        indexed, sql = case
+        expected = execute_on_relation(indexed.relation, sql)
+        got, plan = execute_indexed(indexed, sql)
+        assert sorted(got.rows) == sorted(expected.rows), (sql, plan.access_path)
+
+    @settings(max_examples=60, deadline=None)
+    @given(indexed_relation_and_query())
+    def test_index_path_examines_no_more_rows_than_scan(self, case):
+        indexed, sql = case
+        _, plan = execute_indexed(indexed, sql)
+        assert plan.rows_examined <= indexed.relation.num_rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(indexed_relation_and_query())
+    def test_count_star_agrees(self, case):
+        indexed, sql = case
+        count_sql = sql.replace(
+            sql[len("select ") : sql.index(" from ")], "count(*)", 1
+        )
+        expected = execute_on_relation(indexed.relation, count_sql)
+        got, _ = execute_indexed(indexed, count_sql)
+        assert got.scalar == expected.scalar

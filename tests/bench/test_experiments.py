@@ -1,0 +1,119 @@
+"""Smoke tests for the experiment runners at tiny scales.
+
+The full runs (with shape assertions) live in ``benchmarks/``; these
+tests only verify each runner produces well-formed rows quickly, so a
+plain ``pytest tests/`` run covers the harness code too.
+"""
+
+from repro.bench.experiments.ablation import (
+    ablation_workloads,
+    backend_rows,
+    cb_vs_eb_rows,
+)
+from repro.bench.experiments.figure3 import figure3_series
+from repro.bench.experiments.running_example import (
+    section3_measures,
+    section41_ordering,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.experiments.table5 import presets_in_use, table4_rows, table5_rows
+from repro.bench.experiments.table6 import table6_rows
+from repro.bench.experiments.veterans_grid import (
+    tuple_counts_in_use,
+    veterans_grid_rows,
+)
+
+
+class TestRunningExample:
+    def test_all_runners_return_rows(self):
+        assert len(section3_measures()) == 4
+        assert len(section41_ordering()) == 3
+        assert len(table1_rows()) == 6
+        assert len(table2_rows()) == 7
+        assert len(table3_rows()) == 6  # paper lists 5; Region is a no-op
+
+
+class TestTpchRunners:
+    def test_table4_tiny(self):
+        rows = table4_rows(presets=("tiny",))
+        assert len(rows) == 8
+        assert all("card(tiny)" in row for row in rows)
+
+    def test_table5_subset(self):
+        rows = table5_rows(
+            presets=("tiny",), tables=("region", "nation", "partsupp")
+        )
+        by_table = {row["table"]: row for row in rows}
+        assert not by_table["region"]["violated"]
+        assert by_table["partsupp"]["violated"]
+        assert by_table["partsupp"]["repairs(tiny)"] > 0
+
+    def test_figure3_series_structure(self):
+        series = figure3_series(
+            preset="tiny", tables=("region", "nation", "supplier")
+        )
+        assert set(series) == {"by_attributes", "by_tuples", "by_size"}
+        for points in series.values():
+            assert len(points) == 3
+            assert all(p["seconds"] >= 0 for p in points)
+
+    def test_presets_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TPCH_FULL", "1")
+        assert presets_in_use()[0].startswith("paper-")
+        monkeypatch.delenv("REPRO_TPCH_FULL")
+        assert presets_in_use() == ("small", "medium", "large")
+
+
+class TestTable6Runner:
+    def test_rows_structure(self):
+        rows = table6_rows(scale=0.002)
+        assert [row["table"] for row in rows] == [
+            "Places",
+            "Country",
+            "Rental",
+            "Image",
+            "PageLinks",
+            "Veterans",
+        ]
+        assert all(row["count_queries"] > 0 for row in rows)
+
+
+class TestVeteransGridRunner:
+    def test_small_grid(self):
+        rows = veterans_grid_rows(
+            "first", tuple_counts=(200,), attr_counts=(10, 20)
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["repairs(10)"] == 0
+        assert row["repairs(20)"] >= 1
+
+    def test_mode_validation(self):
+        try:
+            veterans_grid_rows("bogus", tuple_counts=(50,))
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    def test_tuple_counts_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VETERANS_FULL", "1")
+        assert tuple_counts_in_use()[0] == 10_000
+        monkeypatch.delenv("REPRO_VETERANS_FULL")
+        assert tuple_counts_in_use()[0] == 1_000
+
+
+class TestAblationRunners:
+    def test_workloads_include_places_fds(self):
+        names = [name for name, _, _ in ablation_workloads(scale=0.002)]
+        assert sum("Places" in name for name in names) == 3
+
+    def test_cb_vs_eb_rows_structure(self):
+        rows = cb_vs_eb_rows(scale=0.002)
+        assert all(row["exact_sets_agree"] for row in rows)
+
+    def test_backend_rows_agree(self):
+        rows = backend_rows(scale=0.002)
+        assert all(row["agree"] for row in rows)
+        assert all(row["sql_queries"] == 3 for row in rows)

@@ -1,0 +1,62 @@
+"""Tests for the repair-strategy ablation runners (small parameters)."""
+
+from repro.bench.experiments.strategies import (
+    advisor_rows,
+    dc_relax_rows,
+    drift_detection_rows,
+    repair_strategy_rows,
+)
+
+
+class TestRepairStrategyRows:
+    def test_structure_and_invariants(self):
+        rows = repair_strategy_rows(scale=0.01)
+        assert rows
+        for row in rows:
+            assert row["cb_tuples_kept"] == row["rows"]
+            assert row["del_tuples_lost"] >= 1
+            assert row["upd_cells_changed"] >= 1
+            assert row["cb_seconds"] >= 0
+
+    def test_only_violated_workloads_included(self):
+        rows = repair_strategy_rows(scale=0.01)
+        # Every included workload had something to repair.
+        assert all(row["del_tuples_lost"] > 0 for row in rows)
+
+
+class TestDcRelaxRows:
+    def test_structure(self):
+        rows = dc_relax_rows(scale=0.01, max_pairs=5_000)
+        assert rows
+        for row in rows:
+            assert row["relax_outcome"] in {
+                "already_valid",
+                "extension_found",
+                "fd_found_elsewhere",
+                "nothing_found",
+            }
+            assert row["mined_constraints"] >= 0
+
+    def test_places_f1_failure_mode(self):
+        rows = dc_relax_rows(scale=0.01, max_pairs=5_000)
+        f1 = next(r for r in rows if r["workload"].startswith("Places.[District"))
+        assert f1["cb_repaired"] and not f1["relax_repaired"]
+
+
+class TestAdvisorRows:
+    def test_all_probes_hit_the_index(self):
+        rows = advisor_rows(scale=0.02, probes=20)
+        assert rows
+        for row in rows:
+            assert row["index_hits"] == row["probes"]
+            assert row["indexes_built"] >= 1
+
+
+class TestDriftDetectionRows:
+    def test_both_detectors_catch_the_drift(self):
+        rows = drift_detection_rows(window_size=15, clean_windows=4, drifted_windows=4)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["drifted"]
+            assert row["ground_truth_proposed"]
+            assert row["delay"] is not None and row["delay"] >= 0

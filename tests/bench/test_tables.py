@@ -1,0 +1,41 @@
+"""Tests for ASCII table rendering."""
+
+from repro.bench.tables import render_rows, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_none_renders_empty(self):
+        text = render_table(["x"], [[None]])
+        assert text.splitlines()[-1].strip() == ""
+
+
+class TestRenderRows:
+    def test_columns_from_first_row(self):
+        text = render_rows([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert text.splitlines()[0].split() == ["a", "b"]
+
+    def test_explicit_column_selection(self):
+        text = render_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_keys_blank(self):
+        text = render_rows([{"a": 1}, {"a": 2, "b": 9}], columns=["a", "b"])
+        assert "9" in text
+
+    def test_empty_rows(self):
+        assert render_rows([]) == "(no rows)"
+        assert render_rows([], title="T") == "T"

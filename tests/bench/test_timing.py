@@ -1,0 +1,46 @@
+"""Tests for timers and the paper's duration format."""
+
+import pytest
+
+from repro.bench.timing import Timer, format_duration
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0, "0ms"),
+            (0.005, "5ms"),
+            (0.717, "717ms"),
+            (1.276, "1s 276ms"),
+            (4.678, "4s 678ms"),
+            (63.909, "1m 3s 909ms"),
+            (117.103, "1m 57s 103ms"),
+            (582.708, "9m 42s 708ms"),
+            (7159.884, "1h 59m 19s 884ms"),
+            (60.0, "1m 0s"),
+            (3600.0, "1h 0m 0s"),
+        ],
+    )
+    def test_paper_style_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_rounding_to_millis(self):
+        assert format_duration(0.0004) == "0ms"
+        assert format_duration(0.0006) == "1ms"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0
+
+    def test_formatted_property(self):
+        with Timer() as timer:
+            pass
+        assert timer.formatted.endswith("ms")

@@ -1,0 +1,117 @@
+"""Tests for ExtendByOne candidate generation and ranking (Algorithm 2)."""
+
+import pytest
+from hypothesis import given
+
+from tests.strategies import relation_and_fd
+from repro.core.candidates import Candidate, extend_by_one
+from repro.core.config import RepairConfig
+from repro.datagen.places import F1, F4, places_relation
+from repro.fd.fd import fd
+from repro.fd.measures import assess
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def places():
+    return places_relation()
+
+
+class TestEnumeration:
+    def test_excludes_fd_attributes(self, places):
+        candidates = extend_by_one(places, F1)
+        added = {c.added[0] for c in candidates}
+        assert added.isdisjoint(set(F1.attributes))
+        assert len(candidates) == places.arity - len(F1.attributes)
+
+    def test_excludes_null_columns(self):
+        relation = Relation.from_columns(
+            "r",
+            {
+                "A": ["x", "x"],
+                "B": ["1", "2"],
+                "C": [None, "c"],
+                "D": ["d1", "d2"],
+            },
+        )
+        candidates = extend_by_one(relation, fd("A -> B"))
+        assert {c.added[0] for c in candidates} == {"D"}
+
+    def test_exclude_unique_config(self, places):
+        # PhNo is not unique on Places, but B is unique here.
+        relation = Relation.from_columns(
+            "r", {"A": ["x", "x"], "B": ["1", "2"], "C": ["u", "v"], "D": ["d", "d"]}
+        )
+        plain = {c.added[0] for c in extend_by_one(relation, fd("A -> D"))}
+        no_unique = {
+            c.added[0]
+            for c in extend_by_one(relation, fd("A -> D"), RepairConfig(exclude_unique=True))
+        }
+        assert plain == {"B", "C"}
+        assert no_unique == set()
+
+    def test_only_exact_mode_reproduces_pseudocode(self, places):
+        exact_only = extend_by_one(places, F1, only_exact=True)
+        assert {c.added[0] for c in exact_only} == {"Municipal", "PhNo"}
+
+    def test_base_tracks_multi_step_additions(self, places):
+        step2 = extend_by_one(places, F4.extended("Street"), base=F4)
+        for candidate in step2:
+            assert candidate.added[0] == "Street"
+            assert candidate.num_added == 2
+
+
+class TestRanking:
+    def test_confidence_descending_primary(self, places):
+        candidates = extend_by_one(places, F4)
+        confidences = [c.confidence for c in candidates]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_abs_goodness_secondary(self, places):
+        # Municipal (g=0) before PhNo (g=3) at equal confidence (Table 1).
+        ranked = [c.added[0] for c in extend_by_one(places, F1)]
+        assert ranked.index("Municipal") < ranked.index("PhNo")
+
+    def test_name_tie_break_is_deterministic(self, places):
+        first = [c.added for c in extend_by_one(places, F4)]
+        second = [c.added for c in extend_by_one(places, F4)]
+        assert first == second
+
+    def test_rank_key_ordering(self):
+        better = Candidate(fd("A,B -> C"), fd("A -> C"), ("B",), 1.0, 0)
+        worse = Candidate(fd("A,D -> C"), fd("A -> C"), ("D",), 1.0, 5)
+        assert better < worse
+        assert sorted([worse, better])[0] is better
+
+    def test_queue_key_prefers_smaller_antecedent(self):
+        short = Candidate(fd("A,B -> C"), fd("A -> C"), ("B",), 0.5, 0)
+        long = Candidate(fd("A,D,E -> C"), fd("A -> C"), ("D", "E"), 1.0, 0)
+        assert short.queue_key() < long.queue_key()
+
+
+class TestMeasureConsistency:
+    def test_candidate_measures_match_assess(self, places):
+        for candidate in extend_by_one(places, F1):
+            direct = assess(places, candidate.fd)
+            assert candidate.confidence == pytest.approx(direct.confidence)
+            assert candidate.goodness == direct.goodness
+
+    def test_is_exact_flag(self, places):
+        for candidate in extend_by_one(places, F1):
+            assert candidate.is_exact == (candidate.confidence == 1.0)
+
+    def test_str_rendering(self, places):
+        text = str(extend_by_one(places, F1)[0])
+        assert "Municipal" in text and "c=1" in text
+
+
+@given(relation_and_fd())
+def test_property_candidates_sorted_and_consistent(pair):
+    relation, f = pair
+    candidates = extend_by_one(relation, f)
+    keys = [c.rank_key for c in candidates]
+    assert keys == sorted(keys)
+    for candidate in candidates:
+        direct = assess(relation, candidate.fd)
+        assert abs(candidate.confidence - direct.confidence) < 1e-12
+        assert candidate.goodness == direct.goodness

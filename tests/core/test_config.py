@@ -1,0 +1,62 @@
+"""Tests for RepairConfig."""
+
+import pytest
+
+from repro.core.config import GoodnessMode, RepairConfig
+
+
+class TestValidation:
+    def test_defaults_follow_paper(self):
+        config = RepairConfig()
+        assert not config.stop_at_first
+        assert config.max_added_attributes is None
+        assert config.goodness_threshold is None
+        assert config.goodness_mode is GoodnessMode.PREFER
+        assert not config.exclude_unique
+        assert config.max_expansions is None
+
+    def test_bad_max_added(self):
+        with pytest.raises(ValueError):
+            RepairConfig(max_added_attributes=0)
+
+    def test_bad_goodness_threshold(self):
+        with pytest.raises(ValueError):
+            RepairConfig(goodness_threshold=-1)
+
+    def test_bad_max_expansions(self):
+        with pytest.raises(ValueError):
+            RepairConfig(max_expansions=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RepairConfig().stop_at_first = True
+
+
+class TestPresets:
+    def test_find_first(self):
+        assert RepairConfig.find_first().stop_at_first
+
+    def test_find_all(self):
+        assert not RepairConfig.find_all().stop_at_first
+
+    def test_presets_accept_overrides(self):
+        config = RepairConfig.find_first(max_added_attributes=2)
+        assert config.stop_at_first and config.max_added_attributes == 2
+
+
+class TestThreshold:
+    def test_no_threshold_accepts_everything(self):
+        config = RepairConfig()
+        assert config.within_threshold(10_000)
+
+    def test_threshold_uses_absolute_value(self):
+        config = RepairConfig(goodness_threshold=3)
+        assert config.within_threshold(3)
+        assert config.within_threshold(-3)
+        assert not config.within_threshold(4)
+        assert not config.within_threshold(-4)
+
+    def test_zero_threshold_demands_bijection(self):
+        config = RepairConfig(goodness_threshold=0)
+        assert config.within_threshold(0)
+        assert not config.within_threshold(1)

@@ -1,0 +1,160 @@
+"""Tests for the incremental FD monitor (continuous checking)."""
+
+import pytest
+
+from repro.core.monitor import FDAlert, FDMonitor
+from repro.datagen.places import F1, places_relation
+from repro.fd.fd import FunctionalDependency, fd
+from repro.fd.measures import assess
+from repro.relational.errors import ArityError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+FD_AB = FunctionalDependency(("A",), ("B",))
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("stream", ["A", "B", "C"])
+
+
+class TestIncrementalCounts:
+    def test_matches_batch_measures(self, schema):
+        monitor = FDMonitor(schema)
+        state = monitor.watch(FD_AB)
+        rows = [
+            ("a1", "b1", "c1"),
+            ("a1", "b1", "c2"),
+            ("a2", "b2", "c1"),
+            ("a2", "b3", "c1"),
+        ]
+        monitor.extend(rows)
+        relation = Relation.from_rows(schema, rows)
+        batch = assess(relation, FD_AB)
+        assert state.confidence == pytest.approx(batch.confidence)
+        assert state.goodness == batch.goodness
+        snapshot = state.assessment()
+        assert snapshot.distinct_x == 2
+        assert snapshot.distinct_xy == 3
+
+    def test_empty_stream_is_vacuously_exact(self, schema):
+        monitor = FDMonitor(schema)
+        state = monitor.watch(FD_AB)
+        assert state.confidence == 1.0
+        assert state.goodness == 0
+
+    def test_seed_relation_replayed(self):
+        places = places_relation()
+        monitor = FDMonitor(places)
+        state = monitor.watch(F1)
+        assert monitor.num_rows == 11
+        assert state.confidence == pytest.approx(0.5)
+
+    def test_arity_checked(self, schema):
+        monitor = FDMonitor(schema)
+        monitor.watch(FD_AB)
+        with pytest.raises(ArityError):
+            monitor.append(("only", "two"))
+
+    def test_multi_attribute_sides(self, schema):
+        monitor = FDMonitor(schema)
+        state = monitor.watch(fd("[A, C] -> [B]"))
+        monitor.append(("a", "b", "c"))
+        monitor.append(("a", "b2", "c"))
+        assert state.confidence == pytest.approx(0.5)
+
+
+class TestAlerts:
+    def test_alert_fires_once_below_threshold(self, schema):
+        received: list[FDAlert] = []
+        monitor = FDMonitor(schema, on_alert=received.append)
+        monitor.watch(FD_AB, threshold=0.9)
+        monitor.append(("a1", "b1", "c"))
+        assert received == []
+        alerts = monitor.append(("a1", "b2", "c"))  # confidence 1/2
+        assert len(alerts) == 1
+        assert received == alerts
+        assert "ALERT" in str(alerts[0])
+        # Still below threshold: no duplicate alert.
+        assert monitor.append(("a1", "b3", "c")) == []
+
+    def test_alert_rearms_after_recovery(self, schema):
+        monitor = FDMonitor(schema)
+        monitor.watch(FD_AB, threshold=0.7)
+        monitor.append(("a1", "b1", "c"))
+        assert monitor.append(("a1", "b2", "c"))  # c = 0.5 -> alert
+        # Many fresh consistent groups push confidence back up.
+        for i in range(10):
+            monitor.append((f"a{i+10}", f"b{i+10}", "c"))
+        state = monitor.state_of(FD_AB)
+        assert state.confidence >= 0.7
+        assert not state.alerted
+        # A new violation re-alerts.
+        alerts = []
+        for i in range(30):
+            alerts.extend(monitor.append((f"a{i+10}", f"bX{i}", "c")))
+            if alerts:
+                break
+        assert alerts
+
+    def test_exact_threshold_watches_any_violation(self, schema):
+        monitor = FDMonitor(schema)
+        monitor.watch(FD_AB)  # default threshold 1.0
+        assert monitor.append(("a", "b", "c")) == []
+        assert monitor.append(("a", "b2", "c"))
+
+    def test_invalid_threshold(self, schema):
+        monitor = FDMonitor(schema)
+        with pytest.raises(ValueError):
+            monitor.watch(FD_AB, threshold=0.0)
+
+
+class TestIntrospection:
+    def test_violated_listing(self, schema):
+        monitor = FDMonitor(schema)
+        monitor.watch(FD_AB, threshold=0.5)
+        monitor.watch(fd("B -> A"), threshold=0.5)
+        monitor.append(("a", "b", "c"))
+        monitor.append(("a", "b2", "c"))  # violates A->B only
+        violated = [state.fd for state in monitor.violated()]
+        assert violated == [FD_AB]
+
+    def test_state_of_unknown_fd(self, schema):
+        monitor = FDMonitor(schema)
+        with pytest.raises(KeyError):
+            monitor.state_of(FD_AB)
+
+    def test_history_sampling(self, schema):
+        monitor = FDMonitor(schema, history_every=2)
+        state = monitor.watch(FD_AB)
+        for i in range(6):
+            monitor.append((f"a{i}", f"b{i}", "c"))
+        assert len(state.history) == 3
+
+
+class TestEndToEndDriftDetection:
+    def test_monitor_triggers_repair_loop(self):
+        """Stream drifted rows, catch the alert, repair with the CB
+        search — the full continuous-evolution pipeline."""
+        from repro.core.repair import find_first_repair
+
+        schema = RelationSchema("stream", ["Branch", "Class", "Tax"])
+        rows = []
+        for branch in range(20):
+            for cls in range(3):
+                rows.append((f"br{branch}", f"cl{cls}", f"t{branch % 5}"))
+        drifted = [
+            (b, c, f"{t}/{c}") for b, c, t in rows  # tax now depends on class
+        ]
+        alerts: list[FDAlert] = []
+        monitor = FDMonitor(schema, on_alert=alerts.append)
+        monitor.watch(fd("Branch -> Tax"), threshold=0.95)
+        monitor.extend(rows)
+        assert not alerts  # clean phase
+        monitor.extend(drifted)
+        assert alerts  # drift detected
+        # Repair against the post-drift era (mixing eras leaves identical
+        # (Branch, Class) rows with different Tax — unrepairable by design).
+        relation = Relation.from_rows(schema, drifted)
+        best = find_first_repair(relation, fd("Branch -> Tax"))
+        assert best is not None and best.added == ("Class",)

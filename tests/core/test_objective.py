@@ -1,0 +1,111 @@
+"""Tests for the combined repair objective (§4.4 future work)."""
+
+import pytest
+
+from repro.core.config import RepairConfig
+from repro.core.objective import (
+    RepairObjective,
+    accept_by_objective,
+    rank_by_objective,
+)
+from repro.core.repair import find_repairs
+from repro.core.session import RepairSession
+from repro.datagen.places import F1, F4, places_catalog, places_relation
+from repro.fd.fd import fd
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def places():
+    return places_relation()
+
+
+@pytest.fixture
+def unique_vs_pair():
+    """Minimal repair = UNIQUE Id; better repair = pair B, C (g=2)."""
+    return Relation.from_columns(
+        "r",
+        {
+            "X": ["x1", "x1", "x2", "x2", "x3", "x3"],
+            "Y": ["y1", "y2", "y1", "y2", "y3", "y3"],
+            "Id": ["1", "2", "3", "4", "5", "6"],
+            "B": ["b1", "b1", "b2", "b3", "b1", "b1"],
+            "C": ["c1", "c2", "c1", "c1", "c1", "c1"],
+        },
+    )
+
+
+class TestWeights:
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            RepairObjective(length_weight=-1)
+        with pytest.raises(ValueError):
+            RepairObjective(unique_penalty=-1)
+
+    def test_score_orders_goodness(self, places):
+        result = find_repairs(places, F1, RepairConfig.find_all(max_added_attributes=1))
+        objective = RepairObjective()
+        by_attr = {c.added[0]: objective.score(places, c) for c in result.repairs}
+        assert by_attr["Municipal"] < by_attr["PhNo"]
+
+    def test_length_prices_added_attributes(self, places):
+        result = find_repairs(places, F4, RepairConfig.find_all(max_added_attributes=3))
+        objective = RepairObjective(goodness_weight=0.0, unique_penalty=0.0)
+        scores = [objective.score(places, c) for c in result.repairs]
+        sizes = [c.num_added for c in result.repairs]
+        for score, size in zip(scores, sizes):
+            assert score == pytest.approx(size)
+
+    def test_goodness_term_is_squashed(self, places):
+        objective = RepairObjective(length_weight=0.0, unique_penalty=0.0)
+        result = find_repairs(places, F1, RepairConfig.find_all(max_added_attributes=1))
+        for candidate in result.repairs:
+            assert 0.0 <= objective.score(places, candidate) < 1.0
+
+    def test_threshold_penalty(self, places):
+        result = find_repairs(places, F1, RepairConfig.find_all(max_added_attributes=1))
+        objective = RepairObjective(goodness_threshold=1, threshold_penalty=100.0)
+        by_attr = {c.added[0]: objective.score(places, c) for c in result.repairs}
+        assert by_attr["PhNo"] > 100.0  # g = 3 > threshold
+        assert by_attr["Municipal"] < 100.0
+
+
+class TestUniquePenalty:
+    def test_unique_repair_demoted(self, unique_vs_pair):
+        result = find_repairs(unique_vs_pair, fd("X -> Y"), RepairConfig.find_all())
+        ranked = rank_by_objective(unique_vs_pair, result.all_repairs)
+        assert ranked[0].added != ("Id",)
+        assert set(ranked[0].added) == {"B", "C"}
+        # The plain search-order ranking puts the minimal (UNIQUE)
+        # repair first instead.
+        assert result.all_repairs[0].added == ("Id",)
+
+    def test_penalty_can_be_disabled(self, unique_vs_pair):
+        result = find_repairs(unique_vs_pair, fd("X -> Y"), RepairConfig.find_all())
+        objective = RepairObjective(unique_penalty=0.0)
+        ranked = rank_by_objective(unique_vs_pair, result.all_repairs, objective)
+        assert ranked[0].added == ("Id",)  # length wins again
+
+
+class TestSessionIntegration:
+    def test_accept_by_objective_policy(self, unique_vs_pair):
+        from repro.relational.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.add_relation(unique_vs_pair)
+        catalog.declare_fd("r", fd("X -> Y"))
+        session = RepairSession(catalog)
+        chooser = accept_by_objective(unique_vs_pair)
+        events = session.run("r", chooser)
+        assert len(events) == 1
+        assert set(events[0].accepted.added) == {"B", "C"}
+
+    def test_objective_on_places_picks_municipal(self):
+        catalog = places_catalog()
+        relation = catalog.relation("Places")
+        session = RepairSession(catalog)
+        events = session.run("Places", accept_by_objective(relation))
+        accepted = {
+            str(e.original): e.accepted.added for e in events if e.accepted
+        }
+        assert accepted["[District, Region] -> [AreaCode]"] == ("Municipal",)

@@ -1,0 +1,178 @@
+"""Tests for the repair search (Algorithms 1 and 3)."""
+
+import pytest
+
+from repro.core.config import GoodnessMode, RepairConfig
+from repro.core.repair import find_fd_repairs, find_first_repair, find_repairs
+from repro.datagen.places import F1, F2, F3, F4, places_fds, places_relation
+from repro.fd.fd import fd
+from repro.fd.measures import is_exact
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def places():
+    return places_relation()
+
+
+class TestFindRepairs:
+    def test_exact_fd_short_circuits(self, places):
+        result = find_repairs(places, F1.extended("Municipal"))
+        assert not result.was_violated
+        assert result.explored == 0
+        assert result.repairs == []
+
+    def test_one_step_repairs_of_f1(self, places):
+        result = find_repairs(places, F1, RepairConfig.find_all(max_added_attributes=1))
+        assert {c.added[0] for c in result.repairs} == {"Municipal", "PhNo"}
+
+    def test_all_repairs_are_exact(self, places):
+        result = find_repairs(places, F4, RepairConfig.find_all())
+        assert result.repairs
+        for candidate in result.repairs:
+            assert is_exact(places, candidate.fd)
+
+    def test_repairs_ordered_minimal_first(self, places):
+        result = find_repairs(places, F4, RepairConfig.find_all())
+        sizes = [c.num_added for c in result.repairs]
+        assert sizes == sorted(sizes)
+
+    def test_stop_at_first_returns_minimal(self, places):
+        full = find_repairs(places, F4, RepairConfig.find_all())
+        first = find_repairs(places, F4, RepairConfig.find_first())
+        assert len(first.repairs) == 1
+        assert first.repairs[0].num_added == full.minimal_size
+        assert first.explored <= full.explored
+
+    def test_no_repair_case(self, places):
+        result = find_repairs(places, F3, RepairConfig.find_all())
+        assert result.was_violated and not result.found
+        assert result.best is None
+        assert result.minimal_size is None
+
+    def test_max_added_attributes_bound(self, places):
+        bounded = find_repairs(places, F4, RepairConfig.find_all(max_added_attributes=1))
+        assert not bounded.found  # F4 needs two attributes
+
+    def test_max_expansions_budget(self, places):
+        result = find_repairs(places, F4, RepairConfig.find_all(max_expansions=3))
+        assert result.explored == 3
+        assert not result.exhausted
+
+    def test_no_duplicate_attribute_sets(self, places):
+        result = find_repairs(places, F4, RepairConfig.find_all())
+        seen = [frozenset(c.added) for c in result.repairs]
+        assert len(seen) == len(set(seen))
+
+    def test_statistics_populated(self, places):
+        result = find_repairs(places, F4, RepairConfig.find_all())
+        assert result.enqueued >= result.explored > 0
+        assert result.elapsed_seconds >= 0
+        assert result.exhausted
+
+    def test_str_rendering(self, places):
+        assert "repair" in str(find_repairs(places, F4))
+        assert "already exact" in str(find_repairs(places, F1.extended("Municipal")))
+
+
+class TestGoodnessThreshold:
+    def test_prefer_mode_demotes_over_threshold(self, places):
+        # Municipal has g=0, PhNo has g=3; threshold 1 demotes PhNo.
+        config = RepairConfig.find_all(
+            max_added_attributes=1, goodness_threshold=1
+        )
+        result = find_repairs(places, F1, config)
+        assert [c.added[0] for c in result.repairs] == ["Municipal"]
+        assert [c.added[0] for c in result.over_threshold] == ["PhNo"]
+        assert [c.added[0] for c in result.all_repairs] == ["Municipal", "PhNo"]
+
+    def test_exclude_mode_drops_over_threshold(self, places):
+        config = RepairConfig.find_all(
+            max_added_attributes=1,
+            goodness_threshold=1,
+            goodness_mode=GoodnessMode.EXCLUDE,
+        )
+        result = find_repairs(places, F1, config)
+        assert [c.added[0] for c in result.all_repairs] == ["Municipal"]
+
+    def test_stop_at_first_skips_over_threshold(self, places):
+        """With a threshold, find-first keeps searching past a
+        too-specific repair instead of stopping on it."""
+        config = RepairConfig(
+            stop_at_first=True, goodness_threshold=1, max_added_attributes=1
+        )
+        result = find_repairs(places, F1, config)
+        assert result.repairs[0].added == ("Municipal",)
+
+    def test_unique_attribute_discouraged(self):
+        """The Section 4.4 drawback scenario, made concrete: the minimal
+        repair adds the UNIQUE ``Id`` (1 attribute, goodness 3), while
+        the semantically better repair adds the non-unique pair
+        ``B, C`` (2 attributes, goodness 2).  Plain find-first takes the
+        UNIQUE one; a goodness threshold redirects the search to the
+        pair — the extension the paper proposes as future work."""
+        relation = Relation.from_columns(
+            "r",
+            {
+                "X": ["x1", "x1", "x2", "x2", "x3", "x3"],
+                "Y": ["y1", "y2", "y1", "y2", "y3", "y3"],
+                "Id": ["1", "2", "3", "4", "5", "6"],  # UNIQUE
+                "B": ["b1", "b1", "b2", "b3", "b1", "b1"],
+                "C": ["c1", "c2", "c1", "c1", "c1", "c1"],
+            },
+        )
+        base = fd("X -> Y")
+        plain_first = find_first_repair(relation, base)
+        assert plain_first.added == ("Id",)  # minimal but key-like, g=3
+        thresholded = find_repairs(
+            relation, base, RepairConfig.find_first(goodness_threshold=2)
+        )
+        assert set(thresholded.repairs[0].added) == {"B", "C"}
+        assert thresholded.repairs[0].goodness == 2
+        assert [c.added for c in thresholded.over_threshold] == [("Id",)]
+
+
+class TestFindFirstRepair:
+    def test_returns_candidate_or_none(self, places):
+        assert find_first_repair(places, F3) is None
+        best = find_first_repair(places, F1)
+        assert best.added == ("Municipal",)
+
+    def test_respects_base_config(self, places):
+        assert find_first_repair(places, F4, RepairConfig(max_added_attributes=1)) is None
+
+
+class TestFindFDRepairs:
+    def test_orders_and_repairs_everything(self, places):
+        report = find_fd_repairs(places, places_fds())
+        assert [item.fd for item in report.order] == [F1, F2, F3]
+        assert len(report.results) == 3
+        assert report.elapsed_seconds > 0
+
+    def test_exact_new_fds_collects_all(self, places):
+        report = find_fd_repairs(places, places_fds())
+        assert all(is_exact(places, c.fd) for c in report.exact_new_fds)
+        assert report.exact_new_fds  # F1 and F2 are repairable
+
+    def test_violated_filter(self, places):
+        exact = F1.extended("Municipal")
+        report = find_fd_repairs(places, [exact, F2])
+        assert len(report.violated) == 1
+        assert report.violated[0].base == F2
+
+    def test_one_step_only_mode(self, places):
+        report = find_fd_repairs(places, [F4], one_step_only=True)
+        # Algorithm 1 proper: one ExtendByOne pass finds no exact
+        # one-attribute extension of F4.
+        assert not report.results[0].found
+        assert report.results[0].explored == 7
+
+    def test_one_step_only_finds_single_attr_repairs(self, places):
+        report = find_fd_repairs(places, [F1], one_step_only=True)
+        assert {c.added[0] for c in report.results[0].all_repairs} == {
+            "Municipal",
+            "PhNo",
+        }
+
+    def test_str_rendering(self, places):
+        assert "Repair report" in str(find_fd_repairs(places, [F1]))

@@ -1,0 +1,102 @@
+"""Property-based tests of the repair search invariants (Algorithm 3)."""
+
+from hypothesis import given, settings
+
+from tests.strategies import relation_and_fd
+from repro.core.config import RepairConfig
+from repro.core.repair import find_repairs
+from repro.fd.measures import is_exact
+
+
+@given(relation_and_fd())
+@settings(max_examples=60, deadline=None)
+def test_every_reported_repair_is_exact(pair):
+    """Soundness: everything in ``repairs`` is an exact FD on the data."""
+    relation, fd = pair
+    result = find_repairs(relation, fd, RepairConfig.find_all())
+    for candidate in result.all_repairs:
+        assert is_exact(relation, candidate.fd)
+        assert candidate.confidence == 1.0
+
+
+@given(relation_and_fd())
+@settings(max_examples=40, deadline=None)
+def test_completeness_of_one_step_repairs(pair):
+    """Every single attribute that repairs the FD is reported."""
+    relation, fd = pair
+    result = find_repairs(relation, fd, RepairConfig.find_all(max_added_attributes=1))
+    if not result.was_violated:
+        return
+    reported = {c.added[0] for c in result.all_repairs}
+    eligible = [
+        attr
+        for attr in relation.attribute_names
+        if attr not in fd.attributes and not relation.column(attr).has_nulls
+    ]
+    truly_repairing = {a for a in eligible if is_exact(relation, fd.extended(a))}
+    assert reported == truly_repairing
+
+
+@given(relation_and_fd())
+@settings(max_examples=40, deadline=None)
+def test_first_repair_is_minimal(pair):
+    """The paper's §4.4 guarantee: with the queue ordering, the first
+    repair found adds the minimum number of attributes."""
+    relation, fd = pair
+    full = find_repairs(relation, fd, RepairConfig.find_all())
+    first = find_repairs(relation, fd, RepairConfig.find_first())
+    if full.found:
+        assert first.found
+        assert first.repairs[0].num_added == full.minimal_size
+    else:
+        assert not first.found
+
+
+@given(relation_and_fd())
+@settings(max_examples=40, deadline=None)
+def test_find_first_explores_no_more_than_find_all(pair):
+    relation, fd = pair
+    full = find_repairs(relation, fd, RepairConfig.find_all())
+    first = find_repairs(relation, fd, RepairConfig.find_first())
+    assert first.explored <= full.explored
+
+
+@given(relation_and_fd())
+@settings(max_examples=40, deadline=None)
+def test_violated_iff_not_exact(pair):
+    relation, fd = pair
+    result = find_repairs(relation, fd)
+    assert result.was_violated == (not is_exact(relation, fd))
+
+
+@given(relation_and_fd())
+@settings(max_examples=30, deadline=None)
+def test_repair_sets_are_unique_and_supersets_of_base(pair):
+    relation, fd = pair
+    result = find_repairs(relation, fd, RepairConfig.find_all())
+    seen = set()
+    base_antecedent = set(fd.antecedent)
+    for candidate in result.all_repairs:
+        key = frozenset(candidate.added)
+        assert key not in seen
+        seen.add(key)
+        assert base_antecedent < set(candidate.fd.antecedent)
+        assert candidate.fd.consequent == fd.consequent
+
+
+@given(relation_and_fd())
+@settings(max_examples=30, deadline=None)
+def test_goodness_threshold_partition(pair):
+    """PREFER mode: repairs and over_threshold partition the full set."""
+    relation, fd = pair
+    plain = find_repairs(relation, fd, RepairConfig.find_all())
+    gated = find_repairs(
+        relation, fd, RepairConfig.find_all(goodness_threshold=0)
+    )
+    assert {frozenset(c.added) for c in gated.all_repairs} == {
+        frozenset(c.added) for c in plain.all_repairs
+    }
+    for candidate in gated.repairs:
+        assert abs(candidate.goodness) == 0
+    for candidate in gated.over_threshold:
+        assert abs(candidate.goodness) > 0

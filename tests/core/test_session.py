@@ -1,0 +1,109 @@
+"""Tests for the semi-automatic RepairSession loop."""
+
+import pytest
+
+from repro.core.config import RepairConfig
+from repro.core.session import Decision, RepairSession, accept_best, accept_none
+from repro.datagen.places import F1, F2, F3, places_catalog
+from repro.fd.measures import is_exact
+
+
+@pytest.fixture
+def session():
+    return RepairSession(places_catalog())
+
+
+class TestViolations:
+    def test_lists_violated_in_order(self, session):
+        ranked = session.violations("Places")
+        assert [item.fd for item in ranked] == [F1, F2, F3]
+
+    def test_satisfied_fds_not_listed(self, session):
+        session.catalog.replace_fd("Places", F1, F1.extended("Municipal"))
+        ranked = session.violations("Places")
+        assert F1.extended("Municipal") not in [item.fd for item in ranked]
+
+
+class TestProposeAcceptReject:
+    def test_propose_returns_search_result(self, session):
+        result = session.propose("Places", F1)
+        assert result.found
+        assert result.best.added == ("Municipal",)
+
+    def test_accept_updates_catalog_and_history(self, session):
+        result = session.propose("Places", F1)
+        session.accept("Places", result, result.best)
+        assert result.best.fd in session.catalog.fds("Places")
+        assert F1 not in session.catalog.fds("Places")
+        event = session.history[-1]
+        assert event.decision is Decision.ACCEPTED
+        assert event.original == F1
+
+    def test_accept_rejects_foreign_candidate(self, session):
+        result_f1 = session.propose("Places", F1)
+        result_f2 = session.propose("Places", F2)
+        with pytest.raises(ValueError):
+            session.accept("Places", result_f1, result_f2.best)
+
+    def test_reject_records_decision(self, session):
+        result = session.propose("Places", F1)
+        session.reject("Places", result)
+        assert session.history[-1].decision is Decision.REJECTED
+        assert F1 in session.catalog.fds("Places")
+
+    def test_reject_no_repair_found(self, session):
+        result = session.propose("Places", F3)
+        session.reject("Places", result)
+        assert session.history[-1].decision is Decision.NO_REPAIR_FOUND
+
+
+class TestRun:
+    def test_accept_best_evolves_repairable_fds(self, session):
+        events = session.run("Places", accept_best)
+        assert len(events) == 3
+        decisions = {event.original: event.decision for event in events}
+        assert decisions[F1] is Decision.ACCEPTED
+        assert decisions[F2] is Decision.ACCEPTED
+        assert decisions[F3] is Decision.NO_REPAIR_FOUND
+        # After the run, all evolved FDs hold on the data.
+        relation = session.catalog.relation("Places")
+        for fd in session.catalog.fds("Places"):
+            if fd != F3:
+                assert is_exact(relation, fd)
+
+    def test_accept_none_changes_nothing(self, session):
+        before = list(session.catalog.fds("Places"))
+        events = session.run("Places", accept_none)
+        assert session.catalog.fds("Places") == before
+        assert all(event.decision is not Decision.ACCEPTED for event in events)
+
+    def test_custom_policy(self, session):
+        """A designer that only accepts bijective (goodness 0) repairs."""
+
+        def bijective_only(result):
+            for candidate in result.all_repairs:
+                if candidate.goodness == 0:
+                    return candidate
+            return None
+
+        events = session.run("Places", bijective_only)
+        accepted = [e for e in events if e.decision is Decision.ACCEPTED]
+        assert [e.accepted.added for e in accepted] == [("Municipal",)]
+
+    def test_run_all_covers_catalog(self, session):
+        events = session.run_all(accept_none)
+        assert len(events) == 3
+
+    def test_config_respected(self):
+        session = RepairSession(
+            places_catalog(), RepairConfig(max_added_attributes=1)
+        )
+        events = session.run("Places", accept_best)
+        assert all(
+            event.accepted is None or event.accepted.num_added == 1
+            for event in events
+        )
+
+    def test_event_str(self, session):
+        events = session.run("Places", accept_best)
+        assert "evolved to" in str(events[0])

@@ -1,0 +1,66 @@
+"""Tests for FD validation reports."""
+
+import pytest
+
+from repro.core.validate import validate_catalog, validate_relation
+from repro.datagen.places import F1, F2, F3, places_catalog, places_fds, places_relation
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.fd.fd import fd
+
+
+@pytest.fixture
+def places():
+    return places_relation()
+
+
+class TestValidateRelation:
+    def test_all_violated_on_places(self, places):
+        report = validate_relation(places, places_fds())
+        assert len(report.entries) == 3
+        assert len(report.violated) == 3
+        assert not report.all_satisfied
+
+    def test_mixed_report(self, places):
+        report = validate_relation(places, [F1.extended("Municipal"), F2])
+        assert len(report.satisfied) == 1
+        assert len(report.violated) == 1
+
+    def test_order_matches_section41(self, places):
+        report = validate_relation(places, places_fds())
+        assert [item.fd for item in report.order] == [F1, F2, F3]
+
+    def test_witnesses_attached_on_request(self, places):
+        report = validate_relation(places, [F2], witness_limit=2)
+        entry = report.entries[0]
+        assert len(entry.witnesses) == 2
+
+    def test_witnesses_skipped_for_satisfied(self, places):
+        report = validate_relation(places, [F1.extended("Municipal")], witness_limit=5)
+        assert report.entries[0].witnesses == ()
+
+    def test_entry_str(self, places):
+        report = validate_relation(places, [F2])
+        assert "VIOLATED" in str(report.entries[0])
+        assert "Places" in str(report.entries[0])
+
+    def test_all_satisfied_flag(self):
+        relation = Relation.from_columns("r", {"A": ["x", "y"], "B": ["1", "2"]})
+        report = validate_relation(relation, [fd("A -> B")])
+        assert report.all_satisfied
+
+
+class TestValidateCatalog:
+    def test_reports_per_relation(self, places_db):
+        reports = validate_catalog(places_db)
+        assert set(reports) == {"Places"}
+        assert len(reports["Places"].violated) == 3
+
+    def test_relations_without_fds_are_skipped(self, places_db):
+        extra = Relation.from_columns("extra", {"X": ["1"]})
+        places_db.add_relation(extra)
+        reports = validate_catalog(places_db)
+        assert "extra" not in reports
+
+    def test_empty_catalog(self):
+        assert validate_catalog(Catalog()) == {}

@@ -1,0 +1,100 @@
+"""Tests for the engineered known-minimal-repair relations."""
+
+import pytest
+
+from repro.core.config import RepairConfig
+from repro.core.repair import find_repairs
+from repro.datagen.engineered import EngineeredSpec, engineered_relation
+from repro.fd.measures import assess, is_exact
+
+
+def small_spec(**overrides) -> EngineeredSpec:
+    defaults = dict(
+        name="demo",
+        num_rows=400,
+        x_name="X",
+        y_name="Y",
+        repair_names=("R1",),
+        x_cardinality=8,
+        y_cardinality=5,
+        repair_cardinalities=(6,),
+        filler_cardinalities={"F1": 5, "F2": 7},
+        seed=3,
+    )
+    defaults.update(overrides)
+    return EngineeredSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_mismatched_repair_lists(self):
+        with pytest.raises(ValueError):
+            small_spec(repair_cardinalities=(6, 6))
+
+    def test_tiny_cardinalities_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(x_cardinality=1)
+
+    def test_unknown_nullable_filler(self):
+        with pytest.raises(ValueError):
+            small_spec(nullable_fillers=("Ghost",))
+
+    def test_derived_fds(self):
+        spec = small_spec()
+        assert str(spec.fd) == "[X] -> [Y]"
+        assert str(spec.repaired_fd) == "[X, R1] -> [Y]"
+        assert spec.arity == 5
+
+
+class TestGeneratedInstance:
+    def test_shape(self):
+        relation = engineered_relation(small_spec())
+        assert relation.num_rows == 400
+        assert relation.attribute_names == ("X", "Y", "R1", "F1", "F2")
+
+    def test_declared_fd_is_violated(self):
+        spec = small_spec()
+        relation = engineered_relation(spec)
+        assert not assess(relation, spec.fd).is_exact
+
+    def test_repaired_fd_is_exact_by_construction(self):
+        spec = small_spec()
+        relation = engineered_relation(spec)
+        assert is_exact(relation, spec.repaired_fd)
+
+    def test_minimal_repair_is_the_designed_one(self):
+        spec = small_spec()
+        relation = engineered_relation(spec)
+        result = find_repairs(relation, spec.fd, RepairConfig.find_first())
+        assert result.best is not None
+        assert set(result.best.added) == {"R1"}
+
+    def test_two_attribute_repair_spec(self):
+        spec = small_spec(
+            repair_names=("R1", "R2"),
+            repair_cardinalities=(6, 4),
+            num_rows=800,
+        )
+        relation = engineered_relation(spec)
+        assert is_exact(relation, spec.repaired_fd)
+        # No proper subset of the repair works.
+        assert not is_exact(relation, spec.fd.extended("R1"))
+        assert not is_exact(relation, spec.fd.extended("R2"))
+        result = find_repairs(relation, spec.fd, RepairConfig.find_first())
+        assert set(result.best.added) == {"R1", "R2"}
+
+    def test_nullable_fillers_have_nulls(self):
+        spec = small_spec(nullable_fillers=("F1",), null_rate=0.3)
+        relation = engineered_relation(spec)
+        assert relation.column("F1").has_nulls
+        assert not relation.column("F2").has_nulls
+
+    def test_determinism(self):
+        spec = small_spec()
+        a = engineered_relation(spec)
+        b = engineered_relation(spec)
+        assert list(a.rows())[:10] == list(b.rows())[:10]
+
+    def test_seed_changes_data(self):
+        a = engineered_relation(small_spec(seed=1))
+        b = engineered_relation(small_spec(seed=2))
+        assert list(a.rows())[:10] != list(b.rows())[:10]

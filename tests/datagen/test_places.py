@@ -1,0 +1,78 @@
+"""Structural tests for the reconstructed Places relation.
+
+The measure-level golden tests live in tests/fd/test_paper_examples.py;
+here we check the instance's structure (arity, size, schema, catalog).
+"""
+
+from repro.datagen.places import (
+    F1,
+    F2,
+    F3,
+    F4,
+    places_catalog,
+    places_fds,
+    places_relation,
+)
+
+
+class TestInstance:
+    def test_shape(self):
+        relation = places_relation()
+        assert relation.arity == 9  # Table 6 lists arity 9 (no tid column)
+        assert relation.num_rows == 11  # Figure 1 shows 11 tuples
+
+    def test_attribute_names(self):
+        assert places_relation().attribute_names == (
+            "District",
+            "Region",
+            "Municipal",
+            "AreaCode",
+            "PhNo",
+            "Street",
+            "Zip",
+            "City",
+            "State",
+        )
+
+    def test_no_nulls_anywhere(self):
+        relation = places_relation()
+        assert relation.non_null_attributes() == relation.attribute_names
+
+    def test_zip_keeps_leading_zero(self):
+        zips = set(places_relation().column_values("Zip"))
+        assert "02215" in zips
+
+    def test_district_region_split(self):
+        """t1-t5 Brookside/Granville, t6-t11 Alexandria/Moore Park —
+        the split that yields |π_{D,R}| = 2 and |π_{D,R,A}| = 4."""
+        relation = places_relation()
+        districts = relation.column_values("District")
+        assert districts[:5] == ["Brookside"] * 5
+        assert districts[5:] == ["Alexandria"] * 6
+
+    def test_municipal_constant_per_areacode_class(self):
+        relation = places_relation()
+        pairs = set(
+            zip(relation.column_values("Municipal"), relation.column_values("AreaCode"))
+        )
+        # Exactly one municipal per area code: the bijective repair.
+        assert len(pairs) == 4
+
+    def test_fresh_instances_are_independent(self):
+        assert places_relation() is not places_relation()
+
+
+class TestDeclaredFDs:
+    def test_fd_definitions(self):
+        assert str(F1) == "[District, Region] -> [AreaCode]"
+        assert str(F2) == "[Zip] -> [City, State]"
+        assert str(F3) == "[PhNo, Zip] -> [Street]"
+        assert str(F4) == "[District] -> [PhNo]"
+
+    def test_places_fds_list(self):
+        assert places_fds() == [F1, F2, F3]
+
+    def test_catalog_wiring(self):
+        catalog = places_catalog()
+        assert catalog.relation_names() == ["Places"]
+        assert catalog.fds("Places") == [F1, F2, F3]

@@ -1,0 +1,91 @@
+"""Tests for the Table 6 real-dataset simulators."""
+
+import pytest
+
+from repro.core.config import RepairConfig
+from repro.core.repair import find_first_repair, find_repairs
+from repro.datagen.engineered import engineered_relation
+from repro.datagen.realworld import (
+    REAL_DATASET_SPECS,
+    country_relation,
+    country_spec,
+    image_spec,
+    pagelinks_spec,
+    rental_spec,
+)
+from repro.fd.measures import assess, is_exact
+
+PROFILES = {
+    # name: (arity, paper rows, repair length)
+    "Country": (15, 239, 1),
+    "Rental": (7, 16_044, 1),
+    "Image": (14, 124_768, 2),
+    "PageLinks": (3, 842_159, 1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_profiles_match_table6(name):
+    arity, paper_rows, repair_len = PROFILES[name]
+    spec = REAL_DATASET_SPECS[name](scale=1.0)
+    assert spec.arity == arity, name
+    assert spec.num_rows == paper_rows, name
+    assert len(spec.repair_names) == repair_len, name
+
+
+@pytest.mark.parametrize(
+    "spec_fn,scale",
+    [(country_spec, 1.0), (rental_spec, 0.05), (image_spec, 0.01), (pagelinks_spec, 0.01)],
+)
+def test_declared_fd_violated_and_repairable(spec_fn, scale):
+    spec = spec_fn(scale)
+    relation = engineered_relation(spec)
+    assert not assess(relation, spec.fd).is_exact
+    assert is_exact(relation, spec.repaired_fd)
+
+
+@pytest.mark.parametrize(
+    "spec_fn,scale",
+    [(country_spec, 1.0), (rental_spec, 0.05), (pagelinks_spec, 0.01)],
+)
+def test_minimal_repair_length_one(spec_fn, scale):
+    spec = spec_fn(scale)
+    relation = engineered_relation(spec)
+    best = find_first_repair(relation, spec.fd)
+    assert best is not None
+    assert best.num_added == 1
+    assert set(best.added) == set(spec.repair_names)
+
+
+def test_image_needs_two_attributes():
+    spec = image_spec(0.02)
+    relation = engineered_relation(spec)
+    result = find_repairs(relation, spec.fd, RepairConfig.find_first())
+    assert result.minimal_size == 2
+    assert set(result.best.added) == set(spec.repair_names)
+
+
+def test_pagelinks_has_single_candidate():
+    spec = pagelinks_spec(0.005)
+    relation = engineered_relation(spec)
+    assert relation.arity == 3
+    candidates = relation.schema.complement(spec.fd.attributes)
+    assert candidates == ("PlTitle",)
+
+
+def test_country_nullable_columns():
+    """The MySQL world.country sample has NULL-bearing columns
+    (IndepYear, GNPOld, LifeExpectancy); they must be excluded from
+    repairs."""
+    relation = country_relation()
+    spec = country_spec()
+    for attr in ("IndepYear", "GNPOld", "LifeExpectancy"):
+        assert relation.column(attr).has_nulls
+    best = find_first_repair(relation, spec.fd)
+    assert set(best.added).isdisjoint({"IndepYear", "GNPOld", "LifeExpectancy"})
+
+
+def test_scale_parameter():
+    assert country_spec(scale=0.5).num_rows == 120
+    # The floor keeps tiny scales usable.
+    assert rental_spec(scale=0.0001).num_rows == 20

@@ -1,0 +1,36 @@
+"""Tests for deterministic seed derivation."""
+
+from repro.datagen.rng import child_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_int_and_str_labels_mix(self):
+        assert derive_seed(42, 1, "x") == derive_seed(42, 1, "x")
+
+    def test_result_is_unsigned_64_bit(self):
+        value = derive_seed(2**62, "long", "path", 999)
+        assert 0 <= value < 2**64
+
+
+class TestChildRng:
+    def test_reproducible_streams(self):
+        a = child_rng(7, "table", "col")
+        b = child_rng(7, "table", "col")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_independent_streams(self):
+        a = child_rng(7, "x")
+        b = child_rng(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

@@ -1,0 +1,48 @@
+"""Tests for the plain random-relation generator."""
+
+import pytest
+
+from repro.datagen.synthetic import random_relation
+
+
+class TestRandomRelation:
+    def test_shape(self):
+        relation = random_relation(num_rows=50, num_attrs=4)
+        assert relation.num_rows == 50
+        assert relation.arity == 4
+        assert relation.attribute_names == ("A0", "A1", "A2", "A3")
+
+    def test_shared_cardinality_bound(self):
+        relation = random_relation(num_rows=200, num_attrs=3, cardinality=5, seed=1)
+        for attr in relation.attribute_names:
+            assert relation.count_distinct([attr]) <= 5
+
+    def test_per_column_cardinalities(self):
+        relation = random_relation(
+            num_rows=300, num_attrs=2, cardinality=[2, 50], seed=1
+        )
+        assert relation.count_distinct(["A0"]) <= 2
+        assert relation.count_distinct(["A1"]) > 10
+
+    def test_cardinality_list_length_checked(self):
+        with pytest.raises(ValueError):
+            random_relation(num_attrs=3, cardinality=[2, 2])
+
+    def test_null_rate(self):
+        relation = random_relation(num_rows=500, num_attrs=2, null_rate=0.5, seed=2)
+        nulls = relation.column("A0").null_count
+        assert 150 < nulls < 350
+        assert all(attr.nullable for attr in relation.schema)
+
+    def test_no_nulls_by_default(self):
+        relation = random_relation(num_rows=100)
+        assert relation.non_null_attributes() == relation.attribute_names
+
+    def test_determinism(self):
+        a = random_relation(num_rows=30, seed=7)
+        b = random_relation(num_rows=30, seed=7)
+        assert list(a.rows()) == list(b.rows())
+
+    def test_min_attrs(self):
+        with pytest.raises(ValueError):
+            random_relation(num_attrs=0)

@@ -1,0 +1,119 @@
+"""Tests for the TPC-H-style generator (Table 4/5 substrate)."""
+
+import pytest
+
+from repro.datagen.tpch import (
+    SCALE_PRESETS,
+    TPCH_FDS,
+    TPCH_TABLE_NAMES,
+    TpchScale,
+    generate_table,
+    generate_tpch,
+    tpch_fd,
+)
+from repro.fd.measures import assess
+
+ARITIES = {
+    "customer": 8,
+    "lineitem": 16,
+    "nation": 4,
+    "orders": 9,
+    "part": 9,
+    "partsupp": 5,
+    "region": 3,
+    "supplier": 7,
+}
+
+
+class TestShapes:
+    @pytest.mark.parametrize("table,arity", sorted(ARITIES.items()))
+    def test_paper_arities(self, table, arity):
+        relation = generate_table(table, "tiny")
+        assert relation.arity == arity, table
+
+    def test_fixed_tables(self):
+        assert generate_table("nation", "tiny").num_rows == 25
+        assert generate_table("region", "large").num_rows == 5
+
+    def test_scaling(self):
+        tiny = generate_table("customer", "tiny").num_rows
+        small = generate_table("customer", "small").num_rows
+        assert small == 10 * tiny == 1500
+
+    def test_paper_presets_match_table4(self):
+        preset = SCALE_PRESETS["paper-100mb"]
+        assert preset.rows(150_000) == 15_000  # customer at 100MB
+        assert preset.rows(10_000) == 1_000  # supplier at 100MB
+        full = SCALE_PRESETS["paper-1gb"]
+        assert full.rows(200_000) == 200_000  # part at 1GB
+
+    def test_custom_scale_object(self):
+        preset = TpchScale("custom", 0.002, "test")
+        relation = generate_table("supplier", preset)
+        assert relation.num_rows == 20
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            generate_table("warehouse", "tiny")
+
+    def test_no_nulls(self):
+        for table in TPCH_TABLE_NAMES:
+            relation = generate_table(table, "tiny")
+            assert relation.non_null_attributes() == relation.attribute_names
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_table("orders", "tiny", seed=5)
+        b = generate_table("orders", "tiny", seed=5)
+        assert list(a.rows())[:20] == list(b.rows())[:20]
+
+    def test_different_seed_different_data(self):
+        a = generate_table("orders", "tiny", seed=5)
+        b = generate_table("orders", "tiny", seed=6)
+        assert list(a.rows())[:20] != list(b.rows())[:20]
+
+
+class TestFDProfile:
+    """The violated/satisfied split that drives Table 5's shape."""
+
+    @pytest.mark.parametrize("table", ["customer", "nation", "part", "region", "supplier"])
+    def test_name_keyed_fds_are_exact(self, table):
+        relation = generate_table(table, "tiny")
+        assert assess(relation, tpch_fd(table)).is_exact, table
+
+    @pytest.mark.parametrize("table", ["lineitem", "orders", "partsupp"])
+    def test_violated_fds(self, table):
+        relation = generate_table(table, "tiny")
+        assert not assess(relation, tpch_fd(table)).is_exact, table
+
+    def test_lineitem_confidence_reflects_four_suppliers(self):
+        relation = generate_table("lineitem", "tiny")
+        confidence = assess(relation, tpch_fd("lineitem")).confidence
+        # Each part has 4 eligible suppliers; with many lineitems per
+        # part the confidence approaches 1/4.
+        assert 0.2 < confidence < 0.45
+
+    def test_partsupp_agrees_with_lineitem_on_suppliers(self):
+        """lineitem's (partkey, suppkey) pairs are a subset of partsupp's."""
+        partsupp = generate_table("partsupp", "tiny")
+        lineitem = generate_table("lineitem", "tiny")
+        legal = set(
+            zip(partsupp.column_values("partkey"), partsupp.column_values("suppkey"))
+        )
+        used = set(
+            zip(lineitem.column_values("partkey"), lineitem.column_values("suppkey"))
+        )
+        assert used <= legal
+
+    def test_partsupp_is_repairable_by_partkey(self):
+        relation = generate_table("partsupp", "tiny")
+        repaired = tpch_fd("partsupp").extended("partkey")
+        assert assess(relation, repaired).is_exact
+
+
+class TestCatalog:
+    def test_generate_tpch_declares_fds(self):
+        catalog = generate_tpch("tiny", tables=("region", "nation"))
+        assert catalog.relation_names() == ["nation", "region"]
+        assert catalog.fds("region") == [TPCH_FDS["region"]]

@@ -1,0 +1,94 @@
+"""Tests for the Veterans wide-table simulator (Tables 7-8 substrate)."""
+
+import pytest
+
+from repro.core.config import RepairConfig
+from repro.core.repair import find_first_repair, find_repairs
+from repro.datagen.veterans import (
+    FULL_ARITY,
+    FULL_NON_NULL,
+    VETERANS_FD,
+    veterans_attribute_names,
+    veterans_relation,
+)
+from repro.fd.measures import assess, is_exact
+
+
+class TestSliceStructure:
+    def test_attribute_counts(self):
+        for num_attrs in (10, 20, 30):
+            relation = veterans_relation(num_attrs, 200)
+            assert relation.arity == num_attrs
+
+    def test_first_ten_are_fd_plus_latent_fillers(self):
+        names = veterans_attribute_names(10)
+        assert names[0] == "State" and names[1] == "GiftLevel"
+        assert "Rfa1" not in names and "Rfa2" not in names
+
+    def test_determinants_appear_at_twenty(self):
+        names = veterans_attribute_names(20)
+        assert "Rfa1" in names and "Rfa2" in names
+
+    def test_case_study_slices_have_no_nulls(self):
+        for num_attrs in (10, 20, 30):
+            relation = veterans_relation(num_attrs, 150)
+            assert relation.non_null_attributes() == relation.attribute_names
+
+    def test_minimum_attrs_enforced(self):
+        with pytest.raises(ValueError):
+            veterans_relation(2, 100)
+
+    def test_determinism(self):
+        a = veterans_relation(10, 100, seed=1)
+        b = veterans_relation(10, 100, seed=1)
+        assert list(a.rows()) == list(b.rows())
+
+
+class TestFDBehaviour:
+    def test_fd_is_violated(self):
+        relation = veterans_relation(10, 1500)
+        assert not assess(relation, VETERANS_FD).is_exact
+
+    def test_ten_attributes_admit_no_repair(self):
+        """The paper's degenerate column: latent-tied fillers collapse
+        to one low-cardinality partition, so nothing separates the
+        violating rows."""
+        relation = veterans_relation(10, 1500)
+        result = find_repairs(relation, VETERANS_FD, RepairConfig.find_all())
+        assert result.was_violated
+        assert not result.found
+        assert result.exhausted
+
+    def test_twenty_attributes_repairable_by_rfa_pair(self):
+        relation = veterans_relation(20, 1500)
+        assert is_exact(relation, VETERANS_FD.extended("Rfa1", "Rfa2"))
+        assert not is_exact(relation, VETERANS_FD.extended("Rfa1"))
+        assert not is_exact(relation, VETERANS_FD.extended("Rfa2"))
+        best = find_first_repair(relation, VETERANS_FD)
+        assert best is not None
+        assert best.num_added == 2
+
+    def test_latent_fillers_collapse_together(self):
+        """Any set of latent fillers partitions like the latent itself."""
+        relation = veterans_relation(10, 1000)
+        single = relation.count_distinct(["ZipBand"])
+        combined = relation.count_distinct(
+            ["ZipBand", "Region", "UrbanCode", "IncomeBand"]
+        )
+        assert combined == single
+
+
+class TestFullProfile:
+    def test_full_arity_and_null_profile(self):
+        relation = veterans_relation(num_attrs=10, num_rows=60, full=True)
+        assert relation.arity == FULL_ARITY
+        non_null_declared = sum(
+            1 for attr in relation.schema if not attr.nullable
+        )
+        assert non_null_declared == FULL_NON_NULL
+
+    def test_full_profile_has_nullable_extras(self):
+        relation = veterans_relation(num_attrs=10, num_rows=200, full=True)
+        nullable = [attr.name for attr in relation.schema if attr.nullable]
+        assert len(nullable) == FULL_ARITY - FULL_NON_NULL
+        assert all(name.startswith("Extra") for name in nullable)

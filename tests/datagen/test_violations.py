@@ -1,0 +1,95 @@
+"""Tests for the violation injectors (noise vs drift)."""
+
+import pytest
+
+from repro.core.repair import find_first_repair
+from repro.datagen.synthetic import random_relation
+from repro.datagen.violations import (
+    inject_drift,
+    inject_noise,
+    with_target_confidence,
+)
+from repro.fd.fd import FunctionalDependency, fd
+from repro.fd.measures import assess, is_exact
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def clean():
+    """A relation where X -> Y holds exactly (Y derived from X).
+
+    X (A0) has many distinct values so light noise leaves confidence
+    high: confidence is group-based (|π_X|/|π_XY|), and each corrupted
+    tuple can cost at most one extra XY class.
+    """
+    base = random_relation(
+        "clean", num_rows=600, num_attrs=4, cardinality=[60, 12, 25, 18], seed=9
+    )
+    columns = {name: base.column_values(name) for name in base.attribute_names}
+    columns["Y"] = [f"y{v[1:]}" for v in columns["A0"]]
+    return Relation.from_columns("clean", columns)
+
+
+FD = FunctionalDependency(("A0",), ("Y",))
+
+
+class TestInjectNoise:
+    def test_breaks_exactness(self, clean):
+        assert is_exact(clean, FD)
+        noisy = inject_noise(clean, FD, num_tuples=10, seed=1)
+        assert not is_exact(noisy, FD)
+
+    def test_confidence_drop_is_small(self, clean):
+        noisy = inject_noise(clean, FD, num_tuples=5, seed=1)
+        assert assess(noisy, FD).confidence > 0.8
+
+    def test_original_untouched(self, clean):
+        inject_noise(clean, FD, num_tuples=10, seed=1)
+        assert is_exact(clean, FD)
+
+    def test_only_consequent_changes(self, clean):
+        noisy = inject_noise(clean, FD, num_tuples=10, seed=1)
+        for attr in ("A0", "A1", "A2", "A3"):
+            assert noisy.column_values(attr) == clean.column_values(attr)
+
+    def test_multi_consequent_rejected(self, clean):
+        with pytest.raises(ValueError):
+            inject_noise(clean, fd("A0 -> Y, A1"), 3)
+
+
+class TestInjectDrift:
+    def test_repair_is_the_drift_determinant(self, clean):
+        drifted = inject_drift(clean, FD, determinant="A1", seed=2)
+        assert not is_exact(drifted, FD)
+        assert is_exact(drifted, FD.extended("A1"))
+        best = find_first_repair(drifted, FD)
+        assert best.added == ("A1",)
+
+    def test_confidence_collapses(self, clean):
+        drifted = inject_drift(clean, FD, determinant="A1", seed=2)
+        assert assess(drifted, FD).confidence < 0.5
+
+    def test_partial_drift(self, clean):
+        drifted = inject_drift(clean, FD, determinant="A1", affected_fraction=0.3, seed=2)
+        assert not is_exact(drifted, FD)
+        # Partial drift still makes X+determinant exact: unaffected rows
+        # keep their old Y, which X alone determined.
+        assert is_exact(drifted, FD.extended("A1"))
+
+    def test_determinant_must_be_outside_fd(self, clean):
+        with pytest.raises(ValueError):
+            inject_drift(clean, FD, determinant="A0")
+
+
+class TestTargetConfidence:
+    def test_reaches_target(self, clean):
+        degraded = with_target_confidence(clean, FD, target=0.7, seed=3)
+        assert assess(degraded, FD).confidence <= 0.7
+
+    def test_exact_target_is_noop(self, clean):
+        same = with_target_confidence(clean, FD, target=1.0)
+        assert is_exact(same, FD)
+
+    def test_invalid_target(self, clean):
+        with pytest.raises(ValueError):
+            with_target_confidence(clean, FD, target=0.0)

@@ -1,0 +1,110 @@
+"""Tests for conflict-graph construction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datarepair.conflicts import (
+    all_violating_pairs,
+    build_conflict_graph,
+    violating_groups,
+)
+from repro.fd.fd import fd
+from repro.fd.measures import is_exact
+from repro.relational.errors import NullValueError
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+
+class TestViolatingGroups:
+    def test_satisfied_fd_has_no_groups(self, tiny_relation):
+        assert violating_groups(tiny_relation, fd("A -> C")) == []
+
+    def test_groups_partition_each_violating_class(self, tiny_relation):
+        # A -> B: class {a2} maps to b2 and b3.
+        (groups,) = violating_groups(tiny_relation, fd("A -> B"))
+        assert sorted(sorted(g) for g in groups) == [[2], [3]]
+
+    def test_places_f1_groups(self, places):
+        groups = violating_groups(places, fd("[District, Region] -> [AreaCode]"))
+        # Both X-classes of Places are violating (4 AreaCodes over 2 classes).
+        assert len(groups) == 2
+        covered = sorted(row for cls in groups for grp in cls for row in grp)
+        assert covered == list(range(11))
+
+
+class TestAllViolatingPairs:
+    def test_complete_within_class(self):
+        relation = Relation.from_columns(
+            "r", {"X": ["x"] * 4, "Y": ["a", "a", "b", "c"]}
+        )
+        pairs = set(all_violating_pairs(relation, fd("X -> Y")))
+        # Complete multipartite over groups {0,1}, {2}, {3}: 2+2+1 = 5 edges.
+        assert pairs == {(0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+
+    def test_limit_truncates(self):
+        relation = Relation.from_columns(
+            "r", {"X": ["x"] * 4, "Y": ["a", "a", "b", "c"]}
+        )
+        assert len(all_violating_pairs(relation, fd("X -> Y"), limit=2)) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_relations())
+    def test_empty_iff_exact(self, relation):
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        pairs = all_violating_pairs(relation, dependency)
+        assert (not pairs) == is_exact(relation, dependency)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_relations())
+    def test_every_pair_is_a_real_violation(self, relation):
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        rows = relation.to_dicts()
+        for left, right in all_violating_pairs(relation, dependency):
+            assert rows[left][names[0]] == rows[right][names[0]]
+            assert rows[left][names[1]] != rows[right][names[1]]
+
+
+class TestConflictGraph:
+    def test_consistent_instance(self, tiny_relation):
+        graph = build_conflict_graph(tiny_relation, [fd("A -> C")])
+        assert graph.is_consistent
+        assert graph.clean_rows() == {0, 1, 2, 3}
+        assert graph.components() == []
+
+    def test_multi_fd_conflicts_union(self, places):
+        f1 = fd("[District, Region] -> [AreaCode]")
+        f2 = fd("[Zip] -> [City, State]")
+        graph = build_conflict_graph(places, [f1, f2])
+        assert not graph.is_consistent
+        violated = graph.fds_violated()
+        assert fd("[District, Region] -> [AreaCode]") in violated
+        assert fd("[Zip] -> [City]") in violated  # decomposed form
+
+    def test_decomposition_of_declared_fds(self, places):
+        graph = build_conflict_graph(places, [fd("[Zip] -> [City, State]")])
+        assert all(f.is_single_consequent for f in graph.fds)
+        assert len(graph.fds) == 2
+
+    def test_conflicts_of_row(self, places):
+        graph = build_conflict_graph(places, [fd("[PhNo, Zip] -> [Street]")])
+        # t10 and t11 (indices 9, 10) violate F3 per the paper.
+        assert graph.conflicts_of(9)
+        assert graph.conflicts_of(0) == []
+
+    def test_null_attributes_rejected(self):
+        relation = Relation.from_columns("r", {"A": ["x", None], "B": ["y", "z"]})
+        with pytest.raises(NullValueError):
+            build_conflict_graph(relation, [fd("A -> B")])
+
+    def test_components_are_disjoint(self, places):
+        graph = build_conflict_graph(
+            places,
+            [fd("[District, Region] -> [AreaCode]"), fd("[Zip] -> [City, State]")],
+        )
+        components = graph.components()
+        seen: set[int] = set()
+        for component in components:
+            assert not (component & seen)
+            seen |= component

@@ -1,0 +1,139 @@
+"""Tests for minimum tuple-deletion repair."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datarepair.conflicts import build_conflict_graph
+from repro.datarepair.deletion import (
+    DeletionStrategy,
+    minimum_deletion_repair,
+)
+from repro.fd.fd import fd
+from repro.fd.measures import is_exact
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+PLACES_FDS = [
+    fd("[District, Region] -> [AreaCode]"),
+    fd("[Zip] -> [City, State]"),
+    fd("[PhNo, Zip] -> [Street]"),
+]
+
+
+class TestMinimumDeletionRepair:
+    def test_consistent_instance_deletes_nothing(self, tiny_relation):
+        repair = minimum_deletion_repair(tiny_relation, [fd("A -> C")])
+        assert repair.num_deleted == 0
+        assert repair.repaired.num_rows == tiny_relation.num_rows
+        assert repair.optimal
+
+    def test_repaired_instance_satisfies_all_fds(self, places):
+        repair = minimum_deletion_repair(places, PLACES_FDS)
+        for declared in PLACES_FDS:
+            for single in declared.decompose():
+                assert is_exact(repair.repaired, single)
+
+    def test_single_fd_optimum_keeps_largest_y_group_per_class(self):
+        # One X-class, Y groups of sizes 3/2/1: optimum deletes 3.
+        relation = Relation.from_columns(
+            "r",
+            {"X": ["x"] * 6, "Y": ["a", "a", "a", "b", "b", "c"]},
+        )
+        repair = minimum_deletion_repair(relation, [fd("X -> Y")])
+        assert repair.num_deleted == 3
+        assert repair.optimal
+
+    def test_exact_beats_or_ties_heuristics(self, places):
+        exact = minimum_deletion_repair(places, PLACES_FDS)
+        greedy = minimum_deletion_repair(
+            places, PLACES_FDS, strategy=DeletionStrategy.GREEDY
+        )
+        matching = minimum_deletion_repair(
+            places, PLACES_FDS, strategy=DeletionStrategy.MATCHING
+        )
+        assert exact.num_deleted <= greedy.num_deleted
+        assert exact.num_deleted <= matching.num_deleted
+        # Matching is a 2-approximation.
+        assert matching.num_deleted <= 2 * exact.num_deleted
+
+    def test_heuristics_report_not_optimal(self, places):
+        greedy = minimum_deletion_repair(
+            places, PLACES_FDS, strategy=DeletionStrategy.GREEDY
+        )
+        assert not greedy.optimal
+
+    def test_component_limit_falls_back_to_greedy(self, places):
+        repair = minimum_deletion_repair(
+            places, PLACES_FDS, exact_component_limit=2
+        )
+        assert not repair.optimal
+        for declared in PLACES_FDS:
+            for single in declared.decompose():
+                assert is_exact(repair.repaired, single)
+
+    def test_accepts_prebuilt_conflict_graph(self, places):
+        graph = build_conflict_graph(places, PLACES_FDS)
+        repair = minimum_deletion_repair(places, PLACES_FDS, conflict_graph=graph)
+        assert repair.num_deleted > 0
+
+    def test_deletion_fraction(self, places):
+        repair = minimum_deletion_repair(places, PLACES_FDS)
+        assert repair.deletion_fraction == pytest.approx(
+            repair.num_deleted / places.num_rows
+        )
+
+    def test_empty_relation(self):
+        relation = Relation.from_columns("r", {"A": [], "B": []})
+        repair = minimum_deletion_repair(relation, [fd("A -> B")])
+        assert repair.num_deleted == 0
+        assert repair.deletion_fraction == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations(max_rows=8, max_attrs=3))
+    def test_exact_matches_brute_force(self, relation):
+        """Property: EXACT equals the brute-force minimum deletion count."""
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        repair = minimum_deletion_repair(relation, [dependency])
+        assert repair.optimal
+
+        n = relation.num_rows
+        best = n
+        for k in range(n + 1):
+            if k >= best:
+                break
+            for combo in itertools.combinations(range(n), k):
+                keep = [r for r in range(n) if r not in combo]
+                if is_exact(relation.take(keep), dependency):
+                    best = k
+                    break
+            if best == k:
+                break
+        assert repair.num_deleted == best
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_relations(max_rows=12, max_attrs=3))
+    def test_minimum_deletion_equals_g3(self, relation):
+        """Cross-module invariant: for one FD, the Kivinen-Mannila g3
+        error *is* the minimum deletion fraction — keeping the plurality
+        Y-value per X-class is the optimal vertex cover of the
+        complete-multipartite conflict components."""
+        from repro.eb.measures import g3_error
+
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        repair = minimum_deletion_repair(relation, [dependency])
+        assert repair.optimal
+        n = relation.num_rows
+        assert repair.num_deleted == round(g3_error(relation, dependency) * n)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_relations(max_rows=10, max_attrs=3))
+    def test_strategies_all_restore_consistency(self, relation):
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        for strategy in DeletionStrategy:
+            repair = minimum_deletion_repair(relation, [dependency], strategy=strategy)
+            assert is_exact(repair.repaired, dependency)

@@ -1,0 +1,179 @@
+"""Tests for value-update repair and consistent query answering."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datarepair.cqa import (
+    AnswerTier,
+    answer_tiers,
+    certain_answers,
+    possible_answers,
+)
+from repro.datarepair.update import value_update_repair
+from repro.fd.fd import fd
+from repro.fd.measures import is_exact
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+PLACES_FDS = [
+    fd("[District, Region] -> [AreaCode]"),
+    fd("[Zip] -> [City, State]"),
+    fd("[PhNo, Zip] -> [Street]"),
+]
+
+
+class TestValueUpdateRepair:
+    def test_consistent_instance_changes_nothing(self, tiny_relation):
+        repair = value_update_repair(tiny_relation, [fd("A -> C")])
+        assert repair.num_changes == 0
+        assert repair.converged
+        assert repair.passes == 1
+
+    def test_single_fd_minimal_changes(self):
+        # Class sizes: majority 3, minorities 2 + 1 => exactly 3 changes.
+        relation = Relation.from_columns(
+            "r",
+            {"X": ["x"] * 6, "Y": ["a", "a", "a", "b", "b", "c"]},
+        )
+        repair = value_update_repair(relation, [fd("X -> Y")])
+        assert repair.num_changes == 3
+        assert all(change.new_value == "a" for change in repair.changes)
+        assert is_exact(repair.repaired, fd("X -> Y"))
+
+    def test_majority_tie_breaks_to_earliest_row(self):
+        relation = Relation.from_columns(
+            "r", {"X": ["x", "x"], "Y": ["b", "a"]}
+        )
+        repair = value_update_repair(relation, [fd("X -> Y")])
+        (change,) = repair.changes
+        assert change.row == 1
+        assert change.new_value == "b"
+
+    def test_places_full_repair(self, places):
+        repair = value_update_repair(places, PLACES_FDS)
+        assert repair.converged
+        for declared in PLACES_FDS:
+            for single in declared.decompose():
+                assert is_exact(repair.repaired, single)
+        # Update repair keeps every tuple (the contrast with deletion).
+        assert repair.repaired.num_rows == places.num_rows
+
+    def test_cross_fd_interaction_converges(self):
+        # Fixing X -> Y rewrites Y, which participates in Y -> Z.
+        relation = Relation.from_columns(
+            "r",
+            {
+                "X": ["x", "x", "w"],
+                "Y": ["a", "b", "a"],
+                "Z": ["p", "q", "p"],
+            },
+        )
+        fds = [fd("X -> Y"), fd("Y -> Z")]
+        repair = value_update_repair(relation, fds)
+        assert repair.converged
+        for dependency in fds:
+            assert is_exact(repair.repaired, dependency)
+
+    def test_max_passes_respected(self, places):
+        repair = value_update_repair(places, PLACES_FDS, max_passes=1)
+        assert repair.passes == 1
+
+    def test_change_fraction(self, places):
+        repair = value_update_repair(places, PLACES_FDS)
+        expected = repair.num_changes / (places.num_rows * places.arity)
+        assert repair.change_fraction == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations())
+    def test_converged_repairs_are_consistent(self, relation):
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        repair = value_update_repair(relation, [dependency])
+        if repair.converged:
+            assert is_exact(repair.repaired, dependency)
+            assert repair.repaired.num_rows == relation.num_rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations())
+    def test_single_fd_change_count_is_minimal(self, relation):
+        """Property: per violating X-class, exactly |class| − |largest
+        Y-group| cells change — no fewer can restore agreement."""
+        from repro.datarepair.conflicts import violating_groups
+
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        expected = sum(
+            sum(len(g) for g in groups) - max(len(g) for g in groups)
+            for groups in violating_groups(relation, dependency)
+        )
+        repair = value_update_repair(relation, [dependency])
+        assert repair.num_changes == expected
+
+
+class TestCQA:
+    def test_certain_rows_are_conflict_free(self, places):
+        certain = certain_answers(places, PLACES_FDS)
+        assert certain.num_rows == 0  # every Places tuple conflicts
+
+    def test_possible_includes_everything(self, places):
+        assert possible_answers(places, PLACES_FDS).num_rows == places.num_rows
+
+    def test_certain_subset_of_possible(self, tiny_relation):
+        fds = [fd("A -> B")]
+        certain = certain_answers(tiny_relation, fds)
+        possible = possible_answers(tiny_relation, fds)
+        assert certain.num_rows <= possible.num_rows
+
+    def test_predicate_is_applied(self, places):
+        result = possible_answers(
+            places, PLACES_FDS, predicate=lambda row: row["State"] == "IL"
+        )
+        assert result.num_rows == 6
+        assert all(row["State"] == "IL" for row in result.to_dicts())
+
+    def test_tiers_label_every_selected_row(self, tiny_relation):
+        # A -> B violated by rows 2, 3; rows 0, 1 are conflict-free.
+        tiers = answer_tiers(tiny_relation, [fd("A -> B")])
+        by_index = {t.index: t.tier for t in tiers}
+        assert by_index[0] is AnswerTier.CERTAIN
+        assert by_index[1] is AnswerTier.CERTAIN
+        assert by_index[2] is AnswerTier.POSSIBLE
+        assert by_index[3] is AnswerTier.POSSIBLE
+
+    def test_tiers_respect_predicate(self, tiny_relation):
+        tiers = answer_tiers(
+            tiny_relation, [fd("A -> B")], predicate=lambda row: row["A"] == "a1"
+        )
+        assert {t.index for t in tiers} == {0, 1}
+
+    def test_consistent_instance_all_certain(self, tiny_relation):
+        tiers = answer_tiers(tiny_relation, [fd("A -> C")])
+        assert all(t.tier is AnswerTier.CERTAIN for t in tiers)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations(max_rows=8))
+    def test_certain_rows_survive_every_brute_force_repair(self, relation):
+        """Property: certain answers appear in every maximal consistent subset."""
+        import itertools
+
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        certain = certain_answers(relation, [dependency])
+        certain_set = {tuple(row) for row in certain.rows()}
+        n = relation.num_rows
+        if n > 8:
+            return
+        # Enumerate maximal consistent subsets.
+        all_rows = list(range(n))
+        consistent = [
+            frozenset(keep)
+            for size in range(n, -1, -1)
+            for keep in itertools.combinations(all_rows, size)
+            if is_exact(relation.take(list(keep)), dependency)
+        ]
+        maximal = [
+            s for s in consistent if not any(o > s for o in consistent)
+        ]
+        for repair_rows in maximal:
+            kept = {tuple(relation.row(i)) for i in repair_rows}
+            assert certain_set <= kept

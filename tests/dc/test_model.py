@@ -1,0 +1,174 @@
+"""Tests for denial-constraint syntax and pairwise semantics."""
+
+import pytest
+
+from repro.dc.model import DCError, DenialConstraint, Operator, Predicate
+
+
+class TestOperator:
+    def test_negations_are_involutive(self):
+        for op in Operator:
+            assert op.negation.negation is op
+
+    def test_eq_ne_are_mutual_negations(self):
+        assert Operator.EQ.negation is Operator.NE
+        assert Operator.NE.negation is Operator.EQ
+
+    def test_order_negations(self):
+        assert Operator.LT.negation is Operator.GE
+        assert Operator.LE.negation is Operator.GT
+
+    def test_is_order(self):
+        assert not Operator.EQ.is_order
+        assert not Operator.NE.is_order
+        assert all(
+            op.is_order for op in (Operator.LT, Operator.LE, Operator.GT, Operator.GE)
+        )
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (Operator.EQ, 1, 1, True),
+            (Operator.EQ, 1, 2, False),
+            (Operator.NE, "a", "b", True),
+            (Operator.LT, 1, 2, True),
+            (Operator.LE, 2, 2, True),
+            (Operator.GT, 3, 2, True),
+            (Operator.GE, 2, 3, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+
+class TestPredicate:
+    def test_evaluate_reads_both_rows(self):
+        pred = Predicate("A", Operator.EQ)
+        assert pred.evaluate({"A": 1}, {"A": 1})
+        assert not pred.evaluate({"A": 1}, {"A": 2})
+
+    def test_negation(self):
+        pred = Predicate("A", Operator.LT)
+        assert pred.negation == Predicate("A", Operator.GE)
+
+    def test_str(self):
+        assert str(Predicate("City", Operator.NE)) == "t.City != s.City"
+
+
+class TestDenialConstraint:
+    def test_requires_predicates(self):
+        with pytest.raises(DCError):
+            DenialConstraint([])
+
+    def test_rejects_contradictory_conjunction(self):
+        # t.A = s.A and t.A != s.A can never co-hold: the DC is trivial.
+        with pytest.raises(DCError):
+            DenialConstraint(
+                [Predicate("A", Operator.EQ), Predicate("A", Operator.NE)]
+            )
+
+    def test_rejects_lt_with_ge(self):
+        with pytest.raises(DCError):
+            DenialConstraint(
+                [Predicate("A", Operator.LT), Predicate("A", Operator.GE)]
+            )
+
+    def test_allows_lt_with_le_same_attribute(self):
+        # < and <= are compatible (both hold when strictly smaller).
+        dc = DenialConstraint(
+            [Predicate("A", Operator.LT), Predicate("A", Operator.LE)]
+        )
+        assert dc.size == 2
+
+    def test_predicates_canonical_order_and_dedup(self):
+        a = DenialConstraint(
+            [Predicate("B", Operator.NE), Predicate("A", Operator.EQ)]
+        )
+        b = DenialConstraint(
+            [
+                Predicate("A", Operator.EQ),
+                Predicate("B", Operator.NE),
+                Predicate("A", Operator.EQ),
+            ]
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+        assert [p.attribute for p in a.predicates] == ["A", "B"]
+
+    def test_pair_semantics(self):
+        # not(t.A = s.A and t.B != s.B): the FD A -> B on a pair.
+        dc = DenialConstraint(
+            [Predicate("A", Operator.EQ), Predicate("B", Operator.NE)]
+        )
+        assert dc.is_satisfied_by_pair({"A": 1, "B": 2}, {"A": 1, "B": 2})
+        assert dc.is_satisfied_by_pair({"A": 1, "B": 2}, {"A": 9, "B": 3})
+        assert not dc.is_satisfied_by_pair({"A": 1, "B": 2}, {"A": 1, "B": 3})
+
+    def test_violations_enumerates_ordered_pairs(self):
+        dc = DenialConstraint(
+            [Predicate("A", Operator.EQ), Predicate("B", Operator.NE)]
+        )
+        rows = [{"A": 1, "B": 1}, {"A": 1, "B": 2}, {"A": 2, "B": 1}]
+        pairs = dc.violations(rows)
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert all(0 in p or 1 in p for p in pairs)
+
+    def test_violations_limit(self):
+        dc = DenialConstraint([Predicate("A", Operator.EQ)])
+        rows = [{"A": 1}] * 5
+        assert len(dc.violations(rows, limit=3)) == 3
+
+    def test_implies_subset_of_conjuncts(self):
+        weak = DenialConstraint(
+            [
+                Predicate("A", Operator.EQ),
+                Predicate("B", Operator.EQ),
+                Predicate("C", Operator.NE),
+            ]
+        )
+        strong = DenialConstraint(
+            [Predicate("A", Operator.EQ), Predicate("C", Operator.NE)]
+        )
+        assert strong.implies(weak)
+        assert not weak.implies(strong)
+
+    def test_str_round_trips_attributes(self):
+        dc = DenialConstraint(
+            [Predicate("A", Operator.EQ), Predicate("B", Operator.NE)]
+        )
+        assert str(dc) == "not(t.A = s.A and t.B != s.B)"
+        assert dc.attributes == frozenset({"A", "B"})
+
+
+class TestParseAndSerialize:
+    def test_parse_round_trips_str(self):
+        original = DenialConstraint(
+            [
+                Predicate("A", Operator.EQ),
+                Predicate("B", Operator.NE),
+                Predicate("N", Operator.LE),
+            ]
+        )
+        assert DenialConstraint.parse(str(original)) == original
+
+    def test_parse_is_case_and_space_tolerant(self):
+        dc = DenialConstraint.parse("NOT( t.A = s.A AND t.B != s.B )")
+        assert dc.size == 2
+
+    def test_parse_rejects_missing_not(self):
+        with pytest.raises(DCError):
+            DenialConstraint.parse("t.A = s.A")
+
+    def test_parse_rejects_cross_attribute_predicates(self):
+        with pytest.raises(DCError):
+            DenialConstraint.parse("not(t.A = s.B)")
+
+    def test_parse_rejects_garbage_predicate(self):
+        with pytest.raises(DCError):
+            DenialConstraint.parse("not(t.A ~ s.A)")
+
+    def test_dict_round_trip(self):
+        original = DenialConstraint(
+            [Predicate("X", Operator.GT), Predicate("Y", Operator.EQ)]
+        )
+        assert DenialConstraint.from_dict(original.to_dict()) == original

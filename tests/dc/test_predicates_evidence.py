@@ -1,0 +1,120 @@
+"""Tests for the predicate space and the evidence-set construction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dc.evidence import build_evidence_set
+from repro.dc.model import Operator, Predicate
+from repro.dc.predicates import build_predicate_space
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+
+class TestPredicateSpace:
+    def test_string_attributes_get_eq_ne_only(self, places):
+        space = build_predicate_space(places, attributes=["City"])
+        assert {p.operator for p in space.predicates} == {Operator.EQ, Operator.NE}
+
+    def test_numeric_attributes_get_order_predicates(self):
+        relation = Relation.from_columns("r", {"N": [1, 2, 3]})
+        space = build_predicate_space(relation)
+        assert space.size == 6
+
+    def test_order_predicates_can_be_disabled(self):
+        relation = Relation.from_columns("r", {"N": [1, 2, 3]})
+        space = build_predicate_space(relation, order_predicates=False)
+        assert space.size == 2
+
+    def test_nullable_attributes_excluded_by_default(self):
+        relation = Relation.from_columns("r", {"A": ["x", None], "B": ["y", "z"]})
+        space = build_predicate_space(relation)
+        assert space.attributes == ("B",)
+
+    def test_nullable_numeric_gets_no_order_predicates(self):
+        relation = Relation.from_columns("r", {"N": [1, None, 3]})
+        space = build_predicate_space(relation, include_nullable=True)
+        assert {p.operator for p in space.predicates} == {Operator.EQ, Operator.NE}
+
+    def test_mask_round_trip(self, places):
+        space = build_predicate_space(places, order_predicates=False)
+        preds = (space.equality("City"), space.inequality("State"))
+        mask = space.mask_of(preds)
+        assert set(space.predicates_of(mask)) == set(preds)
+
+    def test_index_of_unknown_predicate_raises(self, places):
+        space = build_predicate_space(places, attributes=["City"])
+        with pytest.raises(KeyError):
+            space.index_of(Predicate("State", Operator.EQ))
+
+
+class TestEvidenceSet:
+    def test_total_pairs_counts_ordered_pairs(self, places):
+        space = build_predicate_space(places, order_predicates=False)
+        evidence = build_evidence_set(places, space)
+        n = places.num_rows
+        assert evidence.total_pairs == n * (n - 1)
+        assert not evidence.sampled
+
+    def test_violations_match_fd_semantics(self, places):
+        # The DC form of F1 must be violated: F1 fails on Places.
+        from repro.dc.bridge import fd_to_dc
+        from repro.fd.fd import fd
+
+        space = build_predicate_space(places, order_predicates=False)
+        evidence = build_evidence_set(places, space)
+        mask = space.mask_of(fd_to_dc(fd("[District, Region] -> [AreaCode]")).predicates)
+        assert evidence.violations_of(mask) > 0
+        fixed = space.mask_of(
+            fd_to_dc(fd("[District, Region, Municipal] -> [AreaCode]")).predicates
+        )
+        assert evidence.violations_of(fixed) == 0
+        assert evidence.is_valid(fixed)
+
+    def test_sampling_bounds_pairs(self, places):
+        space = build_predicate_space(places, order_predicates=False)
+        evidence = build_evidence_set(places, space, max_pairs=10)
+        assert evidence.sampled
+        assert evidence.total_pairs == 20  # 10 unordered pairs, both orders
+
+    def test_order_predicate_bits_are_swapped_not_copied(self):
+        relation = Relation.from_columns("r", {"N": [1, 2]})
+        space = build_predicate_space(relation)
+        evidence = build_evidence_set(relation, space)
+        lt = 1 << space.index_of(Predicate("N", Operator.LT))
+        gt = 1 << space.index_of(Predicate("N", Operator.GT))
+        masks = list(evidence.counts)
+        assert any(mask & lt for mask in masks)
+        assert any(mask & gt for mask in masks)
+        # No single evidence can claim both strict orders.
+        assert all(not (mask & lt and mask & gt) for mask in masks)
+
+    def test_equal_values_satisfy_le_and_ge(self):
+        relation = Relation.from_columns("r", {"N": [5, 5]})
+        space = build_predicate_space(relation)
+        evidence = build_evidence_set(relation, space)
+        le = 1 << space.index_of(Predicate("N", Operator.LE))
+        ge = 1 << space.index_of(Predicate("N", Operator.GE))
+        eq = 1 << space.index_of(Predicate("N", Operator.EQ))
+        (mask,) = evidence.counts
+        assert mask & le and mask & ge and mask & eq
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations())
+    def test_evidence_agrees_with_naive_pair_scan(self, relation):
+        """Property: bitmask evidence == predicate-by-predicate evaluation."""
+        space = build_predicate_space(relation, order_predicates=False)
+        if not space.size or relation.num_rows < 2:
+            return
+        evidence = build_evidence_set(relation, space)
+        rows = relation.to_dicts()
+        naive: dict[int, int] = {}
+        for i, left in enumerate(rows):
+            for j, right in enumerate(rows):
+                if i == j:
+                    continue
+                mask = 0
+                for k, pred in enumerate(space.predicates):
+                    if pred.evaluate(left, right):
+                        mask |= 1 << k
+                naive[mask] = naive.get(mask, 0) + 1
+        assert naive == evidence.counts

@@ -1,0 +1,77 @@
+"""Tests for the discover-then-relax workflow (the paper's §2 argument)."""
+
+import pytest
+
+from repro.core.repair import find_first_repair
+from repro.dc.relax import RelaxOutcome, discover_then_relax
+from repro.fd.fd import fd
+from repro.relational.relation import Relation
+
+
+class TestDiscoverThenRelax:
+    def test_valid_fd_passes_through(self, places):
+        report = discover_then_relax(places, [fd("[Street] -> [City]")])
+        (verdict,) = report.verdicts
+        assert verdict.outcome is RelaxOutcome.ALREADY_VALID
+        assert verdict.repaired
+
+    def test_paper_failure_mode_on_places_f1(self, places):
+        """District -> Region holds on Places, so mined *minimal* FDs for
+        AreaCode never carry both District and Region — the relax step
+        cannot find an extension of F1 even though CB repairs it."""
+        f1 = fd("[District, Region] -> [AreaCode]")
+        report = discover_then_relax(places, [f1], max_size=4)
+        verdict = report.verdict_for(f1)
+        assert verdict.outcome is RelaxOutcome.FD_FOUND_ELSEWHERE
+        assert not verdict.repaired
+        assert verdict.alternatives  # mined FDs exist, just not extensions
+        # ... while the CB search finds the Table 1 repair directly.
+        repair = find_first_repair(places, f1)
+        assert repair is not None
+        assert repair.added == ("Municipal",)
+
+    def test_extension_found_when_minimal_antecedent_contains_designers(self, places):
+        report = discover_then_relax(places, [fd("[Zip] -> [City]")], max_size=4)
+        (verdict,) = report.verdicts
+        assert verdict.outcome is RelaxOutcome.EXTENSION_FOUND
+        assert all(
+            set(ext.antecedent) > {"Zip"} and ext.consequent == ("City",)
+            for ext in verdict.extensions
+        )
+
+    def test_nothing_found_when_repair_exceeds_dc_size_bound(self, places):
+        # F3's repair needs |antecedent| 3 => DC size 4; bound to 3 and
+        # the workflow comes back empty-handed for the consequent.
+        f3 = fd("[PhNo, Zip] -> [Street]")
+        report = discover_then_relax(places, [f3], max_size=3)
+        verdict = report.verdict_for(f3)
+        assert verdict.outcome in (
+            RelaxOutcome.NOTHING_FOUND,
+            RelaxOutcome.FD_FOUND_ELSEWHERE,
+        )
+        assert not verdict.repaired
+
+    def test_multi_consequent_fds_are_decomposed(self, places):
+        report = discover_then_relax(places, [fd("[Zip] -> [City, State]")])
+        assert len(report.verdicts) == 2
+        consequents = {v.fd.consequent for v in report.verdicts}
+        assert consequents == {("City",), ("State",)}
+
+    def test_report_accounting(self, places):
+        report = discover_then_relax(places, [fd("[Zip] -> [City]")])
+        assert report.discovery is not None
+        assert report.discovery_seconds >= 0
+        assert report.total_seconds >= report.discovery_seconds
+        assert report.repaired_count == sum(1 for v in report.verdicts if v.repaired)
+
+    def test_verdict_for_unknown_fd_raises(self, places):
+        report = discover_then_relax(places, [fd("[Zip] -> [City]")])
+        with pytest.raises(ValueError):
+            report.verdict_for(fd("[A] -> [B]"))
+
+    def test_clean_relation_all_valid(self):
+        relation = Relation.from_columns(
+            "r", {"K": ["a", "b", "c"], "V": ["1", "2", "3"]}
+        )
+        report = discover_then_relax(relation, [fd("K -> V")])
+        assert report.repaired_count == 1

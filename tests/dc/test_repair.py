@@ -1,0 +1,162 @@
+"""Tests for CB-style denial-constraint repair (the §7 extension)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dc.bridge import dc_to_fd, fd_to_dc
+from repro.dc.evidence import build_evidence_set
+from repro.dc.model import DenialConstraint, Operator, Predicate
+from repro.dc.predicates import build_predicate_space
+from repro.dc.repair import dc_confidence, extend_dc_by_one, repair_dc
+from repro.fd.fd import fd
+from repro.fd.measures import is_exact
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+
+def _evidence(relation):
+    space = build_predicate_space(relation, order_predicates=False)
+    return build_evidence_set(relation, space)
+
+
+class TestDcConfidence:
+    def test_valid_dc_has_confidence_one(self, places):
+        evidence = _evidence(places)
+        assert dc_confidence(evidence, fd_to_dc(fd("[Street] -> [City]"))) == 1.0
+
+    def test_violated_dc_below_one(self, places):
+        evidence = _evidence(places)
+        dc = fd_to_dc(fd("[District, Region] -> [AreaCode]"))
+        assert dc_confidence(evidence, dc) < 1.0
+
+    def test_empty_relation_vacuous(self):
+        relation = Relation.from_columns("r", {"A": [], "B": []})
+        evidence = _evidence(relation)
+        dc = fd_to_dc(fd("A -> B"))
+        assert dc_confidence(evidence, dc) == 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations())
+    def test_confidence_one_iff_fd_exact(self, relation):
+        """DC confidence 1 on an FD-shaped DC ⟺ the FD is exact."""
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        evidence = _evidence(relation)
+        dc = fd_to_dc(dependency)
+        assert (dc_confidence(evidence, dc) == 1.0) == is_exact(relation, dependency)
+
+
+class TestExtendDcByOne:
+    def test_reproduces_table1_verdicts(self, places):
+        """Municipal and PhNo both yield exact DCs; Municipal wins the
+        collateral (goodness-analogue) tie-break, as in Table 1."""
+        evidence = _evidence(places)
+        dc = fd_to_dc(fd("[District, Region] -> [AreaCode]"))
+        candidates = extend_dc_by_one(evidence, dc)
+        exact = [c for c in candidates if c.is_exact]
+        as_fds = [dc_to_fd(c.dc) for c in exact]
+        assert fd("[District, Region, Municipal] -> [AreaCode]") == as_fds[0]
+        assert fd("[District, Region, PhNo] -> [AreaCode]") == as_fds[1]
+        assert exact[0].collateral < exact[1].collateral
+
+    def test_skips_contradictory_predicates(self, places):
+        evidence = _evidence(places)
+        dc = fd_to_dc(fd("[District, Region] -> [AreaCode]"))
+        # No candidate may pair t.District != s.District with the
+        # existing t.District = s.District.
+        for candidate in extend_dc_by_one(evidence, dc):
+            attrs = [p.attribute for p in candidate.dc.predicates]
+            assert len(attrs) == len(set(attrs)) or all(
+                candidate.dc.predicates.count(p) == 1 for p in candidate.dc.predicates
+            )
+
+    def test_added_tracks_base(self, places):
+        evidence = _evidence(places)
+        base = fd_to_dc(fd("[District, Region] -> [AreaCode]"))
+        first = extend_dc_by_one(evidence, base)[0]
+        assert len(first.added) == 1
+        second = extend_dc_by_one(evidence, first.dc, base=base)
+        assert all(len(c.added) == 2 for c in second)
+
+
+class TestRepairDc:
+    def test_valid_dc_needs_no_repair(self, places):
+        evidence = _evidence(places)
+        result = repair_dc(evidence, fd_to_dc(fd("[Street] -> [City]")))
+        assert not result.was_violated
+        assert not result.found
+
+    def test_places_f1_repaired_with_one_predicate(self, places):
+        evidence = _evidence(places)
+        result = repair_dc(evidence, fd_to_dc(fd("[District, Region] -> [AreaCode]")))
+        assert result.found
+        best = result.best
+        assert len(best.added) == 1
+        assert dc_to_fd(best.dc) == fd("[District, Region, Municipal] -> [AreaCode]")
+
+    def test_repairs_agree_with_fd_search(self, places):
+        """Cross-check: DC repair and the CB FD search find the same
+        exact one-step extensions for F1."""
+        from repro.core.candidates import extend_by_one
+
+        evidence = _evidence(places)
+        base = fd("[District, Region] -> [AreaCode]")
+        dc_result = repair_dc(evidence, fd_to_dc(base), max_added=1)
+        dc_exact = {dc_to_fd(c.dc) for c in dc_result.repairs}
+        fd_exact = {c.fd for c in extend_by_one(places, base) if c.is_exact}
+        assert dc_exact == fd_exact
+
+    def test_stop_at_first_returns_minimal(self, places):
+        evidence = _evidence(places)
+        result = repair_dc(
+            evidence,
+            fd_to_dc(fd("[District, Region] -> [AreaCode]")),
+            stop_at_first=True,
+        )
+        assert len(result.repairs) == 1
+        assert len(result.best.added) == 1
+
+    def test_max_added_bounds_search(self, places):
+        evidence = _evidence(places)
+        result = repair_dc(
+            evidence, fd_to_dc(fd("[PhNo, Zip] -> [Street]")), max_added=1
+        )
+        assert all(len(c.added) <= 2 for c in result.repairs)
+
+    def test_non_fd_shaped_dc_repairable_too(self):
+        # Two equal salaries with different levels; forbid "same level,
+        # lower salary" style pairs via an order predicate.
+        relation = Relation.from_columns(
+            "emp",
+            {
+                "Level": ["L1", "L1", "L2", "L2"],
+                "Dept": ["d1", "d2", "d1", "d2"],
+                "Salary": [100, 200, 300, 300],
+            },
+        )
+        space = build_predicate_space(relation, order_predicates=True)
+        evidence = build_evidence_set(relation, space)
+        # "same level implies same salary" is violated (L1: 100 vs 200).
+        dc = DenialConstraint(
+            [Predicate("Level", Operator.EQ), Predicate("Salary", Operator.NE)]
+        )
+        result = repair_dc(evidence, dc, max_added=1)
+        assert result.was_violated
+        assert result.found
+        # Adding t.Dept = s.Dept repairs it: within (Level, Dept) the
+        # salary is unique.
+        repaired_preds = {
+            (p.attribute, p.operator) for p in result.best.dc.predicates
+        }
+        assert ("Dept", Operator.EQ) in repaired_preds
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_relations(max_rows=8, max_attrs=3))
+    def test_repaired_dcs_are_valid(self, relation):
+        names = relation.attribute_names
+        dependency = fd(f"{names[0]} -> {names[1]}")
+        evidence = _evidence(relation)
+        result = repair_dc(evidence, fd_to_dc(dependency), max_added=1)
+        for candidate in result.repairs:
+            mask = evidence.space.mask_of(candidate.dc.predicates)
+            assert evidence.violations_of(mask) == 0

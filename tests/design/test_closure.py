@@ -1,0 +1,143 @@
+"""Tests for attribute closure, implication, and minimal covers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design.closure import (
+    attribute_closure,
+    equivalent_covers,
+    implies,
+    is_redundant,
+    minimal_cover,
+)
+from repro.fd.fd import FunctionalDependency, fd
+
+CHAIN = [fd("A -> B"), fd("B -> C"), fd("C -> D")]
+
+
+def random_fd_sets():
+    attrs = ["A", "B", "C", "D"]
+
+    @st.composite
+    def _build(draw):
+        count = draw(st.integers(1, 5))
+        fds = []
+        for _ in range(count):
+            consequent = draw(st.sampled_from(attrs))
+            pool = [a for a in attrs if a != consequent]
+            size = draw(st.integers(1, 2))
+            antecedent = draw(
+                st.lists(st.sampled_from(pool), min_size=size, max_size=size, unique=True)
+            )
+            fds.append(FunctionalDependency(antecedent, (consequent,)))
+        return fds
+
+    return _build()
+
+
+class TestAttributeClosure:
+    def test_chain_fires_transitively(self):
+        assert attribute_closure(["A"], CHAIN) == {"A", "B", "C", "D"}
+
+    def test_start_mid_chain(self):
+        assert attribute_closure(["C"], CHAIN) == {"C", "D"}
+
+    def test_no_fds(self):
+        assert attribute_closure(["A", "B"], []) == {"A", "B"}
+
+    def test_multi_attribute_antecedent_requires_all(self):
+        fds = [fd("[A, B] -> [C]")]
+        assert attribute_closure(["A"], fds) == {"A"}
+        assert attribute_closure(["A", "B"], fds) == {"A", "B", "C"}
+
+    def test_closure_is_monotone_in_start_set(self):
+        small = attribute_closure(["A"], CHAIN)
+        large = attribute_closure(["A", "X"], CHAIN)
+        assert small <= large
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_fd_sets())
+    def test_closure_is_idempotent(self, fds):
+        first = attribute_closure(["A"], fds)
+        assert attribute_closure(first, fds) == first
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_fd_sets())
+    def test_closure_contains_start(self, fds):
+        assert {"A", "B"} <= attribute_closure(["A", "B"], fds)
+
+
+class TestImplies:
+    def test_transitivity(self):
+        assert implies(CHAIN, fd("A -> D"))
+
+    def test_augmentation(self):
+        assert implies([fd("A -> B")], fd("[A, C] -> [B]"))
+
+    def test_non_implication(self):
+        assert not implies(CHAIN, fd("D -> A"))
+
+    def test_redundancy(self):
+        fds = [fd("A -> B"), fd("B -> C"), fd("A -> C")]
+        assert is_redundant(fds, fds[2])
+        assert not is_redundant(fds, fds[0])
+
+
+class TestMinimalCover:
+    def test_drops_transitive_fd(self):
+        cover = minimal_cover([fd("A -> B"), fd("B -> C"), fd("A -> C")])
+        assert fd("A -> C") not in cover
+        assert len(cover) == 2
+
+    def test_left_reduction_removes_extraneous_attribute(self):
+        cover = minimal_cover([fd("[A, B] -> [C]"), fd("A -> B")])
+        assert fd("A -> C") in cover
+
+    def test_decomposes_consequents(self):
+        cover = minimal_cover([fd("A -> B, C")])
+        assert all(item.is_single_consequent for item in cover)
+        assert len(cover) == 2
+
+    def test_deduplicates(self):
+        cover = minimal_cover([fd("A -> B"), fd("A -> B")])
+        assert len(cover) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_fd_sets())
+    def test_cover_is_equivalent_to_input(self, fds):
+        cover = minimal_cover(fds)
+        assert equivalent_covers(cover, fds)
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_fd_sets())
+    def test_cover_has_no_redundant_fd(self, fds):
+        cover = minimal_cover(fds)
+        for item in cover:
+            assert not is_redundant(cover, item)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_fd_sets())
+    def test_cover_is_left_reduced(self, fds):
+        cover = minimal_cover(fds)
+        for item in cover:
+            if len(item.antecedent) == 1:
+                continue
+            for attr in item.antecedent:
+                trimmed = [a for a in item.antecedent if a != attr]
+                reduced = FunctionalDependency(trimmed, item.consequent)
+                assert not implies(cover, reduced), (
+                    f"{attr} is extraneous in {item}"
+                )
+
+
+class TestEquivalentCovers:
+    def test_reflexive(self):
+        assert equivalent_covers(CHAIN, CHAIN)
+
+    def test_different_axiomatizations(self):
+        left = [fd("A -> B"), fd("B -> C")]
+        right = [fd("A -> B"), fd("B -> C"), fd("A -> C")]
+        assert equivalent_covers(left, right)
+
+    def test_inequivalent(self):
+        assert not equivalent_covers([fd("A -> B")], [fd("B -> A")])

@@ -1,0 +1,181 @@
+"""Tests for key discovery, BCNF, and 3NF synthesis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design.closure import attribute_closure, implies
+from repro.design.normalize import (
+    bcnf_violations,
+    candidate_keys,
+    decompose_bcnf,
+    is_bcnf,
+    prime_attributes,
+    synthesize_3nf,
+)
+from repro.fd.fd import FunctionalDependency, fd
+
+R_ABCD = ["A", "B", "C", "D"]
+CHAIN = [fd("A -> B"), fd("B -> C")]
+
+
+def random_schemas():
+    attrs = ["A", "B", "C", "D", "E"]
+
+    @st.composite
+    def _build(draw):
+        count = draw(st.integers(0, 4))
+        fds = []
+        for _ in range(count):
+            consequent = draw(st.sampled_from(attrs))
+            pool = [a for a in attrs if a != consequent]
+            size = draw(st.integers(1, 2))
+            antecedent = draw(
+                st.lists(st.sampled_from(pool), min_size=size, max_size=size, unique=True)
+            )
+            fds.append(FunctionalDependency(antecedent, (consequent,)))
+        return attrs, fds
+
+    return _build()
+
+
+class TestCandidateKeys:
+    def test_chain_schema(self):
+        assert candidate_keys(R_ABCD, CHAIN) == [frozenset({"A", "D"})]
+
+    def test_no_fds_whole_schema_is_key(self):
+        assert candidate_keys(["A", "B"], []) == [frozenset({"A", "B"})]
+
+    def test_cyclic_fds_give_multiple_keys(self):
+        keys = candidate_keys(["A", "B"], [fd("A -> B"), fd("B -> A")])
+        assert set(keys) == {frozenset({"A"}), frozenset({"B"})}
+
+    def test_max_keys_caps_output(self):
+        fds = [fd("A -> B"), fd("B -> A"), fd("A -> C"), fd("C -> A")]
+        keys = candidate_keys(["A", "B", "C"], fds, max_keys=2)
+        assert len(keys) == 2
+
+    def test_prime_attributes(self):
+        prime = prime_attributes(["A", "B", "C"], [fd("A -> B"), fd("B -> A"), fd("A -> C")])
+        assert prime == {"A", "B"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_schemas())
+    def test_keys_are_keys_and_minimal(self, schema):
+        attrs, fds = schema
+        universe = frozenset(attrs)
+        for key in candidate_keys(attrs, fds):
+            assert attribute_closure(key, fds) == universe
+            for attr in key:
+                smaller = key - {attr}
+                assert attribute_closure(smaller, fds) != universe
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_schemas())
+    def test_keys_are_pairwise_incomparable(self, schema):
+        attrs, fds = schema
+        keys = candidate_keys(attrs, fds)
+        for i, left in enumerate(keys):
+            for right in keys[i + 1 :]:
+                assert not (left <= right or right <= left)
+
+
+class TestBcnf:
+    def test_chain_schema_violates(self):
+        violations = bcnf_violations(R_ABCD, CHAIN)
+        assert fd("A -> B") in violations
+        assert fd("B -> C") in violations
+        assert not is_bcnf(R_ABCD, CHAIN)
+
+    def test_key_fd_satisfies(self):
+        assert is_bcnf(["A", "B"], [fd("A -> B")])
+
+    def test_decomposition_fragments_are_bcnf(self):
+        result = decompose_bcnf(R_ABCD, CHAIN)
+        for fragment in result.fragments:
+            # Project the cover onto the fragment and re-test.
+            assert is_bcnf(
+                fragment,
+                [f for f in result.preserved if set(f.attributes) <= set(fragment)],
+            )
+
+    def test_decomposition_covers_all_attributes(self):
+        result = decompose_bcnf(R_ABCD, CHAIN)
+        union = set().union(*(set(f) for f in result.fragments))
+        assert union == set(R_ABCD)
+
+    def test_classic_dependency_loss_case(self):
+        # R(A,B,C) with AB -> C, C -> B: BCNF must lose AB -> C.
+        result = decompose_bcnf(["A", "B", "C"], [fd("[A, B] -> [C]"), fd("C -> B")])
+        assert not result.is_dependency_preserving
+        assert fd("[A, B] -> [C]") in result.lost
+
+    def test_already_bcnf_schema_stays_whole(self):
+        result = decompose_bcnf(["A", "B"], [fd("A -> B")])
+        assert result.fragments == (("A", "B"),)
+        assert result.is_dependency_preserving
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_schemas())
+    def test_decomposition_is_lossless_shape(self, schema):
+        """Fragments always share a 'join path': the union covers the
+        schema and every split kept the splitting antecedent on both
+        sides (the structural losslessness invariant of the algorithm)."""
+        attrs, fds = schema
+        result = decompose_bcnf(attrs, fds)
+        union = set().union(*(set(f) for f in result.fragments)) if result.fragments else set()
+        assert union == set(attrs)
+
+
+class TestSynthesize3nf:
+    def test_chain_synthesis(self):
+        result = synthesize_3nf(R_ABCD, CHAIN)
+        fragments = {frozenset(f) for f in result.fragments}
+        assert frozenset({"A", "B"}) in fragments
+        assert frozenset({"B", "C"}) in fragments
+        assert any(frozenset({"A", "D"}) <= f for f in fragments)
+
+    def test_synthesis_preserves_dependencies(self):
+        result = synthesize_3nf(
+            ["A", "B", "C"], [fd("[A, B] -> [C]"), fd("C -> B")]
+        )
+        assert result.is_dependency_preserving
+        for dependency in (fd("[A, B] -> [C]"), fd("C -> B")):
+            assert any(
+                set(dependency.attributes) <= set(f) for f in result.fragments
+            )
+
+    def test_no_fds_gives_single_key_fragment(self):
+        result = synthesize_3nf(["A", "B"], [])
+        assert result.fragments == (("A", "B"),)
+
+    def test_contained_fragments_are_absorbed(self):
+        result = synthesize_3nf(
+            ["A", "B", "C"], [fd("A -> B"), fd("[A, B] -> [C]")]
+        )
+        fragments = [set(f) for f in result.fragments]
+        for i, left in enumerate(fragments):
+            for j, right in enumerate(fragments):
+                if i != j:
+                    assert not left < right
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_schemas())
+    def test_synthesis_always_dependency_preserving(self, schema):
+        attrs, fds = schema
+        result = synthesize_3nf(attrs, fds)
+        assert result.is_dependency_preserving
+        # Every cover FD is checkable inside one fragment.
+        for dependency in result.preserved:
+            assert any(
+                set(dependency.attributes) <= set(f) for f in result.fragments
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_schemas())
+    def test_synthesis_contains_a_key(self, schema):
+        attrs, fds = schema
+        result = synthesize_3nf(attrs, fds)
+        keys = candidate_keys(attrs, fds)
+        assert any(
+            any(key <= set(f) for f in result.fragments) for key in keys
+        )

@@ -1,0 +1,126 @@
+"""Tests for entropy, conditional entropy, and Variation of Information."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eb.entropy import (
+    EntropyCost,
+    conditional_entropy,
+    entropy,
+    joint_class_counts,
+    variation_of_information,
+)
+from repro.relational.partition import Partition
+
+codes_lists = st.lists(st.integers(0, 4), min_size=1, max_size=25)
+
+
+class TestEntropy:
+    def test_single_class_is_zero(self):
+        assert entropy(Partition.single_class(8)) == 0.0
+
+    def test_uniform_two_classes(self):
+        partition = Partition.from_codes([0, 0, 1, 1])
+        assert entropy(partition) == pytest.approx(math.log(2))
+
+    def test_discrete_partition(self):
+        partition = Partition.from_codes([0, 1, 2, 3])
+        assert entropy(partition) == pytest.approx(math.log(4))
+
+    def test_empty(self):
+        assert entropy(Partition.single_class(0)) == 0.0
+
+    def test_cost_tracking(self):
+        cost = EntropyCost()
+        entropy(Partition.from_codes([0, 1]), cost)
+        assert cost.rows_touched == 2
+
+
+class TestJointCounts:
+    def test_counts_intersections(self):
+        left = Partition.from_codes([0, 0, 1, 1])
+        right = Partition.from_codes([0, 1, 0, 1])
+        joint = joint_class_counts(left, right)
+        assert len(joint) == 4
+        assert all(count == 1 for count in joint.values())
+
+    def test_total_is_num_rows(self):
+        left = Partition.from_codes([0, 1, 0, 1, 2])
+        right = Partition.from_codes([0, 0, 0, 1, 1])
+        assert sum(joint_class_counts(left, right).values()) == 5
+
+    def test_cost_tracks_intersections(self):
+        cost = EntropyCost()
+        left = Partition.from_codes([0, 0, 1])
+        joint_class_counts(left, left, cost)
+        assert cost.intersections == 2
+        assert cost.rows_touched == 6
+
+
+class TestConditionalEntropy:
+    def test_self_conditioning_is_zero(self):
+        partition = Partition.from_codes([0, 0, 1, 2])
+        assert conditional_entropy(partition, partition) == pytest.approx(0.0)
+
+    def test_refinement_given_coarser(self):
+        coarse = Partition.from_codes([0, 0, 0, 0])
+        fine = Partition.from_codes([0, 0, 1, 1])
+        # H(fine | coarse) = log 2; H(coarse | fine) = 0.
+        assert conditional_entropy(fine, coarse) == pytest.approx(math.log(2))
+        assert conditional_entropy(coarse, fine) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        target = Partition.from_codes([0, 0, 1, 1])
+        given_p = Partition.from_codes([0, 1, 0, 1])
+        # Independent uniform halves: H(target|given) = log 2.
+        assert conditional_entropy(target, given_p) == pytest.approx(math.log(2))
+
+
+class TestVI:
+    def test_identical_clusterings(self):
+        partition = Partition.from_codes([0, 1, 0, 2])
+        assert variation_of_information(partition, partition) == pytest.approx(0.0)
+
+    def test_chain_rule_value(self):
+        left = Partition.from_codes([0, 0, 1, 1])
+        right = Partition.from_codes([0, 1, 0, 1])
+        assert variation_of_information(left, right) == pytest.approx(2 * math.log(2))
+
+
+@given(codes_lists)
+def test_property_entropy_nonnegative_and_bounded(codes):
+    partition = Partition.from_codes(codes)
+    h = entropy(partition)
+    assert -1e-12 <= h <= math.log(len(codes)) + 1e-12
+
+
+@given(codes_lists, codes_lists)
+def test_property_vi_symmetric_nonnegative(a, b):
+    n = min(len(a), len(b))
+    left = Partition.from_codes(a[:n])
+    right = Partition.from_codes(b[:n])
+    vi_lr = variation_of_information(left, right)
+    vi_rl = variation_of_information(right, left)
+    assert vi_lr == pytest.approx(vi_rl)
+    assert vi_lr >= -1e-12
+
+
+@given(codes_lists, codes_lists)
+def test_property_vi_zero_iff_equal_partitions(a, b):
+    n = min(len(a), len(b))
+    left = Partition.from_codes(a[:n])
+    right = Partition.from_codes(b[:n])
+    same = sorted(map(sorted, left.classes)) == sorted(map(sorted, right.classes))
+    assert (variation_of_information(left, right) < 1e-12) == same
+
+
+@given(codes_lists, codes_lists)
+def test_property_conditional_entropy_of_refinement(a, b):
+    """H(coarse | fine) = 0 whenever fine refines coarse."""
+    n = min(len(a), len(b))
+    base = Partition.from_codes(a[:n])
+    fine = base.refine(b[:n])
+    assert conditional_entropy(base, fine) == pytest.approx(0.0, abs=1e-12)

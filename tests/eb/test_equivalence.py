@@ -1,0 +1,132 @@
+"""Theorem 1 (Section 5): the ε_CB / ε_VI equivalence — and its erratum.
+
+The paper claims ε_CB and ε_VI have the same null sets.  Property tests
+here confirm the direction that holds (ε_CB = 0 ⟹ ε_VI = 0) and pin
+down, as a regression test, the counterexample showing the converse
+fails — the reproduction finding recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.strategies import relations
+from hypothesis import strategies as st
+
+from repro.eb.measures import epsilon_cb, epsilon_vi, measures_agree_on_zero
+from repro.fd.fd import FunctionalDependency, fd
+from repro.fd.measures import assess
+from repro.relational.relation import Relation
+
+
+def candidate_cases():
+    """(relation, base FD, added attrs) triples over random instances."""
+
+    @st.composite
+    def _build(draw):
+        relation = draw(relations(min_rows=1, min_attrs=3, max_attrs=5))
+        names = list(relation.attribute_names)
+        base = FunctionalDependency((names[0],), (names[1],))
+        extras = names[2:]
+        count = draw(st.integers(0, min(2, len(extras))))
+        added = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(extras),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        )
+        return relation, base, added
+
+    return _build()
+
+
+class TestEpsilonCB:
+    def test_zero_iff_exact_and_bijective(self, places):
+        from repro.datagen.places import F1
+
+        assert epsilon_cb(places, F1) > 0
+        # Municipal: c = 1, g = 0 → ε_CB = 0 (the paper's best case).
+        assert epsilon_cb(places, F1, ("Municipal",)) == pytest.approx(0.0)
+        # PhNo: c = 1 but g = 3 → ε_CB = 3.
+        assert epsilon_cb(places, F1, ("PhNo",)) == pytest.approx(3.0)
+
+    def test_combines_ic_and_goodness(self, places):
+        from repro.datagen.places import F1
+
+        a = assess(places, F1.extended("Street"))
+        assert epsilon_cb(places, F1, ("Street",)) == pytest.approx(
+            a.inconsistency + abs(a.goodness)
+        )
+
+
+class TestEpsilonVI:
+    def test_zero_for_municipal(self, places):
+        from repro.datagen.places import F1
+
+        assert epsilon_vi(places, F1, ("Municipal",)) == pytest.approx(0.0)
+
+    def test_positive_for_violating_candidate(self, places):
+        from repro.datagen.places import F1
+
+        assert epsilon_vi(places, F1, ("State",)) > 0
+
+
+class TestTheorem1SoundDirection:
+    @given(candidate_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_cb_zero_implies_vi_zero(self, case):
+        relation, base, added = case
+        assert measures_agree_on_zero(relation, base, added)
+
+    @given(candidate_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_vi_zero_implies_exactness(self, case):
+        """What ε_VI = 0 *does* guarantee: the candidate FD is exact
+        (confidence 1) and C_XZ equals the ground truth C_XY."""
+        relation, base, added = case
+        if epsilon_vi(relation, base, added) > 1e-12:
+            return
+        candidate = base.extended(*added) if added else base
+        assert assess(relation, candidate).is_exact
+
+
+class TestTheorem1Erratum:
+    def test_counterexample_vi_zero_but_cb_positive(self):
+        """Two tuples (x=a, z=z1, y=y1), (x=b, z=z2, y=y1): C_XZ = C_XY
+        (both discrete) so ε_VI = 0, yet goodness = |π_XZ| − |π_Y| =
+        2 − 1 = 1, so ε_CB = 1.  The paper's proof step "∀y ∃! (x, z)"
+        assumes an injectivity that VI = 0 does not provide."""
+        relation = Relation.from_columns(
+            "counter", {"X": ["a", "b"], "Z": ["z1", "z2"], "Y": ["y1", "y1"]}
+        )
+        base = fd("X -> Y")
+        assert epsilon_vi(relation, base, ("Z",)) == pytest.approx(0.0)
+        assert epsilon_cb(relation, base, ("Z",)) == pytest.approx(1.0)
+
+    def test_counterexample_candidate_is_still_a_valid_repair(self):
+        """The erratum is about *measure equivalence*, not correctness:
+        the counterexample's candidate FD is exact, so both methods
+        still accept it as a repair — they only disagree on the score."""
+        relation = Relation.from_columns(
+            "counter", {"X": ["a", "b"], "Z": ["z1", "z2"], "Y": ["y1", "y1"]}
+        )
+        assert assess(relation, fd("[X, Z] -> [Y]")).is_exact
+
+
+class TestRankingAgreement:
+    @given(relations(min_rows=2, min_attrs=3, max_attrs=5))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_candidate_sets_agree(self, relation):
+        """CB and EB mark the same one-step candidates as exact — the
+        operational consequence of the (sound half of) Theorem 1."""
+        from repro.core.candidates import extend_by_one
+        from repro.eb.repair import eb_extend_by_one
+
+        names = list(relation.attribute_names)
+        base = FunctionalDependency((names[0],), (names[1],))
+        cb = {c.added[-1] for c in extend_by_one(relation, base) if c.is_exact}
+        eb = {c.attribute for c in eb_extend_by_one(relation, base) if c.is_exact}
+        assert cb == eb

@@ -1,0 +1,74 @@
+"""Tests for the §5-referenced approximation measures (g3, [21])."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.strategies import relation_and_fd
+from repro.eb.measures import g3_error, information_dependency
+from repro.fd.fd import fd
+from repro.fd.measures import assess, is_exact
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def half_broken():
+    """A -> B violated in one of two X-classes; g3 = 1/4."""
+    return Relation.from_columns(
+        "r",
+        {
+            "A": ["a1", "a1", "a2", "a2"],
+            "B": ["b1", "b2", "b3", "b3"],
+        },
+    )
+
+
+class TestG3:
+    def test_known_value(self, half_broken):
+        assert g3_error(half_broken, fd("A -> B")) == pytest.approx(0.25)
+
+    def test_zero_for_exact(self, half_broken):
+        assert g3_error(half_broken, fd("B -> A")) == 0.0
+
+    def test_empty_relation(self):
+        relation = Relation.from_columns("r", {"A": [], "B": []})
+        assert g3_error(relation, fd("A -> B")) == 0.0
+
+    def test_plurality_not_first(self):
+        relation = Relation.from_columns(
+            "r", {"A": ["a"] * 5, "B": ["b1", "b2", "b2", "b2", "b3"]}
+        )
+        # Keep the three b2 rows: drop 2 of 5.
+        assert g3_error(relation, fd("A -> B")) == pytest.approx(0.4)
+
+
+class TestInformationDependency:
+    def test_zero_for_exact(self, half_broken):
+        assert information_dependency(half_broken, fd("B -> A")) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_positive_for_violated(self, half_broken):
+        assert information_dependency(half_broken, fd("A -> B")) > 0
+
+
+@given(relation_and_fd())
+@settings(max_examples=60, deadline=None)
+def test_property_null_set_equivalence(pair):
+    """The §5 claim about [21]: ic, H(C_XY|C_X) and g3 share null sets —
+    all three vanish exactly on satisfied FDs."""
+    relation, f = pair
+    exact = is_exact(relation, f)
+    ic = assess(relation, f).inconsistency
+    info = information_dependency(relation, f)
+    g3 = g3_error(relation, f)
+    assert (ic < 1e-12) == exact
+    assert (info < 1e-12) == exact
+    assert (g3 < 1e-12) == exact
+
+
+@given(relation_and_fd())
+@settings(max_examples=60, deadline=None)
+def test_property_g3_bounds(pair):
+    relation, f = pair
+    g3 = g3_error(relation, f)
+    assert 0.0 <= g3 < 1.0

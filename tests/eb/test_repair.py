@@ -1,0 +1,88 @@
+"""Tests for the EB (entropy-based) repair method."""
+
+import pytest
+
+from repro.datagen.places import F1, F3, F4, places_relation
+from repro.eb.repair import eb_extend_by_one, eb_repair
+from repro.fd.measures import is_exact
+
+
+@pytest.fixture
+def places():
+    return places_relation()
+
+
+class TestEBExtendByOne:
+    def test_candidates_cover_r_minus_xy(self, places):
+        candidates = eb_extend_by_one(places, F1)
+        assert {c.attribute for c in candidates} == {
+            "Municipal",
+            "PhNo",
+            "Street",
+            "Zip",
+            "City",
+            "State",
+        }
+
+    def test_homogeneity_zero_iff_exact(self, places):
+        for candidate in eb_extend_by_one(places, F1):
+            assert candidate.is_homogeneous == is_exact(places, candidate.fd)
+
+    def test_municipal_beats_phno_via_completeness(self, places):
+        """EB's tie-break mirrors the paper's goodness argument: both
+        Municipal and PhNo are homogeneous (exact), but Municipal's
+        C_A is 'more complete' w.r.t. the ground truth."""
+        ranked = eb_extend_by_one(places, F1)
+        names = [c.attribute for c in ranked]
+        assert names[0] == "Municipal"
+        assert names.index("Municipal") < names.index("PhNo")
+
+    def test_agrees_with_cb_on_table1_exactness(self, places):
+        exact = {c.attribute for c in eb_extend_by_one(places, F1) if c.is_exact}
+        assert exact == {"Municipal", "PhNo"}
+
+    def test_cost_metering(self, places):
+        from repro.eb.entropy import EntropyCost
+
+        cost = EntropyCost()
+        eb_extend_by_one(places, F1, cost=cost)
+        assert cost.rows_touched > 0
+        assert cost.intersections > 0
+
+    def test_candidate_str(self, places):
+        assert "H(XY|XA)" in str(eb_extend_by_one(places, F1)[0])
+
+
+class TestEBRepair:
+    def test_repairs_f1_with_municipal(self, places):
+        result = eb_repair(places, F1)
+        assert result.found
+        assert result.added == ("Municipal",)
+        assert is_exact(places, result.repaired)
+
+    def test_single_step_cannot_repair_f4(self, places):
+        """The published EB method adds one attribute; F4 needs two —
+        the limitation the paper highlights in Section 5."""
+        result = eb_repair(places, F4, max_added_attributes=1)
+        assert not result.found
+        assert len(result.added) == 1
+
+    def test_greedy_multi_step_repairs_f4(self, places):
+        result = eb_repair(places, F4, max_added_attributes=2)
+        assert result.found
+        assert len(result.added) == 2
+        assert result.added[0] == "Street"  # the greedy first pick
+        assert is_exact(places, result.repaired)
+
+    def test_exact_fd_returns_immediately(self, places):
+        result = eb_repair(places, F1.extended("Municipal"))
+        assert result.found
+        assert result.added == ()
+        assert result.cost.rows_touched == 0
+
+    def test_unrepairable_fd(self, places):
+        result = eb_repair(places, F3, max_added_attributes=3)
+        assert not result.found
+
+    def test_elapsed_recorded(self, places):
+        assert eb_repair(places, F1).elapsed_seconds >= 0

@@ -1,0 +1,112 @@
+"""Tests for the clustering view of FDs (Definitions 5-6)."""
+
+from hypothesis import given
+
+from tests.strategies import relation_and_fd
+from repro.datagen.places import F1, places_relation
+from repro.fd.clustering import (
+    induced_mapping,
+    is_complete,
+    is_function,
+    is_homogeneous,
+    is_well_defined_function,
+    proper_association,
+    x_clustering,
+)
+from repro.fd.fd import fd
+from repro.fd.measures import assess
+
+
+class TestXClustering:
+    def test_groups_by_values(self, tiny_relation):
+        clustering = x_clustering(tiny_relation, ["A"])
+        assert clustering.num_classes == 2
+
+    def test_figure2a_clusters(self):
+        places = places_relation()
+        cx = x_clustering(places, ["District", "Region"])
+        cy = x_clustering(places, ["AreaCode"])
+        assert cx.num_classes == 2
+        assert cy.num_classes == 4
+
+
+class TestProperAssociation:
+    def test_contained_class(self, tiny_relation):
+        cy = x_clustering(tiny_relation, ["C"])
+        assert proper_association([0, 1], cy) is not None
+
+    def test_straddling_class(self, tiny_relation):
+        cb = x_clustering(tiny_relation, ["B"])
+        assert proper_association([2, 3], cb) is None
+
+
+class TestMappings:
+    def test_figure2_mapping_exists_for_municipal(self):
+        places = places_relation()
+        cx = x_clustering(places, ["District", "Region", "Municipal"])
+        cy = x_clustering(places, ["AreaCode"])
+        mapping = induced_mapping(cx, cy)
+        assert mapping is not None
+        # Bijective: 4 clusters map onto 4 clusters.
+        assert len(set(mapping.values())) == cy.num_classes
+
+    def test_figure2_no_function_for_f1(self):
+        places = places_relation()
+        cx = x_clustering(places, ["District", "Region"])
+        cy = x_clustering(places, ["AreaCode"])
+        assert induced_mapping(cx, cy) is None
+
+    def test_is_function_matches_satisfaction(self):
+        places = places_relation()
+        assert not is_function(places, F1)
+        assert is_function(places, F1.extended("Municipal"))
+        assert is_function(places, F1.extended("PhNo"))
+
+    def test_well_defined_prefers_municipal_over_phno(self):
+        """The Section 3 intuition: Municipal yields a bijection, PhNo doesn't."""
+        places = places_relation()
+        assert is_well_defined_function(places, F1.extended("Municipal"))
+        assert not is_well_defined_function(places, F1.extended("PhNo"))
+
+
+class TestHomogeneityCompleteness:
+    def test_homogeneous(self, tiny_relation):
+        ca = x_clustering(tiny_relation, ["A", "B"])
+        cb = x_clustering(tiny_relation, ["A"])
+        assert is_homogeneous(ca, cb)
+        assert not is_homogeneous(cb, ca)
+
+    def test_complete(self, tiny_relation):
+        coarse = x_clustering(tiny_relation, ["A"])
+        fine = x_clustering(tiny_relation, ["A", "B"])
+        assert is_complete(coarse, fine)
+
+
+@given(relation_and_fd())
+def test_property_function_iff_exact(pair):
+    """Clustering view ⇔ counting view: a function C_X → C_Y exists iff
+    the FD is exact (the paper's two characterizations agree)."""
+    relation, f = pair
+    counting = assess(relation, f).is_exact
+    clustering = is_function(relation, f)
+    assert counting == clustering
+
+
+@given(relation_and_fd())
+def test_property_bijective_iff_exact_and_goodness_zero(pair):
+    """{c = 1, g = 0} ⇔ well-defined (bijective) function (Section 3)."""
+    relation, f = pair
+    a = assess(relation, f)
+    assert is_well_defined_function(relation, f) == (a.is_exact and a.goodness == 0)
+
+
+@given(relation_and_fd())
+def test_property_cxy_refines_both(pair):
+    """C_XY is always finer than both C_X and C_Y (|C_XY| >= |C_X|)."""
+    relation, f = pair
+    cxy = relation.partition(list(f.attributes))
+    cx = relation.partition(list(f.antecedent))
+    cy = relation.partition(list(f.consequent))
+    assert cxy.refines(cx)
+    assert cxy.refines(cy)
+    assert cxy.num_classes >= max(cx.num_classes, cy.num_classes)

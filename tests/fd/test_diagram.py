@@ -1,0 +1,63 @@
+"""Tests for the Figure 2 clustering diagrams."""
+
+from repro.datagen.places import F1, places_relation
+from repro.fd.diagram import explain_repair, render_clustering, render_fd_diagram
+from repro.fd.fd import fd
+from repro.relational.relation import Relation
+
+
+class TestRenderClustering:
+    def test_figure2a_left_panel(self):
+        text = render_clustering(places_relation(), ["District", "Region"])
+        assert "2 cluster(s)" in text
+        assert "[t1 t2 t3 t4 t5]" in text
+        assert "[t6 t7 t8 t9 t10 t11]" in text
+        assert "District='Brookside'" in text
+
+    def test_values_can_be_hidden(self):
+        text = render_clustering(
+            places_relation(), ["AreaCode"], show_values=False
+        )
+        assert "AreaCode=" not in text
+        assert "4 cluster(s)" in text
+
+    def test_class_truncation(self):
+        relation = Relation.from_columns("r", {"A": ["x"] * 30})
+        text = render_clustering(relation, ["A"])
+        assert "…(+18)" in text
+
+    def test_cluster_count_truncation(self):
+        relation = Relation.from_columns("r", {"A": [f"v{i}" for i in range(20)]})
+        text = render_clustering(relation, ["A"], max_classes=3)
+        assert "17 more cluster(s)" in text
+
+
+class TestRenderFDDiagram:
+    def test_violated_fd_verdict(self):
+        text = render_fd_diagram(places_relation(), F1)
+        assert "NOT a function" in text
+        assert "confidence=0.5" in text
+
+    def test_bijective_verdict(self):
+        text = render_fd_diagram(places_relation(), F1.extended("Municipal"))
+        assert "BIJECTIVE" in text
+
+    def test_non_injective_verdict(self):
+        text = render_fd_diagram(places_relation(), F1.extended("PhNo"))
+        assert "not injective" in text
+        assert "7 antecedent cluster(s) onto 4" in text
+
+
+class TestExplainRepair:
+    def test_before_after_narrative(self):
+        relation = places_relation()
+        text = explain_repair(relation, F1, F1.extended("Municipal"))
+        assert "added attributes: Municipal" in text
+        assert "confidence: 0.5 → 1" in text
+        assert "--- before ---" in text and "--- after ---" in text
+        assert "BIJECTIVE" in text
+
+    def test_no_added_attributes(self):
+        relation = places_relation()
+        text = explain_repair(relation, F1, F1)
+        assert "(none)" in text

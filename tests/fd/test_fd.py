@@ -1,0 +1,126 @@
+"""Tests for the FunctionalDependency model."""
+
+import pytest
+
+from repro.fd.fd import FDSyntaxError, FunctionalDependency, fd
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = FunctionalDependency(("A", "B"), ("C",))
+        assert f.antecedent == ("A", "B")
+        assert f.consequent == ("C",)
+
+    def test_string_sides_promoted(self):
+        f = FunctionalDependency("A", "B")
+        assert f.antecedent == ("A",)
+        assert f.consequent == ("B",)
+
+    def test_duplicate_names_deduplicated(self):
+        f = FunctionalDependency(("A", "A", "B"), ("C",))
+        assert f.antecedent == ("A", "B")
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(FDSyntaxError):
+            FunctionalDependency(("A",), ("A",))
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(FDSyntaxError):
+            FunctionalDependency((), ("A",))
+        with pytest.raises(FDSyntaxError):
+            FunctionalDependency(("A",), ())
+
+    def test_blank_name_rejected(self):
+        with pytest.raises(FDSyntaxError):
+            FunctionalDependency(("  ",), ("A",))
+
+
+class TestParse:
+    def test_paper_notation(self):
+        f = FunctionalDependency.parse("[District, Region] -> [AreaCode]")
+        assert f.antecedent == ("District", "Region")
+        assert f.consequent == ("AreaCode",)
+
+    def test_brackets_optional(self):
+        assert fd("A, B -> C") == FunctionalDependency(("A", "B"), ("C",))
+
+    def test_unicode_arrow(self):
+        assert fd("A → B") == FunctionalDependency(("A",), ("B",))
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(FDSyntaxError):
+            fd("A, B")
+
+    def test_two_arrows_rejected(self):
+        with pytest.raises(FDSyntaxError):
+            fd("A -> B -> C")
+
+    def test_round_trip_via_str(self):
+        original = fd("[A, B] -> [C, D]")
+        assert FunctionalDependency.parse(str(original)) == original
+
+
+class TestEquality:
+    def test_set_based_per_side(self):
+        assert fd("A, B -> C") == fd("B, A -> C")
+        assert hash(fd("A, B -> C")) == hash(fd("B, A -> C"))
+
+    def test_sides_not_interchangeable(self):
+        assert fd("A -> B") != fd("B -> A")
+
+    def test_not_equal_to_other_types(self):
+        assert fd("A -> B") != "A -> B"
+
+
+class TestIntrospection:
+    def test_attributes_and_size(self):
+        f = fd("[A, B] -> [C]")
+        assert f.attributes == ("A", "B", "C")
+        assert f.size == 3
+
+    def test_overlap(self):
+        # |F2 ∩ F3| = |{Zip}| = 1 in the paper's example.
+        f2 = fd("[Zip] -> [City, State]")
+        f3 = fd("[PhNo, Zip] -> [Street]")
+        assert f2.overlap(f3) == 1
+        assert f2.overlap(f2) == 3
+
+    def test_is_single_consequent(self):
+        assert fd("A -> B").is_single_consequent
+        assert not fd("A -> B, C").is_single_consequent
+
+
+class TestDerivation:
+    def test_decompose(self):
+        parts = fd("[Zip] -> [City, State]").decompose()
+        assert parts == [fd("Zip -> City"), fd("Zip -> State")]
+
+    def test_decompose_single_is_identity_list(self):
+        f = fd("A -> B")
+        assert f.decompose() == [f]
+
+    def test_extended_appends(self):
+        extended = fd("[District] -> [PhNo]").extended("Street", "Municipal")
+        assert extended.antecedent == ("District", "Street", "Municipal")
+
+    def test_extended_skips_existing(self):
+        extended = fd("[A, B] -> [C]").extended("A", "D")
+        assert extended.antecedent == ("A", "B", "D")
+
+    def test_extended_rejects_consequent_attrs(self):
+        with pytest.raises(FDSyntaxError):
+            fd("A -> B").extended("B")
+
+    def test_added_over(self):
+        base = fd("[District] -> [PhNo]")
+        extended = base.extended("Street", "AreaCode")
+        assert extended.added_over(base) == ("Street", "AreaCode")
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = fd("[A, B] -> [C]")
+        assert FunctionalDependency.from_dict(original.to_dict()) == original
+
+    def test_str_format(self):
+        assert str(fd("A,B -> C")) == "[A, B] -> [C]"

@@ -1,0 +1,147 @@
+"""Tests for confidence, goodness, and satisfaction (Definitions 2-4)."""
+
+import pytest
+from hypothesis import given
+
+from tests.strategies import relation_and_fd
+from repro.fd.fd import fd
+from repro.fd.measures import (
+    assess,
+    confidence,
+    goodness,
+    inconsistency_degree,
+    is_exact,
+    is_satisfied,
+    violating_pairs,
+)
+from repro.relational.errors import NullValueError
+from repro.relational.relation import Relation
+
+
+class TestAssess:
+    def test_exact_fd(self, tiny_relation):
+        # A -> C holds: a1 -> c1, a2 -> c2.
+        a = assess(tiny_relation, fd("A -> C"))
+        assert a.confidence == 1.0
+        assert a.is_exact
+        assert a.inconsistency == 0.0
+
+    def test_violated_fd(self, tiny_relation):
+        # A -> B is violated (a2 maps to b2 and b3).
+        a = assess(tiny_relation, fd("A -> B"))
+        assert a.confidence == pytest.approx(2 / 3)
+        assert not a.is_exact
+
+    def test_goodness_sign(self, tiny_relation):
+        assert goodness(tiny_relation, fd("A -> B")) == 2 - 3
+        assert goodness(tiny_relation, fd("B -> A")) == 3 - 2
+
+    def test_bijective_case(self, tiny_relation):
+        a = assess(tiny_relation, fd("A -> C"))
+        assert a.goodness == 0
+        assert a.is_bijective
+
+    def test_exact_but_not_bijective(self):
+        relation = Relation.from_columns(
+            "r", {"A": ["a1", "a2"], "B": ["b", "b"]}
+        )
+        a = assess(relation, fd("A -> B"))
+        assert a.is_exact and not a.is_bijective
+        assert a.goodness == 1
+
+    def test_empty_relation_vacuously_exact(self):
+        relation = Relation.from_columns("r", {"A": [], "B": []})
+        a = assess(relation, fd("A -> B"))
+        assert a.confidence == 1.0
+        assert a.is_exact
+
+    def test_multi_attribute_sides(self, places):
+        a = assess(places, fd("[Zip] -> [City, State]"))
+        assert a.confidence == pytest.approx(2 / 3)
+
+    def test_nulls_rejected_by_default(self):
+        relation = Relation.from_columns("r", {"A": ["x", None], "B": ["y", "y"]})
+        with pytest.raises(NullValueError):
+            assess(relation, fd("A -> B"))
+
+    def test_nulls_allowed_explicitly(self):
+        relation = Relation.from_columns("r", {"A": ["x", None], "B": ["y", "y"]})
+        a = assess(relation, fd("A -> B"), allow_nulls=True)
+        assert a.confidence == 1.0
+
+    def test_str_rendering(self, tiny_relation):
+        text = str(assess(tiny_relation, fd("A -> B")))
+        assert "confidence" in text and "goodness" in text
+
+
+class TestHelpers:
+    def test_confidence_and_inconsistency_sum_to_one(self, tiny_relation):
+        f = fd("A -> B")
+        assert confidence(tiny_relation, f) + inconsistency_degree(
+            tiny_relation, f
+        ) == pytest.approx(1.0)
+
+    def test_is_exact_matches_is_satisfied(self, tiny_relation):
+        for f in (fd("A -> B"), fd("A -> C"), fd("B -> A")):
+            assert is_exact(tiny_relation, f) == is_satisfied(tiny_relation, f)
+
+
+class TestViolatingPairs:
+    def test_exact_fd_has_no_witnesses(self, tiny_relation):
+        assert violating_pairs(tiny_relation, fd("A -> C")) == []
+
+    def test_violated_fd_witnesses(self, tiny_relation):
+        pairs = violating_pairs(tiny_relation, fd("A -> B"))
+        assert (2, 3) in pairs or (3, 2) in pairs
+
+    def test_limit(self, places):
+        from repro.datagen.places import F1
+
+        pairs = violating_pairs(places, F1, limit=2)
+        assert len(pairs) == 2
+
+    def test_witnesses_actually_violate(self, places):
+        from repro.datagen.places import F2
+
+        for t1, t2 in violating_pairs(places, F2):
+            row1, row2 = places.to_dicts()[t1], places.to_dicts()[t2]
+            assert row1["Zip"] == row2["Zip"]
+            assert (row1["City"], row1["State"]) != (row2["City"], row2["State"])
+
+
+@given(relation_and_fd())
+def test_property_definition2_equals_exactness(pair):
+    """Pairwise satisfaction (Definition 2) ⇔ confidence = 1 (Definition 4).
+
+    This is the paper's central observation in Section 3; we verify it
+    against the witness-based checker on random instances.
+    """
+    relation, f = pair
+    assert (not violating_pairs(relation, f)) == is_exact(relation, f)
+
+
+@given(relation_and_fd())
+def test_property_confidence_in_unit_interval(pair):
+    relation, f = pair
+    a = assess(relation, f)
+    assert 0.0 < a.confidence <= 1.0
+
+
+@given(relation_and_fd())
+def test_property_extension_of_exact_stays_exact(pair):
+    """Adding antecedent attributes preserves exactness (augmentation)."""
+    relation, f = pair
+    if not is_exact(relation, f):
+        return
+    extras = [a for a in relation.attribute_names if a not in f.attributes]
+    for attr in extras:
+        assert is_exact(relation, f.extended(attr))
+
+
+@given(relation_and_fd())
+def test_property_goodness_nonnegative_when_exact(pair):
+    """For exact FDs, |π_X| >= |π_Y|, so goodness >= 0 (Section 3)."""
+    relation, f = pair
+    a = assess(relation, f)
+    if a.is_exact:
+        assert a.goodness >= 0

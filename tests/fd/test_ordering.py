@@ -1,0 +1,96 @@
+"""Tests for the Section 4.1 repair ordering (rank, conflict score)."""
+
+import pytest
+from hypothesis import given
+
+from tests.strategies import relations
+from repro.datagen.places import F1, F2, F3, places_relation
+from repro.fd.fd import FunctionalDependency, fd
+from repro.fd.ordering import conflict_score, order_fds, repair_rank
+
+
+@pytest.fixture
+def places():
+    return places_relation()
+
+
+ALL = [F1, F2, F3]
+
+
+class TestConflictScore:
+    def test_no_overlap_is_zero(self, places):
+        # F1 shares no attribute with F2 or F3.
+        assert conflict_score(F1, ALL) == 0.0
+
+    def test_shared_attribute(self):
+        # F2 and F3 share Zip; both have |F| = 3, so each term is 1/3
+        # and the normalized score is (1/3) / 3.
+        assert conflict_score(F2, ALL) == pytest.approx((1 / 3) / 3)
+        assert conflict_score(F3, ALL) == pytest.approx((1 / 3) / 3)
+
+    def test_include_self_adds_constant(self):
+        without = [conflict_score(f, ALL) for f in ALL]
+        with_self = [conflict_score(f, ALL, include_self=True) for f in ALL]
+        for a, b in zip(without, with_self):
+            assert b == pytest.approx(a + (1 / 3))
+
+    def test_include_self_preserves_order(self, places):
+        plain = [item.fd for item in order_fds(places, ALL)]
+        with_self = [item.fd for item in order_fds(places, ALL, include_self=True)]
+        assert plain == with_self
+
+    def test_empty_fd_set(self):
+        assert conflict_score(F1, []) == 0.0
+
+    def test_max_normalization(self):
+        small = fd("A -> B")
+        large = fd("[A, C, D] -> [E]")
+        # |small ∩ large| = 1, max(|small|, |large|) = 4.
+        assert conflict_score(small, [large]) == pytest.approx(1 / 4)
+
+
+class TestRank:
+    def test_paper_f1_rank(self, places):
+        # The paper's worked value: O_F1 = 0.25 (ic = 0.5, cf = 0).
+        assert repair_rank(places, F1, ALL) == pytest.approx(0.25)
+
+    def test_paper_order(self, places):
+        """F1 before F2 before F3, as in Section 4.1.
+
+        Note: the paper prints O_F2 = 0.167 and O_F3 = 0.056, which
+        assume cf = 0 even though F2 and F3 share ``Zip``; the formula
+        as written yields 0.222 and 0.111 — same order (DESIGN.md §3).
+        """
+        ranked = order_fds(places, ALL)
+        assert [item.fd for item in ranked] == [F1, F2, F3]
+        assert ranked[0].rank == pytest.approx(0.25)
+        assert ranked[1].rank == pytest.approx((1 / 3 + 1 / 9) / 2)
+        assert ranked[2].rank == pytest.approx((1 / 9 + 1 / 9) / 2)
+
+    def test_exact_fd_ranks_by_conflict_only(self, places):
+        exact = fd("[District, Region, Municipal] -> [AreaCode]")
+        rank = repair_rank(places, exact, [exact, F1])
+        assert rank == pytest.approx(conflict_score(exact, [exact, F1]) / 2)
+
+    def test_deterministic_tie_break(self, places):
+        f_a = fd("City -> State")
+        f_b = fd("State -> City")
+        ranked1 = order_fds(places, [f_a, f_b])
+        ranked2 = order_fds(places, [f_b, f_a])
+        assert [i.fd for i in ranked1] == [i.fd for i in ranked2]
+
+    def test_ranked_fd_str(self, places):
+        item = order_fds(places, ALL)[0]
+        assert "O=" in str(item)
+
+
+@given(relations(min_rows=2, min_attrs=3))
+def test_property_rank_in_unit_interval(relation):
+    names = list(relation.attribute_names)
+    fds = [
+        FunctionalDependency((names[0],), (names[1],)),
+        FunctionalDependency((names[1],), (names[2],)),
+    ]
+    for f in fds:
+        rank = repair_rank(relation, f, fds)
+        assert 0.0 <= rank <= 1.0

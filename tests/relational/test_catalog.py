@@ -1,0 +1,128 @@
+"""Tests for the catalog (relations + declared FDs + persistence)."""
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.relational.catalog import Catalog
+from repro.relational.errors import (
+    DuplicateRelationError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def catalog(tiny_relation):
+    cat = Catalog()
+    cat.add_relation(tiny_relation)
+    return cat
+
+
+FD_AB = FunctionalDependency(("A",), ("B",))
+FD_AC = FunctionalDependency(("A",), ("C",))
+
+
+class TestRelations:
+    def test_add_and_get(self, catalog, tiny_relation):
+        assert catalog.relation("tiny") is tiny_relation
+        assert "tiny" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_rejected(self, catalog, tiny_relation):
+        with pytest.raises(DuplicateRelationError):
+            catalog.add_relation(tiny_relation)
+
+    def test_replace_flag(self, catalog, tiny_relation):
+        catalog.add_relation(tiny_relation.head(1), replace=True)
+        assert catalog.relation("tiny").num_rows == 1
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(UnknownRelationError):
+            catalog.relation("ghost")
+
+    def test_replace_relation(self, catalog, tiny_relation):
+        catalog.replace_relation(tiny_relation.head(2))
+        assert catalog.relation("tiny").num_rows == 2
+
+    def test_replace_unknown_relation(self, tiny_relation):
+        with pytest.raises(UnknownRelationError):
+            Catalog().replace_relation(tiny_relation)
+
+    def test_drop_relation(self, catalog):
+        catalog.declare_fd("tiny", FD_AB)
+        catalog.drop_relation("tiny")
+        assert "tiny" not in catalog
+
+    def test_iteration_sorted(self, catalog):
+        other = Relation.from_columns("aaa", {"X": ["1"]})
+        catalog.add_relation(other)
+        assert [r.name for r in catalog] == ["aaa", "tiny"]
+
+
+class TestFDs:
+    def test_declare_and_list(self, catalog):
+        catalog.declare_fd("tiny", FD_AB)
+        assert catalog.fds("tiny") == [FD_AB]
+
+    def test_declare_is_idempotent(self, catalog):
+        catalog.declare_fd("tiny", FD_AB)
+        catalog.declare_fd("tiny", FD_AB)
+        assert len(catalog.fds("tiny")) == 1
+
+    def test_declare_checks_attributes(self, catalog):
+        with pytest.raises(UnknownAttributeError):
+            catalog.declare_fd("tiny", FunctionalDependency(("Nope",), ("B",)))
+
+    def test_declare_many(self, catalog):
+        catalog.declare_fds("tiny", [FD_AB, FD_AC])
+        assert len(catalog.fds("tiny")) == 2
+
+    def test_fds_returns_copy(self, catalog):
+        catalog.declare_fd("tiny", FD_AB)
+        catalog.fds("tiny").clear()
+        assert catalog.fds("tiny") == [FD_AB]
+
+    def test_drop_fd(self, catalog):
+        catalog.declare_fd("tiny", FD_AB)
+        catalog.drop_fd("tiny", FD_AB)
+        assert catalog.fds("tiny") == []
+
+    def test_replace_fd_keeps_position(self, catalog):
+        catalog.declare_fds("tiny", [FD_AB, FD_AC])
+        evolved = FD_AB.extended("C")
+        catalog.replace_fd("tiny", FD_AB, evolved)
+        assert catalog.fds("tiny") == [evolved, FD_AC]
+
+    def test_replace_missing_fd_appends(self, catalog):
+        catalog.replace_fd("tiny", FD_AB, FD_AC)
+        assert catalog.fds("tiny") == [FD_AC]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, places_db):
+        places_db.save(tmp_path / "db")
+        loaded = Catalog.load(tmp_path / "db")
+        assert loaded.relation_names() == places_db.relation_names()
+        original = places_db.relation("Places")
+        reloaded = loaded.relation("Places")
+        assert list(reloaded.rows()) == list(original.rows())
+        assert loaded.fds("Places") == places_db.fds("Places")
+
+    def test_round_trip_preserves_types(self, tmp_path):
+        catalog = Catalog()
+        catalog.add_relation(
+            Relation.from_columns("nums", {"n": [1, 2], "t": ["a", "b"]})
+        )
+        catalog.save(tmp_path / "db")
+        loaded = Catalog.load(tmp_path / "db")
+        assert loaded.relation("nums").column_values("n") == [1, 2]
+
+    def test_round_trip_preserves_nulls(self, tmp_path):
+        catalog = Catalog()
+        catalog.add_relation(Relation.from_columns("r", {"a": ["x", None]}))
+        catalog.save(tmp_path / "db")
+        assert Catalog.load(tmp_path / "db").relation("r").column_values("a") == [
+            "x",
+            None,
+        ]

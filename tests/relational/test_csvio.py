@@ -1,0 +1,90 @@
+"""Tests for CSV import/export."""
+
+import pytest
+from hypothesis import given
+
+from tests.strategies import relations
+from repro.relational.csvio import dumps_csv, load_csv, loads_csv, save_csv
+from repro.relational.errors import SchemaError
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+
+class TestLoad:
+    def test_infers_types(self):
+        relation = loads_csv("a,b,c\n1,x,1.5\n2,y,2.5\n")
+        assert relation.schema.attribute("a").type is AttributeType.INTEGER
+        assert relation.schema.attribute("b").type is AttributeType.STRING
+        assert relation.schema.attribute("c").type is AttributeType.FLOAT
+
+    def test_empty_fields_are_null(self):
+        relation = loads_csv("a,b\n1,\n,2\n")
+        assert relation.column_values("a") == [1, None]
+        assert relation.column_values("b") == [None, 2]
+
+    def test_header_only(self):
+        relation = loads_csv("a,b\n")
+        assert relation.num_rows == 0
+        assert relation.attribute_names == ("a", "b")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            loads_csv("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            loads_csv("a,b\n1\n")
+
+    def test_explicit_schema_coerces(self):
+        schema = RelationSchema(
+            "r", [Attribute("a", AttributeType.STRING), Attribute("b", AttributeType.INTEGER)]
+        )
+        relation = loads_csv("a,b\n001,7\n", schema=schema)
+        assert relation.row(0) == ("001", 7)  # '001' stays a string
+
+    def test_explicit_schema_header_mismatch(self):
+        schema = RelationSchema("r", ["x"])
+        with pytest.raises(SchemaError):
+            loads_csv("a\n1\n", schema=schema)
+
+    def test_custom_delimiter(self):
+        relation = loads_csv("a;b\n1;2\n", delimiter=";")
+        assert relation.row(0) == (1, 2)
+
+    def test_load_csv_uses_file_stem(self, tmp_path):
+        path = tmp_path / "cities.csv"
+        path.write_text("name\nRome\n", encoding="utf-8")
+        assert load_csv(path).name == "cities"
+
+
+class TestSave:
+    def test_round_trip_via_files(self, tmp_path, tiny_relation):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_relation, path)
+        loaded = load_csv(path)
+        assert list(loaded.rows()) == list(tiny_relation.rows())
+
+    def test_nulls_become_empty_fields(self):
+        from repro.relational.relation import Relation
+
+        relation = Relation.from_columns("r", {"a": ["x", None]})
+        # csv.writer quotes a lone empty field ('""') so the row is not
+        # mistaken for a blank line; it loads back as NULL either way.
+        assert dumps_csv(relation) == 'a\nx\n""\n'
+        assert loads_csv(dumps_csv(relation)).column_values("a") == ["x", None]
+
+    def test_booleans_render_lowercase(self):
+        from repro.relational.relation import Relation
+
+        relation = Relation.from_columns("r", {"flag": [True, False]})
+        text = dumps_csv(relation)
+        assert "true" in text and "false" in text
+        assert loads_csv(text).column_values("flag") == [True, False]
+
+
+@given(relations(min_rows=0, max_rows=10))
+def test_property_csv_round_trip(relation):
+    """dump → load preserves every row for categorical relations."""
+    loaded = loads_csv(dumps_csv(relation), name=relation.name)
+    assert loaded.attribute_names == relation.attribute_names
+    assert list(loaded.rows()) == list(relation.rows())

@@ -1,0 +1,93 @@
+"""Tests for dictionary-encoded columns."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.encoding import NULL_CODE, EncodedColumn, encode_values
+
+
+class TestFromValues:
+    def test_codes_are_dense_first_seen(self):
+        column = EncodedColumn.from_values(["b", "a", "b", "c"])
+        assert column.codes == [0, 1, 0, 2]
+        assert column.dictionary == ["b", "a", "c"]
+
+    def test_nulls_get_sentinel(self):
+        column = EncodedColumn.from_values(["x", None, "x"])
+        assert column.codes == [0, NULL_CODE, 0]
+        assert None not in column.dictionary
+
+    def test_empty(self):
+        column = EncodedColumn.from_values([])
+        assert len(column) == 0
+        assert column.cardinality == 0
+
+
+class TestIntrospection:
+    def test_cardinality_counts_non_null(self):
+        column = EncodedColumn.from_values(["a", None, "b", "a"])
+        assert column.cardinality == 2
+
+    def test_null_count_and_has_nulls(self):
+        column = EncodedColumn.from_values([None, "a", None])
+        assert column.null_count == 2
+        assert column.has_nulls
+
+    def test_no_nulls(self):
+        column = EncodedColumn.from_values(["a"])
+        assert not column.has_nulls
+        assert column.null_count == 0
+
+    def test_value_decodes(self):
+        column = EncodedColumn.from_values(["a", None])
+        assert column.value(0) == "a"
+        assert column.value(1) is None
+
+    def test_values_round_trip(self):
+        data = ["x", None, "y", "x"]
+        assert EncodedColumn.from_values(data).values() == data
+
+    def test_code_for(self):
+        column = EncodedColumn.from_values(["a", "b"])
+        assert column.code_for("b") == 1
+        assert column.code_for("zz") is None
+        assert column.code_for(None) == NULL_CODE
+
+    def test_code_for_after_reconstruction(self):
+        original = EncodedColumn.from_values(["a", "b"])
+        rebuilt = EncodedColumn(list(original.codes), list(original.dictionary))
+        assert rebuilt.code_for("a") == 0
+
+
+class TestDerivation:
+    def test_take_reencodes_compactly(self):
+        column = EncodedColumn.from_values(["a", "b", "c", "b"])
+        taken = column.take([3, 1])
+        assert taken.values() == ["b", "b"]
+        assert taken.cardinality == 1
+
+    def test_take_preserves_nulls(self):
+        column = EncodedColumn.from_values(["a", None])
+        assert column.take([1]).values() == [None]
+
+    def test_append_value_new_and_existing(self):
+        column = EncodedColumn.from_values(["a"])
+        column.append_value("b")
+        column.append_value("a")
+        column.append_value(None)
+        assert column.values() == ["a", "b", "a", None]
+        assert column.cardinality == 2
+
+
+@given(st.lists(st.one_of(st.none(), st.text(max_size=3), st.integers(-5, 5))))
+def test_property_round_trip(values):
+    """Encoding then decoding is the identity for any value list."""
+    assert encode_values(values).values() == values
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(0, 5))))
+def test_property_cardinality_matches_set(values):
+    column = encode_values(values)
+    non_null = {v for v in values if v is not None}
+    assert column.cardinality == len(non_null)
+    assert column.null_count == sum(1 for v in values if v is None)

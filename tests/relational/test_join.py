@@ -1,0 +1,134 @@
+"""Tests for natural join and the losslessness verifier."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.design.normalize import decompose_bcnf, synthesize_3nf
+from repro.fd.fd import FunctionalDependency, fd
+from repro.relational.errors import SchemaError
+from repro.relational.join import (
+    is_lossless_decomposition,
+    join_all,
+    natural_join,
+)
+from repro.relational.relation import Relation
+from tests.strategies import small_relations
+
+
+class TestNaturalJoin:
+    def test_joins_on_shared_attributes(self):
+        left = Relation.from_columns("l", {"A": ["a1", "a2"], "B": ["b1", "b2"]})
+        right = Relation.from_columns("r", {"B": ["b1", "b3"], "C": ["c1", "c3"]})
+        joined = natural_join(left, right)
+        assert joined.attribute_names == ("A", "B", "C")
+        assert set(joined.rows()) == {("a1", "b1", "c1")}
+
+    def test_multiple_matches_multiply(self):
+        left = Relation.from_columns("l", {"K": ["k", "k"], "A": ["a1", "a2"]})
+        right = Relation.from_columns("r", {"K": ["k", "k"], "B": ["b1", "b2"]})
+        assert natural_join(left, right).num_rows == 4
+
+    def test_disjoint_schemas_cross_product(self):
+        left = Relation.from_columns("l", {"A": ["a1", "a2"]})
+        right = Relation.from_columns("r", {"B": ["b1", "b2", "b3"]})
+        joined = natural_join(left, right)
+        assert joined.num_rows == 6
+
+    def test_join_on_all_attributes_is_intersection(self):
+        left = Relation.from_columns("l", {"A": ["a1", "a2"], "B": ["b1", "b2"]})
+        right = Relation.from_columns("r", {"A": ["a2", "a3"], "B": ["b2", "b3"]})
+        joined = natural_join(left, right)
+        assert set(joined.rows()) == {("a2", "b2")}
+
+    def test_type_mismatch_raises(self):
+        left = Relation.from_columns("l", {"A": [1, 2]})
+        right = Relation.from_columns("r", {"A": ["one", "two"], "B": ["x", "y"]})
+        with pytest.raises(SchemaError):
+            natural_join(left, right)
+
+    def test_empty_side_gives_empty_join(self):
+        left = Relation.from_columns("l", {"A": [], "B": []})
+        right = Relation.from_columns("r", {"B": ["b"], "C": ["c"]})
+        assert natural_join(left, right).num_rows == 0
+
+    def test_custom_name(self):
+        left = Relation.from_columns("l", {"A": ["a"]})
+        right = Relation.from_columns("r", {"A": ["a"], "B": ["b"]})
+        assert natural_join(left, right, name="out").name == "out"
+
+    def test_join_all_requires_input(self):
+        with pytest.raises(SchemaError):
+            join_all([])
+
+    def test_join_all_chains(self):
+        r1 = Relation.from_columns("r1", {"A": ["a"], "B": ["b"]})
+        r2 = Relation.from_columns("r2", {"B": ["b"], "C": ["c"]})
+        r3 = Relation.from_columns("r3", {"C": ["c"], "D": ["d"]})
+        joined = join_all([r1, r2, r3], name="chain")
+        assert set(joined.rows()) == {("a", "b", "c", "d")}
+        assert joined.name == "chain"
+
+
+class TestLosslessness:
+    def test_fd_guided_split_is_lossless(self):
+        relation = Relation.from_columns(
+            "r",
+            {"A": ["a1", "a1", "a2"], "B": ["b1", "b1", "b2"], "C": ["c1", "c2", "c1"]},
+        )
+        # A -> B holds: splitting on A+ is the textbook lossless split.
+        assert is_lossless_decomposition(relation, [("A", "B"), ("A", "C")])
+
+    def test_classic_lossy_split_detected(self):
+        relation = Relation.from_columns(
+            "r",
+            {"A": ["a1", "a2"], "B": ["b", "b"], "C": ["c1", "c2"]},
+        )
+        # Joining on the non-key B manufactures (a1, b, c2) and (a2, b, c1).
+        assert not is_lossless_decomposition(relation, [("A", "B"), ("B", "C")])
+
+    def test_fragments_must_cover_schema(self):
+        relation = Relation.from_columns("r", {"A": ["a"], "B": ["b"]})
+        with pytest.raises(SchemaError):
+            is_lossless_decomposition(relation, [("A",)])
+
+    def test_bcnf_decomposition_is_lossless_on_places(self, places):
+        fds = [
+            fd("[District, Region, Municipal] -> [AreaCode]"),
+            fd("[Street] -> [City]"),
+        ]
+        result = decompose_bcnf(places.attribute_names, fds)
+        assert is_lossless_decomposition(places, result.fragments)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations(max_rows=10, max_attrs=4))
+    def test_bcnf_decomposition_is_lossless_for_true_fds(self, relation):
+        """Property: decomposing by FDs that *hold on the instance*
+        always reassembles the instance exactly."""
+        from repro.fd.measures import is_exact
+
+        names = list(relation.attribute_names)
+        candidates = [
+            FunctionalDependency((names[0],), (names[1],)),
+            FunctionalDependency((names[1],), (names[0],)),
+        ]
+        true_fds = [f for f in candidates if is_exact(relation, f)]
+        if not true_fds or not relation.num_rows:
+            return
+        result = decompose_bcnf(names, true_fds)
+        assert is_lossless_decomposition(relation, result.fragments)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations(max_rows=10, max_attrs=4))
+    def test_3nf_synthesis_is_lossless_for_true_fds(self, relation):
+        from repro.fd.measures import is_exact
+
+        names = list(relation.attribute_names)
+        candidates = [
+            FunctionalDependency((names[0],), (names[1],)),
+            FunctionalDependency((names[-1],), (names[0],)),
+        ]
+        true_fds = [f for f in candidates if is_exact(relation, f)]
+        if not true_fds or not relation.num_rows:
+            return
+        result = synthesize_3nf(names, true_fds)
+        assert is_lossless_decomposition(relation, result.fragments)

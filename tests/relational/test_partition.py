@@ -1,0 +1,127 @@
+"""Tests for position-list partitions (the paper's X-clusterings)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.partition import Partition
+
+codes_lists = st.lists(st.integers(0, 4), min_size=0, max_size=30)
+
+
+class TestConstruction:
+    def test_single_class(self):
+        partition = Partition.single_class(4)
+        assert partition.num_classes == 1
+        assert partition.classes == [[0, 1, 2, 3]]
+
+    def test_single_class_empty(self):
+        assert Partition.single_class(0).num_classes == 0
+
+    def test_from_codes_groups_by_value(self):
+        partition = Partition.from_codes([7, 8, 7, 9])
+        assert sorted(map(sorted, partition.classes)) == [[0, 2], [1], [3]]
+
+    def test_from_codes_first_seen_order(self):
+        partition = Partition.from_codes([5, 3, 5])
+        assert partition.classes[0] == [0, 2]
+
+    def test_from_code_columns_pairs(self):
+        partition = Partition.from_code_columns([[0, 0, 1], [0, 1, 1]], 3)
+        assert partition.num_classes == 3
+
+    def test_from_code_columns_empty_attrs(self):
+        partition = Partition.from_code_columns([], 3)
+        assert partition.num_classes == 1
+
+
+class TestRefine:
+    def test_refine_splits_classes(self):
+        base = Partition.from_codes([0, 0, 0, 1])
+        refined = base.refine([0, 1, 0, 0])
+        assert sorted(map(sorted, refined.classes)) == [[0, 2], [1], [3]]
+
+    def test_refine_equals_joint_partition(self):
+        a = [0, 0, 1, 1, 0]
+        b = [0, 1, 0, 1, 0]
+        joint = Partition.from_code_columns([a, b], 5)
+        refined = Partition.from_codes(a).refine(b)
+        assert sorted(map(sorted, refined.classes)) == sorted(
+            map(sorted, joint.classes)
+        )
+
+    def test_refine_by_constant_is_identity(self):
+        base = Partition.from_codes([0, 1, 0])
+        refined = base.refine([9, 9, 9])
+        assert sorted(map(sorted, refined.classes)) == sorted(
+            map(sorted, base.classes)
+        )
+
+
+class TestRefines:
+    def test_finer_refines_coarser(self):
+        coarse = Partition.from_codes([0, 0, 1, 1])
+        fine = Partition.from_codes([0, 1, 2, 2])
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+
+    def test_partition_refines_itself(self):
+        p = Partition.from_codes([0, 1, 0])
+        assert p.refines(p)
+
+
+class TestIntrospection:
+    def test_class_index_inverts_classes(self):
+        partition = Partition.from_codes([3, 4, 3])
+        index = partition.class_index()
+        assert index[0] == index[2] != index[1]
+
+    def test_class_sizes(self):
+        partition = Partition.from_codes([0, 0, 1])
+        assert sorted(partition.class_sizes()) == [1, 2]
+
+    def test_len_and_iter(self):
+        partition = Partition.from_codes([0, 1])
+        assert len(partition) == 2
+        assert sum(len(c) for c in partition) == 2
+
+
+class TestStripped:
+    def test_drops_singletons(self):
+        partition = Partition.from_codes([0, 0, 1, 2])
+        stripped = partition.stripped()
+        assert stripped.num_classes == 1
+        assert stripped.num_rows == 4  # preserved
+
+    def test_error_measure(self):
+        partition = Partition.from_codes([0, 0, 0, 1, 1, 2])
+        # (3-1) + (2-1) + (1-1) = 3
+        assert partition.error() == 3
+        assert partition.stripped().error() == 3  # singletons contribute 0
+
+
+@given(codes_lists)
+def test_property_classes_partition_rows(codes):
+    """Classes are disjoint and cover every row exactly once."""
+    partition = Partition.from_codes(codes)
+    seen = sorted(row for cls in partition.classes for row in cls)
+    assert seen == list(range(len(codes)))
+
+
+@given(codes_lists, codes_lists)
+def test_property_refine_matches_joint(a, b):
+    """Refining by a second column equals partitioning by the pair."""
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    joint = Partition.from_code_columns([a, b], n)
+    refined = Partition.from_codes(a).refine(b)
+    assert sorted(map(sorted, refined.classes)) == sorted(map(sorted, joint.classes))
+
+
+@given(codes_lists, codes_lists)
+def test_property_refinement_is_finer(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    base = Partition.from_codes(a)
+    refined = base.refine(b)
+    assert refined.num_classes >= base.num_classes
+    assert refined.refines(base)

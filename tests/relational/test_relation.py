@@ -1,0 +1,192 @@
+"""Tests for the Relation columnar store."""
+
+import pytest
+from hypothesis import given
+
+from tests.strategies import relations
+from repro.relational.errors import (
+    ArityError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+
+class TestConstruction:
+    def test_from_rows_with_schema(self):
+        schema = RelationSchema("r", ["A", "B"])
+        relation = Relation.from_rows(schema, [("x", "y"), ("x", "z")])
+        assert relation.num_rows == 2
+        assert relation.arity == 2
+
+    def test_from_rows_with_name_infers_types(self):
+        relation = Relation.from_rows(
+            "r", [(1, "a"), (2, "b")], attributes=["num", "txt"]
+        )
+        assert relation.schema.attribute("num").type is AttributeType.INTEGER
+        assert relation.schema.attribute("txt").type is AttributeType.STRING
+
+    def test_from_rows_name_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("r", [(1,)])
+
+    def test_from_rows_arity_mismatch(self):
+        schema = RelationSchema("r", ["A", "B"])
+        with pytest.raises(ArityError):
+            Relation.from_rows(schema, [("only-one",)])
+
+    def test_from_columns_mismatched_lengths(self):
+        with pytest.raises(SchemaError):
+            Relation.from_columns("r", {"A": ["x"], "B": ["y", "z"]})
+
+    def test_from_columns_missing_attribute(self):
+        schema = RelationSchema("r", ["A", "B"])
+        with pytest.raises(SchemaError):
+            Relation.from_columns(schema, {"A": ["x"]})
+
+    def test_validation_coerces_text(self):
+        schema = RelationSchema("r", [Attribute("n", AttributeType.INTEGER)])
+        relation = Relation.from_rows(schema, [("5",)])
+        assert relation.row(0) == (5,)
+
+    def test_validation_rejects_bad_values(self):
+        schema = RelationSchema("r", [Attribute("n", AttributeType.INTEGER)])
+        with pytest.raises(TypeMismatchError):
+            Relation.from_rows(schema, [("oops",)])
+
+    def test_non_nullable_rejects_null(self):
+        schema = RelationSchema(
+            "r", [Attribute("n", AttributeType.STRING, nullable=False)]
+        )
+        with pytest.raises(TypeMismatchError):
+            Relation.from_rows(schema, [(None,)])
+
+    def test_empty_relation(self):
+        relation = Relation.from_columns("r", {"A": []})
+        assert relation.num_rows == 0
+        assert list(relation.rows()) == []
+
+
+class TestAccess:
+    def test_row_and_rows(self, tiny_relation):
+        assert tiny_relation.row(0) == ("a1", "b1", "c1")
+        assert len(list(tiny_relation.rows())) == 4
+
+    def test_row_out_of_range(self, tiny_relation):
+        with pytest.raises(IndexError):
+            tiny_relation.row(99)
+
+    def test_column_values(self, tiny_relation):
+        assert tiny_relation.column_values("A") == ["a1", "a1", "a2", "a2"]
+
+    def test_unknown_column(self, tiny_relation):
+        with pytest.raises(UnknownAttributeError):
+            tiny_relation.column("Z")
+
+    def test_to_dicts(self, tiny_relation):
+        dicts = tiny_relation.to_dicts()
+        assert dicts[0] == {"A": "a1", "B": "b1", "C": "c1"}
+
+    def test_len_and_repr(self, tiny_relation):
+        assert len(tiny_relation) == 4
+        assert "tiny" in repr(tiny_relation)
+
+
+class TestCounting:
+    def test_count_distinct_single(self, tiny_relation):
+        assert tiny_relation.count_distinct(["A"]) == 2
+        assert tiny_relation.count_distinct(["B"]) == 3
+
+    def test_count_distinct_pair(self, tiny_relation):
+        assert tiny_relation.count_distinct(["A", "B"]) == 3
+
+    def test_count_distinct_empty_attrs(self, tiny_relation):
+        assert tiny_relation.count_distinct([]) == 1
+
+    def test_count_distinct_empty_relation(self):
+        relation = Relation.from_columns("r", {"A": []})
+        assert relation.count_distinct(["A"]) == 0
+        assert relation.count_distinct([]) == 0
+
+    def test_null_counts_as_distinct_value(self):
+        relation = Relation.from_columns("r", {"A": ["x", None, "x"]})
+        assert relation.count_distinct(["A"]) == 2
+
+    def test_order_insensitive(self, tiny_relation):
+        assert tiny_relation.count_distinct(["A", "B"]) == tiny_relation.count_distinct(
+            ["B", "A"]
+        )
+
+    def test_partition_matches_count(self, tiny_relation):
+        assert (
+            tiny_relation.partition(["A", "B"]).num_classes
+            == tiny_relation.count_distinct(["A", "B"])
+        )
+
+    def test_has_nulls_and_non_null_attributes(self):
+        relation = Relation.from_columns("r", {"A": ["x", None], "B": ["y", "z"]})
+        assert relation.has_nulls(["A"])
+        assert not relation.has_nulls(["B"])
+        assert relation.non_null_attributes() == ("B",)
+
+
+class TestAlgebra:
+    def test_project(self, tiny_relation):
+        projected = tiny_relation.project(["B", "A"])
+        assert projected.attribute_names == ("B", "A")
+        assert projected.num_rows == 4
+
+    def test_project_distinct(self, tiny_relation):
+        distinct = tiny_relation.project(["A", "C"], distinct=True)
+        assert distinct.num_rows == 2
+
+    def test_select(self, tiny_relation):
+        selected = tiny_relation.select(lambda row: row["A"] == "a2")
+        assert selected.num_rows == 2
+
+    def test_take_reorders(self, tiny_relation):
+        taken = tiny_relation.take([3, 0])
+        assert taken.row(0) == tiny_relation.row(3)
+
+    def test_head(self, tiny_relation):
+        assert tiny_relation.head(2).num_rows == 2
+        assert tiny_relation.head(99).num_rows == 4
+
+    def test_rename(self, tiny_relation):
+        assert tiny_relation.rename("other").name == "other"
+
+    def test_with_row_appended_is_functional(self, tiny_relation):
+        bigger = tiny_relation.with_row_appended(("a9", "b9", "c9"))
+        assert bigger.num_rows == 5
+        assert tiny_relation.num_rows == 4  # original untouched
+
+    def test_with_row_appended_arity_check(self, tiny_relation):
+        with pytest.raises(ArityError):
+            tiny_relation.with_row_appended(("x",))
+
+
+@given(relations(min_rows=1))
+def test_property_count_bounds(relation):
+    """1 <= |π_X| <= |r| for any single attribute of a non-empty relation."""
+    for attr in relation.attribute_names:
+        count = relation.count_distinct([attr])
+        assert 1 <= count <= relation.num_rows
+
+
+@given(relations(min_rows=1))
+def test_property_projection_monotone(relation):
+    """Adding attributes never decreases the distinct count."""
+    names = list(relation.attribute_names)
+    for size in range(1, len(names)):
+        smaller = relation.count_distinct(names[:size])
+        bigger = relation.count_distinct(names[: size + 1])
+        assert bigger >= smaller
+
+
+@given(relations())
+def test_property_partition_agrees_with_count(relation):
+    names = list(relation.attribute_names)
+    assert relation.partition(names).num_classes == relation.count_distinct(names)

@@ -1,0 +1,119 @@
+"""Tests for Attribute and RelationSchema."""
+
+import pytest
+
+from repro.relational.errors import (
+    DuplicateAttributeError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "places",
+        [
+            Attribute("District", AttributeType.STRING, nullable=False),
+            Attribute("Region"),
+            Attribute("Zip", AttributeType.INTEGER),
+        ],
+    )
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attr = Attribute("X")
+        assert attr.type is AttributeType.STRING
+        assert attr.nullable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_round_trip(self):
+        attr = Attribute("X", AttributeType.INTEGER, nullable=False)
+        assert Attribute.from_dict(attr.to_dict()) == attr
+
+
+class TestRelationSchema:
+    def test_basic_introspection(self, schema):
+        assert schema.name == "places"
+        assert schema.arity == 3
+        assert len(schema) == 3
+        assert schema.attribute_names == ("District", "Region", "Zip")
+
+    def test_strings_become_attributes(self):
+        schema = RelationSchema("r", ["A", "B"])
+        assert schema.attribute("A").type is AttributeType.STRING
+
+    def test_contains_by_name(self, schema):
+        assert "Region" in schema
+        assert "Nope" not in schema
+
+    def test_getitem_by_position_and_name(self, schema):
+        assert schema[0].name == "District"
+        assert schema["Zip"].type is AttributeType.INTEGER
+
+    def test_position_lookup(self, schema):
+        assert schema.position("Region") == 1
+
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.position("Missing")
+
+    def test_positions_preserve_order(self, schema):
+        assert schema.positions(["Zip", "District"]) == (2, 0)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DuplicateAttributeError):
+            RelationSchema("r", ["A", "A"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["A"])
+
+    def test_complement(self, schema):
+        assert schema.complement(["Region"]) == ("District", "Zip")
+
+    def test_complement_validates_names(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.complement(["Ghost"])
+
+    def test_project_preserves_given_order(self, schema):
+        projected = schema.project(["Zip", "District"])
+        assert projected.attribute_names == ("Zip", "District")
+        assert projected.name == "places"
+
+    def test_project_with_rename(self, schema):
+        assert schema.project(["Zip"], new_name="zips").name == "zips"
+
+    def test_rename(self, schema):
+        renamed = schema.rename("other")
+        assert renamed.name == "other"
+        assert renamed.attribute_names == schema.attribute_names
+
+    def test_equality_and_hash(self, schema):
+        clone = RelationSchema(
+            "places",
+            [
+                Attribute("District", AttributeType.STRING, nullable=False),
+                Attribute("Region"),
+                Attribute("Zip", AttributeType.INTEGER),
+            ],
+        )
+        assert schema == clone
+        assert hash(schema) == hash(clone)
+        assert schema != schema.rename("x")
+
+    def test_round_trip(self, schema):
+        assert RelationSchema.from_dict(schema.to_dict()) == schema
+
+    def test_iteration_yields_attributes(self, schema):
+        assert [attr.name for attr in schema] == ["District", "Region", "Zip"]

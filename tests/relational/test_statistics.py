@@ -1,0 +1,74 @@
+"""Tests for the memoizing statistics facade."""
+
+from repro.relational.relation import Relation
+
+
+def make_relation():
+    return Relation.from_columns(
+        "r",
+        {
+            "A": ["x", "x", "y"],
+            "B": ["1", "2", "3"],
+            "C": ["p", None, "p"],
+        },
+    )
+
+
+class TestMemoization:
+    def test_cache_hit_counts_once(self):
+        relation = make_relation()
+        stats = relation.stats
+        stats.count_distinct(["A", "B"])
+        stats.count_distinct(["A", "B"])
+        assert stats.executed_count_queries == 1
+        assert stats.cached_entries == 1
+
+    def test_order_insensitive_key(self):
+        relation = make_relation()
+        stats = relation.stats
+        assert stats.count_distinct(["A", "B"]) == stats.count_distinct(["B", "A"])
+        assert stats.executed_count_queries == 1
+
+    def test_distinct_sets_cached_separately(self):
+        relation = make_relation()
+        stats = relation.stats
+        stats.count_distinct(["A"])
+        stats.count_distinct(["B"])
+        assert stats.executed_count_queries == 2
+
+    def test_reset_counters_keeps_cache(self):
+        relation = make_relation()
+        stats = relation.stats
+        stats.count_distinct(["A"])
+        stats.reset_counters()
+        assert stats.executed_count_queries == 0
+        stats.count_distinct(["A"])  # still cached
+        assert stats.executed_count_queries == 0
+
+    def test_clear_drops_cache(self):
+        relation = make_relation()
+        stats = relation.stats
+        stats.count_distinct(["A"])
+        stats.clear()
+        stats.count_distinct(["A"])
+        assert stats.executed_count_queries == 1
+
+
+class TestHelpers:
+    def test_null_count(self):
+        assert make_relation().stats.null_count("C") == 1
+        assert make_relation().stats.null_count("A") == 0
+
+    def test_cardinality_excludes_nulls(self):
+        assert make_relation().stats.cardinality("C") == 1
+
+    def test_is_unique(self):
+        relation = make_relation()
+        assert relation.stats.is_unique("B")
+        assert not relation.stats.is_unique("A")
+
+    def test_derived_relations_get_fresh_stats(self):
+        relation = make_relation()
+        relation.stats.count_distinct(["A"])
+        projected = relation.project(["A"])
+        assert projected.stats.executed_count_queries == 0

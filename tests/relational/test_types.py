@@ -1,0 +1,124 @@
+"""Tests for attribute types, coercion, and inference."""
+
+import pytest
+
+from repro.relational.types import AttributeType, infer_type
+
+
+class TestValidate:
+    def test_integer_accepts_ints(self):
+        assert AttributeType.INTEGER.validate(42)
+
+    def test_integer_rejects_bool(self):
+        assert not AttributeType.INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        assert not AttributeType.INTEGER.validate(3.5)
+
+    def test_float_accepts_int_and_float(self):
+        assert AttributeType.FLOAT.validate(3)
+        assert AttributeType.FLOAT.validate(3.5)
+
+    def test_boolean_accepts_only_bool(self):
+        assert AttributeType.BOOLEAN.validate(False)
+        assert not AttributeType.BOOLEAN.validate(0)
+
+    def test_string_accepts_str(self):
+        assert AttributeType.STRING.validate("x")
+        assert not AttributeType.STRING.validate(1)
+
+    @pytest.mark.parametrize("attr_type", list(AttributeType))
+    def test_null_conforms_to_every_type(self, attr_type):
+        assert attr_type.validate(None)
+
+
+class TestCoerce:
+    def test_integer_from_text(self):
+        assert AttributeType.INTEGER.coerce("17") == 17
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AttributeType.INTEGER.coerce("abc")
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(ValueError):
+            AttributeType.INTEGER.coerce(True)
+
+    def test_float_from_text(self):
+        assert AttributeType.FLOAT.coerce("2.5") == 2.5
+
+    def test_boolean_from_many_spellings(self):
+        for text in ("true", "T", "yes", "1"):
+            assert AttributeType.BOOLEAN.coerce(text) is True
+        for text in ("false", "F", "no", "0"):
+            assert AttributeType.BOOLEAN.coerce(text) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AttributeType.BOOLEAN.coerce("maybe")
+
+    def test_string_from_anything(self):
+        assert AttributeType.STRING.coerce(12) == "12"
+
+    def test_none_stays_none(self):
+        assert AttributeType.INTEGER.coerce(None) is None
+
+    def test_empty_string_becomes_null(self):
+        assert AttributeType.INTEGER.coerce("") is None
+        assert AttributeType.STRING.coerce("") is None
+
+
+class TestFromName:
+    def test_canonical_names(self):
+        assert AttributeType.from_name("integer") is AttributeType.INTEGER
+        assert AttributeType.from_name("STRING") is AttributeType.STRING
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("int", AttributeType.INTEGER),
+            ("bigint", AttributeType.INTEGER),
+            ("varchar", AttributeType.STRING),
+            ("text", AttributeType.STRING),
+            ("double", AttributeType.FLOAT),
+            ("decimal", AttributeType.FLOAT),
+            ("bool", AttributeType.BOOLEAN),
+        ],
+    )
+    def test_sql_aliases(self, alias, expected):
+        assert AttributeType.from_name(alias) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            AttributeType.from_name("blob")
+
+
+class TestInferType:
+    def test_integers(self):
+        assert infer_type(["1", "2", "-3"]) is AttributeType.INTEGER
+
+    def test_floats(self):
+        assert infer_type(["1.5", "2"]) is AttributeType.FLOAT
+
+    def test_booleans(self):
+        assert infer_type(["true", "false", "yes"]) is AttributeType.BOOLEAN
+
+    def test_strings(self):
+        assert infer_type(["1", "two"]) is AttributeType.STRING
+
+    def test_float_text_not_integer(self):
+        assert infer_type(["1.0"]) is AttributeType.FLOAT
+
+    def test_exponent_text_is_string(self):
+        # We deliberately reject exponent notation for INTEGER inference.
+        assert infer_type(["1e3"]) is not AttributeType.INTEGER
+
+    def test_nulls_ignored(self):
+        assert infer_type(["", None, "7"]) is AttributeType.INTEGER
+
+    def test_all_null_defaults_to_string(self):
+        assert infer_type([None, ""]) is AttributeType.STRING
+
+    def test_native_values(self):
+        assert infer_type([1, 2]) is AttributeType.INTEGER
+        assert infer_type([True]) is AttributeType.BOOLEAN

@@ -1,0 +1,60 @@
+"""Tests for the SQL-text counting backend."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.strategies import relation_and_fd
+from repro.datagen.places import F1, F2, places_relation
+from repro.fd.measures import assess
+from repro.sql.backend import SqlCountBackend
+
+
+@pytest.fixture
+def backend():
+    return SqlCountBackend(places_relation())
+
+
+class TestCounts:
+    def test_count_distinct_matches_engine(self, backend):
+        engine = backend.relation.count_distinct(["District", "Region"])
+        assert backend.count_distinct(["District", "Region"]) == engine
+
+    def test_count_query_text(self, backend):
+        assert (
+            backend.count_query(["Zip", "City"])
+            == "SELECT COUNT(DISTINCT Zip, City) FROM Places"
+        )
+
+    def test_queries_counted(self, backend):
+        backend.count_distinct(["Zip"])
+        backend.count_distinct(["City"])
+        assert backend.queries_executed == 2
+
+
+class TestAssess:
+    def test_matches_engine_on_f1(self, backend):
+        via_sql = backend.assess(F1)
+        direct = assess(backend.relation, F1)
+        assert via_sql.confidence == direct.confidence
+        assert via_sql.goodness == direct.goodness
+
+    def test_three_queries_per_assessment(self, backend):
+        backend.assess(F2)
+        assert backend.queries_executed == 3
+
+    def test_confidence_and_goodness_helpers(self, backend):
+        assert backend.confidence(F1) == pytest.approx(0.5)
+        assert backend.goodness(F1) == -2
+
+
+@given(relation_and_fd())
+@settings(max_examples=30, deadline=None)
+def test_property_sql_backend_agrees_with_engine(pair):
+    """For NULL-free FD attributes, SQL counting and engine counting
+    yield identical confidence/goodness on random instances."""
+    relation, fd = pair
+    backend = SqlCountBackend(relation)
+    via_sql = backend.assess(fd)
+    direct = assess(relation, fd)
+    assert via_sql.confidence == direct.confidence
+    assert via_sql.goodness == direct.goodness

@@ -1,0 +1,151 @@
+"""Tests for the SQL executor."""
+
+import pytest
+
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.sql.executor import SqlExecutionError, execute, execute_on_relation
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_relation(
+        Relation.from_columns(
+            "people",
+            {
+                "name": ["ann", "bob", "cal", "dee"],
+                "city": ["rome", "rome", "oslo", None],
+                "age": [30, 25, 30, 41],
+            },
+        )
+    )
+    return cat
+
+
+class TestCounts:
+    def test_count_star(self, catalog):
+        assert execute(catalog, "SELECT COUNT(*) FROM people").scalar == 4
+
+    def test_count_distinct_ignores_nulls(self, catalog):
+        # SQL semantics: the NULL city row is not counted.
+        assert (
+            execute(catalog, "SELECT COUNT(DISTINCT city) FROM people").scalar == 2
+        )
+
+    def test_count_distinct_multi_column(self, catalog):
+        assert (
+            execute(catalog, "SELECT COUNT(DISTINCT city, age) FROM people").scalar
+            == 3
+        )
+
+    def test_count_with_where(self, catalog):
+        assert (
+            execute(catalog, "SELECT COUNT(*) FROM people WHERE age >= 30").scalar
+            == 3
+        )
+
+    def test_paper_q1_q2(self, places_db):
+        q1 = execute(
+            places_db, "SELECT COUNT(DISTINCT District, Region) FROM Places"
+        ).scalar
+        q2 = execute(
+            places_db,
+            "SELECT COUNT(DISTINCT District, Region, AreaCode) FROM Places",
+        ).scalar
+        assert (q1, q2) == (2, 4)  # confidence 0.5, as in Section 4.2
+
+
+class TestProjection:
+    def test_select_columns(self, catalog):
+        result = execute(catalog, "SELECT name, age FROM people LIMIT 2")
+        assert result.columns == ("name", "age")
+        assert len(result) == 2
+
+    def test_select_star(self, catalog):
+        result = execute(catalog, "SELECT * FROM people")
+        assert result.columns == ("name", "city", "age")
+
+    def test_select_distinct(self, catalog):
+        result = execute(catalog, "SELECT DISTINCT city FROM people")
+        assert sorted(str(r[0]) for r in result) == ["None", "oslo", "rome"]
+
+    def test_where_string_equality(self, catalog):
+        result = execute(catalog, "SELECT name FROM people WHERE city = 'rome'")
+        assert {row[0] for row in result} == {"ann", "bob"}
+
+    def test_where_null_comparison_never_true(self, catalog):
+        result = execute(catalog, "SELECT name FROM people WHERE city <> 'rome'")
+        assert {row[0] for row in result} == {"cal"}  # dee's NULL drops out
+
+    def test_where_is_null(self, catalog):
+        result = execute(catalog, "SELECT name FROM people WHERE city IS NULL")
+        assert [row[0] for row in result] == ["dee"]
+
+    def test_where_and_or_not(self, catalog):
+        result = execute(
+            catalog,
+            "SELECT name FROM people WHERE NOT (age < 30 OR city = 'oslo')",
+        )
+        # Two-valued semantics (documented): dee's NULL city makes
+        # city = 'oslo' false, so NOT(...) keeps her row.
+        assert {row[0] for row in result} == {"ann", "dee"}
+
+
+class TestGroupBy:
+    def test_group_by_count(self, catalog):
+        result = execute(
+            catalog, "SELECT city, COUNT(*) FROM people GROUP BY city"
+        )
+        counts = {row[0]: row[1] for row in result}
+        assert counts == {"rome": 2, "oslo": 1, None: 1}
+
+    def test_group_by_count_distinct(self, catalog):
+        result = execute(
+            catalog, "SELECT city, COUNT(DISTINCT age) FROM people GROUP BY city"
+        )
+        counts = {row[0]: row[1] for row in result}
+        assert counts["rome"] == 2
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(SqlExecutionError):
+            execute(catalog, "SELECT name, COUNT(*) FROM people GROUP BY city")
+
+
+class TestErrors:
+    def test_mixed_aggregate_and_column(self, catalog):
+        with pytest.raises(SqlExecutionError):
+            execute(catalog, "SELECT name, COUNT(*) FROM people")
+
+    def test_unknown_column_in_where(self, catalog):
+        with pytest.raises(SqlExecutionError):
+            execute(catalog, "SELECT name FROM people WHERE ghost = 1")
+
+    def test_incomparable_types(self, catalog):
+        with pytest.raises(SqlExecutionError):
+            execute(catalog, "SELECT name FROM people WHERE age < 'x'")
+
+    def test_scalar_on_multi_row_result(self, catalog):
+        result = execute(catalog, "SELECT name FROM people")
+        with pytest.raises(SqlExecutionError):
+            result.scalar
+
+    def test_execute_on_relation_table_mismatch(self, catalog):
+        relation = catalog.relation("people")
+        with pytest.raises(SqlExecutionError):
+            execute_on_relation(relation, "SELECT COUNT(*) FROM other")
+
+
+class TestResultSet:
+    def test_to_text(self, catalog):
+        text = execute(catalog, "SELECT name, city FROM people").to_text()
+        assert "name | city" in text
+        assert "NULL" in text
+
+    def test_to_text_truncation(self, catalog):
+        text = execute(catalog, "SELECT name FROM people").to_text(max_rows=2)
+        assert "more rows" in text
+
+    def test_iteration(self, catalog):
+        result = execute(catalog, "SELECT name FROM people")
+        assert len(list(result)) == 4

@@ -1,0 +1,137 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    CountDistinct,
+    CountStar,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.sql.parser import parse
+from repro.sql.tokens import SqlSyntaxError
+
+
+class TestSelectItems:
+    def test_count_distinct_multi_column(self):
+        query = parse("SELECT COUNT(DISTINCT District, Region) FROM Places")
+        assert query.items[0].expression == CountDistinct(("District", "Region"))
+        assert query.table == "Places"
+
+    def test_count_star(self):
+        query = parse("SELECT COUNT(*) FROM t")
+        assert query.items[0].expression == CountStar()
+
+    def test_plain_columns(self):
+        query = parse("SELECT a, b FROM t")
+        assert [item.expression for item in query.items] == [
+            ColumnRef("a"),
+            ColumnRef("b"),
+        ]
+
+    def test_star(self):
+        query = parse("SELECT * FROM t")
+        assert query.items[0].expression == ColumnRef("*")
+
+    def test_alias(self):
+        query = parse("SELECT COUNT(*) AS n FROM t")
+        assert query.items[0].alias == "n"
+        assert query.items[0].output_name == "n"
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT a FROM t").distinct
+
+    def test_default_output_names(self):
+        query = parse("SELECT a, COUNT(*), COUNT(DISTINCT b) FROM t")
+        assert [item.output_name for item in query.items] == [
+            "a",
+            "count",
+            "count_distinct",
+        ]
+
+
+class TestWhere:
+    def test_comparison(self):
+        query = parse("SELECT a FROM t WHERE a = 'x'")
+        assert query.where == Comparison("=", ColumnRef("a"), Literal("x"))
+
+    def test_numeric_literal(self):
+        query = parse("SELECT a FROM t WHERE n >= 10")
+        assert query.where == Comparison(">=", ColumnRef("n"), Literal(10))
+
+    def test_float_literal(self):
+        query = parse("SELECT a FROM t WHERE n < 1.5")
+        assert query.where.right == Literal(1.5)
+
+    def test_bang_equals_normalized(self):
+        query = parse("SELECT a FROM t WHERE a != b")
+        assert query.where.op == "<>"
+
+    def test_and_or_precedence(self):
+        query = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter: a=1 OR (b=2 AND c=3).
+        assert isinstance(query.where, Or)
+        assert isinstance(query.where.right, And)
+
+    def test_parentheses_override(self):
+        query = parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(query.where, And)
+        assert isinstance(query.where.left, Or)
+
+    def test_not(self):
+        query = parse("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(query.where, Not)
+
+    def test_is_null_and_is_not_null(self):
+        query = parse("SELECT a FROM t WHERE a IS NULL")
+        assert query.where == IsNull(ColumnRef("a"), negated=False)
+        query = parse("SELECT a FROM t WHERE a IS NOT NULL")
+        assert query.where == IsNull(ColumnRef("a"), negated=True)
+
+    def test_boolean_and_null_literals(self):
+        query = parse("SELECT a FROM t WHERE a = TRUE OR a = NULL")
+        assert query.where.left.right == Literal(True)
+        assert query.where.right.right == Literal(None)
+
+
+class TestGroupLimit:
+    def test_group_by(self):
+        query = parse("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert query.group_by == ("a",)
+
+    def test_group_by_multiple(self):
+        query = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert query.group_by == ("a", "b")
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t LIMIT x")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t trailing",
+            "SELECT COUNT(a) FROM t",  # plain COUNT(col) unsupported
+            "SELECT COUNT(DISTINCT) FROM t",
+            "SELECT a, FROM t",
+            "SELECT a FROM t WHERE a ==",
+        ],
+    )
+    def test_malformed_queries(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)

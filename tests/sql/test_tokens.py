@@ -1,0 +1,68 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.tokens import SqlSyntaxError, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop END
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_keyword("select") for t in tokens[:-1])
+
+    def test_identifiers(self):
+        assert kinds("District _x a1")[0] == (TokenType.IDENTIFIER, "District")
+
+    def test_always_ends_with_end(self):
+        assert tokenize("")[-1].type is TokenType.END
+        assert tokenize("select")[-1].type is TokenType.END
+
+    def test_numbers(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+        assert kinds("3.14") == [(TokenType.NUMBER, "3.14")]
+        assert kinds("-7")[0] == (TokenType.NUMBER, "-7")
+
+    def test_strings(self):
+        assert kinds("'hello world'") == [(TokenType.STRING, "hello world")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"weird name"') == [(TokenType.IDENTIFIER, "weird name")]
+
+    def test_star_and_punctuation(self):
+        values = [v for _, v in kinds("count(*), x")]
+        assert values == ["count", "(", "*", ")", ",", "x"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<>", "!=", "<", "<=", ">", ">="])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].type is TokenType.OPERATOR
+        assert tokens[1].value == op
+
+    def test_two_char_operators_not_split(self):
+        tokens = tokenize("a<=b")
+        assert tokens[1].value == "<="
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a ; b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("ab @")
+        assert excinfo.value.position == 3

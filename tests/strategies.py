@@ -1,0 +1,72 @@
+"""Hypothesis strategies shared across the test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fd.fd import FunctionalDependency
+from repro.relational.relation import Relation
+
+
+def relations(
+    min_rows: int = 0,
+    max_rows: int = 24,
+    min_attrs: int = 2,
+    max_attrs: int = 5,
+    max_cardinality: int = 4,
+) -> st.SearchStrategy[Relation]:
+    """Random small relations with categorical columns.
+
+    Small cardinalities make FD violations and repairs likely, which is
+    where the interesting invariants live.
+    """
+
+    @st.composite
+    def _build(draw):
+        num_attrs = draw(st.integers(min_attrs, max_attrs))
+        num_rows = draw(st.integers(min_rows, max_rows))
+        columns = {}
+        for index in range(num_attrs):
+            cardinality = draw(st.integers(1, max_cardinality))
+            columns[f"A{index}"] = [
+                f"v{draw(st.integers(0, cardinality - 1))}" for _ in range(num_rows)
+            ]
+        return Relation.from_columns("rand", columns)
+
+    return _build()
+
+
+def small_relations(
+    max_rows: int = 10, max_attrs: int = 3
+) -> st.SearchStrategy[Relation]:
+    """Tiny relations for quadratic-cost properties (pair scans, repairs)."""
+    return relations(min_rows=0, max_rows=max_rows, min_attrs=2, max_attrs=max_attrs)
+
+
+def fd_over(relation: Relation) -> st.SearchStrategy[FunctionalDependency]:
+    """A random single-consequent FD over the relation's attributes."""
+    names = list(relation.attribute_names)
+
+    @st.composite
+    def _build(draw):
+        consequent = draw(st.sampled_from(names))
+        remaining = [n for n in names if n != consequent]
+        size = draw(st.integers(1, min(2, len(remaining))))
+        antecedent = draw(
+            st.lists(
+                st.sampled_from(remaining),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        return FunctionalDependency(tuple(antecedent), (consequent,))
+
+    return _build()
+
+
+def relation_and_fd() -> st.SearchStrategy[tuple[Relation, FunctionalDependency]]:
+    """A relation together with a random FD over it."""
+    return relations(min_rows=1).flatmap(
+        lambda rel: fd_over(rel).map(lambda fd: (rel, fd))
+    )

@@ -1,0 +1,59 @@
+"""Tests for the monitor → drift-detector bridge."""
+
+from repro.core.monitor import FDMonitor
+from repro.fd.fd import fd
+from repro.relational.relation import Relation
+from repro.temporal.bridge import classify_monitor_state
+from repro.temporal.drift import CusumDetector, DriftKind, ThresholdDetector
+
+
+def schema():
+    return Relation.from_columns("s", {"K": ["k"], "V": ["v"]}).schema
+
+
+class TestClassifyMonitorState:
+    def test_clean_stream_is_stable(self):
+        monitor = FDMonitor(schema(), history_every=5)
+        state = monitor.watch(fd("K -> V"))
+        monitor.extend([(f"k{i % 4}", f"v{i % 4}") for i in range(40)])
+        verdict = classify_monitor_state(state)
+        assert verdict.kind is DriftKind.STABLE
+
+    def test_drifting_stream_is_flagged(self):
+        monitor = FDMonitor(schema(), history_every=5)
+        state = monitor.watch(fd("K -> V"))
+        monitor.extend([(f"k{i % 4}", f"v{i % 4}") for i in range(40)])
+        # New regime: the same keys spray across fresh values.
+        monitor.extend([(f"k{i % 4}", f"w{i % 8}") for i in range(60)])
+        verdict = classify_monitor_state(state)
+        assert verdict.drifted
+
+    def test_respects_explicit_detector(self):
+        monitor = FDMonitor(schema(), history_every=5)
+        state = monitor.watch(fd("K -> V"))
+        monitor.extend([(f"k{i % 4}", f"v{i % 4}") for i in range(20)])
+        monitor.extend([("k0", f"w{i}") for i in range(10)])
+        verdict = classify_monitor_state(
+            state, detector=ThresholdDetector(floor=0.99, patience=1)
+        )
+        assert verdict.drifted
+
+    def test_empty_history_uses_current_confidence(self):
+        monitor = FDMonitor(schema(), history_every=1000)
+        state = monitor.watch(fd("K -> V"))
+        monitor.extend([("k0", "v0"), ("k0", "v1")])  # dirty, but no sample yet
+        verdict = classify_monitor_state(
+            state, detector=ThresholdDetector(floor=1.0, patience=1)
+        )
+        assert verdict.drifted
+
+    def test_monitor_alert_and_detector_agree_on_obvious_drift(self):
+        alerts = []
+        monitor = FDMonitor(schema(), on_alert=alerts.append, history_every=5)
+        state = monitor.watch(fd("K -> V"), threshold=0.9)
+        monitor.extend([(f"k{i % 4}", f"v{i % 4}") for i in range(40)])
+        assert not alerts
+        monitor.extend([(f"k{i % 4}", f"w{i}") for i in range(60)])
+        assert alerts  # the cheap alert fired...
+        verdict = classify_monitor_state(state)
+        assert verdict.drifted  # ...and the detector confirms it is drift

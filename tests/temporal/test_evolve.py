@@ -1,0 +1,124 @@
+"""Tests for the full monitor-detect-repair evolution loop."""
+
+import pytest
+
+from repro.core.config import RepairConfig
+from repro.fd.fd import fd
+from repro.relational.relation import Relation
+from repro.temporal.drift import CusumDetector, ThresholdDetector
+from repro.temporal.evolve import RepairScope, evolve_fd
+from repro.temporal.tfd import TemporalFD
+from repro.temporal.window import TupleLog
+
+
+def drifting_log():
+    """Zip -> City holds for 30 rows; then zips split across cities but
+    the split is resolved by the new Borough attribute."""
+    rows = []
+    for i in range(30):
+        z = f"z{i % 3}"
+        rows.append((z, "north", f"city-{z}"))
+    for i in range(30):
+        z = f"z{i % 3}"
+        borough = "north" if i % 2 else "south"
+        rows.append((z, borough, f"city-{z}-{borough}"))
+    return TupleLog.from_relation(
+        Relation.from_columns(
+            "places",
+            {
+                "Zip": [r[0] for r in rows],
+                "Borough": [r[1] for r in rows],
+                "City": [r[2] for r in rows],
+            },
+        )
+    )
+
+
+def clean_log():
+    rows = [(f"z{i % 3}", "b", f"c{i % 3}") for i in range(60)]
+    return TupleLog.from_relation(
+        Relation.from_columns(
+            "places",
+            {
+                "Zip": [r[0] for r in rows],
+                "Borough": [r[1] for r in rows],
+                "City": [r[2] for r in rows],
+            },
+        )
+    )
+
+
+WATCH = TemporalFD(fd("Zip -> City"), window_size=10)
+
+
+class TestEvolveFd:
+    def test_no_drift_no_repair(self):
+        report = evolve_fd(clean_log(), WATCH)
+        assert not report.drifted
+        assert report.repair_result is None
+        assert report.proposals == []
+
+    def test_drift_triggers_repair_with_proposals(self):
+        report = evolve_fd(drifting_log(), WATCH)
+        assert report.drifted
+        assert report.repair_result is not None
+        assert fd("[Zip, Borough] -> [City]") in report.proposals
+
+    def test_since_change_scope_excludes_old_reality(self):
+        report = evolve_fd(drifting_log(), WATCH, scope=RepairScope.SINCE_CHANGE)
+        assert report.repair_scope is not None
+        assert report.repair_scope.num_rows < 60
+
+    def test_full_log_scope_sees_everything(self):
+        report = evolve_fd(drifting_log(), WATCH, scope=RepairScope.FULL_LOG)
+        assert report.repair_scope is not None
+        assert report.repair_scope.num_rows == 60
+
+    def test_repair_fixes_post_change_data(self):
+        from repro.fd.measures import is_exact
+
+        report = evolve_fd(drifting_log(), WATCH)
+        best = report.proposals[0]
+        assert is_exact(report.repair_scope, best)
+
+    def test_cusum_detector_drives_the_loop_too(self):
+        report = evolve_fd(
+            drifting_log(), WATCH, detector=CusumDetector(decision=0.1)
+        )
+        assert report.drifted
+
+    def test_repair_config_is_honoured(self):
+        config = RepairConfig(stop_at_first=True)
+        report = evolve_fd(drifting_log(), WATCH, repair_config=config)
+        assert report.repair_result is not None
+        assert len(report.repair_result.repairs) <= 1
+
+    def test_blip_does_not_propose(self):
+        # One dirty window in the middle; patience 2 treats it as a blip.
+        rows = [(f"z{i % 3}", "b", f"c{i % 3}") for i in range(20)]
+        rows += [("z0", "b", "other")]  # a single bad tuple
+        rows += [(f"z{i % 3}", "b", f"c{i % 3}") for i in range(20)]
+        log = TupleLog.from_relation(
+            Relation.from_columns(
+                "places",
+                {
+                    "Zip": [r[0] for r in rows],
+                    "Borough": [r[1] for r in rows],
+                    "City": [r[2] for r in rows],
+                },
+            )
+        )
+        report = evolve_fd(
+            log,
+            TemporalFD(fd("Zip -> City"), window_size=10),
+            detector=ThresholdDetector(patience=2),
+        )
+        assert not report.drifted
+        assert report.repair_result is None
+
+    def test_summary_is_readable(self):
+        report = evolve_fd(drifting_log(), WATCH)
+        text = report.summary()
+        assert "[Zip] -> [City]" in text
+        assert "drift" in text
+        assert "proposals" in text

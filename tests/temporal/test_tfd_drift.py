@@ -1,0 +1,171 @@
+"""Tests for temporal FDs, confidence series, and drift detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd.fd import fd
+from repro.relational.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.temporal.drift import CusumDetector, DriftKind, ThresholdDetector
+from repro.temporal.tfd import TemporalFD, WindowMode, assess_over_log
+from repro.temporal.window import TupleLog
+
+
+def make_log(pairs):
+    return TupleLog.from_relation(
+        Relation.from_columns(
+            "log", {"K": [p[0] for p in pairs], "V": [p[1] for p in pairs]}
+        )
+    )
+
+
+CLEAN = [(f"k{i % 4}", f"v{i % 4}") for i in range(40)]
+# After 40 clean rows the same keys start mapping to fresh values.
+DRIFTED = CLEAN + [(f"k{i % 4}", f"w{i % 8}") for i in range(40)]
+
+
+class TestTemporalFD:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            TemporalFD(fd("K -> V"), window_size=0)
+        with pytest.raises(SchemaError):
+            TemporalFD(fd("K -> V"), window_size=5, step=0)
+        with pytest.raises(SchemaError):
+            TemporalFD(fd("K -> V"), window_size=5, min_confidence=0.0)
+
+    def test_satisfied_on_clean_log(self):
+        series = assess_over_log(
+            make_log(CLEAN), TemporalFD(fd("K -> V"), window_size=10)
+        )
+        assert series.is_satisfied
+        assert series.confidences == [1.0] * 4
+        assert series.violated_windows() == []
+
+    def test_violated_after_drift(self):
+        series = assess_over_log(
+            make_log(DRIFTED), TemporalFD(fd("K -> V"), window_size=10)
+        )
+        assert not series.is_satisfied
+        assert series.confidences[:4] == [1.0] * 4
+        assert all(c < 1.0 for c in series.confidences[4:])
+
+    def test_atfd_threshold_tolerates_approximation(self):
+        series = assess_over_log(
+            make_log(DRIFTED),
+            TemporalFD(fd("K -> V"), window_size=10, min_confidence=0.3),
+        )
+        assert series.is_satisfied
+
+    def test_sliding_mode_produces_overlapping_windows(self):
+        tfd = TemporalFD(
+            fd("K -> V"), window_size=20, mode=WindowMode.SLIDING, step=10
+        )
+        series = assess_over_log(make_log(CLEAN), tfd)
+        assert series.num_windows == 3
+
+    def test_prefix_mode_matches_monitor_view(self):
+        tfd = TemporalFD(fd("K -> V"), window_size=20, mode=WindowMode.PREFIX)
+        series = assess_over_log(make_log(DRIFTED), tfd)
+        # Prefix confidences can only degrade as drifted rows accumulate.
+        assert series.confidences[0] == 1.0
+        assert series.confidences[-1] < 1.0
+
+    def test_mean_confidence(self):
+        series = assess_over_log(
+            make_log(DRIFTED), TemporalFD(fd("K -> V"), window_size=40)
+        )
+        assert 0.0 < series.mean_confidence() < 1.0
+
+    def test_goodness_series_present(self):
+        series = assess_over_log(
+            make_log(CLEAN), TemporalFD(fd("K -> V"), window_size=10)
+        )
+        assert series.goodnesses == [0] * 4
+
+
+class TestThresholdDetector:
+    def test_stable_series(self):
+        verdict = ThresholdDetector().detect([1.0, 1.0, 1.0])
+        assert verdict.kind is DriftKind.STABLE
+        assert not verdict.drifted
+
+    def test_single_dip_is_blip(self):
+        verdict = ThresholdDetector(patience=2).detect([1.0, 0.8, 1.0, 1.0])
+        assert verdict.kind is DriftKind.BLIP
+
+    def test_sustained_dip_is_drift(self):
+        verdict = ThresholdDetector(patience=2).detect([1.0, 0.8, 0.7, 1.0])
+        assert verdict.kind is DriftKind.DRIFT
+        assert verdict.change_window == 1
+
+    def test_patience_one_flags_any_dip(self):
+        verdict = ThresholdDetector(patience=1).detect([1.0, 0.99])
+        assert verdict.drifted
+
+    def test_floor_below_one_tolerates_afd(self):
+        verdict = ThresholdDetector(floor=0.8, patience=2).detect([0.9, 0.85, 0.9])
+        assert verdict.kind is DriftKind.STABLE
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            ThresholdDetector(floor=0.0)
+        with pytest.raises(SchemaError):
+            ThresholdDetector(patience=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20))
+    def test_never_crashes_and_classifies(self, series):
+        verdict = ThresholdDetector(floor=0.9, patience=2).detect(series)
+        assert verdict.kind in DriftKind
+
+
+class TestCusumDetector:
+    def test_stable_series(self):
+        verdict = CusumDetector().detect([1.0] * 10)
+        assert verdict.kind is DriftKind.STABLE
+
+    def test_step_change_detected(self):
+        series = [1.0, 1.0, 1.0, 0.7, 0.7, 0.7]
+        verdict = CusumDetector(decision=0.2).detect(series)
+        assert verdict.drifted
+        assert verdict.change_window is not None
+
+    def test_slow_decay_detected(self):
+        series = [1.0, 1.0, 1.0] + [1.0 - 0.05 * i for i in range(1, 9)]
+        verdict = CusumDetector(slack=0.02, decision=0.3).detect(series)
+        assert verdict.drifted
+
+    def test_small_noise_within_slack_is_stable(self):
+        series = [1.0, 1.0, 1.0, 0.99, 1.0, 0.995, 1.0]
+        verdict = CusumDetector(slack=0.02).detect(series)
+        assert verdict.kind is DriftKind.STABLE
+
+    def test_recovering_dip_is_blip(self):
+        series = [1.0, 1.0, 1.0, 0.9, 1.0, 1.0, 1.0, 1.0]
+        verdict = CusumDetector(slack=0.01, decision=0.5).detect(series)
+        assert verdict.kind is DriftKind.BLIP
+
+    def test_explicit_baseline_skips_warmup(self):
+        verdict = CusumDetector(baseline=1.0, decision=0.15).detect([0.8, 0.8])
+        assert verdict.drifted
+        assert verdict.change_window == 0
+
+    def test_empty_series(self):
+        assert CusumDetector().detect([]).kind is DriftKind.STABLE
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            CusumDetector(slack=-0.1)
+        with pytest.raises(SchemaError):
+            CusumDetector(decision=0.0)
+        with pytest.raises(SchemaError):
+            CusumDetector(warmup=0)
+        with pytest.raises(SchemaError):
+            CusumDetector(baseline=1.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20))
+    def test_never_crashes_and_classifies(self, series):
+        verdict = CusumDetector().detect(series)
+        assert verdict.kind in DriftKind

@@ -1,0 +1,93 @@
+"""Tests for tuple logs and window slicing."""
+
+import pytest
+
+from repro.relational.errors import ArityError, SchemaError
+from repro.relational.relation import Relation
+from repro.temporal.window import TupleLog
+
+
+@pytest.fixture
+def log():
+    base = Relation.from_columns(
+        "events",
+        {"K": [f"k{i % 3}" for i in range(10)], "V": [f"v{i}" for i in range(10)]},
+    )
+    return TupleLog.from_relation(base)
+
+
+class TestTupleLog:
+    def test_from_relation_preserves_order_and_schema(self, log):
+        snapshot = log.snapshot()
+        assert snapshot.num_rows == 10
+        assert snapshot.attribute_names == ("K", "V")
+        assert snapshot.row(0) == ("k0", "v0")
+
+    def test_append_checks_arity(self, log):
+        with pytest.raises(ArityError):
+            log.append(("only-one",))
+
+    def test_append_grows_the_log(self, log):
+        log.append(("k9", "v10"))
+        assert len(log) == 11
+        assert log.snapshot().row(10) == ("k9", "v10")
+
+    def test_extend(self, log):
+        log.extend([("a", "b"), ("c", "d")])
+        assert len(log) == 12
+
+    def test_slice_bounds(self, log):
+        assert log.slice(2, 5).num_rows == 3
+        with pytest.raises(SchemaError):
+            log.slice(5, 2)
+        with pytest.raises(SchemaError):
+            log.slice(-1, 2)
+
+    def test_slice_beyond_end_truncates(self, log):
+        assert log.slice(8, 99).num_rows == 2
+
+
+class TestWindows:
+    def test_tumbling_disjoint_full_windows(self, log):
+        windows = list(log.tumbling(3))
+        assert [(w.start, w.end) for w in windows] == [(0, 3), (3, 6), (6, 9)]
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert all(w.size == 3 for w in windows)
+
+    def test_tumbling_partial_window_opt_in(self, log):
+        windows = list(log.tumbling(3, include_partial=True))
+        assert windows[-1].size == 1
+        assert windows[-1].end == 10
+
+    def test_tumbling_exact_fit_has_no_partial(self, log):
+        windows = list(log.tumbling(5, include_partial=True))
+        assert [(w.start, w.end) for w in windows] == [(0, 5), (5, 10)]
+
+    def test_sliding_step(self, log):
+        windows = list(log.sliding(4, step=3))
+        assert [(w.start, w.end) for w in windows] == [(0, 4), (3, 7), (6, 10)]
+
+    def test_sliding_default_step_one(self, log):
+        assert len(list(log.sliding(9))) == 2
+
+    def test_prefixes_grow_to_full_log(self, log):
+        windows = list(log.prefixes(4))
+        assert [(w.start, w.end) for w in windows] == [(0, 4), (0, 8), (0, 10)]
+
+    def test_prefixes_exact_multiple(self, log):
+        windows = list(log.prefixes(5))
+        assert [(w.start, w.end) for w in windows] == [(0, 5), (0, 10)]
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_sizes_raise(self, log, bad):
+        with pytest.raises(SchemaError):
+            list(log.tumbling(bad))
+        with pytest.raises(SchemaError):
+            list(log.sliding(3, step=bad))
+        with pytest.raises(SchemaError):
+            list(log.prefixes(bad))
+
+    def test_window_relations_are_independent_snapshots(self, log):
+        (first, *_rest) = list(log.tumbling(3))
+        log.append(("x", "y"))
+        assert first.relation.num_rows == 3

@@ -1,0 +1,149 @@
+"""End-to-end tests for the ``repro-fd`` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.relational.catalog import Catalog
+
+
+@pytest.fixture
+def db(tmp_path):
+    """An initialized catalog directory with the Places demo."""
+    path = tmp_path / "db"
+    assert main(["init", str(path)]) == 0
+    return path
+
+
+class TestInit:
+    def test_creates_places_demo(self, db, capsys):
+        catalog = Catalog.load(db)
+        assert catalog.relation_names() == ["Places"]
+        assert len(catalog.fds("Places")) == 3
+
+    def test_empty_flag(self, tmp_path, capsys):
+        path = tmp_path / "empty"
+        assert main(["init", str(path), "--empty"]) == 0
+        assert Catalog.load(path).relation_names() == []
+
+
+class TestShow:
+    def test_lists_relations_and_fds(self, db, capsys):
+        assert main(["show", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "Places: 9 attributes, 11 rows" in out
+        assert "[District, Region] -> [AreaCode]" in out
+
+    def test_empty_catalog(self, tmp_path, capsys):
+        path = tmp_path / "e"
+        main(["init", str(path), "--empty"])
+        main(["show", str(path)])
+        assert "(empty catalog)" in capsys.readouterr().out
+
+
+class TestDeclare:
+    def test_declares_and_persists(self, db, capsys):
+        assert main(["declare", str(db), "Places", "[City] -> [State]"]) == 0
+        catalog = Catalog.load(db)
+        assert any(str(fd) == "[City] -> [State]" for fd in catalog.fds("Places"))
+
+    def test_unknown_attribute_fails(self, db, capsys):
+        assert main(["declare", str(db), "Places", "[Ghost] -> [State]"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_relation_fails(self, db, capsys):
+        assert main(["declare", str(db), "Nope", "[City] -> [State]"]) == 1
+
+
+class TestValidate:
+    def test_reports_violations(self, db, capsys):
+        assert main(["validate", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "3 violated FD(s)" in out
+        assert "VIOLATED" in out
+
+    def test_witnesses(self, db, capsys):
+        assert main(["validate", str(db), "--witnesses", "1"]) == 0
+        assert "witness rows" in capsys.readouterr().out
+
+
+class TestRepair:
+    def test_proposes_repairs(self, db, capsys):
+        assert main(["repair", str(db), "Places"]) == 0
+        out = capsys.readouterr().out
+        assert "Municipal" in out
+        assert "no repair found" in out  # F3
+
+    def test_specific_fd_find_all(self, db, capsys):
+        assert (
+            main(
+                [
+                    "repair",
+                    str(db),
+                    "Places",
+                    "--fd",
+                    "[District] -> [PhNo]",
+                    "--all",
+                    "--max-attrs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Street" in out
+
+    def test_satisfied_fd(self, db, capsys):
+        assert (
+            main(
+                [
+                    "repair",
+                    str(db),
+                    "Places",
+                    "--fd",
+                    "[District, Region, Municipal] -> [AreaCode]",
+                ]
+            )
+            == 0
+        )
+        assert "satisfied" in capsys.readouterr().out
+
+
+class TestEvolve:
+    def test_evolves_and_saves(self, db, capsys):
+        assert main(["evolve", str(db), "Places"]) == 0
+        out = capsys.readouterr().out
+        assert "evolved to" in out
+        catalog = Catalog.load(db)
+        fd_strings = {str(fd) for fd in catalog.fds("Places")}
+        assert "[District, Region, Municipal] -> [AreaCode]" in fd_strings
+
+
+class TestQuery:
+    def test_count_distinct(self, db, capsys):
+        assert (
+            main(
+                ["query", str(db), "SELECT COUNT(DISTINCT District, Region) FROM Places"]
+            )
+            == 0
+        )
+        assert "2" in capsys.readouterr().out
+
+    def test_select_rows(self, db, capsys):
+        assert main(["query", str(db), "SELECT District FROM Places LIMIT 3"]) == 0
+        assert "Brookside" in capsys.readouterr().out
+
+
+class TestImport:
+    def test_imports_csv(self, db, tmp_path, capsys):
+        csv_path = tmp_path / "pets.csv"
+        csv_path.write_text("name,kind\nrex,dog\nfelix,cat\n", encoding="utf-8")
+        assert main(["import", str(db), str(csv_path)]) == 0
+        catalog = Catalog.load(db)
+        assert "pets" in catalog.relation_names()
+        assert catalog.relation("pets").num_rows == 2
+
+    def test_import_with_name(self, db, tmp_path):
+        csv_path = tmp_path / "x.csv"
+        csv_path.write_text("a\n1\n", encoding="utf-8")
+        assert main(["import", str(db), str(csv_path), "--name", "numbers"]) == 0
+        assert "numbers" in Catalog.load(db).relation_names()

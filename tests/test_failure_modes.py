@@ -1,0 +1,163 @@
+"""Failure-injection tests: corrupted inputs and misuse across boundaries.
+
+The library's contract is a single exception root (:class:`ReproError`)
+with precise subclasses; these tests inject broken catalogs, ragged
+CSVs, NULLs in watched attributes, and cross-layer misuse to pin the
+failure behaviour down.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.repair import find_repairs
+from repro.datarepair.deletion import minimum_deletion_repair
+from repro.dc.predicates import build_predicate_space
+from repro.fd.fd import fd
+from repro.relational.catalog import Catalog
+from repro.relational.csvio import load_csv, loads_csv
+from repro.relational.errors import (
+    NullValueError,
+    ReproError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.relation import Relation
+from repro.sql.executor import execute_on_relation
+from repro.temporal.tfd import TemporalFD, assess_over_log
+from repro.temporal.window import TupleLog
+
+
+class TestCorruptedCsv:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_ragged_row(self):
+        with pytest.raises(SchemaError):
+            loads_csv("A,B\n1,2\n3\n", name="r")
+
+    def test_duplicate_header(self):
+        with pytest.raises(ReproError):
+            loads_csv("A,A\n1,2\n", name="r")
+
+
+class TestCorruptedCatalog:
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        with pytest.raises((ReproError, OSError)):
+            Catalog.load(tmp_path / "db")
+
+    def test_malformed_manifest_json(self, tmp_path):
+        db = tmp_path / "db"
+        db.mkdir()
+        (db / "catalog.json").write_text("{not json")
+        with pytest.raises((ReproError, json.JSONDecodeError)):
+            Catalog.load(db)
+
+    def test_manifest_fd_over_missing_attribute(self, tmp_path):
+        # Declaring an FD referencing a ghost attribute must fail loudly
+        # at declaration time, not at repair time.
+        catalog = Catalog()
+        catalog.add_relation(
+            Relation.from_columns("r", {"A": ["x"], "B": ["y"]})
+        )
+        with pytest.raises(UnknownAttributeError):
+            catalog.declare_fd("r", fd("A -> Ghost"))
+
+    def test_unknown_relation_everywhere(self):
+        catalog = Catalog()
+        with pytest.raises(UnknownRelationError):
+            catalog.relation("missing")
+        with pytest.raises(UnknownRelationError):
+            catalog.declare_fd("missing", fd("A -> B"))
+
+    def test_cli_surfaces_domain_errors_as_exit_1(self, tmp_path, capsys):
+        db = tmp_path / "db"
+        assert main(["init", str(db), "--empty"]) == 0
+        assert main(["keys", str(db), "nothere"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestNullInjection:
+    def test_repair_rejects_null_fd_attributes(self):
+        relation = Relation.from_columns(
+            "r", {"A": ["x", None], "B": ["y", "z"], "C": ["1", "2"]}
+        )
+        with pytest.raises(NullValueError):
+            find_repairs(relation, fd("A -> B"))
+
+    def test_null_candidates_never_proposed(self):
+        # C is dirty with NULLs; the only repair path would be through
+        # C, so the search must come back empty rather than use it.
+        relation = Relation.from_columns(
+            "r",
+            {
+                "A": ["x", "x"],
+                "B": ["y", "z"],
+                "C": ["c1", None],
+            },
+        )
+        result = find_repairs(relation, fd("A -> B"))
+        assert not result.found
+
+    def test_temporal_assessment_rejects_null_windows(self):
+        log = TupleLog.from_relation(
+            Relation.from_columns("r", {"K": ["k", "k"], "V": ["v", None]})
+        )
+        with pytest.raises(NullValueError):
+            assess_over_log(log, TemporalFD(fd("K -> V"), window_size=2))
+
+    def test_deletion_repair_rejects_null_fd(self):
+        relation = Relation.from_columns(
+            "r", {"A": ["x", None], "B": ["y", "z"]}
+        )
+        with pytest.raises(NullValueError):
+            minimum_deletion_repair(relation, [fd("A -> B")])
+
+    def test_predicate_space_silently_drops_null_attributes(self):
+        relation = Relation.from_columns(
+            "r", {"A": ["x", None], "B": ["y", "z"]}
+        )
+        space = build_predicate_space(relation)
+        assert "A" not in space.attributes
+
+
+class TestSqlMisuse:
+    def test_unknown_column_raises(self, places):
+        with pytest.raises(ReproError):
+            execute_on_relation(places, "select Ghost from Places")
+
+    def test_unknown_table_name_raises(self, places):
+        with pytest.raises(ReproError):
+            execute_on_relation(places, "select City from Atlantis")
+
+    def test_malformed_sql_raises(self, places):
+        with pytest.raises(ReproError):
+            execute_on_relation(places, "selekt City from Places")
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_relation_everything_degrades_gracefully(self):
+        relation = Relation.from_columns("r", {"A": [], "B": []})
+        result = find_repairs(relation, fd("A -> B"))
+        assert not result.was_violated
+        repair = minimum_deletion_repair(relation, [fd("A -> B")])
+        assert repair.num_deleted == 0
+
+    def test_single_row_relation_satisfies_everything(self):
+        relation = Relation.from_columns("r", {"A": ["x"], "B": ["y"]})
+        result = find_repairs(relation, fd("A -> B"))
+        assert not result.was_violated
+
+    def test_two_attribute_relation_has_no_candidates(self):
+        # R \ XY is empty: a violated FD here is unrepairable by design.
+        relation = Relation.from_columns(
+            "r", {"A": ["x", "x"], "B": ["y", "z"]}
+        )
+        result = find_repairs(relation, fd("A -> B"))
+        assert result.was_violated and not result.found

@@ -1,0 +1,155 @@
+"""Cross-subsystem integration tests: the library's workflows end to end.
+
+Each test chains several packages the way a user would:
+
+* evolve-then-design: repair the Places FDs, then derive keys, a
+  normal-form decomposition, and index recommendations from the
+  *evolved* constraints;
+* stream-to-schema: drift detection on a log feeds the CB repair whose
+  output feeds the advisor;
+* the three repair philosophies agree on *consistency* even though
+  they disagree on what to change;
+* discovery cross-checks: TANE, DC mining, and the CB search tell one
+  consistent story about the same instance.
+"""
+
+import pytest
+
+from repro.advisor import fetch_consequent, recommend_indexes
+from repro.core.repair import find_first_repair
+from repro.core.session import RepairSession, accept_best
+from repro.datagen.places import places_catalog, places_relation
+from repro.datarepair import (
+    build_conflict_graph,
+    minimum_deletion_repair,
+    value_update_repair,
+)
+from repro.dc import build_evidence_set, build_predicate_space, fd_to_dc
+from repro.design import candidate_keys, implies, is_bcnf, synthesize_3nf
+from repro.discovery.tane import discover_fds
+from repro.fd import fd
+from repro.fd.measures import assess, is_exact
+
+
+class TestEvolveThenDesign:
+    """Repair first, then reap the design benefits (§3 + §6.3)."""
+
+    @pytest.fixture
+    def evolved(self):
+        catalog = places_catalog()
+        session = RepairSession(catalog)
+        session.run("Places", accept_best)
+        return catalog
+
+    def test_evolved_fds_are_exact(self, evolved):
+        relation = evolved.relation("Places")
+        for declared in evolved.fds("Places"):
+            for single in declared.decompose():
+                if assess(relation, single).is_exact:
+                    continue
+                # The only FD allowed to stay violated is the
+                # unrepairable F3 (t10/t11 agree everywhere else).
+                assert single == fd("[PhNo, Zip] -> [Street]")
+
+    def test_advisor_accepts_evolved_fds(self, evolved):
+        relation = evolved.relation("Places")
+        exact = [
+            f
+            for declared in evolved.fds("Places")
+            for f in declared.decompose()
+            if assess(relation, f).is_exact
+        ]
+        report = recommend_indexes(relation, exact)
+        assert report.recommendations
+        indexed = report.build(relation)
+        repaired_f1 = fd("[District, Region, Municipal] -> [AreaCode]")
+        if repaired_f1 in exact:
+            value = fetch_consequent(
+                indexed, repaired_f1, "Brookside", "Granville", "Glendale"
+            )
+            assert value == "613"
+
+    def test_keys_from_evolved_fds(self, evolved):
+        relation = evolved.relation("Places")
+        keys = candidate_keys(
+            relation.attribute_names, list(evolved.fds("Places"))
+        )
+        assert keys
+        # Every key determines the whole relation schema by definition;
+        # spot-check implication of one evolved FD from the key.
+        for declared in evolved.fds("Places"):
+            assert implies(
+                list(evolved.fds("Places")) + [],
+                declared,
+            )
+
+    def test_3nf_synthesis_from_evolved_fds(self, evolved):
+        relation = evolved.relation("Places")
+        result = synthesize_3nf(
+            relation.attribute_names, list(evolved.fds("Places"))
+        )
+        assert result.is_dependency_preserving
+        union = set().union(*(set(f) for f in result.fragments))
+        assert union == set(relation.attribute_names)
+
+
+class TestRepairPhilosophiesAgree:
+    """All three strategies restore consistency; only CB keeps the data."""
+
+    FDS = [
+        fd("[District, Region] -> [AreaCode]"),
+        fd("[Zip] -> [City, State]"),
+    ]
+
+    def test_all_strategies_restore_consistency(self):
+        places = places_relation()
+        singles = [s for f in self.FDS for s in f.decompose()]
+
+        deletion = minimum_deletion_repair(places, self.FDS)
+        update = value_update_repair(places, self.FDS)
+        for single in singles:
+            assert is_exact(deletion.repaired, single)
+            assert is_exact(update.repaired, single)
+
+        # CB: evolve instead; the evolved FDs are exact on the original.
+        for single in singles:
+            repair = find_first_repair(places, single)
+            assert repair is not None
+            assert is_exact(places, repair.fd)
+
+    def test_information_preservation_ordering(self):
+        """CB keeps all tuples and cells; update keeps tuples; deletion
+        keeps neither — the §1 trade-off as an invariant."""
+        places = places_relation()
+        deletion = minimum_deletion_repair(places, self.FDS)
+        update = value_update_repair(places, self.FDS)
+        assert deletion.repaired.num_rows < places.num_rows
+        assert update.repaired.num_rows == places.num_rows
+        assert update.num_changes > 0
+
+
+class TestDiscoveryCrossChecks:
+    """TANE, DC mining, and direct measures agree on the instance."""
+
+    def test_tane_fds_are_valid_dcs(self, places):
+        discovered = discover_fds(places, max_lhs_size=2)
+        space = build_predicate_space(places, order_predicates=False)
+        evidence = build_evidence_set(places, space)
+        for item in discovered.exact():
+            mask = space.mask_of(fd_to_dc(item.fd).predicates)
+            assert evidence.violations_of(mask) == 0, item.fd
+
+    def test_conflict_graph_edges_match_confidence(self, places):
+        for declared in (
+            fd("[District, Region] -> [AreaCode]"),
+            fd("[Zip] -> [City]"),
+        ):
+            graph = build_conflict_graph(places, [declared])
+            assert (graph.num_edges == 0) == assess(places, declared).is_exact
+
+    def test_repair_validates_against_dc_semantics(self, places):
+        repair = find_first_repair(places, fd("[District, Region] -> [AreaCode]"))
+        space = build_predicate_space(places, order_predicates=False)
+        evidence = build_evidence_set(places, space)
+        mask = space.mask_of(fd_to_dc(repair.fd).predicates)
+        assert evidence.violations_of(mask) == 0
