@@ -4,19 +4,29 @@ The paper argues that discovering all FDs and then relaxing the
 designer's constraints is impractical: expensive, and not guaranteed to
 surface extensions of the declared FD.  Asserts:
 
-* CB's directed search is faster than whole-instance discovery on every
-  workload;
+* CB's directed search does far less work than whole-instance
+  discovery on every workload (candidate counts; in aggregate that
+  still shows as wall-clock — though the PR-1 stripped-partition
+  engine has made discovery cheap enough that on the 11-row Places
+  instance absolute times are pure noise);
 * discovery tests orders of magnitude more candidates than the repair
   search needs;
 * CB finds a repair on every workload, while discovery's minimal-FD
   output does not always contain an extension of the declared FD.
+
+The second study is the PR-1 partition-engine ablation: the stripped-
+partition lattice engine vs the plain distinct-count engine it
+replaced, on TPC-H (default ``small`` preset) and the Veterans case
+study (module defaults).  Asserts identical output, an aggregate
+end-to-end speedup of ≥ 3×, and no pathological per-workload
+regression.  Results are recorded in ``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.bench.experiments.ablation import discovery_rows
+from repro.bench.experiments.ablation import discovery_rows, stripped_engine_rows
 from repro.bench.tables import render_rows
 
 
@@ -32,13 +42,41 @@ def test_repair_vs_discovery(benchmark, show):
     unrepaired = [row for row in rows if not row["repair_found"]]
     assert all(row["discovered_extensions"] == 0 for row in unrepaired)
 
-    # Cost: discovery is slower wherever CB's search is targeted (a
-    # repair exists).  On the unrepairable F3 the CB search must
-    # exhaust its space, so only the aggregate claim is stable there.
+    # Cost: discovery tests far more candidates than the directed
+    # repair search explores, on every workload.  Wall-clock is only
+    # asserted in aggregate — per-workload timings on the tiny Places
+    # instance are sub-millisecond noise now that discovery runs on
+    # the stripped-partition engine.
     for row in repaired:
-        assert row["discovery_seconds"] > row["repair_seconds"], row["workload"]
+        assert row["candidates_tested"] > row["repair_explored"], row["workload"]
     assert sum(r["discovery_seconds"] for r in rows) > sum(
         r["repair_seconds"] for r in rows
     )
     for row in rows:
         assert row["candidates_tested"] > 50, row["workload"]
+
+
+def test_stripped_vs_plain_engine(benchmark, show):
+    rows = run_once(benchmark, stripped_engine_rows)
+    show(render_rows(rows, title="Ablation: stripped-partition vs plain discovery"))
+
+    # Both engines must mine the identical minimal FDs and confidences.
+    assert all(row["identical"] for row in rows)
+
+    total_stripped = sum(row["stripped_seconds"] for row in rows)
+    total_plain = sum(row["plain_seconds"] for row in rows)
+    aggregate = total_plain / total_stripped
+    show(f"aggregate end-to-end speedup: {aggregate:.2f}x")
+
+    # The PR-1 target: ≥ 3× end-to-end at default sizes.  The veterans
+    # case study (wide, FD-rich — the shape the paper's discovery
+    # discussion is about) must clear 3× on its own.
+    assert aggregate >= 3.0
+    veterans = next(row for row in rows if row["workload"] == "veterans")
+    assert veterans["speedup"] >= 3.0
+
+    # The stripped engine must never lose badly, even on lineitem's
+    # all-low-cardinality pool where partitions cannot shrink.
+    for row in rows:
+        if row["plain_seconds"] > 0.05:  # below that, timing is noise
+            assert row["speedup"] >= 0.5, row["workload"]

@@ -1,0 +1,123 @@
+"""Micro-benchmarks of the stripped-partition engine (PR 1 tentpole).
+
+Times the individual operations the partition lattice is built from —
+construction, refinement, the non-materializing ``refined_error`` scan,
+the stripped product, and the relation-level cache — against the
+position-list / distinct-count paths they replaced.  These run under
+pytest-benchmark's normal statistics (multiple rounds); the end-to-end
+discovery ablation lives in ``bench_ablation_discovery.py`` and its
+numbers are recorded in ``docs/BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.synthetic import random_relation
+from repro.datagen.tpch import generate_table
+from repro.relational.partition import Partition, StrippedPartition
+
+
+@pytest.fixture(scope="module")
+def orders():
+    return generate_table("orders", "small", seed=42)
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return random_relation("wide", num_rows=5_000, num_attrs=12, cardinality=50, seed=3)
+
+
+@pytest.fixture(scope="module")
+def codes(orders):
+    return orders.column("custkey").codes, orders.column("orderstatus").codes
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_plain_from_codes(benchmark, codes):
+    custkey, _ = codes
+    benchmark(Partition.from_codes, custkey)
+
+
+def test_stripped_from_codes(benchmark, codes):
+    custkey, _ = codes
+    benchmark(StrippedPartition.from_codes, custkey)
+
+
+# ----------------------------------------------------------------------
+# Refinement: π_XA from π_X
+# ----------------------------------------------------------------------
+def test_plain_refine(benchmark, codes):
+    custkey, status = codes
+    partition = Partition.from_codes(custkey)
+    benchmark(partition.refine, status)
+
+
+def test_stripped_refine(benchmark, codes):
+    custkey, status = codes
+    partition = StrippedPartition.from_codes(custkey)
+    benchmark(partition.refine, status)
+
+
+def test_stripped_refined_error(benchmark, codes):
+    """The counting-only scan: no product is materialized at all."""
+    custkey, status = codes
+    partition = StrippedPartition.from_codes(custkey)
+    benchmark(partition.refined_error, status)
+
+
+def test_stripped_product(benchmark, codes):
+    custkey, status = codes
+    left = StrippedPartition.from_codes(custkey)
+    right = StrippedPartition.from_codes(status)
+    benchmark(left.product, right)
+
+
+# ----------------------------------------------------------------------
+# Distinct counting: raw scan vs partition-cache derivation
+# ----------------------------------------------------------------------
+def test_count_distinct_raw_pair(benchmark, orders):
+    benchmark(orders.count_distinct_raw, ["custkey", "orderstatus"])
+
+
+def test_count_distinct_via_partition_cache(benchmark, orders):
+    """|π_XA| as one refinement of the cached π_X (the repair search's
+    XA-from-X derivation)."""
+    orders.stats.clear()
+    orders.stripped_partition(["custkey"])
+
+    def derive():
+        orders.stats._distinct_cache.clear()  # re-count, keep partitions
+        return orders.count_distinct(["custkey", "orderstatus"])
+
+    benchmark(derive)
+
+
+# ----------------------------------------------------------------------
+# The relation-level cache
+# ----------------------------------------------------------------------
+def test_partition_cache_cold(benchmark, wide):
+    names = list(wide.attribute_names[:3])
+
+    def cold():
+        wide.stats.clear()
+        return wide.stripped_partition(names)
+
+    benchmark(cold)
+
+
+def test_partition_cache_warm(benchmark, wide):
+    names = list(wide.attribute_names[:3])
+    wide.stripped_partition(names)
+    benchmark(wide.stripped_partition, names)
+
+
+def test_cache_hit_is_counted(wide):
+    wide.stats.clear()
+    names = list(wide.attribute_names[:2])
+    wide.stripped_partition(names)
+    before = wide.stats.partition_cache_hits
+    wide.stripped_partition(names)
+    assert wide.stats.partition_cache_hits == before + 1

@@ -115,6 +115,11 @@ def extend_by_one(
     check_fd_attributes(relation, fd)
     y = list(fd.consequent)
     distinct_y = relation.count_distinct(y)
+    # Prime the partition cache with π_X: every |π_XA| and |π_XAY| below
+    # then resolves as an O(covered) refinement of a cached partition
+    # instead of a fresh scan (the XA-from-X derivation of Section 4.4).
+    if fd.antecedent:
+        relation.stripped_partition(list(fd.antecedent))
     candidates: list[Candidate] = []
     exclude = set(fd.attributes)
     for attr in relation.attribute_names:

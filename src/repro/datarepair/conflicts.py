@@ -47,12 +47,10 @@ def violating_groups(
     both the exact deletion solver and the value-update repair consume.
     Only classes with ≥ 2 Y-groups (i.e. actual violations) appear.
     """
-    x_partition = relation.partition(list(fd.antecedent))
+    x_partition = relation.stripped_partition(list(fd.antecedent))
     y_columns = [relation.column(a).codes for a in fd.consequent]
     grouped: list[list[list[int]]] = []
     for cls_rows in x_partition:
-        if len(cls_rows) < 2:
-            continue
         by_y: dict[tuple[int, ...], list[int]] = {}
         for row in cls_rows:
             key = tuple(codes[row] for codes in y_columns)

@@ -16,10 +16,16 @@ classic economies:
   ``{mask: multiplicity}`` map whose size is bounded by the predicate
   space, not by n².
 
-Pair enumeration is O(n²); ``max_pairs`` switches to deterministic
-sampling so discovery stays usable on the benchmark relations — a
-standard move (the original FastDC also samples for its approximate
-variant) that we surface honestly in the result object.
+Pair enumeration is O(n²) in the worst case, but the full-enumeration
+path first collapses duplicate rows through the relation's cached
+stripped partition over the predicate-space attributes: rows identical
+on every attribute produce identical evidence against any third row, so
+pairs are enumerated over one representative per duplicate class and
+counted with multiplicities — O(m²) for m distinct rows.  ``max_pairs``
+switches to deterministic sampling so discovery stays usable on the
+benchmark relations — a standard move (the original FastDC also samples
+for its approximate variant) that we surface honestly in the result
+object.
 """
 
 from __future__ import annotations
@@ -101,7 +107,8 @@ def build_evidence_set(
     counts: dict[int, int] = {}
     pairs_done = 0
     sampled = False
-    budget = max_pairs if max_pairs is not None else n * (n - 1) // 2
+    total_unordered = n * (n - 1) // 2
+    budget = max_pairs if max_pairs is not None else total_unordered
 
     # Precompute per-attribute forward/backward bit tables so the inner
     # loop is a few dict-free integer ops per attribute.
@@ -127,13 +134,67 @@ def build_evidence_set(
             )
         )
 
+    if budget >= total_unordered and attributes:
+        # Full enumeration: collapse duplicate rows.  Rows in the same
+        # class of the all-attribute partition carry identical codes
+        # (hence identical decoded values), so every pair involving
+        # them is counted once per representative, with multiplicity.
+        duplicates = relation.stripped_partition(list(attributes))
+        eq_all = 0
+        for table in tables:
+            eq_all |= table[2]
+        reps: list[tuple[int, int]] = []  # (representative row, class size)
+        in_class = [False] * n
+        within_pairs = 0
+        for cls_rows in duplicates:
+            size = len(cls_rows)
+            reps.append((cls_rows[0], size))
+            within_pairs += size * (size - 1) // 2
+            for row in cls_rows:
+                in_class[row] = True
+        reps.extend((row, 1) for row in range(n) if not in_class[row])
+        reps.sort()
+        if within_pairs:
+            # Both directions of an identical pair satisfy exactly the
+            # equality-compatible predicates on every attribute.
+            counts[eq_all] = counts.get(eq_all, 0) + 2 * within_pairs
+        for a in range(len(reps)):
+            i, mult_i = reps[a]
+            for b in range(a + 1, len(reps)):
+                j, mult_j = reps[b]
+                forward = 0
+                backward = 0
+                for codes, values, eq_mask, lt_mask, gt_mask, has_order, ne_bit in tables:
+                    if codes[i] == codes[j]:
+                        forward |= eq_mask
+                        backward |= eq_mask
+                    elif has_order:
+                        if values[i] < values[j]:
+                            forward |= lt_mask
+                            backward |= gt_mask
+                        else:
+                            forward |= gt_mask
+                            backward |= lt_mask
+                    else:
+                        forward |= ne_bit
+                        backward |= ne_bit
+                weight = mult_i * mult_j
+                counts[forward] = counts.get(forward, 0) + weight
+                counts[backward] = counts.get(backward, 0) + weight
+        return EvidenceSet(
+            space=space,
+            counts=counts,
+            total_pairs=2 * total_unordered,
+            sampled=False,
+        )
+
     done = False
     for i in range(n):
         if done:
             break
         for j in range(i + 1, n):
             if pairs_done >= budget:
-                sampled = pairs_done < n * (n - 1) // 2
+                sampled = pairs_done < total_unordered
                 done = True
                 break
             forward = 0

@@ -3,7 +3,10 @@
 These are the ingredients of the EB (entropy-based) repair method of
 Chiang & Miller that the paper compares against in Section 5.  All
 quantities are computed over :class:`~repro.relational.partition.Partition`
-objects using natural logarithms:
+or :class:`~repro.relational.partition.StrippedPartition` objects (the
+stripped form treats every uncovered row as its own singleton class,
+so both representations induce the same clustering) using natural
+logarithms:
 
 * ``H(C) = − Σ_k P(k) · log P(k)``
 * ``H(C|C′) = − Σ_{k,k′} P(k,k′) · log P(k|k′)``
@@ -21,10 +24,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Union
 
-from repro.relational.partition import Partition
+from repro.relational.partition import Partition, StrippedPartition
+
+#: Either partition representation; they induce the same clustering.
+AnyPartition = Union[Partition, StrippedPartition]
 
 __all__ = [
+    "AnyPartition",
     "EntropyCost",
     "entropy",
     "conditional_entropy",
@@ -46,8 +54,12 @@ class EntropyCost:
         self.intersections += other.intersections
 
 
-def entropy(partition: Partition, cost: EntropyCost | None = None) -> float:
-    """Shannon entropy of a clustering (class sizes over n)."""
+def entropy(partition: AnyPartition, cost: EntropyCost | None = None) -> float:
+    """Shannon entropy of a clustering (class sizes over n).
+
+    Stripped partitions contribute their implicit singletons in bulk:
+    each accounts for ``log(n)/n``.
+    """
     n = partition.num_rows
     if n == 0:
         return 0.0
@@ -57,11 +69,14 @@ def entropy(partition: Partition, cost: EntropyCost | None = None) -> float:
     for size in partition.class_sizes():
         p = size / n
         total -= p * math.log(p)
+    singletons = partition.num_singletons
+    if singletons:
+        total += singletons * math.log(n) / n
     return total
 
 
 def joint_class_counts(
-    left: Partition, right: Partition, cost: EntropyCost | None = None
+    left: AnyPartition, right: AnyPartition, cost: EntropyCost | None = None
 ) -> dict[tuple[int, int], int]:
     """``|C_k ∩ C′_k′|`` for every intersecting class pair.
 
@@ -81,8 +96,8 @@ def joint_class_counts(
 
 
 def conditional_entropy(
-    target: Partition,
-    given: Partition,
+    target: AnyPartition,
+    given: AnyPartition,
     cost: EntropyCost | None = None,
     joint: dict[tuple[int, int], int] | None = None,
 ) -> float:
@@ -97,7 +112,7 @@ def conditional_entropy(
         return 0.0
     if joint is None:
         joint = joint_class_counts(target, given, cost)
-    given_sizes = given.class_sizes()
+    given_sizes = given.index_sizes()
     total = 0.0
     for (_, given_class), count in joint.items():
         p_joint = count / n
@@ -108,7 +123,7 @@ def conditional_entropy(
 
 
 def variation_of_information(
-    left: Partition, right: Partition, cost: EntropyCost | None = None
+    left: AnyPartition, right: AnyPartition, cost: EntropyCost | None = None
 ) -> float:
     """``VI(left, right)`` — symmetric, zero iff the clusterings coincide."""
     joint = joint_class_counts(left, right, cost)

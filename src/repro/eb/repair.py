@@ -101,7 +101,12 @@ def eb_extend_by_one(
     """
     base = base or fd
     cost = cost if cost is not None else EntropyCost()
-    ground_truth = relation.partition(list(base.attributes))
+    # Stripped partitions induce the same clusterings (singletons are
+    # implicit) and come from the relation's partition cache, so C_XA
+    # is an O(covered) refinement of the cached C_X.
+    ground_truth = relation.stripped_partition(list(base.attributes))
+    if fd.antecedent:
+        relation.stripped_partition(list(fd.antecedent))  # prime π_X for the C_XA refinements
     candidates: list[EBCandidate] = []
     exclude = set(fd.attributes)
     for attr in relation.attribute_names:
@@ -110,8 +115,8 @@ def eb_extend_by_one(
         if relation.column(attr).has_nulls:
             continue
         extended = fd.extended(attr)
-        cxa = relation.partition(list(extended.antecedent))
-        ca = relation.partition([attr])
+        cxa = relation.stripped_partition(list(extended.antecedent))
+        ca = relation.stripped_partition([attr])
         homogeneity = conditional_entropy(ground_truth, cxa, cost)
         completeness = conditional_entropy(ca, ground_truth, cost)
         vi = variation_of_information(ground_truth, cxa, cost)

@@ -155,16 +155,15 @@ def violating_pairs(
     """Row-index pairs ``(t1, t2)`` witnessing a Definition-2 violation.
 
     Pairs agree on ``X`` but differ on ``Y``.  This is the O(n²)-free
-    implementation: group rows by X, and inside each class compare Y
-    codes.  ``limit`` truncates the output (the designer UI only needs a
-    few witnesses).
+    implementation: group rows by X via the cached stripped partition
+    (singleton X-classes cannot violate, so they are never touched),
+    and inside each class compare Y codes.  ``limit`` truncates the
+    output (the designer UI only needs a few witnesses).
     """
-    x_partition = relation.partition(list(fd.antecedent))
+    x_partition = relation.stripped_partition(list(fd.antecedent))
     y_columns = [relation.column(a).codes for a in fd.consequent]
     pairs: list[tuple[int, int]] = []
     for cls_rows in x_partition:
-        if len(cls_rows) < 2:
-            continue
         first_by_y: dict[tuple[int, ...], int] = {}
         for row in cls_rows:
             key = tuple(codes[row] for codes in y_columns)

@@ -11,6 +11,7 @@ Public entry points:
 * :class:`Relation`, :class:`RelationSchema`, :class:`Attribute`,
   :class:`AttributeType` — data model;
 * :class:`Partition` — position-list clusterings;
+* :class:`StrippedPartition` — TANE's singleton-free hot-path form;
 * :class:`Catalog` — named relations + declared FDs, with persistence;
 * :func:`load_csv` / :func:`save_csv` — interchange.
 """
@@ -30,7 +31,7 @@ from .errors import (
     UnknownRelationError,
 )
 from .join import is_lossless_decomposition, join_all, natural_join
-from .partition import Partition
+from .partition import Partition, StrippedPartition
 from .relation import Relation
 from .schema import Attribute, RelationSchema
 from .statistics import RelationStatistics
@@ -48,6 +49,7 @@ __all__ = [
     "NULL_CODE",
     "NullValueError",
     "Partition",
+    "StrippedPartition",
     "Relation",
     "RelationSchema",
     "RelationStatistics",

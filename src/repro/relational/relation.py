@@ -22,7 +22,7 @@ from typing import Any
 
 from .encoding import NULL_CODE, EncodedColumn
 from .errors import ArityError, SchemaError, TypeMismatchError
-from .partition import Partition
+from .partition import Partition, StrippedPartition
 from .schema import Attribute, RelationSchema
 from .statistics import RelationStatistics
 from .types import AttributeType, infer_type
@@ -239,6 +239,18 @@ class Relation:
             return Partition.single_class(self._num_rows)
         code_columns = [self._columns[name].codes for name in names]
         return Partition.from_code_columns(code_columns, self._num_rows)
+
+    def stripped_partition(self, attrs: Sequence[str]) -> StrippedPartition:
+        """The stripped X-clustering, cached on the relation.
+
+        This is the hot-path form of :meth:`partition`: singleton
+        classes are dropped (they cannot witness violations), results
+        are memoized per attribute set, and supersets of cached sets are
+        derived by O(covered) refinement instead of a fresh scan.  Since
+        relations are immutable the cache never goes stale.
+        """
+        names = self._schema.validate_names(attrs)
+        return self._stats.stripped_partition(names)
 
     def has_nulls(self, attrs: Sequence[str]) -> bool:
         """Whether any attribute in ``attrs`` contains a NULL."""

@@ -1,4 +1,4 @@
-"""Per-relation statistics with memoization.
+"""Per-relation statistics with memoization — counts *and* partitions.
 
 The CB method's entire cost is distinct counting over attribute sets
 (the paper implements them as ``SELECT COUNT(DISTINCT …)`` queries,
@@ -7,6 +7,16 @@ Section 4.4).  A repair search asks for many overlapping counts —
 — so memoizing them on the relation is the single biggest win.  Keys are
 frozensets of attribute names: projection cardinality is order-
 insensitive.
+
+On top of the count memo sits the **attribute-set partition cache**: a
+``frozenset → StrippedPartition`` map over the lattice of attribute
+sets.  When ``|π_XA|`` is requested and π_X is cached, the answer is
+one O(covered) refinement instead of a fresh scan — and covered rows
+shrink rapidly as X approaches a key.  Because relations are immutable
+(every derivation builds a new :class:`Relation`, and therefore a new
+statistics object), neither cache can ever go stale; the only
+invalidation rule is :meth:`clear`, which callers use to reset cost
+accounting between benchmark phases.
 
 The cache also records how many raw (uncached) counts were executed,
 which the benchmark harness reports as the "query count" cost model
@@ -19,6 +29,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from .partition import StrippedPartition
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .relation import Relation
 
@@ -28,27 +40,108 @@ __all__ = ["RelationStatistics"]
 class RelationStatistics:
     """Memoizing facade over one relation's counting primitives."""
 
-    __slots__ = ("_relation", "_distinct_cache", "_raw_count")
+    __slots__ = (
+        "_relation",
+        "_distinct_cache",
+        "_raw_count",
+        "_partition_cache",
+        "_partition_hits",
+        "_partitions_built",
+    )
 
     def __init__(self, relation: "Relation") -> None:
         self._relation = relation
         self._distinct_cache: dict[frozenset[str], int] = {}
         self._raw_count = 0
+        self._partition_cache: dict[frozenset[str], StrippedPartition] = {}
+        self._partition_hits = 0
+        self._partitions_built = 0
 
     # ------------------------------------------------------------------
     # Counting
     # ------------------------------------------------------------------
     def count_distinct(self, attrs: Sequence[str]) -> int:
-        """Memoized ``|π_attrs(r)|``."""
+        """Memoized ``|π_attrs(r)|``.
+
+        Resolution order: the count memo, then the partition cache
+        (``|π_X| = n − e(X)``, free), then a one-step refinement when a
+        partition of any ``attrs ∖ {A}`` is cached (this is how the
+        repair search derives every |π_XA| from the cached π_X), and
+        only then a raw scan.
+        """
         key = frozenset(attrs)
         cached = self._distinct_cache.get(key)
         if cached is not None:
             return cached
-        value = self._relation.count_distinct_raw(list(attrs))
+        partition = self._partition_cache.get(key)
+        if partition is not None:
+            self._partition_hits += 1
+            value = partition.num_distinct
+        elif len(key) > 1 and self._refinable_from(key) is not None:
+            value = self.stripped_partition(list(key)).num_distinct
+            self._raw_count += 1
+        else:
+            value = self._relation.count_distinct_raw(list(key))
+            self._raw_count += 1
         self._distinct_cache[key] = value
-        self._raw_count += 1
         return value
 
+    def _refinable_from(self, key: frozenset[str]) -> frozenset[str] | None:
+        """A cached ``key ∖ {A}`` subset to refine from, if any.
+
+        Probes in sorted-name order so the chosen subset — and with it
+        the class order of every derived partition and downstream
+        witness enumeration — is independent of ``PYTHONHASHSEED``.
+        """
+        for name in sorted(key):
+            subset = key - {name}
+            if subset in self._partition_cache:
+                return subset
+        return None
+
+    # ------------------------------------------------------------------
+    # The partition lattice cache
+    # ------------------------------------------------------------------
+    def stripped_partition(self, attrs: Sequence[str]) -> StrippedPartition:
+        """The cached stripped partition π_attrs, building it if needed.
+
+        Construction reuses the lattice: a cached partition of any
+        ``attrs ∖ {A}`` is refined by A's column in O(covered);
+        otherwise the sorted prefix chain is built (and cached) from the
+        single-attribute partitions up.
+        """
+        key = frozenset(attrs)
+        partition = self._partition_cache.get(key)
+        if partition is not None:
+            self._partition_hits += 1
+            return partition
+        partition = self._build_partition(key)
+        self._partition_cache[key] = partition
+        self._partitions_built += 1
+        return partition
+
+    def _build_partition(self, key: frozenset[str]) -> StrippedPartition:
+        relation = self._relation
+        if not key:
+            return StrippedPartition.single_class(relation.num_rows)
+        if len(key) == 1:
+            (name,) = key
+            return StrippedPartition.from_codes(relation.column(name).codes)
+        subset = self._refinable_from(key)
+        if subset is not None:
+            (added,) = key - subset
+            return self._partition_cache[subset].refine(relation.column(added).codes)
+        names = sorted(key)
+        prefix = self.stripped_partition(names[:-1])
+        return prefix.refine(relation.column(names[-1]).codes)
+
+    def cached_partition(self, attrs: Sequence[str]) -> StrippedPartition | None:
+        """The cached partition for ``attrs``, or ``None`` (never builds)."""
+        return self._partition_cache.get(frozenset(attrs))
+
+    # ------------------------------------------------------------------
+    # Simple per-attribute statistics
+    # ------------------------------------------------------------------
     def null_count(self, attr: str) -> int:
         """Number of NULLs in one attribute."""
         return self._relation.column(attr).null_count
@@ -71,7 +164,7 @@ class RelationStatistics:
     # ------------------------------------------------------------------
     @property
     def executed_count_queries(self) -> int:
-        """Raw (uncached) distinct counts executed so far."""
+        """Raw (memo-missing) distinct counts executed so far."""
         return self._raw_count
 
     @property
@@ -79,11 +172,29 @@ class RelationStatistics:
         """Number of memoized attribute sets."""
         return len(self._distinct_cache)
 
+    @property
+    def cached_partitions(self) -> int:
+        """Number of attribute sets with a cached stripped partition."""
+        return len(self._partition_cache)
+
+    @property
+    def partition_cache_hits(self) -> int:
+        """Lookups answered directly from the partition cache."""
+        return self._partition_hits
+
+    @property
+    def partitions_built(self) -> int:
+        """Stripped partitions materialized (cache misses)."""
+        return self._partitions_built
+
     def reset_counters(self) -> None:
-        """Zero the executed-query counter (cache contents are kept)."""
+        """Zero the cost counters (cache contents are kept)."""
         self._raw_count = 0
+        self._partition_hits = 0
+        self._partitions_built = 0
 
     def clear(self) -> None:
-        """Drop all cached counts and reset the counter."""
+        """Drop all cached counts and partitions, and reset the counters."""
         self._distinct_cache.clear()
-        self._raw_count = 0
+        self._partition_cache.clear()
+        self.reset_counters()

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from tests.strategies import relations
 from repro.datagen.places import F1, places_relation
-from repro.discovery.tane import discover_fds
+from repro.discovery.tane import discover_fds, discover_fds_plain
 from repro.fd.fd import FunctionalDependency, fd
 from repro.fd.measures import confidence, is_exact
 from repro.relational.relation import Relation
@@ -134,3 +134,37 @@ def test_property_discovered_fds_hold(relation):
         assert confidence(relation, item.fd) >= 0.8
         if item.is_exact:
             assert is_exact(relation, item.fd)
+
+
+class TestStrippedVsPlainEngine:
+    """PR-1 acceptance: the stripped-partition lattice engine and the
+    plain distinct-count engine it replaced return identical results."""
+
+    def test_plain_engine_on_places(self):
+        places = places_relation()
+        new = discover_fds(places, max_lhs_size=3)
+        old = discover_fds_plain(places, max_lhs_size=3)
+        assert [(d.fd, d.confidence) for d in new.fds] == [
+            (d.fd, d.confidence) for d in old.fds
+        ]
+        assert new.candidates_tested == old.candidates_tested
+        assert new.levels_explored == old.levels_explored
+
+    @given(relations(min_rows=0, max_rows=18, max_attrs=5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_identical_exact_fds(self, relation):
+        new = discover_fds(relation, max_lhs_size=3)
+        old = discover_fds_plain(relation, max_lhs_size=3)
+        assert [(d.fd, d.confidence) for d in new.fds] == [
+            (d.fd, d.confidence) for d in old.fds
+        ]
+        assert new.candidates_tested == old.candidates_tested
+
+    @given(relations(min_rows=1, max_rows=15, max_attrs=4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_identical_approximate_fds(self, relation):
+        new = discover_fds(relation, max_lhs_size=2, min_confidence=0.7)
+        old = discover_fds_plain(relation, max_lhs_size=2, min_confidence=0.7)
+        assert [(d.fd, d.confidence) for d in new.fds] == [
+            (d.fd, d.confidence) for d in old.fds
+        ]

@@ -1,0 +1,231 @@
+"""Tests for the stripped-partition engine (PR 1 tentpole).
+
+Covers the stripped ↔ plain equivalence, NULL-class handling, the
+product/refine/refined_error identities, and the relation-level
+partition cache behaviour the discovery lattice and repair search
+depend on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.partition import Partition, StrippedPartition
+from repro.relational.relation import Relation
+
+codes_lists = st.lists(st.integers(0, 4), min_size=0, max_size=30)
+
+
+def as_class_sets(partition) -> set[frozenset[int]]:
+    """Partition classes as a set of frozensets (order-insensitive)."""
+    return {frozenset(cls_rows) for cls_rows in partition.classes}
+
+
+class TestConstruction:
+    def test_from_codes_drops_singletons(self):
+        stripped = StrippedPartition.from_codes([0, 0, 1, 2, 2, 3])
+        assert as_class_sets(stripped) == {frozenset({0, 1}), frozenset({3, 4})}
+        assert stripped.num_rows == 6
+        assert stripped.covered_rows == 4
+        assert stripped.num_singletons == 2
+
+    def test_from_partition_matches_from_codes(self):
+        codes = [0, 1, 1, 2, 0, 3]
+        via_plain = StrippedPartition.from_partition(Partition.from_codes(codes))
+        direct = StrippedPartition.from_codes(codes)
+        assert as_class_sets(via_plain) == as_class_sets(direct)
+
+    def test_single_class(self):
+        assert StrippedPartition.single_class(4).num_classes == 1
+        assert StrippedPartition.single_class(1).num_classes == 0
+        assert StrippedPartition.single_class(0).num_classes == 0
+
+    def test_partition_stripped_returns_stripped(self):
+        stripped = Partition.from_codes([0, 0, 1]).stripped()
+        assert isinstance(stripped, StrippedPartition)
+        assert stripped.num_rows == 3
+
+    def test_null_code_forms_its_own_class(self):
+        # NULL (code -1) groups like any other value: GROUP BY semantics.
+        stripped = StrippedPartition.from_codes([-1, 0, -1, 0, 1])
+        assert as_class_sets(stripped) == {frozenset({0, 2}), frozenset({1, 3})}
+
+
+class TestCountingIdentities:
+    def test_error_and_num_distinct(self):
+        codes = [0, 0, 0, 1, 1, 2]
+        stripped = StrippedPartition.from_codes(codes)
+        assert stripped.error() == 3  # (3-1) + (2-1)
+        assert stripped.num_distinct == 3  # values 0, 1, 2
+
+    def test_error_matches_plain(self):
+        codes = [0, 1, 1, 2, 2, 2, 3]
+        assert (
+            StrippedPartition.from_codes(codes).error()
+            == Partition.from_codes(codes).error()
+        )
+
+    def test_key_has_zero_error(self):
+        stripped = StrippedPartition.from_codes([0, 1, 2, 3])
+        assert stripped.error() == 0
+        assert stripped.num_classes == 0
+        assert stripped.num_distinct == 4
+
+
+class TestRefineAndProduct:
+    def test_refine_matches_plain(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 2]
+        stripped = StrippedPartition.from_codes(a).refine(b)
+        plain = Partition.from_codes(a).refine(b).stripped()
+        assert as_class_sets(stripped) == as_class_sets(plain)
+
+    def test_product_matches_refine(self):
+        a = [0, 0, 1, 1, 2, 2, 0]
+        b = [0, 1, 1, 1, 0, 0, 0]
+        via_product = StrippedPartition.from_codes(a).product(
+            StrippedPartition.from_codes(b)
+        )
+        via_refine = StrippedPartition.from_codes(a).refine(b)
+        assert as_class_sets(via_product) == as_class_sets(via_refine)
+
+    def test_refined_error_matches_materialized(self):
+        a = [0, 0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 0, 0, 1]
+        stripped = StrippedPartition.from_codes(a)
+        assert stripped.refined_error(b) == stripped.refine(b).error()
+
+    def test_multi_column_refine(self):
+        a = [0] * 8
+        b = [0, 0, 0, 0, 1, 1, 1, 1]
+        c = [0, 0, 1, 1, 0, 0, 1, 1]
+        stripped = StrippedPartition.from_codes(a)
+        assert as_class_sets(stripped.refine(b, c)) == as_class_sets(
+            stripped.refine(b).refine(c)
+        )
+        assert stripped.refined_error(b, c) == stripped.refine(b).refine(c).error()
+
+    def test_to_partition_reattaches_singletons(self):
+        codes = [0, 0, 1, 2]
+        full = StrippedPartition.from_codes(codes).to_partition()
+        assert as_class_sets(full) == as_class_sets(Partition.from_codes(codes))
+
+    def test_class_index_gives_singletons_fresh_ids(self):
+        stripped = StrippedPartition.from_codes([0, 0, 1, 2])
+        index = stripped.class_index()
+        assert index[0] == index[1] == 0
+        assert len(set(index)) == 3
+        sizes = stripped.index_sizes()
+        assert sizes[index[0]] == 2
+        assert sizes[index[2]] == sizes[index[3]] == 1
+
+
+@given(codes_lists, codes_lists)
+def test_property_stripped_refine_equals_plain(a, b):
+    """Stripped refine ≡ plain refine with singletons dropped."""
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    stripped = StrippedPartition.from_codes(a).refine(b)
+    plain = Partition.from_codes(a).refine(b).stripped()
+    assert as_class_sets(stripped) == as_class_sets(plain)
+    assert stripped.error() == plain.error()
+
+
+@given(codes_lists, codes_lists)
+def test_property_refined_error_matches_distinct_count(a, b):
+    """n − e(X·A) equals the distinct count of (a, b) pairs."""
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    stripped = StrippedPartition.from_codes(a)
+    assert n - stripped.refined_error(b) == len(set(zip(a, b)))
+
+
+@given(codes_lists)
+def test_property_num_distinct(codes):
+    assert StrippedPartition.from_codes(codes).num_distinct == len(set(codes))
+
+
+class TestRelationCache:
+    @pytest.fixture
+    def relation(self):
+        return Relation.from_columns(
+            "r",
+            {
+                "A": ["x", "x", "y", "y", "y"],
+                "B": ["1", "2", "1", "1", "2"],
+                "C": ["p", "p", "p", "q", "q"],
+            },
+        )
+
+    def test_matches_uncached_partition(self, relation):
+        stripped = relation.stripped_partition(["A", "B"])
+        plain = relation.partition(["A", "B"]).stripped()
+        assert as_class_sets(stripped) == as_class_sets(plain)
+
+    def test_cache_hit_returns_same_object(self, relation):
+        first = relation.stripped_partition(["A", "B"])
+        second = relation.stripped_partition(["B", "A"])  # order-insensitive
+        assert second is first
+        assert relation.stats.partition_cache_hits >= 1
+
+    def test_superset_is_derived_by_refinement(self, relation):
+        relation.stats.clear()
+        relation.stripped_partition(["A"])
+        built_before = relation.stats.partitions_built
+        relation.stripped_partition(["A", "C"])
+        # One refinement, not a from-scratch chain.
+        assert relation.stats.partitions_built == built_before + 1
+
+    def test_count_distinct_uses_partition_cache(self, relation):
+        relation.stats.clear()
+        relation.stripped_partition(["A", "B"])
+        assert relation.count_distinct(["A", "B"]) == relation.count_distinct_raw(
+            ["A", "B"]
+        )
+
+    def test_count_distinct_refines_cached_subset(self, relation):
+        relation.stats.clear()
+        relation.stripped_partition(["A"])
+        value = relation.count_distinct(["A", "C"])
+        assert value == relation.count_distinct_raw(["A", "C"])
+        assert relation.stats.cached_partitions >= 2  # {A} and {A,C}
+
+    def test_clear_drops_partitions(self, relation):
+        relation.stripped_partition(["A"])
+        relation.stats.clear()
+        assert relation.stats.cached_partitions == 0
+        assert relation.stats.partition_cache_hits == 0
+
+    def test_nulls_group_like_group_by(self):
+        relation = Relation.from_columns(
+            "r", {"A": [None, "x", None, "x"], "B": ["1", "1", "1", "2"]}
+        )
+        stripped = relation.stripped_partition(["A"])
+        assert as_class_sets(stripped) == {frozenset({0, 2}), frozenset({1, 3})}
+        # NULL counts as one distinct value, matching count_distinct_raw.
+        assert relation.count_distinct(["A", "B"]) == relation.count_distinct_raw(
+            ["A", "B"]
+        )
+
+    def test_empty_attrs(self, relation):
+        stripped = relation.stripped_partition([])
+        assert stripped.num_classes == 1
+        assert stripped.num_distinct == 1
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_cached_equals_direct(data):
+    """The cache-derived stripped partition of any attribute subset
+    matches the directly computed plain partition, stripped."""
+    from tests.strategies import relations
+
+    relation = data.draw(relations(min_rows=0, max_rows=20, max_attrs=4))
+    names = list(relation.attribute_names)
+    subset = data.draw(
+        st.lists(st.sampled_from(names), min_size=1, max_size=len(names), unique=True)
+    )
+    cached = relation.stripped_partition(subset)
+    direct = relation.partition(subset).stripped()
+    assert as_class_sets(cached) == as_class_sets(direct)
+    assert cached.num_distinct == relation.count_distinct_raw(subset)
