@@ -11,21 +11,29 @@ numbers are recorded in ``docs/BENCHMARKS.md``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datagen.synthetic import random_relation
 from repro.datagen.tpch import generate_table
 from repro.relational.partition import Partition, StrippedPartition
 
+#: CI's benchmark-smoke job sets this to shrink the fixtures: the point
+#: there is that the bench still *runs*, not to collect statistics.
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
 
 @pytest.fixture(scope="module")
 def orders():
-    return generate_table("orders", "small", seed=42)
+    table = generate_table("orders", "small", seed=42)
+    return table.head(2_000) if _SMOKE else table
 
 
 @pytest.fixture(scope="module")
 def wide():
-    return random_relation("wide", num_rows=5_000, num_attrs=12, cardinality=50, seed=3)
+    rows = 1_000 if _SMOKE else 5_000
+    return random_relation("wide", num_rows=rows, num_attrs=12, cardinality=50, seed=3)
 
 
 @pytest.fixture(scope="module")

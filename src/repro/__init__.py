@@ -38,6 +38,7 @@ Package map (see DESIGN.md for the full inventory):
 
 from .core import (
     Candidate,
+    EngineConfig,
     GoodnessMode,
     RepairConfig,
     RepairSession,
@@ -67,6 +68,7 @@ __all__ = [
     "AttributeType",
     "Candidate",
     "Catalog",
+    "EngineConfig",
     "FunctionalDependency",
     "GoodnessMode",
     "Relation",

@@ -10,11 +10,13 @@ System S4 in DESIGN.md.  Public API:
   detection;
 * :class:`RepairSession` — the semi-automatic designer loop;
 * :class:`RepairConfig` — all the knobs of Section 4.4, including the
-  goodness-threshold extension.
+  goodness-threshold extension;
+* :class:`EngineConfig` — kernel-backend selection for the relational
+  hot paths (python reference loops vs vectorized numpy).
 """
 
 from .candidates import Candidate, candidate_rank_key, extend_by_one, order_key
-from .config import CandidateOrder, GoodnessMode, RepairConfig
+from .config import CandidateOrder, EngineConfig, GoodnessMode, RepairConfig
 from .monitor import FDAlert, FDMonitor, MonitoredFD
 from .objective import RepairObjective, accept_by_objective, rank_by_objective
 from .repair import (
@@ -41,6 +43,7 @@ from .validate import (
 __all__ = [
     "Candidate",
     "CandidateOrder",
+    "EngineConfig",
     "FDAlert",
     "FDMonitor",
     "MonitoredFD",

@@ -17,6 +17,13 @@ paragraph of Section 4:
   repairs are undesirable).
 * ``max_expansions`` — a safety budget on queue pops for benchmarking
   very wide relations; ``None`` means unbounded (paper behaviour).
+
+:class:`EngineConfig` is the engine-level companion: it selects the
+kernel backend (:mod:`repro.relational.kernels`) the relational hot
+paths run on — ``python`` (stdlib reference loops) or ``numpy``
+(vectorized, the ``[fast]`` extra).  The ``REPRO_BACKEND`` environment
+variable overrides the default resolution; an activated
+:class:`EngineConfig` overrides both.
 """
 
 from __future__ import annotations
@@ -24,7 +31,43 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["GoodnessMode", "RepairConfig"]
+from repro.relational import kernels
+
+__all__ = ["EngineConfig", "GoodnessMode", "RepairConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level settings: which kernel backend the hot paths use.
+
+    ``backend`` is ``"auto"`` (numpy when installed, else python),
+    ``"python"``, or ``"numpy"``.  Construction only validates;
+    :meth:`activate` installs the choice process-wide via
+    :func:`repro.relational.kernels.set_backend`, taking precedence
+    over the ``REPRO_BACKEND`` environment variable.
+    """
+
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("auto", "python", "numpy"):
+            raise ValueError(
+                f"backend must be 'auto', 'python' or 'numpy', got {self.backend!r}"
+            )
+
+    def resolve(self) -> str:
+        """The concrete backend name this config would run on."""
+        if self.backend == "auto":
+            return "numpy" if kernels.numpy_available() else "python"
+        return self.backend
+
+    def activate(self) -> None:
+        """Install this config's backend choice process-wide.
+
+        Raises :class:`~repro.relational.errors.KernelBackendError` if
+        ``numpy`` is requested but not installed.
+        """
+        kernels.set_backend(self.backend)
 
 
 class GoodnessMode(enum.Enum):

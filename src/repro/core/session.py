@@ -20,9 +20,8 @@ simulate a human.  Every step is appended to ``history`` for audit.
 from __future__ import annotations
 
 import enum
-import time
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.ordering import RankedFD, order_fds

@@ -27,7 +27,6 @@ tables read like the paper's.
 
 from __future__ import annotations
 
-from repro.fd.fd import FunctionalDependency
 from repro.relational.relation import Relation
 
 from .engineered import EngineeredSpec, engineered_relation

@@ -184,7 +184,9 @@ def discover_fds(
     result = DiscoveryResult()
 
     n = relation.num_rows
-    columns = {name: relation.column(name).codes for name in pool}
+    # Kernel-ready code columns: plain lists on the python backend,
+    # int64 arrays on numpy — whatever the cached partitions refine by.
+    columns = {name: relation.column(name).kernel_codes() for name in pool}
     keys: list[frozenset[str]] = []
 
     # Two-level lattice store of live :class:`_LatticeNode`s.  A node

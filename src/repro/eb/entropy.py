@@ -18,14 +18,22 @@ is that EB "requires to store the tuples in order to be able to perform
 the intersections between clusters while with the CB technique we do
 not keep trace of all tuples in the groups but only of their amount" —
 the ablation bench quantifies exactly that.
+
+The arithmetic itself runs through the active kernel backend
+(:mod:`repro.relational.kernels`): the reference backend keeps the
+original row loops, the numpy backend computes the same sums as array
+reductions.  Cost accounting is backend-independent — both charge one
+joint pass (``2n`` rows) and one unit per intersection cell, so the
+ablation's EB-vs-CB cost story is unaffected by backend choice.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
+from repro.relational import kernels
+from repro.relational.kernels import python_backend
 from repro.relational.partition import Partition, StrippedPartition
 
 #: Either partition representation; they induce the same clustering.
@@ -65,14 +73,7 @@ def entropy(partition: AnyPartition, cost: EntropyCost | None = None) -> float:
         return 0.0
     if cost is not None:
         cost.rows_touched += n
-    total = 0.0
-    for size in partition.class_sizes():
-        p = size / n
-        total -= p * math.log(p)
-    singletons = partition.num_singletons
-    if singletons:
-        total += singletons * math.log(n) / n
-    return total
+    return kernels.get_backend().entropy_from_partition(partition)
 
 
 def joint_class_counts(
@@ -81,14 +82,11 @@ def joint_class_counts(
     """``|C_k ∩ C′_k′|`` for every intersecting class pair.
 
     One pass over the rows via class-index arrays; this is the cluster
-    intersection work the paper charges the EB method for.
+    intersection work the paper charges the EB method for.  (Cell order
+    is backend-dependent: row-scan order on the reference backend,
+    sorted by class pair on numpy.)
     """
-    left_index = left.class_index()
-    right_index = right.class_index()
-    counts: dict[tuple[int, int], int] = {}
-    for row in range(left.num_rows):
-        key = (left_index[row], right_index[row])
-        counts[key] = counts.get(key, 0) + 1
+    counts = kernels.get_backend().joint_class_counts(left, right)
     if cost is not None:
         cost.rows_touched += 2 * left.num_rows
         cost.intersections += len(counts)
@@ -105,29 +103,33 @@ def conditional_entropy(
 
     ``joint`` may carry precomputed :func:`joint_class_counts`
     (keyed ``(target_class, given_class)``) to share one intersection
-    pass between the two conditional entropies of a VI computation.
+    pass between the two conditional entropies of a VI computation;
+    with a joint supplied, the sum runs over the dict as given.
     """
     n = target.num_rows
     if n == 0:
         return 0.0
-    if joint is None:
-        joint = joint_class_counts(target, given, cost)
-    given_sizes = given.index_sizes()
-    total = 0.0
-    for (_, given_class), count in joint.items():
-        p_joint = count / n
-        p_conditional = count / given_sizes[given_class]
-        if p_conditional < 1.0:
-            total -= p_joint * math.log(p_conditional)
-    return total
+    if joint is not None:
+        return python_backend.conditional_entropy_from_joint(
+            n, given.index_sizes(), joint
+        )
+    value, cells = kernels.get_backend().conditional_entropy(target, given)
+    if cost is not None:
+        cost.rows_touched += 2 * n
+        cost.intersections += cells
+    return value
 
 
 def variation_of_information(
     left: AnyPartition, right: AnyPartition, cost: EntropyCost | None = None
 ) -> float:
     """``VI(left, right)`` — symmetric, zero iff the clusterings coincide."""
-    joint = joint_class_counts(left, right, cost)
-    swapped = {(r, l): count for (l, r), count in joint.items()}
-    return conditional_entropy(left, right, joint=joint) + conditional_entropy(
-        right, left, joint=swapped
+    if left.num_rows == 0:
+        return 0.0
+    forward, backward, cells = kernels.get_backend().conditional_entropy_pair(
+        left, right
     )
+    if cost is not None:
+        cost.rows_touched += 2 * left.num_rows
+        cost.intersections += cells
+    return forward + backward

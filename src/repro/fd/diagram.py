@@ -23,7 +23,6 @@ from __future__ import annotations
 from repro.fd.clustering import induced_mapping, x_clustering
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import assess
-from repro.relational.partition import Partition
 from repro.relational.relation import Relation
 
 __all__ = ["render_clustering", "render_fd_diagram", "explain_repair"]

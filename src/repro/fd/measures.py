@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.relational import kernels
 from repro.relational.errors import NullValueError
 from repro.relational.relation import Relation
 
@@ -34,6 +35,7 @@ __all__ = [
     "is_satisfied",
     "is_exact",
     "violating_pairs",
+    "count_violating_pairs",
     "check_fd_attributes",
 ]
 
@@ -147,6 +149,26 @@ def is_satisfied(
     against :func:`violating_pairs`.
     """
     return is_exact(relation, fd, allow_nulls)
+
+
+def count_violating_pairs(
+    relation: Relation, fd: FunctionalDependency, allow_nulls: bool = False
+) -> int:
+    """The exact number of unordered row pairs violating Definition 2.
+
+    Unlike :func:`violating_pairs` (a witness *sampler*: every
+    violating tuple appears in some pair, but not every violating pair
+    is listed), this is the full count — within an X-class of size
+    ``s`` whose Y-groups have sizes ``g_i``, exactly
+    ``C(s,2) − Σ C(g_i,2)`` pairs violate.  It runs through the active
+    kernel backend, so with NumPy installed the count is two sort
+    reductions with no per-row Python work.
+    """
+    if not allow_nulls:
+        check_fd_attributes(relation, fd)
+    x_partition = relation.stripped_partition(list(fd.antecedent))
+    y_columns = [relation.column(a).kernel_codes() for a in fd.consequent]
+    return kernels.get_backend().count_violating_pairs(x_partition, y_columns)
 
 
 def violating_pairs(

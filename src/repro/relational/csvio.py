@@ -16,7 +16,7 @@ from typing import Any
 from .errors import SchemaError
 from .relation import Relation
 from .schema import Attribute, RelationSchema
-from .types import AttributeType, infer_type
+from .types import infer_type
 
 __all__ = ["load_csv", "loads_csv", "save_csv", "dumps_csv"]
 

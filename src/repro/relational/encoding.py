@@ -10,12 +10,21 @@ computed with plain list indexing.
 NULL is encoded as :data:`NULL_CODE` (-1) and never enters the
 dictionary, mirroring SQL semantics where ``COUNT(DISTINCT x)`` ignores
 NULLs but grouping treats NULL as its own class.
+
+Encoding itself runs through the active kernel backend
+(:mod:`repro.relational.kernels`): the numpy backend factorizes
+homogeneous columns vectorized and caches the codes as an ``int64``
+array (:meth:`EncodedColumn.kernel_codes`), which is the representation
+every array kernel downstream consumes.  ``codes`` stays a plain
+``list[int]`` either way — the public contract is unchanged.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from typing import Any
+
+from . import kernels
 
 __all__ = ["NULL_CODE", "EncodedColumn", "encode_values"]
 
@@ -34,35 +43,31 @@ class EncodedColumn:
         ``dictionary[code]`` is the decoded value for that code.
     """
 
-    __slots__ = ("codes", "dictionary", "_value_to_code")
+    __slots__ = ("codes", "dictionary", "_value_to_code", "_codes_array")
 
     def __init__(self, codes: list[int], dictionary: list[Any]) -> None:
         self.codes = codes
         self.dictionary = dictionary
         self._value_to_code: dict[Any, int] | None = None
+        self._codes_array: Any = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_values(cls, values: Iterable[Any]) -> "EncodedColumn":
-        """Encode an iterable of Python values (``None`` = NULL)."""
-        codes: list[int] = []
-        dictionary: list[Any] = []
-        value_to_code: dict[Any, int] = {}
-        append = codes.append
-        for value in values:
-            if value is None:
-                append(NULL_CODE)
-                continue
-            code = value_to_code.get(value)
-            if code is None:
-                code = len(dictionary)
-                value_to_code[value] = code
-                dictionary.append(value)
-            append(code)
+        """Encode an iterable of Python values (``None`` = NULL).
+
+        Factorization is delegated to the active kernel backend; the
+        numpy backend also hands back the codes as an ``int64`` array,
+        cached for :meth:`kernel_codes`.
+        """
+        codes, dictionary, value_to_code, codes_array = (
+            kernels.get_backend().factorize(values)
+        )
         column = cls(codes, dictionary)
         column._value_to_code = value_to_code
+        column._codes_array = codes_array
         return column
 
     # ------------------------------------------------------------------
@@ -100,6 +105,15 @@ class EncodedColumn:
             None if code == NULL_CODE else dictionary[code] for code in self.codes
         ]
 
+    def kernel_codes(self) -> Sequence[int]:
+        """The codes in the active backend's preferred representation.
+
+        The python backend returns ``codes`` itself; the numpy backend
+        returns (and caches) a read-only ``int64`` array.  Partition
+        and counting kernels consume this form.
+        """
+        return kernels.get_backend().column_codes(self)
+
     def code_for(self, value: Any) -> int | None:
         """Code of ``value``, or ``None`` if the value never occurs.
 
@@ -127,6 +141,7 @@ class EncodedColumn:
 
     def append_value(self, value: Any) -> None:
         """Append one value in place (used by builders, not by Relation)."""
+        self._codes_array = None  # the cached array no longer matches
         if value is None:
             self.codes.append(NULL_CODE)
             return

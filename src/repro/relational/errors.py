@@ -18,6 +18,7 @@ __all__ = [
     "UnknownRelationError",
     "DuplicateRelationError",
     "ArityError",
+    "KernelBackendError",
 ]
 
 
@@ -96,3 +97,19 @@ class ArityError(ReproError):
         super().__init__(f"expected a tuple of arity {expected}, got {got}")
         self.expected = expected
         self.got = got
+
+
+class KernelBackendError(ReproError):
+    """A kernel backend was requested that cannot be used.
+
+    Raised when an unknown backend name is configured, or when the
+    ``numpy`` backend is selected explicitly (``REPRO_BACKEND=numpy`` or
+    :func:`repro.relational.kernels.set_backend`) but NumPy is not
+    installed.  The ``auto`` selection never raises — it silently falls
+    back to the pure-Python kernels.
+    """
+
+    def __init__(self, backend: str, reason: str) -> None:
+        super().__init__(f"kernel backend {backend!r} unavailable: {reason}")
+        self.backend = backend
+        self.reason = reason

@@ -1,0 +1,592 @@
+"""NumPy-vectorized kernels (argsort + run-length grouping on int64).
+
+Same surface as :mod:`.python_backend`, but every hot loop is replaced
+by array operations:
+
+* grouping (partition construction, refinement, products) runs as one
+  stable sort plus boundary detection instead of dict building;
+* multi-column keys are *packed* into a single ``int64`` when the code
+  ranges allow it (they essentially always do — spans multiply, and
+  ``ids × codes`` stays far under 2⁶³ at any realistic scale), falling
+  back to ``np.lexsort`` otherwise;
+* distinct counting, the entropy sums, and violating-pair counting are
+  reductions over the same sorted-key machinery.
+
+The partition representation is :class:`ArrayStrippedPartition`: the
+flat (rows, class-ids) form stored natively as parallel ``int64``
+arrays plus a CSR-style offsets vector.  It exposes the full
+``StrippedPartition`` interface — iteration yields plain ``list[int]``
+classes — so every existing consumer works unchanged, and class order
+matches the reference backend's flat-scan order (groups by first
+occurrence, rows ascending within a class), keeping downstream witness
+enumeration deterministic across backends.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..partition import Partition, StrippedPartition
+from . import python_backend
+
+NAME = "numpy"
+
+_INT = np.int64
+#: Packed composite keys must stay well inside int64.
+_PACK_LIMIT = 1 << 62
+
+
+def _as_array(codes: Sequence[int]) -> np.ndarray:
+    """Coerce a code column (list or array) to a read-only int64 array."""
+    return np.asarray(codes, dtype=_INT)
+
+
+def column_codes(column) -> np.ndarray:
+    """The column's codes as a cached immutable int64 array."""
+    arr = column._codes_array
+    if arr is None:
+        arr = _as_array(column.codes)
+        arr.flags.writeable = False
+        column._codes_array = arr
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Composite-key grouping machinery
+# ----------------------------------------------------------------------
+def _pack(keys: Sequence[np.ndarray]) -> np.ndarray | None:
+    """Pack parallel key arrays into one int64 key, or ``None`` if the
+    combined range could overflow (the lexsort fallback handles that)."""
+    if len(keys) == 1:
+        return keys[0]
+    total = 1
+    packed: np.ndarray | None = None
+    for key in keys:
+        lo = int(key.min())
+        span = int(key.max()) - lo + 1
+        total *= span
+        if total > _PACK_LIMIT:
+            return None
+        shifted = key - lo
+        packed = shifted if packed is None else packed * span + shifted
+    return packed
+
+
+def _sorted_key_change(keys: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Stable grouping order and group-boundary flags for composite keys.
+
+    Returns ``(perm, change)``: ``perm`` sorts the elements by key with
+    ties in original order, ``change[i]`` marks the first element of
+    each group in sorted order.
+    """
+    m = keys[0].shape[0]
+    change = np.empty(m, dtype=bool)
+    change[0] = True
+    packed = _pack(keys)
+    if packed is not None:
+        perm = np.argsort(packed, kind="stable")
+        sorted_key = packed[perm]
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=change[1:])
+    else:
+        perm = np.lexsort(tuple(reversed(keys)))
+        change[1:] = False
+        for key in keys:
+            sorted_key = key[perm]
+            change[1:] |= sorted_key[1:] != sorted_key[:-1]
+    return perm, change
+
+
+def _group_counts(keys: Sequence[np.ndarray]) -> np.ndarray:
+    """Sizes of the groups induced by the composite key (any order)."""
+    m = keys[0].shape[0]
+    if m == 0:
+        return np.zeros(0, dtype=_INT)
+    packed = _pack(keys)
+    if packed is not None:
+        sorted_key = np.sort(packed, kind="stable")
+        change = np.empty(m, dtype=bool)
+        change[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=change[1:])
+    else:
+        _, change = _sorted_key_change(keys)
+    starts = np.flatnonzero(change)
+    return np.diff(np.append(starts, m))
+
+
+def _distinct(keys: Sequence[np.ndarray]) -> int:
+    """Number of distinct composite keys."""
+    m = keys[0].shape[0]
+    if m == 0:
+        return 0
+    packed = _pack(keys)
+    if packed is not None:
+        sorted_key = np.sort(packed, kind="stable")
+        return int((sorted_key[1:] != sorted_key[:-1]).sum()) + 1
+    _, change = _sorted_key_change(keys)
+    return int(change.sum())
+
+
+# ----------------------------------------------------------------------
+# The array-backed stripped partition
+# ----------------------------------------------------------------------
+class ArrayStrippedPartition:
+    """A stripped partition stored natively in flat array form.
+
+    ``rows``/``ids`` are the covered rows and their class ids, class-
+    major (class order, ascending row within a class); ``offsets`` is
+    the CSR boundary vector (``offsets[c]:offsets[c+1]`` slices class
+    ``c`` out of ``rows``).  All counting identities of
+    :class:`~repro.relational.partition.StrippedPartition` hold
+    unchanged, and the interface is drop-in compatible.
+    """
+
+    __slots__ = ("rows", "ids", "offsets", "num_rows", "covered_rows", "_classes")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        offsets: np.ndarray,
+        num_rows: int,
+    ) -> None:
+        self.rows = rows
+        self.ids = ids
+        self.offsets = offsets
+        self.num_rows = num_rows
+        self.covered_rows = int(rows.shape[0])
+        self._classes: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_class(cls, num_rows: int) -> "ArrayStrippedPartition":
+        """The trivial partition over ``X = ∅`` (stripped)."""
+        if num_rows <= 1:
+            return _empty(num_rows)
+        rows = np.arange(num_rows, dtype=_INT)
+        ids = np.zeros(num_rows, dtype=_INT)
+        offsets = np.array([0, num_rows], dtype=_INT)
+        return cls(rows, ids, offsets, num_rows)
+
+    @classmethod
+    def from_codes(cls, codes: Sequence[int]) -> "ArrayStrippedPartition":
+        """Stripped partition of rows by one column's value codes."""
+        arr = _as_array(codes)
+        n = int(arr.shape[0])
+        return _regroup(np.arange(n, dtype=_INT), [arr], n)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def refine(self, *code_columns: Sequence[int]) -> "ArrayStrippedPartition":
+        """Product with the partition(s) induced by columns, O(covered log).
+
+        Group order mirrors the reference backend exactly: its dense
+        path (covered ≥ 0.7·n) scans whole columns in row order, its
+        sparse path scans the flat form — so the first-seen order the
+        dict loops produce is min-row vs min-flat-position respectively.
+        """
+        if self.covered_rows == 0:
+            return _empty(self.num_rows)
+        keys = [self.ids]
+        keys.extend(_as_array(codes)[self.rows] for codes in code_columns)
+        dense = 10 * self.covered_rows >= 7 * self.num_rows
+        return _regroup(self.rows, keys, self.num_rows, order_by_row=dense)
+
+    def refined_error(self, *code_columns: Sequence[int]) -> int:
+        """``e(X·A₁…A_k)`` without materializing the product."""
+        if self.covered_rows == 0:
+            return 0
+        keys = [self.ids]
+        keys.extend(_as_array(codes)[self.rows] for codes in code_columns)
+        return self.covered_rows - _distinct(keys)
+
+    def product(self, other) -> "ArrayStrippedPartition":
+        """Stripped product with another partition (either backend)."""
+        other_rows, other_ids = _flat_arrays(other)
+        if self.covered_rows == 0 or other_rows.shape[0] == 0:
+            return _empty(self.num_rows)
+        owner = np.full(self.num_rows, -1, dtype=_INT)
+        owner[self.rows] = self.ids
+        own = owner[other_rows]
+        mask = own >= 0
+        rows = other_rows[mask]
+        if rows.shape[0] == 0:
+            return _empty(self.num_rows)
+        return _regroup(rows, [other_ids[mask], own[mask]], self.num_rows)
+
+    def to_partition(self) -> Partition:
+        """Reattach the implicit singletons, yielding a full partition."""
+        classes = [list(cls_rows) for cls_rows in self.classes]
+        covered = np.zeros(self.num_rows, dtype=bool)
+        covered[self.rows] = True
+        classes.extend([int(row)] for row in np.flatnonzero(~covered))
+        return Partition(classes, self.num_rows)
+
+    # ------------------------------------------------------------------
+    # Counting identities
+    # ------------------------------------------------------------------
+    def error(self) -> int:
+        """TANE's ``e(X) = covered − |classes|``; 0 iff X is a key."""
+        return self.covered_rows - self.num_classes
+
+    @property
+    def num_distinct(self) -> int:
+        """``|π_X(r)| = n − e(X)``: the distinct count the CB measures use."""
+        return self.num_rows - self.covered_rows + self.num_classes
+
+    @property
+    def num_classes(self) -> int:
+        """Number of *stored* (size ≥ 2) classes."""
+        return int(self.offsets.shape[0]) - 1
+
+    @property
+    def num_singletons(self) -> int:
+        """Rows living in implicit singleton classes."""
+        return self.num_rows - self.covered_rows
+
+    @property
+    def classes(self) -> list[list[int]]:
+        """Stored classes as plain row-index lists (lazily materialized)."""
+        if self._classes is None:
+            rows, offsets = self.rows, self.offsets
+            self._classes = [
+                rows[offsets[c] : offsets[c + 1]].tolist()
+                for c in range(self.num_classes)
+            ]
+        return self._classes
+
+    def sizes_array(self) -> np.ndarray:
+        """Stored class sizes as an int64 array (entropy kernels)."""
+        return np.diff(self.offsets)
+
+    def class_sizes(self) -> list[int]:
+        """Sizes of the stored classes (singletons excluded)."""
+        return np.diff(self.offsets).tolist()
+
+    def class_index_array(self) -> np.ndarray:
+        """Per-row class ids; implicit singletons get fresh ids."""
+        index = np.full(self.num_rows, -1, dtype=_INT)
+        index[self.rows] = self.ids
+        mask = index < 0
+        singles = int(mask.sum())
+        if singles:
+            index[mask] = np.arange(
+                self.num_classes, self.num_classes + singles, dtype=_INT
+            )
+        return index
+
+    def class_index(self) -> list[int]:
+        """For each row, a class id; implicit singletons get fresh ids."""
+        return self.class_index_array().tolist()
+
+    def index_sizes_array(self) -> np.ndarray:
+        """Class sizes aligned with :meth:`class_index_array` ids."""
+        return np.concatenate(
+            [np.diff(self.offsets), np.ones(self.num_singletons, dtype=_INT)]
+        )
+
+    def index_sizes(self) -> list[int]:
+        """Class sizes aligned with the ids of :meth:`class_index`."""
+        return self.index_sizes_array().tolist()
+
+    def __len__(self) -> int:
+        return self.num_classes
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.classes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayStrippedPartition({self.num_classes} classes over "
+            f"{self.covered_rows}/{self.num_rows} rows)"
+        )
+
+
+def _empty(num_rows: int) -> ArrayStrippedPartition:
+    return ArrayStrippedPartition(
+        np.zeros(0, dtype=_INT),
+        np.zeros(0, dtype=_INT),
+        np.zeros(1, dtype=_INT),
+        num_rows,
+    )
+
+
+def _regroup(
+    rows: np.ndarray,
+    keys: Sequence[np.ndarray],
+    num_rows: int,
+    order_by_row: bool = False,
+) -> ArrayStrippedPartition:
+    """Group ``rows`` by composite key, keeping only groups of size ≥ 2.
+
+    ``rows`` arrive in flat-scan order (row order for construction,
+    class-major for refinement); output groups are ordered first-seen —
+    by minimal flat position, or by minimal row when ``order_by_row``
+    (the reference backend's dense-scan insertion order) — and rows
+    within a group keep flat order, exactly matching the dict-insertion
+    order of the reference backend's grouping loops.
+    """
+    m = int(rows.shape[0])
+    if m == 0:
+        return _empty(num_rows)
+    perm, change = _sorted_key_change(keys)
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, m))
+    keep = counts >= 2
+    if not keep.any():
+        return _empty(num_rows)
+    kept = np.flatnonzero(keep)
+    # Stable sort ⇒ a group's first sorted element has its minimal flat
+    # position (and, as flat order is row-ascending within a class, its
+    # minimal row); ordering kept groups by it is first-seen order.
+    firsts = perm[starts[kept]]
+    order = np.argsort(rows[firsts] if order_by_row else firsts, kind="stable")
+    kept_in_order = kept[order]
+    new_id = np.full(counts.shape[0], -1, dtype=_INT)
+    new_id[kept_in_order] = np.arange(kept_in_order.shape[0], dtype=_INT)
+    group_of = np.cumsum(change) - 1
+    elem_new = new_id[group_of]
+    mask = elem_new >= 0
+    sel_pos = perm[mask]
+    sel_ids = elem_new[mask]
+    final = np.argsort(sel_ids, kind="stable")
+    sizes = counts[kept_in_order]
+    offsets = np.empty(sizes.shape[0] + 1, dtype=_INT)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    return ArrayStrippedPartition(
+        rows[sel_pos[final]], sel_ids[final], offsets, num_rows
+    )
+
+
+def _flat_arrays(partition) -> tuple[np.ndarray, np.ndarray]:
+    """(rows, class ids) flat arrays for a partition of either backend."""
+    if isinstance(partition, ArrayStrippedPartition):
+        return partition.rows, partition.ids
+    if isinstance(partition, StrippedPartition):
+        flat_rows, flat_ids = partition._flat()
+        return _as_array(flat_rows), _as_array(flat_ids)
+    # Full Partition: every class is stored, including singletons.
+    rows = np.concatenate(
+        [np.zeros(0, dtype=_INT)]
+        + [_as_array(cls_rows) for cls_rows in partition.classes]
+    )
+    ids = np.repeat(
+        np.arange(len(partition.classes), dtype=_INT),
+        [len(cls_rows) for cls_rows in partition.classes],
+    )
+    return rows, ids
+
+
+# ----------------------------------------------------------------------
+# Dictionary encoding
+# ----------------------------------------------------------------------
+def factorize(
+    values: Iterable[Any],
+) -> tuple[list[int], list[Any], dict[Any, int] | None, np.ndarray | None]:
+    """First-seen dictionary encoding via ``np.unique`` factorization.
+
+    The vectorized path covers homogeneous ``int`` and ``str`` columns
+    (with or without NULLs) — the shapes the generators and CSV reader
+    produce.  Mixed-type, ``bool`` and ``float`` columns keep the exact
+    reference semantics by falling back to the dict loop (NumPy would
+    coerce ``True``/``1`` together and collapse NaNs, changing codes).
+    """
+    values = values if isinstance(values, list) else list(values)
+    if not values:
+        return [], [], {}, None
+    types = set(map(type, values))
+    has_null = type(None) in types
+    types.discard(type(None))
+    if types == {int} or types == {str}:
+        try:
+            return _factorize_fast(values, has_null)
+        except (OverflowError, TypeError, ValueError):
+            pass  # e.g. ints beyond int64: the reference loop handles them
+    return python_backend.factorize(values)
+
+
+def _factorize_fast(
+    values: list[Any], has_null: bool
+) -> tuple[list[int], list[Any], dict[Any, int] | None, np.ndarray]:
+    if has_null:
+        non_null = [v for v in values if v is not None]
+        if not non_null:
+            codes = np.full(len(values), -1, dtype=_INT)
+            codes.flags.writeable = False
+            return codes.tolist(), [], {}, codes
+        arr = np.asarray(non_null)
+    else:
+        arr = np.asarray(values)
+    if arr.dtype == object:
+        raise TypeError("mixed-type column; use the reference loop")
+    if arr.dtype.kind == "U":
+        # Fixed-width unicode storage treats trailing NULs as padding:
+        # '\x00' would round-trip as '' and collapse with it.  Punt
+        # such (pathological) columns to the reference loop.
+        non_null = non_null if has_null else values
+        if any(v and v[-1] == "\x00" for v in non_null):
+            raise TypeError("NUL-padded strings; use the reference loop")
+    uniques, first_pos, inverse = np.unique(arr, return_index=True, return_inverse=True)
+    order = np.argsort(first_pos, kind="stable")
+    rank = np.empty(uniques.shape[0], dtype=_INT)
+    rank[order] = np.arange(uniques.shape[0], dtype=_INT)
+    dictionary = uniques[order].tolist()
+    if has_null:
+        codes = np.full(len(values), -1, dtype=_INT)
+        mask = np.fromiter(
+            (v is not None for v in values), dtype=bool, count=len(values)
+        )
+        codes[mask] = rank[inverse]
+    else:
+        codes = rank[inverse].astype(_INT, copy=False)
+    codes.flags.writeable = False
+    value_to_code = {value: code for code, value in enumerate(dictionary)}
+    return codes.tolist(), dictionary, value_to_code, codes
+
+
+# ----------------------------------------------------------------------
+# Stripped partitions (module-level constructors, backend surface)
+# ----------------------------------------------------------------------
+def stripped_single_class(num_rows: int) -> ArrayStrippedPartition:
+    """π_∅ (stripped): one class holding every row."""
+    return ArrayStrippedPartition.single_class(num_rows)
+
+
+def stripped_from_codes(codes: Sequence[int]) -> ArrayStrippedPartition:
+    """Stripped partition of rows by one column's value codes."""
+    return ArrayStrippedPartition.from_codes(codes)
+
+
+# ----------------------------------------------------------------------
+# Distinct counting
+# ----------------------------------------------------------------------
+def count_distinct(code_columns: Sequence[Sequence[int]]) -> int:
+    """Distinct code tuples across columns (pack + sort reduction)."""
+    if not code_columns:
+        return 0
+    return _distinct([_as_array(codes) for codes in code_columns])
+
+
+# ----------------------------------------------------------------------
+# Entropy sums (the EB baseline's kernels)
+# ----------------------------------------------------------------------
+def _sizes_array(partition) -> np.ndarray:
+    if isinstance(partition, ArrayStrippedPartition):
+        return partition.sizes_array()
+    return _as_array(partition.class_sizes())
+
+
+def _class_index_array(partition) -> np.ndarray:
+    if isinstance(partition, ArrayStrippedPartition):
+        return partition.class_index_array()
+    return _as_array(partition.class_index())
+
+
+def _index_sizes_array(partition) -> np.ndarray:
+    if isinstance(partition, ArrayStrippedPartition):
+        return partition.index_sizes_array()
+    return _as_array(partition.index_sizes())
+
+
+def entropy_from_partition(partition) -> float:
+    """``H(C) = −Σ p log p``; implicit singletons contribute in bulk."""
+    n = partition.num_rows
+    sizes = _sizes_array(partition)
+    total = 0.0
+    if sizes.shape[0]:
+        p = sizes / n
+        total = float(-(p * np.log(p)).sum())
+    singletons = partition.num_singletons
+    if singletons:
+        total += singletons * math.log(n) / n
+    return total
+
+
+def _joint_cells(left, right) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(left_cell, right_cell, count)`` arrays over intersecting pairs."""
+    left_index = _class_index_array(left)
+    right_index = _class_index_array(right)
+    keys = [left_index, right_index]
+    perm, change = _sorted_key_change(keys)
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, left_index.shape[0]))
+    firsts = perm[starts]
+    return left_index[firsts], right_index[firsts], counts
+
+
+def joint_class_counts(left, right) -> dict[tuple[int, int], int]:
+    """``|C_k ∩ C′_k′|`` as a dict (API parity with the reference)."""
+    if left.num_rows == 0:
+        return {}
+    l_cells, r_cells, counts = _joint_cells(left, right)
+    return {
+        (int(l), int(r)): int(c)
+        for l, r, c in zip(l_cells.tolist(), r_cells.tolist(), counts.tolist())
+    }
+
+
+def _conditional_from_cells(
+    num_rows: int,
+    given_sizes: np.ndarray,
+    given_cells: np.ndarray,
+    counts: np.ndarray,
+) -> float:
+    p_joint = counts / num_rows
+    p_conditional = counts / given_sizes[given_cells]
+    mask = p_conditional < 1.0
+    if not mask.any():
+        return 0.0
+    return float(-(p_joint[mask] * np.log(p_conditional[mask])).sum())
+
+
+def conditional_entropy(target, given) -> tuple[float, int]:
+    """``(H(target|given), intersection cells)`` in one joint pass."""
+    if target.num_rows == 0:
+        return 0.0, 0
+    _, g_cells, counts = _joint_cells(target, given)
+    value = _conditional_from_cells(
+        target.num_rows, _index_sizes_array(given), g_cells, counts
+    )
+    return value, int(counts.shape[0])
+
+
+def conditional_entropy_pair(target, given) -> tuple[float, float, int]:
+    """Both conditional entropies off one shared joint pass (for VI)."""
+    if target.num_rows == 0:
+        return 0.0, 0.0, 0
+    t_cells, g_cells, counts = _joint_cells(target, given)
+    forward = _conditional_from_cells(
+        target.num_rows, _index_sizes_array(given), g_cells, counts
+    )
+    backward = _conditional_from_cells(
+        given.num_rows, _index_sizes_array(target), t_cells, counts
+    )
+    return forward, backward, int(counts.shape[0])
+
+
+# ----------------------------------------------------------------------
+# Violating-pair counting
+# ----------------------------------------------------------------------
+def count_violating_pairs(x_partition, y_columns: Sequence[Sequence[int]]) -> int:
+    """Exact number of unordered Definition-2 violating pairs.
+
+    ``Σ_classes C(s,2) − Σ_(class,Y)-groups C(g,2)`` — pairs agreeing
+    on X minus those also agreeing on Y, all as two sort reductions.
+    """
+    rows, ids = _flat_arrays(x_partition)
+    if rows.shape[0] == 0:
+        return 0
+    keys = [ids]
+    keys.extend(_as_array(codes)[rows] for codes in y_columns)
+    group = _group_counts(keys)
+    sizes = _group_counts([ids])
+    agree_x = int((sizes * (sizes - 1) // 2).sum())
+    agree_xy = int((group * (group - 1) // 2).sum())
+    return agree_x - agree_xy

@@ -1,0 +1,186 @@
+"""Pure-Python reference kernels (stdlib loops over ``list[int]``).
+
+This module is the extracted form of the loops the engine ran before
+the kernel layer existed; it is the semantic reference the numpy
+backend is property-tested against, and the fallback that keeps a
+stdlib-pure install fully functional.  Every function here must remain
+dependency-free and must keep its exact iteration order — downstream
+witness enumeration and the EB cost model are pinned to it.
+
+Canonical backend surface (mirrored by ``numpy_backend``):
+
+* ``factorize(values)`` — dictionary encoding;
+* ``column_codes(column)`` — the code representation partition kernels
+  want (here: the plain ``list[int]`` itself);
+* ``stripped_single_class`` / ``stripped_from_codes`` — partition
+  construction (``refine``/``refined_error``/``product`` then live on
+  the returned object);
+* ``count_distinct(code_columns)`` — multi-column distinct counting;
+* ``entropy_from_partition`` / ``joint_class_counts`` /
+  ``conditional_entropy`` / ``conditional_entropy_pair`` — the EB
+  entropy sums;
+* ``count_violating_pairs`` — exact Definition-2 pair counting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from ..partition import StrippedPartition
+
+NAME = "python"
+
+
+# ----------------------------------------------------------------------
+# Dictionary encoding
+# ----------------------------------------------------------------------
+def factorize(
+    values: Iterable[Any],
+) -> tuple[list[int], list[Any], dict[Any, int] | None, Any]:
+    """Encode values into dense first-seen codes (``None`` → ``-1``).
+
+    Returns ``(codes, dictionary, value_to_code, codes_array)``; the
+    last slot is the backend's preferred array representation (always
+    ``None`` here — lists are already this backend's native form).
+    """
+    codes: list[int] = []
+    dictionary: list[Any] = []
+    value_to_code: dict[Any, int] = {}
+    append = codes.append
+    for value in values:
+        if value is None:
+            append(-1)
+            continue
+        code = value_to_code.get(value)
+        if code is None:
+            code = len(dictionary)
+            value_to_code[value] = code
+            dictionary.append(value)
+        append(code)
+    return codes, dictionary, value_to_code, None
+
+
+def column_codes(column) -> Sequence[int]:
+    """The code representation partition kernels consume: the list."""
+    return column.codes
+
+
+# ----------------------------------------------------------------------
+# Stripped partitions
+# ----------------------------------------------------------------------
+def stripped_single_class(num_rows: int) -> StrippedPartition:
+    """π_∅ (stripped): one class holding every row."""
+    return StrippedPartition.single_class(num_rows)
+
+
+def stripped_from_codes(codes: Sequence[int]) -> StrippedPartition:
+    """Stripped partition of rows by one column's value codes."""
+    return StrippedPartition.from_codes(codes)
+
+
+# ----------------------------------------------------------------------
+# Distinct counting
+# ----------------------------------------------------------------------
+def count_distinct(code_columns: Sequence[Sequence[int]]) -> int:
+    """Distinct code tuples across columns (one C-level set pass)."""
+    if not code_columns:
+        return 0
+    if len(code_columns) == 1:
+        return len(set(code_columns[0]))
+    return len(set(zip(*code_columns)))
+
+
+# ----------------------------------------------------------------------
+# Entropy sums (the EB baseline's kernels)
+# ----------------------------------------------------------------------
+def entropy_from_partition(partition) -> float:
+    """``H(C) = −Σ p log p``; implicit singletons contribute in bulk."""
+    n = partition.num_rows
+    total = 0.0
+    for size in partition.class_sizes():
+        p = size / n
+        total -= p * math.log(p)
+    singletons = partition.num_singletons
+    if singletons:
+        total += singletons * math.log(n) / n
+    return total
+
+
+def joint_class_counts(left, right) -> dict[tuple[int, int], int]:
+    """``|C_k ∩ C′_k′|`` for every intersecting class pair."""
+    left_index = left.class_index()
+    right_index = right.class_index()
+    counts: dict[tuple[int, int], int] = {}
+    for row in range(left.num_rows):
+        key = (left_index[row], right_index[row])
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def conditional_entropy_from_joint(
+    num_rows: int,
+    given_sizes: Sequence[int],
+    joint: dict[tuple[int, int], int],
+) -> float:
+    """``H(target|given)`` from precomputed ``(target, given)`` counts."""
+    total = 0.0
+    for (_, given_class), count in joint.items():
+        p_joint = count / num_rows
+        p_conditional = count / given_sizes[given_class]
+        if p_conditional < 1.0:
+            total -= p_joint * math.log(p_conditional)
+    return total
+
+
+def conditional_entropy(target, given) -> tuple[float, int]:
+    """``(H(target|given), intersection cells)`` in one joint pass."""
+    joint = joint_class_counts(target, given)
+    value = conditional_entropy_from_joint(target.num_rows, given.index_sizes(), joint)
+    return value, len(joint)
+
+
+def conditional_entropy_pair(target, given) -> tuple[float, float, int]:
+    """Both conditional entropies off one shared joint pass (for VI)."""
+    joint = joint_class_counts(target, given)
+    forward = conditional_entropy_from_joint(
+        target.num_rows, given.index_sizes(), joint
+    )
+    swapped = {(r, l): count for (l, r), count in joint.items()}
+    backward = conditional_entropy_from_joint(
+        given.num_rows, target.index_sizes(), swapped
+    )
+    return forward, backward, len(joint)
+
+
+# ----------------------------------------------------------------------
+# Violating-pair counting
+# ----------------------------------------------------------------------
+def count_violating_pairs(x_partition, y_columns: Sequence[Sequence[int]]) -> int:
+    """Exact number of unordered Definition-2 violating pairs.
+
+    Within an X-class of size ``s`` whose Y-groups have sizes ``g_i``,
+    the violating pairs number ``C(s,2) − Σ C(g_i,2)`` — every pair
+    agreeing on X minus those also agreeing on Y.  Singleton X-classes
+    (implicit in the stripped form) contribute nothing.
+    """
+    total = 0
+    single = len(y_columns) == 1
+    y0 = y_columns[0] if y_columns else ()
+    for cls_rows in x_partition:
+        size = len(cls_rows)
+        group_sizes: dict[Any, int] = {}
+        if single:
+            for row in cls_rows:
+                key = y0[row]
+                group_sizes[key] = group_sizes.get(key, 0) + 1
+        else:
+            for row in cls_rows:
+                key = tuple(codes[row] for codes in y_columns)
+                group_sizes[key] = group_sizes.get(key, 0) + 1
+        if len(group_sizes) < 2:
+            continue
+        total += size * (size - 1) // 2
+        total -= sum(g * (g - 1) // 2 for g in group_sizes.values())
+    return total

@@ -20,12 +20,13 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from typing import Any
 
-from .encoding import NULL_CODE, EncodedColumn
+from . import kernels
+from .encoding import EncodedColumn
 from .errors import ArityError, SchemaError, TypeMismatchError
 from .partition import Partition, StrippedPartition
 from .schema import Attribute, RelationSchema
 from .statistics import RelationStatistics
-from .types import AttributeType, infer_type
+from .types import infer_type
 
 __all__ = ["Relation"]
 
@@ -222,15 +223,20 @@ class Relation:
         return self._stats.count_distinct(attrs)
 
     def count_distinct_raw(self, attrs: Sequence[str]) -> int:
-        """Uncached distinct count; the workhorse behind :meth:`count_distinct`."""
+        """Uncached distinct count; the workhorse behind :meth:`count_distinct`.
+
+        Multi-column counts run through the active kernel backend
+        (:mod:`repro.relational.kernels`): one set pass on the python
+        backend, a pack-and-sort reduction on numpy.
+        """
         names = self._schema.validate_names(attrs)
         if not names:
             return 1 if self._num_rows else 0
         if len(names) == 1:
             column = self._columns[names[0]]
             return column.cardinality + (1 if column.has_nulls else 0)
-        code_columns = [self._columns[name].codes for name in names]
-        return len(set(zip(*code_columns)))
+        code_columns = [self._columns[name].kernel_codes() for name in names]
+        return kernels.get_backend().count_distinct(code_columns)
 
     def partition(self, attrs: Sequence[str]) -> Partition:
         """The X-clustering over ``attrs`` (paper Definition 5)."""
@@ -338,7 +344,11 @@ class Relation:
 
 
 def _copy_column(column: EncodedColumn) -> EncodedColumn:
-    return EncodedColumn(list(column.codes), list(column.dictionary))
+    copy = EncodedColumn(list(column.codes), list(column.dictionary))
+    # The cached kernel array is immutable and encodes the same codes,
+    # so the copy can share it until one of them is mutated in place.
+    copy._codes_array = column._codes_array
+    return copy
 
 
 def _validate_value(attr: Attribute, value: Any) -> Any:

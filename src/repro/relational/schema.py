@@ -8,7 +8,7 @@ a plain dict for catalog persistence.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .errors import DuplicateAttributeError, SchemaError, UnknownAttributeError
 from .types import AttributeType

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from . import kernels
 from .partition import StrippedPartition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -121,19 +122,28 @@ class RelationStatistics:
         return partition
 
     def _build_partition(self, key: frozenset[str]) -> StrippedPartition:
+        """Build π_key with the active kernel backend.
+
+        The cache stores whichever representation the backend produced
+        (list-based or array-backed); the two interoperate, so entries
+        built under different backends still refine each other.
+        """
         relation = self._relation
+        backend = kernels.get_backend()
         if not key:
-            return StrippedPartition.single_class(relation.num_rows)
+            return backend.stripped_single_class(relation.num_rows)
         if len(key) == 1:
             (name,) = key
-            return StrippedPartition.from_codes(relation.column(name).codes)
+            return backend.stripped_from_codes(relation.column(name).kernel_codes())
         subset = self._refinable_from(key)
         if subset is not None:
             (added,) = key - subset
-            return self._partition_cache[subset].refine(relation.column(added).codes)
+            return self._partition_cache[subset].refine(
+                relation.column(added).kernel_codes()
+            )
         names = sorted(key)
         prefix = self.stripped_partition(names[:-1])
-        return prefix.refine(relation.column(names[-1]).codes)
+        return prefix.refine(relation.column(names[-1]).kernel_codes())
 
     def cached_partition(self, attrs: Sequence[str]) -> StrippedPartition | None:
         """The cached partition for ``attrs``, or ``None`` (never builds)."""

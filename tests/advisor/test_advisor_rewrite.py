@@ -11,7 +11,6 @@ from repro.advisor.rewrite import (
     fetch_consequent,
 )
 from repro.fd.fd import fd
-from repro.relational.relation import Relation
 from repro.sql.executor import execute_on_relation
 
 F1_REPAIRED = fd("[District, Region, Municipal] -> [AreaCode]")

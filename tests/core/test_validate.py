@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.validate import validate_catalog, validate_relation
-from repro.datagen.places import F1, F2, F3, places_catalog, places_fds, places_relation
+from repro.datagen.places import F1, F2, F3, places_fds, places_relation
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.fd.fd import fd

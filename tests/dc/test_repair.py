@@ -1,6 +1,5 @@
 """Tests for CB-style denial-constraint repair (the §7 extension)."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.dc.bridge import dc_to_fd, fd_to_dc

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.design.closure import attribute_closure, implies
+from repro.design.closure import attribute_closure
 from repro.design.normalize import (
     bcnf_violations,
     candidate_keys,

@@ -13,7 +13,6 @@ from repro.fd.clustering import (
     proper_association,
     x_clustering,
 )
-from repro.fd.fd import fd
 from repro.fd.measures import assess
 
 

@@ -2,7 +2,6 @@
 
 from repro.datagen.places import F1, places_relation
 from repro.fd.diagram import explain_repair, render_clustering, render_fd_diagram
-from repro.fd.fd import fd
 from repro.relational.relation import Relation
 
 

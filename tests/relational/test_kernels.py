@@ -1,0 +1,115 @@
+"""Tests for kernel backend selection (env var, overrides, config)."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.relational import kernels
+from repro.relational.errors import KernelBackendError
+
+requires_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="NumPy not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Each test starts from env-driven auto selection."""
+    monkeypatch.delenv(kernels.BACKEND_ENV_VAR, raising=False)
+    monkeypatch.setattr(kernels, "_forced", None)
+
+
+class TestResolution:
+    def test_auto_prefers_numpy_when_available(self):
+        expected = "numpy" if kernels.numpy_available() else "python"
+        assert kernels.active_backend_name() == expected
+        assert kernels.get_backend().NAME == expected
+
+    def test_available_backends_always_include_python(self):
+        assert "python" in kernels.available_backends()
+
+    def test_env_var_selects_python(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "python")
+        assert kernels.active_backend_name() == "python"
+        assert kernels.get_backend().NAME == "python"
+
+    @requires_numpy
+    def test_env_var_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numpy")
+        assert kernels.get_backend().NAME == "numpy"
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(KernelBackendError):
+            kernels.get_backend()
+
+    def test_env_var_numpy_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numpy")
+        monkeypatch.setattr(kernels, "_numpy_probe", False)
+        with pytest.raises(KernelBackendError):
+            kernels.get_backend()
+
+    def test_auto_falls_back_silently_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_probe", False)
+        assert kernels.active_backend_name() == "python"
+        assert kernels.available_backends() == ("python",)
+
+
+class TestOverrides:
+    def test_set_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "python")
+        if kernels.numpy_available():
+            kernels.set_backend("numpy")
+            assert kernels.get_backend().NAME == "numpy"
+        kernels.set_backend(None)
+        assert kernels.active_backend_name() == "python"
+
+    def test_set_backend_auto_ignores_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "python")
+        kernels.set_backend("auto")
+        expected = "numpy" if kernels.numpy_available() else "python"
+        assert kernels.active_backend_name() == expected
+
+    def test_set_backend_unknown_raises(self):
+        with pytest.raises(KernelBackendError):
+            kernels.set_backend("gpu")
+
+    def test_set_backend_numpy_missing_raises_immediately(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_probe", False)
+        with pytest.raises(KernelBackendError):
+            kernels.set_backend("numpy")
+
+    def test_use_backend_restores_previous(self):
+        kernels.set_backend("python")
+        with kernels.use_backend("auto"):
+            assert kernels._forced == "auto"
+        assert kernels.get_backend().NAME == "python"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("python"):
+                raise RuntimeError("boom")
+        assert kernels._forced is None
+
+
+class TestEngineConfig:
+    def test_default_is_auto(self):
+        assert EngineConfig().backend == "auto"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(backend="gpu")
+
+    def test_resolve_matches_availability(self):
+        expected = "numpy" if kernels.numpy_available() else "python"
+        assert EngineConfig().resolve() == expected
+        assert EngineConfig(backend="python").resolve() == "python"
+
+    def test_activate_installs_choice(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "auto")
+        EngineConfig(backend="python").activate()
+        assert kernels.get_backend().NAME == "python"
+
+    def test_activate_numpy_missing_raises(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_probe", False)
+        with pytest.raises(KernelBackendError):
+            EngineConfig(backend="numpy").activate()

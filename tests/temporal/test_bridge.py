@@ -4,7 +4,7 @@ from repro.core.monitor import FDMonitor
 from repro.fd.fd import fd
 from repro.relational.relation import Relation
 from repro.temporal.bridge import classify_monitor_state
-from repro.temporal.drift import CusumDetector, DriftKind, ThresholdDetector
+from repro.temporal.drift import DriftKind, ThresholdDetector
 
 
 def schema():

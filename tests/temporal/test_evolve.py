@@ -1,6 +1,5 @@
 """Tests for the full monitor-detect-repair evolution loop."""
 
-import pytest
 
 from repro.core.config import RepairConfig
 from repro.fd.fd import fd

@@ -25,7 +25,7 @@ from repro.datarepair import (
     value_update_repair,
 )
 from repro.dc import build_evidence_set, build_predicate_space, fd_to_dc
-from repro.design import candidate_keys, implies, is_bcnf, synthesize_3nf
+from repro.design import candidate_keys, implies, synthesize_3nf
 from repro.discovery.tane import discover_fds
 from repro.fd import fd
 from repro.fd.measures import assess, is_exact
