@@ -94,7 +94,7 @@ def _primitive_suite(relation, a, b, c):
     return results
 
 
-def test_kernel_backend_ablation(benchmark, show):
+def test_kernel_backend_ablation(benchmark, show, bench_results):
     """Primitive-level python-vs-numpy timings, identical results."""
     orders, bulk, wide = _workloads()
     cases = [
@@ -143,6 +143,13 @@ def test_kernel_backend_ablation(benchmark, show):
 
     rows, totals = run_once(benchmark, run)
     show(render_rows(rows, title="Kernel ablation: python vs numpy backends"))
+    for backend in ("python", "numpy"):
+        bench_results.record(
+            "kernels.primitives",
+            seconds=totals[backend],
+            size=_ROWS,
+            backend=backend,
+        )
     if not _SMOKE:
         assert totals["python"] >= 2.0 * totals["numpy"], (
             "expected >=2x aggregate kernel speedup, got "
@@ -150,7 +157,7 @@ def test_kernel_backend_ablation(benchmark, show):
         )
 
 
-def test_discovery_end_to_end_ablation(benchmark, show):
+def test_discovery_end_to_end_ablation(benchmark, show, bench_results):
     """TANE discovery through the kernel layer: same FDs, both backends."""
     rows = 1_000 if _SMOKE else 8_000
     relation = random_relation(
@@ -174,6 +181,10 @@ def test_discovery_end_to_end_ablation(benchmark, show):
 
     timings, outputs = run_once(benchmark, run)
     assert outputs["python"] == outputs["numpy"]
+    for backend in ("python", "numpy"):
+        bench_results.record(
+            "kernels.discovery", seconds=timings[backend], size=rows, backend=backend
+        )
     show(
         render_rows(
             [

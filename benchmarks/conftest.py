@@ -9,12 +9,21 @@ testbed).
 Environment knobs:
 
 * ``REPRO_TPCH_FULL=1`` — paper-sized TPC-H instances (slow);
-* ``REPRO_VETERANS_FULL=1`` — the paper's 10K–70K Veterans grid (slow).
+* ``REPRO_VETERANS_FULL=1`` — the paper's 10K–70K Veterans grid (slow);
+* ``REPRO_BENCH_RESULTS=path`` — where the machine-readable
+  ``BENCH_results.json`` lands (default: working directory).
+
+Benches that measure wall time record their numbers through the
+session-scoped ``bench_results`` fixture; the file is written once at
+the end of the run (and uploaded as a CI artifact by the smoke job),
+giving the repo a perf trajectory that can be diffed across PRs.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.bench.timing import BenchResults
 
 
 @pytest.fixture
@@ -26,6 +35,16 @@ def show():
         print(text)
 
     return _show
+
+
+@pytest.fixture(scope="session")
+def bench_results():
+    """Session-wide collector writing ``BENCH_results.json`` at exit."""
+    results = BenchResults()
+    yield results
+    path = results.write()
+    if path is not None:
+        print(f"\n[bench] wrote {len(results.entries)} entries to {path}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -7,6 +7,13 @@
 """
 
 from .tables import render_rows, render_table
-from .timing import Timer, format_duration
+from .timing import BenchResults, Timer, bench_results_path, format_duration
 
-__all__ = ["Timer", "format_duration", "render_rows", "render_table"]
+__all__ = [
+    "BenchResults",
+    "Timer",
+    "bench_results_path",
+    "format_duration",
+    "render_rows",
+    "render_table",
+]

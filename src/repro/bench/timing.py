@@ -3,14 +3,78 @@
 The paper reports durations in a ``1h 59m 19s 884ms`` style (Table 5);
 :func:`format_duration` reproduces that format so the regenerated
 tables read like the originals.
+
+:class:`BenchResults` is the machine-readable side: benches record one
+entry per measured workload (name, size, seconds, backend, plus any
+extra keys) and the suite writes them to ``BENCH_results.json`` so the
+perf trajectory across PRs can be diffed and archived (CI uploads the
+file as a workflow artifact).  The output path defaults to
+``BENCH_results.json`` in the working directory and can be moved with
+``REPRO_BENCH_RESULTS``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
-__all__ = ["Timer", "format_duration"]
+__all__ = ["BenchResults", "Timer", "bench_results_path", "format_duration"]
+
+#: Environment variable overriding where BENCH_results.json is written.
+RESULTS_ENV_VAR = "REPRO_BENCH_RESULTS"
+
+
+def bench_results_path() -> Path:
+    """Where the benchmark suite writes its machine-readable results."""
+    return Path(os.environ.get(RESULTS_ENV_VAR, "BENCH_results.json"))
+
+
+class BenchResults:
+    """Collects per-benchmark measurements for ``BENCH_results.json``.
+
+    One entry per measured workload; the canonical keys are ``name``
+    (benchmark identifier), ``size`` (workload scale, e.g. rows),
+    ``seconds`` (wall time), and ``backend`` (kernel backend the run
+    used) — extra keyword pairs (speedups, window counts, …) are kept
+    verbatim.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[dict[str, Any]] = []
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        size: int | None = None,
+        backend: str | None = None,
+        **extra: Any,
+    ) -> dict[str, Any]:
+        """Add one measurement; returns the stored entry."""
+        entry: dict[str, Any] = {"name": name, "seconds": round(seconds, 6)}
+        if size is not None:
+            entry["size"] = size
+        if backend is not None:
+            entry["backend"] = backend
+        entry.update(extra)
+        self.entries.append(entry)
+        return entry
+
+    def write(self, path: str | Path | None = None) -> Path | None:
+        """Write the collected entries as JSON; no file when empty."""
+        if not self.entries:
+            return None
+        target = Path(path) if path is not None else bench_results_path()
+        payload = {"results": self.entries}
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return target
 
 
 def format_duration(seconds: float) -> str:

@@ -31,29 +31,41 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.relational import kernels
+from repro.relational import kernels, statistics
 
 __all__ = ["EngineConfig", "GoodnessMode", "RepairConfig"]
 
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Engine-level settings: which kernel backend the hot paths use.
+    """Engine-level settings: backend selection and cache bounds.
 
     ``backend`` is ``"auto"`` (numpy when installed, else python),
-    ``"python"``, or ``"numpy"``.  Construction only validates;
-    :meth:`activate` installs the choice process-wide via
+    ``"python"``, or ``"numpy"``.  ``partition_cache_size`` bounds the
+    per-relation stripped-partition LRU (generous by default: a
+    30-attribute discovery at LHS ≤ 3 caches ~4.5k sets and must not
+    thrash); ``delta_track_limit`` bounds how many attribute sets the
+    delta engine maintains incrementally per relation.  ``None`` means
+    unbounded.  Construction only validates; :meth:`activate` installs
+    the choices process-wide (backend via
     :func:`repro.relational.kernels.set_backend`, taking precedence
-    over the ``REPRO_BACKEND`` environment variable.
+    over the ``REPRO_BACKEND`` environment variable; cache bounds via
+    :func:`repro.relational.statistics.configure_caches`).
     """
 
     backend: str = "auto"
+    partition_cache_size: int | None = 8192
+    delta_track_limit: int | None = 64
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "python", "numpy"):
             raise ValueError(
                 f"backend must be 'auto', 'python' or 'numpy', got {self.backend!r}"
             )
+        if self.partition_cache_size is not None and self.partition_cache_size < 1:
+            raise ValueError("partition_cache_size must be >= 1 or None")
+        if self.delta_track_limit is not None and self.delta_track_limit < 1:
+            raise ValueError("delta_track_limit must be >= 1 or None")
 
     def resolve(self) -> str:
         """The concrete backend name this config would run on."""
@@ -62,12 +74,16 @@ class EngineConfig:
         return self.backend
 
     def activate(self) -> None:
-        """Install this config's backend choice process-wide.
+        """Install this config's choices process-wide.
 
         Raises :class:`~repro.relational.errors.KernelBackendError` if
         ``numpy`` is requested but not installed.
         """
         kernels.set_backend(self.backend)
+        statistics.configure_caches(
+            partition_cache_size=self.partition_cache_size,
+            delta_track_limit=self.delta_track_limit,
+        )
 
 
 class GoodnessMode(enum.Enum):

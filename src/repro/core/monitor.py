@@ -4,18 +4,30 @@ The paper assumes "the DBMS is able to detect that (e.g. by means of
 periodic or continuous checks of FDs validity)" (§1).  Re-running
 ``COUNT(DISTINCT …)`` from scratch on every insert makes continuous
 checking O(n) per tuple; this monitor makes it O(#FDs) per tuple by
-maintaining, for each watched FD, the three distinct-counts of
-Definition 3 incrementally:
+maintaining the three distinct-counts of Definition 3 incrementally.
 
-* ``|π_X|``, ``|π_XY|``, ``|π_Y|`` as hash sets of value tuples —
-  appending a row is three set insertions;
-* confidence/goodness are recomputed from the counters on read.
+Two engines implement that maintenance:
+
+* ``"delta"`` (default) — one shared
+  :class:`~repro.relational.delta.DeltaStream` serves *all* watched
+  FDs: each attribute is dictionary-encoded exactly once per tuple
+  (values interned to dense integer codes), and each distinct
+  attribute set — ``X``, ``X ∪ Y``, ``Y`` — is maintained by a single
+  counts-only group tracker however many FDs need it.  Memory per
+  tracker is one ``int → int`` (or ``int-tuple → int``) map instead of
+  a set of raw value tuples per FD.
+* ``"legacy"`` — the original per-FD hash-set counters (three sets of
+  value tuples per FD), kept as the reference implementation; both
+  engines produce identical confidences on every stream, NULLs
+  included (property: codes are assigned injectively).
 
 The monitor raises *alerts* through a callback whenever an FD's
 confidence crosses below a configured threshold — the trigger for the
-semi-automatic evolution loop.  It also keeps a short confidence
-history per FD so drift (systematic, sustained decay) can be told from
-a blip (the noise-vs-drift distinction the paper's premise rests on).
+semi-automatic evolution loop.  Alerts re-arm when confidence recovers
+to the threshold, so a second genuine drop fires again.  A short
+confidence history per FD lets drift (systematic, sustained decay) be
+told from a blip (the noise-vs-drift distinction the paper's premise
+rests on).
 """
 
 from __future__ import annotations
@@ -26,11 +38,14 @@ from typing import Any
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import FDAssessment
+from repro.relational.delta import DeltaStream, GroupTracker
 from repro.relational.errors import ArityError
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
 __all__ = ["FDAlert", "MonitoredFD", "FDMonitor"]
+
+_ENGINES = ("delta", "legacy")
 
 
 @dataclass(frozen=True)
@@ -51,7 +66,13 @@ class FDAlert:
 
 @dataclass
 class MonitoredFD:
-    """Incremental state for one watched FD."""
+    """Incremental state for one watched FD.
+
+    On the delta engine the three counts live in shared stream
+    trackers (``_trackers``); the legacy engine fills the three value-
+    tuple sets instead.  Either way :attr:`confidence`,
+    :attr:`goodness` and :meth:`assessment` read the same numbers.
+    """
 
     fd: FunctionalDependency
     threshold: float
@@ -62,35 +83,46 @@ class MonitoredFD:
     distinct_y: set = field(default_factory=set)
     alerted: bool = False
     history: list[float] = field(default_factory=list)
+    _trackers: tuple[GroupTracker, GroupTracker, GroupTracker] | None = field(
+        default=None, repr=False
+    )
 
     def observe(self, row: Sequence[Any]) -> None:
-        """Fold one tuple into the counters."""
+        """Fold one tuple into the counters (legacy engine only; the
+        delta engine folds rows at the shared stream instead)."""
+        if self._trackers is not None:
+            return
         x_key = tuple(row[i] for i in self.x_positions)
         y_key = tuple(row[i] for i in self.y_positions)
         self.distinct_x.add(x_key)
         self.distinct_y.add(y_key)
         self.distinct_xy.add(x_key + y_key)
 
+    def _counts(self) -> tuple[int, int, int]:
+        """Current ``(|π_X|, |π_XY|, |π_Y|)`` from whichever engine."""
+        if self._trackers is not None:
+            x, xy, y = self._trackers
+            return x.num_distinct, xy.num_distinct, y.num_distinct
+        return len(self.distinct_x), len(self.distinct_xy), len(self.distinct_y)
+
     @property
     def confidence(self) -> float:
         """Current ``|π_X| / |π_XY|`` (1.0 on an empty stream)."""
-        if not self.distinct_xy:
+        x, xy, _ = self._counts()
+        if not xy:
             return 1.0
-        return len(self.distinct_x) / len(self.distinct_xy)
+        return x / xy
 
     @property
     def goodness(self) -> int:
         """Current ``|π_X| − |π_Y|``."""
-        return len(self.distinct_x) - len(self.distinct_y)
+        x, _, y = self._counts()
+        return x - y
 
     def assessment(self) -> FDAssessment:
         """A snapshot compatible with the batch measure API."""
-        return FDAssessment(
-            fd=self.fd,
-            distinct_x=len(self.distinct_x),
-            distinct_xy=len(self.distinct_xy),
-            distinct_y=len(self.distinct_y),
-        )
+        x, xy, y = self._counts()
+        return FDAssessment(fd=self.fd, distinct_x=x, distinct_xy=xy, distinct_y=y)
 
 
 class FDMonitor:
@@ -100,6 +132,10 @@ class FDMonitor:
     replayed), then feed tuples with :meth:`append`.  Alerts fire once
     per FD, when its confidence first drops below the threshold; a
     subsequent recovery above the threshold re-arms the alert.
+
+    ``engine`` selects the counter implementation (module docstring):
+    ``"delta"`` rides the shared incremental statistics of
+    :mod:`repro.relational.delta`, ``"legacy"`` keeps per-FD hash sets.
     """
 
     def __init__(
@@ -108,6 +144,7 @@ class FDMonitor:
         on_alert: Callable[[FDAlert], None] | None = None,
         default_threshold: float = 1.0,
         history_every: int = 100,
+        engine: str = "delta",
     ) -> None:
         if isinstance(schema, Relation):
             relation: Relation | None = schema
@@ -115,16 +152,25 @@ class FDMonitor:
         else:
             relation = None
             self._schema = schema
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        self._arity = self._schema.arity
         self._watched: list[MonitoredFD] = []
         self._on_alert = on_alert
         self._default_threshold = default_threshold
         self._history_every = max(1, history_every)
         self._num_rows = 0
         self._pending_replay = relation
+        self._stream = DeltaStream(self._schema) if engine == "delta" else None
 
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """Which counter engine this monitor runs on."""
+        return "delta" if self._stream is not None else "legacy"
+
     def watch(
         self, fd: FunctionalDependency, threshold: float | None = None
     ) -> MonitoredFD:
@@ -132,11 +178,25 @@ class FDMonitor:
         threshold = self._default_threshold if threshold is None else threshold
         if not 0.0 < threshold <= 1.0:
             raise ValueError("alert threshold must be in (0, 1]")
+        # Validate the FD's attributes *before* touching the shared
+        # stream, so a failed watch leaves no orphan trackers behind.
+        x_positions = self._schema.positions(fd.antecedent)
+        y_positions = self._schema.positions(fd.consequent)
+        trackers = None
+        if self._stream is not None:
+            x = list(fd.antecedent)
+            y = list(fd.consequent)
+            trackers = (
+                self._stream.tracker(x),
+                self._stream.tracker(x + y),
+                self._stream.tracker(y),
+            )
         state = MonitoredFD(
             fd=fd,
             threshold=threshold,
-            x_positions=self._schema.positions(fd.antecedent),
-            y_positions=self._schema.positions(fd.consequent),
+            x_positions=x_positions,
+            y_positions=y_positions,
+            _trackers=trackers,
         )
         self._watched.append(state)
         if self._pending_replay is not None:
@@ -145,7 +205,8 @@ class FDMonitor:
                 self.append(row)
         else:
             # Late watcher on a live stream: it only sees future rows;
-            # its counters start empty by design (documented behaviour).
+            # its counters start empty by design (documented behaviour;
+            # the delta stream hands out fresh suffix trackers).
             pass
         return state
 
@@ -164,13 +225,24 @@ class FDMonitor:
     # ------------------------------------------------------------------
     def append(self, row: Sequence[Any]) -> list[FDAlert]:
         """Observe one tuple; returns (and dispatches) any new alerts."""
-        if len(row) != self._schema.arity:
-            raise ArityError(self._schema.arity, len(row))
+        if len(row) != self._arity:
+            raise ArityError(self._arity, len(row))
         self._num_rows += 1
+        stream = self._stream
+        if stream is not None:
+            # One encode + one fold per distinct attribute set, shared
+            # by every watched FD.
+            stream.append(row)
         alerts: list[FDAlert] = []
         for state in self._watched:
-            state.observe(row)
-            confidence = state.confidence
+            if stream is None:
+                state.observe(row)
+                confidence = state.confidence
+            else:
+                # Inlined tracker read — this runs per tuple per FD.
+                x, xy, _ = state._trackers
+                xy_count = len(xy.groups)
+                confidence = len(x.groups) / xy_count if xy_count else 1.0
             if self._num_rows % self._history_every == 0:
                 state.history.append(confidence)
             if confidence < state.threshold and not state.alerted:

@@ -87,6 +87,23 @@ class RepairSession:
     # ------------------------------------------------------------------
     # Step-by-step API
     # ------------------------------------------------------------------
+    def ingest(self, relation_name: str, rows, validate: bool = True):
+        """Append freshly arrived tuples to a cataloged relation.
+
+        The stored relation is replaced by its ``Relation.extend``
+        snapshot, so the warm state of previous loop iterations —
+        distinct counts, cached partitions, delta trackers — is folded
+        forward in O(Δ) instead of being recomputed when the next
+        ``violations``/``propose`` pass runs.  This is the designer
+        loop's continuous-monitoring entry point: validate, repair,
+        ingest the next batch, repeat.
+        """
+        extended = self.catalog.relation(relation_name).extend(
+            rows, validate=validate
+        )
+        self.catalog.replace_relation(extended)
+        return extended
+
     def violations(self, relation_name: str) -> list[RankedFD]:
         """Violated FDs of one relation, in repair order (Section 4.1)."""
         relation = self.catalog.relation(relation_name)

@@ -43,6 +43,7 @@ __all__ = [
     "AnyPartition",
     "EntropyCost",
     "entropy",
+    "entropy_of",
     "conditional_entropy",
     "variation_of_information",
     "joint_class_counts",
@@ -74,6 +75,21 @@ def entropy(partition: AnyPartition, cost: EntropyCost | None = None) -> float:
     if cost is not None:
         cost.rows_touched += n
     return kernels.get_backend().entropy_from_partition(partition)
+
+
+def entropy_of(relation, attrs, cost: EntropyCost | None = None) -> float:
+    """``H(π_attrs)`` of a relation, preferring the delta engine.
+
+    On a relation produced by ``Relation.extend`` (or otherwise delta-
+    tracked), the entropy is read off the tracker's maintained size
+    histogram — no partition is materialized and no rows are touched,
+    so no cost is charged.  Cold relations fall back to the partition
+    path with the usual accounting.
+    """
+    tracked = relation.stats.tracked_entropy(attrs)
+    if tracked is not None:
+        return tracked
+    return entropy(relation.stripped_partition(attrs), cost)
 
 
 def joint_class_counts(

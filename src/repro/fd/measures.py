@@ -166,7 +166,16 @@ def count_violating_pairs(
     """
     if not allow_nulls:
         check_fd_attributes(relation, fd)
-    x_partition = relation.stripped_partition(list(fd.antecedent))
+    x_attrs = list(fd.antecedent)
+    stats = relation.stats
+    x_pairs = stats.tracked_agreeing_pairs(x_attrs)
+    if x_pairs is not None:
+        xy_pairs = stats.tracked_agreeing_pairs(x_attrs + list(fd.consequent))
+        if xy_pairs is not None:
+            # Delta engine: both sums are maintained scalars, so the
+            # count is a subtraction — no partition is touched.
+            return x_pairs - xy_pairs
+    x_partition = relation.stripped_partition(x_attrs)
     y_columns = [relation.column(a).kernel_codes() for a in fd.consequent]
     return kernels.get_backend().count_violating_pairs(x_partition, y_columns)
 

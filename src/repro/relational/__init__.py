@@ -18,6 +18,7 @@ Public entry points:
 
 from .catalog import Catalog
 from .csvio import dumps_csv, load_csv, loads_csv, save_csv
+from .delta import DeltaStream, GroupTracker
 from .encoding import NULL_CODE, EncodedColumn
 from .errors import (
     ArityError,
@@ -42,9 +43,11 @@ __all__ = [
     "AttributeType",
     "ArityError",
     "Catalog",
+    "DeltaStream",
     "DuplicateAttributeError",
     "DuplicateRelationError",
     "EncodedColumn",
+    "GroupTracker",
     "NULL",
     "NULL_CODE",
     "NullValueError",

@@ -43,13 +43,14 @@ class EncodedColumn:
         ``dictionary[code]`` is the decoded value for that code.
     """
 
-    __slots__ = ("codes", "dictionary", "_value_to_code", "_codes_array")
+    __slots__ = ("codes", "dictionary", "_value_to_code", "_codes_array", "_null_count")
 
     def __init__(self, codes: list[int], dictionary: list[Any]) -> None:
         self.codes = codes
         self.dictionary = dictionary
         self._value_to_code: dict[Any, int] | None = None
         self._codes_array: Any = None
+        self._null_count: int | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,13 +84,21 @@ class EncodedColumn:
 
     @property
     def null_count(self) -> int:
-        """Number of NULLs in the column."""
-        return sum(1 for code in self.codes if code == NULL_CODE)
+        """Number of NULLs in the column (scanned once, then cached).
+
+        The cache is maintained through :meth:`append_value` and
+        :meth:`extended`, so the NULL checks the measure layer runs per
+        window stay O(1) along a delta chain instead of rescanning the
+        column.
+        """
+        if self._null_count is None:
+            self._null_count = self.codes.count(NULL_CODE)
+        return self._null_count
 
     @property
     def has_nulls(self) -> bool:
         """Whether the column contains at least one NULL."""
-        return any(code == NULL_CODE for code in self.codes)
+        return self.null_count > 0
 
     def value(self, row: int) -> Any:
         """Decoded value at ``row`` (``None`` for NULL)."""
@@ -131,6 +140,83 @@ class EncodedColumn:
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
+    def extended(self, values: Sequence[Any]) -> "EncodedColumn":
+        """A new column with ``values`` appended — codes assigned
+        incrementally, never re-factorized.
+
+        The parent's first-seen code assignment is a prefix of the
+        extension's, so the result is byte-identical to cold-encoding
+        the concatenated value list (on either kernel backend) while
+        costing one dictionary probe per new value plus an O(n) memcpy
+        of the code vector.  The parent is untouched (its dictionary
+        and reverse map are copied), which keeps extension chains
+        immutable snapshot by snapshot.
+        """
+        values = list(values)
+        codes = list(self.codes)
+        dictionary = list(self.dictionary)
+        if self._value_to_code is not None:
+            value_to_code = dict(self._value_to_code)
+        else:
+            value_to_code = {v: code for code, v in enumerate(dictionary)}
+        new_codes: list[int] = []
+        new_nulls = 0
+        for value in values:
+            if value is None:
+                new_codes.append(NULL_CODE)
+                new_nulls += 1
+                continue
+            code = value_to_code.get(value)
+            if code is None:
+                code = len(dictionary)
+                value_to_code[value] = code
+                dictionary.append(value)
+            new_codes.append(code)
+        codes.extend(new_codes)
+        column = EncodedColumn(codes, dictionary)
+        column._value_to_code = value_to_code
+        column._null_count = self.null_count + new_nulls
+        if self._codes_array is not None:
+            # The parent holds a numpy code array: extend it by one
+            # concatenation instead of re-deriving it from the list.
+            import numpy as np  # local: only reachable with numpy present
+
+            array = np.concatenate(
+                [
+                    self._codes_array,
+                    np.asarray(new_codes, dtype=self._codes_array.dtype),
+                ]
+            )
+            array.flags.writeable = False
+            column._codes_array = array
+        return column
+
+    def slice_reencoded(self, start: int, end: int) -> "EncodedColumn":
+        """Rows ``[start, end)`` as a compactly re-encoded column.
+
+        Equivalent to ``EncodedColumn.from_values(self.values()[start:end])``
+        but works code-to-code: the remap hashes small ints instead of
+        arbitrary (often string) values, which is how ``TupleLog``
+        slices windows out of its shared encoded state without paying
+        value encoding per window.  First-seen order is preserved, so
+        the result is byte-identical to cold encoding.
+        """
+        remap: dict[int, int] = {}
+        new_codes: list[int] = []
+        new_dictionary: list[Any] = []
+        dictionary = self.dictionary
+        for code in self.codes[start:end]:
+            if code == NULL_CODE:
+                new_codes.append(NULL_CODE)
+                continue
+            new_code = remap.get(code)
+            if new_code is None:
+                new_code = len(new_dictionary)
+                remap[code] = new_code
+                new_dictionary.append(dictionary[code])
+            new_codes.append(new_code)
+        return EncodedColumn(new_codes, new_dictionary)
+
     def take(self, rows: Sequence[int]) -> "EncodedColumn":
         """A new column containing only ``rows`` (re-encoded compactly)."""
         codes = self.codes
@@ -143,6 +229,8 @@ class EncodedColumn:
         """Append one value in place (used by builders, not by Relation)."""
         self._codes_array = None  # the cached array no longer matches
         if value is None:
+            if self._null_count is not None:
+                self._null_count += 1
             self.codes.append(NULL_CODE)
             return
         if self._value_to_code is None:

@@ -464,6 +464,121 @@ def stripped_from_codes(codes: Sequence[int]) -> ArrayStrippedPartition:
     return ArrayStrippedPartition.from_codes(codes)
 
 
+def stripped_from_classes(
+    classes: list[list[int]], num_rows: int
+) -> ArrayStrippedPartition:
+    """Wrap already-grouped classes (the delta engine's materializer)."""
+    if not classes:
+        return _empty(num_rows)
+    sizes = np.fromiter(map(len, classes), dtype=_INT, count=len(classes))
+    rows = np.fromiter(
+        (row for cls_rows in classes for row in cls_rows),
+        dtype=_INT,
+        count=int(sizes.sum()),
+    )
+    ids = np.repeat(np.arange(len(classes), dtype=_INT), sizes)
+    offsets = np.empty(sizes.shape[0] + 1, dtype=_INT)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    return ArrayStrippedPartition(rows, ids, offsets, num_rows)
+
+
+# ----------------------------------------------------------------------
+# Delta maintenance (group indexes for the incremental engine)
+# ----------------------------------------------------------------------
+def _grouped_tail(
+    arrays: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[list[int]]]:
+    """Sort-grouped view of parallel key arrays, in first-seen order.
+
+    Returns ``(perm, starts, ends, order, key_columns)`` where ``order``
+    ranks groups by first occurrence and ``key_columns`` holds each
+    group's key values (as python ints) aligned with sorted-group ids.
+    """
+    m = int(arrays[0].shape[0])
+    perm, change = _sorted_key_change(arrays)
+    starts = np.flatnonzero(change)
+    ends = np.append(starts[1:], m)
+    firsts = perm[starts]
+    order = np.argsort(firsts, kind="stable")
+    key_columns = [arr[firsts].tolist() for arr in arrays]
+    return perm, starts, ends, order, key_columns
+
+
+def group_index(
+    code_columns: Sequence[Sequence[int]], keep_rows: bool = True
+) -> dict:
+    """Full grouping by composite key, first-seen order (sort-based).
+
+    Same contract as the reference kernel: every group kept (including
+    singletons), int keys for one column, tuple keys for several, row
+    lists ascending.  Keys are plain python ints so indexes stay
+    interoperable across backend switches mid-stream.
+    """
+    arrays = [_as_array(codes) for codes in code_columns]
+    if arrays[0].shape[0] == 0:
+        return {}
+    perm, starts, ends, order, key_columns = _grouped_tail(arrays)
+    single = len(arrays) == 1
+    starts_list, ends_list = starts.tolist(), ends.tolist()
+    groups: dict = {}
+    for group in order.tolist():
+        key = (
+            key_columns[0][group]
+            if single
+            else tuple(column[group] for column in key_columns)
+        )
+        if keep_rows:
+            groups[key] = perm[starts_list[group] : ends_list[group]].tolist()
+        else:
+            groups[key] = ends_list[group] - starts_list[group]
+    return groups
+
+
+def extend_group_index(
+    groups: dict,
+    code_columns: Sequence[Sequence[int]],
+    start_row: int,
+    keep_rows: bool = True,
+) -> list[tuple[int, int]]:
+    """Fold rows ``start_row..`` into ``groups`` in place, O(Δ log Δ).
+
+    The batch is sort-grouped first, so the dict is touched once per
+    *distinct* key instead of once per row; transitions mirror the
+    reference kernel exactly (one ``(old, new)`` pair per touched key,
+    new groups appended in first-seen row order).
+    """
+    arrays = [_as_array(codes)[start_row:] for codes in code_columns]
+    if arrays[0].shape[0] == 0:
+        return []
+    perm, starts, ends, order, key_columns = _grouped_tail(arrays)
+    single = len(arrays) == 1
+    starts_list, ends_list = starts.tolist(), ends.tolist()
+    # One bulk conversion; per-group work is then pure list slicing
+    # (tiny numpy slices per group would dominate at realistic Δ).
+    rows_list = (perm + start_row).tolist() if keep_rows else None
+    transitions: list[tuple[int, int]] = []
+    for group in order.tolist():
+        key = (
+            key_columns[0][group]
+            if single
+            else tuple(column[group] for column in key_columns)
+        )
+        added = ends_list[group] - starts_list[group]
+        if keep_rows:
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = groups[key] = []
+            old = len(bucket)
+            bucket.extend(rows_list[starts_list[group] : ends_list[group]])
+            transitions.append((old, old + added))
+        else:
+            old = groups.get(key, 0)
+            groups[key] = old + added
+            transitions.append((old, old + added))
+    return transitions
+
+
 # ----------------------------------------------------------------------
 # Distinct counting
 # ----------------------------------------------------------------------

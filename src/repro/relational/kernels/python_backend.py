@@ -80,6 +80,85 @@ def stripped_from_codes(codes: Sequence[int]) -> StrippedPartition:
     return StrippedPartition.from_codes(codes)
 
 
+def stripped_from_classes(
+    classes: list[list[int]], num_rows: int
+) -> StrippedPartition:
+    """Wrap already-grouped classes (the delta engine's materializer).
+
+    ``classes`` must contain only size-≥ 2 groups with ascending rows;
+    ownership transfers to the partition (callers pass fresh lists).
+    """
+    return StrippedPartition(classes, num_rows)
+
+
+# ----------------------------------------------------------------------
+# Delta maintenance (group indexes for the incremental engine)
+# ----------------------------------------------------------------------
+def group_index(
+    code_columns: Sequence[Sequence[int]], keep_rows: bool = True
+) -> dict:
+    """Full grouping of rows by composite code key, first-seen order.
+
+    Unlike the stripped constructors this keeps *every* group,
+    including singletons — the delta engine needs them so a later row
+    can promote a singleton to a class.  Keys are ints for one column
+    and tuples for several; with ``keep_rows=False`` only group sizes
+    are stored (the monitor's counts-only mode).
+    """
+    groups: dict = {}
+    keys = code_columns[0] if len(code_columns) == 1 else zip(*code_columns)
+    if keep_rows:
+        get = groups.get
+        for row, key in enumerate(keys):
+            bucket = get(key)
+            if bucket is None:
+                groups[key] = [row]
+            else:
+                bucket.append(row)
+    else:
+        for key in keys:
+            groups[key] = groups.get(key, 0) + 1
+    return groups
+
+
+def extend_group_index(
+    groups: dict,
+    code_columns: Sequence[Sequence[int]],
+    start_row: int,
+    keep_rows: bool = True,
+) -> list[tuple[int, int]]:
+    """Fold rows ``start_row..`` into ``groups`` in place, O(Δ).
+
+    Returns one ``(old_size, new_size)`` transition per touched key so
+    the tracker can patch its scalar statistics without rescanning.
+    New groups are appended in first-seen row order, keeping the
+    derived class order identical to a cold :func:`group_index`.
+    """
+    num_rows = len(code_columns[0])
+    single = len(code_columns) == 1
+    codes0 = code_columns[0]
+    touched: dict = {}
+    record = touched.setdefault
+    if keep_rows:
+        get = groups.get
+        for row in range(start_row, num_rows):
+            key = codes0[row] if single else tuple(c[row] for c in code_columns)
+            bucket = get(key)
+            if bucket is None:
+                groups[key] = [row]
+                record(key, 0)
+            else:
+                record(key, len(bucket))
+                bucket.append(row)
+        return [(old, len(groups[key])) for key, old in touched.items()]
+    for row in range(start_row, num_rows):
+        key = codes0[row] if single else tuple(c[row] for c in code_columns)
+        old = groups.get(key, 0)
+        record(key, old)
+        groups[key] = old + 1
+    return [(old, groups[key]) for key, old in touched.items()]
+
+
 # ----------------------------------------------------------------------
 # Distinct counting
 # ----------------------------------------------------------------------

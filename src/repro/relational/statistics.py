@@ -16,26 +16,82 @@ shrink rapidly as X approaches a key.  Because relations are immutable
 (every derivation builds a new :class:`Relation`, and therefore a new
 statistics object), neither cache can ever go stale; the only
 invalidation rule is :meth:`clear`, which callers use to reset cost
-accounting between benchmark phases.
+accounting between benchmark phases.  The partition cache is an LRU
+bounded by :func:`configure_caches` (installed by
+``EngineConfig.activate``) so long monitoring runs cannot grow memory
+without bound; hit/miss/eviction counters sit next to
+``executed_count_queries``.
 
-The cache also records how many raw (uncached) counts were executed,
-which the benchmark harness reports as the "query count" cost model
-(mirroring the paper's observation that CB only counts tuples while EB
-must materialize clusterings).
+The third layer is the **delta engine**
+(:mod:`repro.relational.delta`): when a relation is produced by
+``Relation.extend``, :meth:`adopt_delta` moves the parent's group
+trackers over and folds the new rows in (O(Δ)), and promotes attribute
+sets the parent had counted or partitioned to trackers of its own
+(O(n), once per set per chain).  Tracked sets then answer distinct
+counts, entropies, agreeing-pair sums, and stripped-partition requests
+without any per-window recomputation.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from . import kernels
+from .delta import GroupTracker
 from .partition import StrippedPartition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .relation import Relation
 
-__all__ = ["RelationStatistics"]
+__all__ = [
+    "RelationStatistics",
+    "configure_caches",
+    "partition_cache_limit",
+    "tracker_limit",
+]
+
+#: Default bound on cached stripped partitions per relation — generous:
+#: a 30-attribute discovery at LHS ≤ 3 caches ~4.5k sets and must not
+#: thrash (C(30,1) + C(30,2) + C(30,3) = 4525 < 8192).
+_DEFAULT_PARTITION_CACHE_LIMIT = 8192
+#: Default bound on delta-maintained group trackers per relation; the
+#: monitoring path tracks a handful of sets per watched FD, so 64 sets
+#: already covers ~20 FDs.
+_DEFAULT_TRACKER_LIMIT = 64
+
+_partition_cache_limit: int | None = _DEFAULT_PARTITION_CACHE_LIMIT
+_tracker_limit: int | None = _DEFAULT_TRACKER_LIMIT
+
+
+def configure_caches(
+    partition_cache_size: int | None = _DEFAULT_PARTITION_CACHE_LIMIT,
+    delta_track_limit: int | None = _DEFAULT_TRACKER_LIMIT,
+) -> None:
+    """Install process-wide cache bounds (``None`` = unbounded).
+
+    ``repro.core.config.EngineConfig.activate`` is the public entry
+    point; the bounds apply to statistics objects from then on (already
+    cached entries are trimmed lazily at the next insertion).
+    """
+    global _partition_cache_limit, _tracker_limit
+    if partition_cache_size is not None and partition_cache_size < 1:
+        raise ValueError("partition_cache_size must be >= 1 or None")
+    if delta_track_limit is not None and delta_track_limit < 1:
+        raise ValueError("delta_track_limit must be >= 1 or None")
+    _partition_cache_limit = partition_cache_size
+    _tracker_limit = delta_track_limit
+
+
+def partition_cache_limit() -> int | None:
+    """The active bound on cached partitions per relation."""
+    return _partition_cache_limit
+
+
+def tracker_limit() -> int | None:
+    """The active bound on delta trackers per relation."""
+    return _tracker_limit
 
 
 class RelationStatistics:
@@ -48,15 +104,23 @@ class RelationStatistics:
         "_partition_cache",
         "_partition_hits",
         "_partitions_built",
+        "_partition_evictions",
+        "_trackers",
+        "_delta_hits",
     )
 
     def __init__(self, relation: "Relation") -> None:
         self._relation = relation
         self._distinct_cache: dict[frozenset[str], int] = {}
         self._raw_count = 0
-        self._partition_cache: dict[frozenset[str], StrippedPartition] = {}
+        self._partition_cache: OrderedDict[frozenset[str], StrippedPartition] = (
+            OrderedDict()
+        )
         self._partition_hits = 0
         self._partitions_built = 0
+        self._partition_evictions = 0
+        self._trackers: OrderedDict[frozenset[str], GroupTracker] = OrderedDict()
+        self._delta_hits = 0
 
     # ------------------------------------------------------------------
     # Counting
@@ -65,10 +129,11 @@ class RelationStatistics:
         """Memoized ``|π_attrs(r)|``.
 
         Resolution order: the count memo, then the partition cache
-        (``|π_X| = n − e(X)``, free), then a one-step refinement when a
-        partition of any ``attrs ∖ {A}`` is cached (this is how the
-        repair search derives every |π_XA| from the cached π_X), and
-        only then a raw scan.
+        (``|π_X| = n − e(X)``, free), then a delta tracker (maintained
+        group map, free), then a one-step refinement when a partition
+        of any ``attrs ∖ {A}`` is cached (this is how the repair search
+        derives every |π_XA| from the cached π_X), and only then a raw
+        scan.
         """
         key = frozenset(attrs)
         cached = self._distinct_cache.get(key)
@@ -77,13 +142,20 @@ class RelationStatistics:
         partition = self._partition_cache.get(key)
         if partition is not None:
             self._partition_hits += 1
+            self._partition_cache.move_to_end(key)
             value = partition.num_distinct
-        elif len(key) > 1 and self._refinable_from(key) is not None:
-            value = self.stripped_partition(list(key)).num_distinct
-            self._raw_count += 1
         else:
-            value = self._relation.count_distinct_raw(list(key))
-            self._raw_count += 1
+            tracker = self._trackers.get(key)
+            if tracker is not None:
+                self._delta_hits += 1
+                self._trackers.move_to_end(key)
+                value = tracker.num_distinct
+            elif len(key) > 1 and self._refinable_from(key) is not None:
+                value = self.stripped_partition(list(key)).num_distinct
+                self._raw_count += 1
+            else:
+                value = self._relation.count_distinct_raw(list(key))
+                self._raw_count += 1
         self._distinct_cache[key] = value
         return value
 
@@ -106,20 +178,36 @@ class RelationStatistics:
     def stripped_partition(self, attrs: Sequence[str]) -> StrippedPartition:
         """The cached stripped partition π_attrs, building it if needed.
 
-        Construction reuses the lattice: a cached partition of any
-        ``attrs ∖ {A}`` is refined by A's column in O(covered);
-        otherwise the sorted prefix chain is built (and cached) from the
-        single-attribute partitions up.
+        Construction order: a delta tracker materializes its group map
+        directly (O(covered), no scan); otherwise the lattice is
+        reused — a cached partition of any ``attrs ∖ {A}`` is refined
+        by A's column in O(covered), else the sorted prefix chain is
+        built (and cached) from the single-attribute partitions up.
         """
         key = frozenset(attrs)
         partition = self._partition_cache.get(key)
         if partition is not None:
             self._partition_hits += 1
+            self._partition_cache.move_to_end(key)
             return partition
-        partition = self._build_partition(key)
-        self._partition_cache[key] = partition
+        tracker = self._trackers.get(key)
+        if tracker is not None:
+            self._delta_hits += 1
+            self._trackers.move_to_end(key)
+            partition = tracker.stripped_partition()
+        else:
+            partition = self._build_partition(key)
+        self._store_partition(key, partition)
         self._partitions_built += 1
         return partition
+
+    def _store_partition(self, key: frozenset[str], partition) -> None:
+        self._partition_cache[key] = partition
+        limit = _partition_cache_limit
+        if limit is not None:
+            while len(self._partition_cache) > limit:
+                self._partition_cache.popitem(last=False)
+                self._partition_evictions += 1
 
     def _build_partition(self, key: frozenset[str]) -> StrippedPartition:
         """Build π_key with the active kernel backend.
@@ -148,6 +236,94 @@ class RelationStatistics:
     def cached_partition(self, attrs: Sequence[str]) -> StrippedPartition | None:
         """The cached partition for ``attrs``, or ``None`` (never builds)."""
         return self._partition_cache.get(frozenset(attrs))
+
+    # ------------------------------------------------------------------
+    # The delta engine (incremental maintenance across extensions)
+    # ------------------------------------------------------------------
+    def track(self, attrs: Sequence[str]) -> GroupTracker:
+        """Start (or fetch) delta maintenance for one attribute set.
+
+        The tracker is built cold once (O(n)) and from then on rides
+        every ``Relation.extend`` in O(Δ), answering distinct counts,
+        entropies, agreeing-pair sums, and stripped partitions for this
+        set without recomputation.
+        """
+        names = self._relation.schema.validate_names(attrs)
+        if not names:
+            raise ValueError("cannot track the empty attribute set")
+        key = frozenset(names)
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            relation = self._relation
+            ordered = sorted(key)
+            tracker = GroupTracker.build(
+                ordered,
+                [relation.column(name).kernel_codes() for name in ordered],
+                relation.num_rows,
+            )
+            self._store_tracker(key, tracker)
+        else:
+            self._trackers.move_to_end(key)
+        return tracker
+
+    def tracked(self, attrs: Sequence[str]) -> GroupTracker | None:
+        """The tracker for ``attrs`` if one is maintained (never builds)."""
+        return self._trackers.get(frozenset(attrs))
+
+    def tracked_entropy(self, attrs: Sequence[str]) -> float | None:
+        """``H(π_attrs)`` from the delta tracker, or ``None`` untracked."""
+        tracker = self._trackers.get(frozenset(attrs))
+        return None if tracker is None else tracker.entropy()
+
+    def tracked_agreeing_pairs(self, attrs: Sequence[str]) -> int | None:
+        """``Σ C(s,2)`` over π_attrs groups, or ``None`` untracked.
+
+        ``count_violating_pairs(X → Y)`` is the difference of this sum
+        over X and over X ∪ Y — the delta engine's O(1) answer.
+        """
+        tracker = self._trackers.get(frozenset(attrs))
+        return None if tracker is None else tracker.agreeing_pairs
+
+    def _store_tracker(self, key: frozenset[str], tracker: GroupTracker) -> None:
+        self._trackers[key] = tracker
+        limit = _tracker_limit
+        if limit is not None:
+            while len(self._trackers) > limit:
+                self._trackers.popitem(last=False)
+
+    def adopt_delta(self, parent: "RelationStatistics") -> None:
+        """Patch this (fresh) statistics object from a parent's state.
+
+        Called by ``Relation.extend`` once the child relation exists.
+        The parent's trackers *move* here and fold the Δ new rows in;
+        attribute sets the parent had partitioned or counted (but not
+        yet tracked) are promoted to trackers, bounded by the tracker
+        limit, oldest-first.  Every adopted set's distinct count is
+        pre-filled, so the child answers the monitoring path's queries
+        without touching the old rows at all.
+        """
+        child = self._relation
+        start = parent._relation.num_rows
+        keys: list[frozenset[str]] = list(parent._trackers)
+        seen = set(keys)
+        limit = _tracker_limit
+        for source in (parent._partition_cache, parent._distinct_cache):
+            for key in source:
+                if key and key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+        if limit is not None:
+            keys = keys[:limit]
+        for key in keys:
+            tracker = parent._trackers.pop(key, None)
+            ordered = sorted(key)
+            code_columns = [child.column(name).kernel_codes() for name in ordered]
+            if tracker is None:
+                tracker = GroupTracker.build(ordered, code_columns, child.num_rows)
+            else:
+                tracker.extend(code_columns, start)
+            self._store_tracker(key, tracker)
+            self._distinct_cache[key] = tracker.num_distinct
 
     # ------------------------------------------------------------------
     # Simple per-attribute statistics
@@ -197,14 +373,32 @@ class RelationStatistics:
         """Stripped partitions materialized (cache misses)."""
         return self._partitions_built
 
+    @property
+    def partition_cache_evictions(self) -> int:
+        """Partitions dropped by the LRU bound (memory ceiling at work)."""
+        return self._partition_evictions
+
+    @property
+    def tracked_sets(self) -> int:
+        """Attribute sets under delta maintenance."""
+        return len(self._trackers)
+
+    @property
+    def delta_hits(self) -> int:
+        """Lookups answered by a delta tracker (no recomputation)."""
+        return self._delta_hits
+
     def reset_counters(self) -> None:
         """Zero the cost counters (cache contents are kept)."""
         self._raw_count = 0
         self._partition_hits = 0
         self._partitions_built = 0
+        self._partition_evictions = 0
+        self._delta_hits = 0
 
     def clear(self) -> None:
-        """Drop all cached counts and partitions, and reset the counters."""
+        """Drop all cached counts, partitions and trackers; reset counters."""
         self._distinct_cache.clear()
         self._partition_cache.clear()
+        self._trackers.clear()
         self.reset_counters()

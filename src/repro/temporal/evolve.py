@@ -102,10 +102,27 @@ def evolve_fd(
 
     if scope is RepairScope.SINCE_CHANGE and verdict.change_window is not None:
         changed = series.assessments[verdict.change_window].window
-        repair_relation = log.slice(changed.start, len(log))
+        repair_relation = _log_span(log, series, changed.start)
     else:
-        repair_relation = log.snapshot()
+        repair_relation = _log_span(log, series, 0)
     result = find_repairs(
         repair_relation, tfd.fd, repair_config or RepairConfig()
     )
     return EvolutionReport(tfd, series, verdict, repair_relation, result)
+
+
+def _log_span(log: TupleLog, series: ConfidenceSeries, start: int) -> Relation:
+    """The rows ``[start, len(log))``, reusing a warm window if one fits.
+
+    Prefix-mode windows all span ``[0, end)``; when the requested span
+    is the full log (``start == 0``) and the last assessed window
+    already covers it, that window's relation is returned as-is — its
+    statistics (counts, partitions, delta trackers) are warm from the
+    monitoring pass, so the repair search starts with the X/XY/Y counts
+    it needs already cached instead of recomputing them cold.
+    """
+    if start == 0 and series.assessments:
+        last = series.assessments[-1].window
+        if last.start == 0 and last.end == len(log):
+            return last.relation
+    return log.slice(start, len(log))

@@ -14,6 +14,18 @@ turn it into relation snapshots:
 * :meth:`sliding` — windows of ``size`` advancing by ``step`` rows;
 * :meth:`prefixes` — growing prefixes (the "full history so far" view
   the continuous monitor of :mod:`repro.core.monitor` sees).
+
+The log shares its state with the windows it produces instead of
+re-deriving everything per window:
+
+* every appended tuple is dictionary-encoded **once**, at the log;
+  :meth:`slice` then re-encodes windows code-to-code (hashing small
+  ints, not raw values) — byte-identical columns, cheaper to build;
+* :meth:`prefixes` chains each window off the previous one via
+  ``Relation.extend``, so whatever the consumer computed on window
+  *i* (counts, partitions, trackers) is folded forward in O(Δ) by the
+  delta engine rather than recomputed on window *i + 1* — this is the
+  continuous-monitoring path the incremental engine exists for.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.relational.encoding import EncodedColumn
 from repro.relational.errors import ArityError, SchemaError
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
@@ -52,7 +65,14 @@ class TupleLog:
 
     def __init__(self, schema: RelationSchema, rows: Sequence[Sequence[Any]] = ()) -> None:
         self._schema = schema
-        self._rows: list[tuple[Any, ...]] = []
+        self._num_rows = 0
+        #: The log's only tuple storage: one shared encoded column per
+        #: attribute (codes + dictionary).  Raw tuples are decoded on
+        #: demand, so the log costs less than a list of value tuples —
+        #: each distinct value is held once however often it recurs.
+        self._columns: list[EncodedColumn] = [
+            EncodedColumn([], []) for _ in range(schema.arity)
+        ]
         for row in rows:
             self.append(row)
 
@@ -67,31 +87,49 @@ class TupleLog:
         return self._schema
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._num_rows
 
     def append(self, row: Sequence[Any]) -> None:
-        """Append one tuple (arity-checked)."""
+        """Append one tuple (arity-checked); encodes each value once."""
         values = tuple(row)
         if len(values) != self._schema.arity:
             raise ArityError(self._schema.arity, len(values))
-        self._rows.append(values)
+        for column, value in zip(self._columns, values):
+            column.append_value(value)
+        self._num_rows += 1
 
     def extend(self, rows: Sequence[Sequence[Any]]) -> None:
         """Append many tuples."""
         for row in rows:
             self.append(row)
 
+    def _decode_rows(self, start: int, end: int) -> list[tuple[Any, ...]]:
+        """Raw value tuples for ``[start, end)`` (delta-chain batches)."""
+        columns = self._columns
+        return [
+            tuple(column.value(row) for column in columns)
+            for row in range(start, end)
+        ]
+
     def slice(self, start: int, end: int) -> Relation:
-        """The rows ``[start, end)`` as a relation snapshot."""
+        """The rows ``[start, end)`` as a relation snapshot.
+
+        Columns are compacted out of the log's shared encoding
+        (code-to-code), byte-identical to cold-encoding the raw rows.
+        """
         if start < 0 or end < start:
             raise SchemaError(f"invalid log slice [{start}:{end})")
-        return Relation.from_rows(
-            self._schema, self._rows[start:end], validate=False
-        )
+        end = min(end, self._num_rows)
+        start = min(start, end)
+        columns = {
+            attr.name: column.slice_reencoded(start, end)
+            for attr, column in zip(self._schema.attributes, self._columns)
+        }
+        return Relation(self._schema, columns, end - start)
 
     def snapshot(self) -> Relation:
         """The whole log as one relation."""
-        return self.slice(0, len(self._rows))
+        return self.slice(0, self._num_rows)
 
     # ------------------------------------------------------------------
     # Window generators
@@ -105,7 +143,7 @@ class TupleLog:
         """
         if size < 1:
             raise SchemaError("window size must be >= 1")
-        total = len(self._rows)
+        total = self._num_rows
         index = 0
         for start in range(0, total, size):
             end = min(start + size, total)
@@ -118,20 +156,37 @@ class TupleLog:
         """Windows of ``size`` rows advancing by ``step``."""
         if size < 1 or step < 1:
             raise SchemaError("window size and step must be >= 1")
-        total = len(self._rows)
+        total = self._num_rows
         index = 0
         for start in range(0, total - size + 1, step):
             yield Window(index, start, start + size, self.slice(start, start + size))
             index += 1
 
     def prefixes(self, step: int = 1) -> Iterator[Window]:
-        """Growing prefixes ``[0, step), [0, 2·step), …`` plus the full log."""
+        """Growing prefixes ``[0, step), [0, 2·step), …`` plus the full log.
+
+        Consecutive windows form one delta chain: window *i + 1*'s
+        relation is ``window_i.relation.extend(new rows)``, produced
+        lazily *after* the consumer has processed window *i* — so any
+        statistics the consumer computed are already cached on the
+        parent and ride forward in O(Δ).  A drift run over the whole
+        log therefore does O(n) total maintenance work instead of the
+        O(n²/step) of cold per-window recomputation.
+        """
         if step < 1:
             raise SchemaError("prefix step must be >= 1")
-        total = len(self._rows)
-        index = 0
-        for end in range(step, total + 1, step):
-            yield Window(index, 0, end, self.slice(0, end))
-            index += 1
+        total = self._num_rows
+        ends = list(range(step, total + 1, step))
         if total % step:
-            yield Window(index, 0, total, self.snapshot())
+            ends.append(total)
+        current: Relation | None = None
+        previous_end = 0
+        for index, end in enumerate(ends):
+            if current is None:
+                current = self.slice(0, end)
+            else:
+                current = current.extend(
+                    self._decode_rows(previous_end, end), validate=False
+                )
+            previous_end = end
+            yield Window(index, 0, end, current)

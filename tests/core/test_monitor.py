@@ -132,6 +132,103 @@ class TestIntrospection:
         assert len(state.history) == 3
 
 
+@pytest.fixture(params=["legacy", "delta"])
+def engine(request):
+    return request.param
+
+
+class TestBothEngines:
+    """The legacy hash-set path and the delta-stream path must agree."""
+
+    def test_engine_property_and_validation(self, schema, engine):
+        assert FDMonitor(schema, engine=engine).engine == engine
+        with pytest.raises(ValueError):
+            FDMonitor(schema, engine="nope")
+
+    def test_confidences_identical_across_engines(self, schema):
+        rows = [
+            (f"a{i % 7}", f"b{(i * 3) % 5}" if i % 11 else None, f"c{i % 2}")
+            for i in range(200)
+        ]
+        readings = {}
+        for name in ("legacy", "delta"):
+            monitor = FDMonitor(schema, engine=name)
+            states = [
+                monitor.watch(fd("A -> C"), threshold=0.5),
+                monitor.watch(fd("[A, C] -> B"), threshold=0.5),
+            ]
+            trace = []
+            for row in rows:
+                monitor.append(row)
+                trace.append(
+                    tuple((s.confidence, s.goodness, s.alerted) for s in states)
+                )
+            readings[name] = trace
+        assert readings["legacy"] == readings["delta"]
+
+    def test_alert_rearm_fires_twice(self, schema, engine):
+        """Drop below threshold → recover → drop again must alert twice."""
+        alerts = []
+        monitor = FDMonitor(schema, on_alert=alerts.append, engine=engine)
+        monitor.watch(FD_AB, threshold=0.7)
+        monitor.append(("a1", "b1", "c"))
+        monitor.append(("a1", "b2", "c"))  # confidence 0.5 → first alert
+        assert len(alerts) == 1
+        # Recovery: fresh consistent groups push confidence back over 0.7.
+        for i in range(10):
+            monitor.append((f"r{i}", f"rb{i}", "c"))
+        state = monitor.state_of(FD_AB)
+        assert state.confidence >= 0.7 and not state.alerted
+        # Second genuine drop: violate many fresh groups.
+        for i in range(10):
+            monitor.append((f"r{i}", f"other{i}", "c"))
+        assert len(alerts) == 2, "re-armed alert must fire on the second drop"
+        assert alerts[0].num_rows < alerts[1].num_rows
+
+    def test_null_bearing_rows(self, schema, engine):
+        """NULL is one regular (distinct) value on either engine."""
+        monitor = FDMonitor(schema, engine=engine)
+        state = monitor.watch(FD_AB)
+        monitor.append((None, "b1", "c"))
+        monitor.append((None, "b1", "c"))
+        assert state.confidence == 1.0
+        monitor.append((None, "b2", "c"))  # NULL X-group now maps to 2 Bs
+        assert state.confidence == pytest.approx(1 / 2)
+        monitor.append(("a1", None, "c"))
+        monitor.append(("a1", None, "c"))  # NULL consequent: consistent
+        assert state.confidence == pytest.approx(2 / 3)
+        snapshot = state.assessment()
+        assert snapshot.distinct_x == 2
+        assert snapshot.distinct_xy == 3
+        assert snapshot.distinct_y == 3
+
+    def test_replay_seeds_both_engines(self, engine):
+        places = places_relation()
+        monitor = FDMonitor(places, engine=engine)
+        state = monitor.watch(F1)
+        assert monitor.num_rows == 11
+        assert state.confidence == pytest.approx(0.5)
+
+    def test_failed_watch_leaves_no_orphan_trackers(self, schema):
+        monitor = FDMonitor(schema, engine="delta")
+        with pytest.raises(Exception):
+            monitor.watch(fd("A -> Nope"))  # unknown attribute
+        assert monitor.watched == []
+        assert monitor._stream._active == []  # no leaked stream state
+
+    def test_delta_engine_shares_trackers_and_keeps_sets_empty(self, schema):
+        monitor = FDMonitor(schema, engine="delta")
+        first = monitor.watch(fd("A -> B"))
+        second = monitor.watch(fd("A -> C"))
+        # Same antecedent, watched at the same position → one structure.
+        assert first._trackers[0] is second._trackers[0]
+        monitor.extend([("a", "b", "c"), ("a", "b", "c2")])
+        # The delta path never fills the per-FD value-tuple sets.
+        assert not first.distinct_x and not first.distinct_xy
+        assert first.confidence == 1.0  # A -> B holds
+        assert second.confidence == pytest.approx(0.5)  # A -> C violated
+
+
 class TestEndToEndDriftDetection:
     def test_monitor_triggers_repair_loop(self):
         """Stream drifted rows, catch the alert, repair with the CB

@@ -13,6 +13,38 @@ def session():
     return RepairSession(places_catalog())
 
 
+class TestIngest:
+    def test_ingest_extends_and_replaces(self, session):
+        before = session.catalog.relation("Places")
+        row = before.row(0)
+        extended = session.ingest("Places", [row])
+        assert extended.num_rows == before.num_rows + 1
+        assert session.catalog.relation("Places") is extended
+        assert extended.row(extended.num_rows - 1) == row
+
+    def test_ingest_carries_warm_state(self, session):
+        before = session.catalog.relation("Places")
+        before.count_distinct(["Zip"])
+        before.stats.track(["Zip", "City"])
+        extended = session.ingest("Places", [before.row(0)], validate=False)
+        assert extended.stats.tracked(["Zip", "City"]) is not None
+        assert extended.stats.tracked(["Zip"]) is not None
+        # Counts equal a cold recomputation over the grown instance.
+        assert extended.count_distinct(["Zip"]) == before.count_distinct(["Zip"])
+
+    def test_ingest_checks_arity(self, session):
+        from repro.relational.errors import ArityError
+
+        with pytest.raises(ArityError):
+            session.ingest("Places", [("too", "short")])
+
+    def test_violations_after_ingest_stay_consistent(self, session):
+        consistent = session.catalog.relation("Places").row(2)
+        session.ingest("Places", [consistent])
+        ranked = session.violations("Places")
+        assert [item.fd for item in ranked] == [F1, F2, F3]
+
+
 class TestViolations:
     def test_lists_violated_in_order(self, session):
         ranked = session.violations("Places")

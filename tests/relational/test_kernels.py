@@ -113,3 +113,24 @@ class TestEngineConfig:
         monkeypatch.setattr(kernels, "_numpy_probe", False)
         with pytest.raises(KernelBackendError):
             EngineConfig(backend="numpy").activate()
+
+    def test_cache_bounds_validated(self):
+        with pytest.raises(ValueError):
+            EngineConfig(partition_cache_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(delta_track_limit=-1)
+        assert EngineConfig(partition_cache_size=None).partition_cache_size is None
+
+    def test_activate_installs_cache_bounds(self):
+        from repro.relational import statistics
+
+        try:
+            EngineConfig(
+                backend="python", partition_cache_size=7, delta_track_limit=3
+            ).activate()
+            assert statistics.partition_cache_limit() == 7
+            assert statistics.tracker_limit() == 3
+        finally:
+            kernels.set_backend(None)
+            statistics.configure_caches()
+        assert statistics.partition_cache_limit() == 8192

@@ -91,3 +91,51 @@ class TestWindows:
         (first, *_rest) = list(log.tumbling(3))
         log.append(("x", "y"))
         assert first.relation.num_rows == 3
+
+
+class TestDeltaChaining:
+    """Prefix windows ride the delta engine; slices share the log encoding."""
+
+    def test_prefix_windows_byte_identical_to_cold(self, log):
+        log.append((None, "v10"))  # NULLs must survive the chain too
+        cold = [
+            Relation.from_rows(log.schema, list(w.relation.rows()), validate=False)
+            for w in log.prefixes(4)
+        ]
+        for window, cold_relation in zip(log.prefixes(4), cold):
+            for attr in log.schema.attribute_names:
+                assert (
+                    window.relation.column(attr).codes
+                    == cold_relation.column(attr).codes
+                )
+                assert (
+                    window.relation.column(attr).dictionary
+                    == cold_relation.column(attr).dictionary
+                )
+
+    def test_prefix_windows_share_state_forward(self, log):
+        counts = []
+        for window in log.prefixes(3):
+            window.relation.count_distinct(["K"])
+            window.relation.count_distinct(["K", "V"])
+            counts.append(window.relation.stats.tracked_sets)
+        # After the first extension every window carries delta trackers.
+        assert counts[0] == 0
+        assert all(tracked >= 2 for tracked in counts[1:])
+
+    def test_prefix_windows_match_direct_slices(self, log):
+        for window in log.prefixes(4):
+            direct = log.slice(0, window.end)
+            assert list(window.relation.rows()) == list(direct.rows())
+            assert window.relation.count_distinct(["K"]) == direct.count_distinct(
+                ["K"]
+            )
+
+    def test_sliced_windows_reencode_compactly(self, log):
+        window = log.slice(3, 8)
+        cold = Relation.from_rows(
+            log.schema, [tuple(row) for row in window.rows()], validate=False
+        )
+        for attr in log.schema.attribute_names:
+            assert window.column(attr).codes == cold.column(attr).codes
+            assert window.column(attr).dictionary == cold.column(attr).dictionary
