@@ -38,6 +38,7 @@ from typing import Any
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import FDAssessment
+from repro.relational import expr
 from repro.relational.delta import DeltaStream, GroupTracker
 from repro.relational.errors import ArityError
 from repro.relational.relation import Relation
@@ -145,6 +146,7 @@ class FDMonitor:
         default_threshold: float = 1.0,
         history_every: int = 100,
         engine: str = "delta",
+        scope: expr.Predicate | None = None,
     ) -> None:
         if isinstance(schema, Relation):
             relation: Relation | None = schema
@@ -162,6 +164,16 @@ class FDMonitor:
         self._num_rows = 0
         self._pending_replay = relation
         self._stream = DeltaStream(self._schema) if engine == "delta" else None
+        self._scope = scope
+        # Resolve (and thereby validate) the scope's attributes once.
+        self._scope_positions = (
+            tuple(
+                (name, self._schema.position(name))
+                for name in expr.columns_of(scope)
+            )
+            if scope is not None
+            else ()
+        )
 
     # ------------------------------------------------------------------
     # Configuration
@@ -224,10 +236,26 @@ class FDMonitor:
     # Streaming
     # ------------------------------------------------------------------
     def append(self, row: Sequence[Any]) -> list[FDAlert]:
-        """Observe one tuple; returns (and dispatches) any new alerts."""
+        """Observe one tuple; returns (and dispatches) any new alerts.
+
+        With a ``scope`` predicate configured, tuples outside the scope
+        are observed (they advance :attr:`num_rows`) but never enter
+        the counters — the monitor watches ``σ_scope`` of the stream,
+        the same IR semantics batch validation applies.
+        """
         if len(row) != self._arity:
             raise ArityError(self._arity, len(row))
         self._num_rows += 1
+        if self._scope is not None and not expr.evaluate_predicate(
+            self._scope, {name: row[pos] for name, pos in self._scope_positions}
+        ):
+            # Out-of-scope tuples never enter the counters, but the
+            # periodic history sampling keys off the *observed* stream
+            # position, so record the (unchanged) confidences anyway.
+            if self._num_rows % self._history_every == 0:
+                for state in self._watched:
+                    state.history.append(state.confidence)
+            return []
         stream = self._stream
         if stream is not None:
             # One encode + one fold per distinct attribute set, shared

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import FDAssessment, assess, violating_pairs
 from repro.fd.ordering import RankedFD, order_fds
+from repro.relational import expr
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 
@@ -74,12 +75,19 @@ def validate_relation(
     relation: Relation,
     fds: list[FunctionalDependency],
     witness_limit: int = 0,
+    scope: expr.Predicate | None = None,
 ) -> ValidationReport:
     """Validate ``fds`` against ``relation``.
 
     ``witness_limit > 0`` attaches up to that many violating tuple pairs
-    per violated FD, for the designer to inspect.
+    per violated FD, for the designer to inspect.  ``scope`` restricts
+    validation to ``σ_scope(relation)`` — an IR predicate from
+    :mod:`repro.relational.expr`, evaluated columnar through the kernel
+    backend (witness row indices are then relative to the scoped
+    instance).
     """
+    if scope is not None:
+        relation = relation.select(scope)
     entries: list[ValidationEntry] = []
     for fd in fds:
         assessment = assess(relation, fd)

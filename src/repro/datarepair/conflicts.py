@@ -26,6 +26,7 @@ import networkx as nx
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import check_fd_attributes
+from repro.relational import kernels
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -46,17 +47,18 @@ def violating_groups(
     graph between the Y-groups; this grouped view is the compact form
     both the exact deletion solver and the value-update repair consume.
     Only classes with ≥ 2 Y-groups (i.e. actual violations) appear.
+    Grouping runs through the active kernel backend's ``group_rows``
+    (a Y-code mask per class on numpy), preserving the first-seen group
+    order the dict loop produced.
     """
     x_partition = relation.stripped_partition(list(fd.antecedent))
-    y_columns = [relation.column(a).codes for a in fd.consequent]
+    y_columns = [relation.column(a).kernel_codes() for a in fd.consequent]
+    backend = kernels.get_backend()
     grouped: list[list[list[int]]] = []
     for cls_rows in x_partition:
-        by_y: dict[tuple[int, ...], list[int]] = {}
-        for row in cls_rows:
-            key = tuple(codes[row] for codes in y_columns)
-            by_y.setdefault(key, []).append(row)
+        by_y = backend.group_rows(y_columns, cls_rows)
         if len(by_y) > 1:
-            grouped.append(list(by_y.values()))
+            grouped.append(by_y)
     return grouped
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.fd.fd import FunctionalDependency
+from repro.relational import expr
 from repro.relational.relation import Relation
 
 from .conflicts import ConflictGraph, build_conflict_graph
@@ -40,7 +41,9 @@ __all__ = [
     "possible_answers",
 ]
 
-RowPredicate = Callable[[dict[str, Any]], bool]
+#: Selection predicates: an IR predicate (preferred; runs columnar) or
+#: the legacy row-dict callable.
+RowPredicate = Callable[[dict[str, Any]], bool] | expr.Predicate
 
 
 class AnswerTier(enum.Enum):
@@ -113,6 +116,8 @@ def answer_tiers(
     graph = _graph(relation, fds, conflict_graph)
     certain = graph.clean_rows()
     names = relation.attribute_names
+    if predicate is not None and expr.is_predicate(predicate):
+        predicate = expr.as_row_callable(predicate)
     tiers: list[TieredRow] = []
     for index, row in enumerate(relation.rows()):
         values = dict(zip(names, row))

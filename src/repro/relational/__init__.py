@@ -13,9 +13,12 @@ Public entry points:
 * :class:`Partition` — position-list clusterings;
 * :class:`StrippedPartition` — TANE's singleton-free hot-path form;
 * :class:`Catalog` — named relations + declared FDs, with persistence;
+* :mod:`~repro.relational.expr` — the typed predicate IR selection,
+  SQL, joins and evidence scans share (PR 4);
 * :func:`load_csv` / :func:`save_csv` — interchange.
 """
 
+from . import expr
 from .catalog import Catalog
 from .csvio import dumps_csv, load_csv, loads_csv, save_csv
 from .delta import DeltaStream, GroupTracker
@@ -62,6 +65,7 @@ __all__ = [
     "UnknownAttributeError",
     "UnknownRelationError",
     "dumps_csv",
+    "expr",
     "infer_type",
     "is_lossless_decomposition",
     "join_all",

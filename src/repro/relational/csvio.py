@@ -68,15 +68,19 @@ def _read(
                 "silently overwrite each other"
             )
         seen.add(column)
-    raw_rows = [row for row in reader]
-    for index, row in enumerate(raw_rows):
-        if len(row) != len(header):
+    # Stream rows straight into per-column value lists: no intermediate
+    # row-tuple list is materialized, and `from_columns` below encodes
+    # each list directly (type inference is unchanged, field by field).
+    width = len(header)
+    column_values: list[list[Any]] = [[] for _ in header]
+    for index, row in enumerate(reader):
+        if len(row) != width:
             raise SchemaError(
-                f"row {index + 1} has {len(row)} fields, header has {len(header)}"
+                f"row {index + 1} has {len(row)} fields, header has {width}"
             )
-    columns: dict[str, list[Any]] = {
-        column: [row[i] for row in raw_rows] for i, column in enumerate(header)
-    }
+        for position, field in enumerate(row):
+            column_values[position].append(field)
+    columns: dict[str, list[Any]] = dict(zip(header, column_values))
     if schema is None:
         typed: dict[str, list[Any]] = {}
         attrs: list[Attribute] = []

@@ -26,10 +26,22 @@ from typing import Any
 
 from . import kernels
 
-__all__ = ["NULL_CODE", "EncodedColumn", "encode_values"]
+__all__ = [
+    "NULL_CODE",
+    "UNSEEN_CODE",
+    "EncodedColumn",
+    "encode_values",
+    "remap_dictionary",
+]
 
 #: Code reserved for NULL; codes for real values are 0..cardinality-1.
 NULL_CODE = -1
+
+#: Code-space sentinel for "value absent from this dictionary", used
+#: when one column's codes are remapped into another's code space
+#: (joins, column-vs-column predicates).  Never collides with a real
+#: code (≥ 0) or with NULL_CODE.
+UNSEEN_CODE = -2
 
 
 class EncodedColumn:
@@ -218,12 +230,21 @@ class EncodedColumn:
         return EncodedColumn(new_codes, new_dictionary)
 
     def take(self, rows: Sequence[int]) -> "EncodedColumn":
-        """A new column containing only ``rows`` (re-encoded compactly)."""
-        codes = self.codes
-        dictionary = self.dictionary
-        return EncodedColumn.from_values(
-            None if codes[r] == NULL_CODE else dictionary[codes[r]] for r in rows
+        """A new column containing only ``rows`` (re-encoded compactly).
+
+        Runs code-to-code through the active kernel backend — the remap
+        hashes small ints (vectorized on numpy) instead of decoding and
+        re-hashing values, and the new dictionary shares this column's
+        value objects.  First-seen order is preserved, so the result is
+        byte-identical to decode-then-``from_values``.
+        """
+        codes, dictionary, value_to_code, codes_array = (
+            kernels.get_backend().take_reencode(self, rows)
         )
+        column = EncodedColumn(codes, dictionary)
+        column._value_to_code = value_to_code
+        column._codes_array = codes_array
+        return column
 
     def append_value(self, value: Any) -> None:
         """Append one value in place (used by builders, not by Relation)."""
@@ -243,6 +264,33 @@ class EncodedColumn:
             self._value_to_code[value] = code
             self.dictionary.append(value)
         self.codes.append(code)
+
+
+def remap_dictionary(
+    source: EncodedColumn, target: EncodedColumn, nan_matches: bool = True
+) -> list[int]:
+    """``target``'s code for each ``source`` dictionary value.
+
+    Values absent from the target dictionary map to :data:`UNSEEN_CODE`.
+    This is the cross-dictionary bridge both the code-space join and
+    the column-vs-column predicates use: remap one side's codes through
+    this table and two columns compare as ints.
+
+    ``nan_matches`` selects the NaN policy.  Python dict lookup finds a
+    NaN key by *identity* (``x is y or x == y``), which is exactly how
+    the retired value-tuple join keys behaved — the join keeps that
+    (``True``).  Predicate equality follows ``==`` alone, where NaN
+    equals nothing, so the expression layer passes ``False`` and NaN
+    maps to unseen.
+    """
+    mapping: list[int] = []
+    for value in source.dictionary:
+        if not nan_matches and value != value:  # NaN: never equal under ==
+            mapping.append(UNSEEN_CODE)
+            continue
+        code = target.code_for(value)
+        mapping.append(UNSEEN_CODE if code is None else code)
+    return mapping
 
 
 def encode_values(values: Iterable[Any]) -> EncodedColumn:

@@ -5,13 +5,21 @@ The BCNF decomposition of :mod:`repro.design.normalize` promises a
 the projections back must reproduce exactly the original tuples.  That
 promise is only testable with a join, so here is one:
 
-* :func:`natural_join` — hash join on the shared attributes (cross
-  product when the schemas are disjoint, matching the relational
+* :func:`natural_join` — code-space hash join on the shared attributes
+  (cross product when the schemas are disjoint, matching the relational
   definition);
 * :func:`join_all` — left-to-right natural join of several relations;
 * :func:`is_lossless_decomposition` — the end-to-end check: project,
   join, compare tuple *sets* (decompositions are set-semantics objects;
   duplicates introduced by projection are collapsed).
+
+The join never decodes tuples: each shared attribute's right-side
+dictionary is remapped into the left column's code space (one reverse-
+map probe per *distinct* right value), the
+``hash_join_index`` kernel of the active backend matches rows on int
+keys, and output columns are gathered code-to-code.  NULL joins NULL —
+the historical value-level behaviour (``None == None``) the join always
+had — which code space preserves for free since NULL is a code.
 
 The engine stays deliberately small — joins exist to verify design
 output and to let examples reassemble decomposed schemas, not to grow a
@@ -21,8 +29,9 @@ general query processor.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Any
 
+from . import kernels
+from .encoding import NULL_CODE, remap_dictionary
 from .errors import SchemaError
 from .relation import Relation
 from .schema import Attribute, RelationSchema
@@ -35,7 +44,9 @@ def natural_join(left: Relation, right: Relation, name: str | None = None) -> Re
 
     Shared attributes must agree on type.  With no shared attributes
     the result is the cross product.  Output attribute order: all of
-    ``left``'s, then ``right``'s non-shared ones.
+    ``left``'s, then ``right``'s non-shared ones; output rows are
+    left-major with right matches ascending, identical to the original
+    row-at-a-time probe loop (the property suite pins this).
     """
     shared = [a for a in left.attribute_names if a in set(right.attribute_names)]
     for attr in shared:
@@ -48,38 +59,43 @@ def natural_join(left: Relation, right: Relation, name: str | None = None) -> Re
             )
     right_only = [a for a in right.attribute_names if a not in set(shared)]
 
-    # Hash the smaller input on the shared key.
-    build_rows: dict[tuple[Any, ...], list[int]] = {}
-    right_columns = {a: right.column_values(a) for a in right.attribute_names}
-    for row in range(right.num_rows):
-        key = tuple(right_columns[a][row] for a in shared)
-        build_rows.setdefault(key, []).append(row)
+    backend = kernels.get_backend()
+    if shared:
+        left_keys = []
+        right_keys = []
+        for attr in shared:
+            left_column = left.column(attr)
+            right_column = right.column(attr)
+            # Unseen right values map to a sentinel and match nothing,
+            # exactly like an unseen value key in the retired dict
+            # probe (NaN keeps its identity-match dict semantics).
+            mapping = remap_dictionary(right_column, left_column)
+            left_keys.append(left_column.kernel_codes())
+            # NULL stays NULL_CODE: a right NULL joins a left NULL.
+            right_keys.append(
+                backend.remap_codes(right_column.kernel_codes(), mapping, NULL_CODE)
+            )
+    else:
+        # Disjoint schemas: a constant key makes every pair match, and
+        # the kernel's left-major output order is the cross product's.
+        left_keys = [[0] * left.num_rows]
+        right_keys = [[0] * right.num_rows]
+    left_rows, right_rows = backend.hash_join_index(left_keys, right_keys)
 
-    left_columns = {a: left.column_values(a) for a in left.attribute_names}
-    out_columns: dict[str, list[Any]] = {
-        a: [] for a in (*left.attribute_names, *right_only)
-    }
-    for row in range(left.num_rows):
-        key = tuple(left_columns[a][row] for a in shared)
-        matches = build_rows.get(key, () if shared else None)
-        if matches is None:  # disjoint schemas: cross product
-            matches = range(right.num_rows)
-        for other in matches:
-            for a in left.attribute_names:
-                out_columns[a].append(left_columns[a][row])
-            for a in right_only:
-                out_columns[a].append(right_columns[a][other])
+    columns = {a: left.column(a).take(left_rows) for a in left.attribute_names}
+    for a in right_only:
+        columns[a] = right.column(a).take(right_rows)
 
     attrs = [
         left.schema.attribute(a) if a in set(left.attribute_names)
         else right.schema.attribute(a)
-        for a in out_columns
+        for a in columns
     ]
     schema = RelationSchema(
         name or f"{left.name}_join_{right.name}",
         [Attribute(a.name, a.type, nullable=a.nullable) for a in attrs],
     )
-    return Relation.from_columns(schema, out_columns, validate=False)
+    return Relation(schema, columns, len(left_rows))
 
 
 def join_all(relations: Sequence[Relation], name: str | None = None) -> Relation:

@@ -580,6 +580,273 @@ def extend_group_index(
 
 
 # ----------------------------------------------------------------------
+# Predicate masks (the expression IR's leaf primitives)
+# ----------------------------------------------------------------------
+def mask_fill(num_rows: int, value: bool) -> np.ndarray:
+    """A constant mask."""
+    return np.full(num_rows, bool(value), dtype=bool)
+
+
+def as_mask(flags: Sequence[bool], num_rows: int) -> np.ndarray:
+    """Coerce an already-computed flag sequence to this backend's mask."""
+    if num_rows == 0:
+        return np.zeros(0, dtype=bool)
+    return np.fromiter(flags, dtype=bool, count=num_rows)
+
+
+def mask_and(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Elementwise conjunction of two masks."""
+    return left & right
+
+
+def mask_or(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Elementwise disjunction of two masks."""
+    return left | right
+
+
+def mask_not(mask: np.ndarray) -> np.ndarray:
+    """Elementwise negation of a mask."""
+    return ~mask
+
+
+def mask_any(mask: np.ndarray) -> bool:
+    """Whether any mask position is set."""
+    return bool(mask.any())
+
+
+def mask_eq_code(codes: Sequence[int], code: int) -> np.ndarray:
+    """Rows whose code equals ``code`` (code-space equality)."""
+    return _as_array(codes) == code
+
+
+def mask_in_codes(codes: Sequence[int], wanted: frozenset[int]) -> np.ndarray:
+    """Rows whose code is in ``wanted`` (code-space IN)."""
+    targets = np.fromiter(wanted, dtype=_INT, count=len(wanted))
+    return np.isin(_as_array(codes), targets)
+
+
+def mask_table_lookup(
+    codes: Sequence[int], table: Sequence[bool], null_value: bool
+) -> np.ndarray:
+    """Per-row truth via a per-code boolean table (NULL gets its own slot).
+
+    Codes are ≥ −1 by the encoding contract, so appending the NULL slot
+    at the end lets the ``−1`` codes index it directly.
+    """
+    lookup = np.empty(len(table) + 1, dtype=bool)
+    if table:
+        lookup[:-1] = np.asarray(table, dtype=bool)
+    lookup[-1] = null_value
+    return lookup[_as_array(codes)]
+
+
+def mask_codes_eq(left: Sequence[int], right: Sequence[int]) -> np.ndarray:
+    """Elementwise code equality of two parallel code sequences."""
+    return _as_array(left) == _as_array(right)
+
+
+def remap_codes(
+    codes: Sequence[int], mapping: Sequence[int], null_target: int
+) -> np.ndarray:
+    """``mapping[c]`` per row; NULL codes become ``null_target``."""
+    map_arr = np.empty(len(mapping) + 1, dtype=_INT)
+    if mapping:
+        map_arr[:-1] = np.asarray(mapping, dtype=_INT)
+    map_arr[-1] = null_target
+    return map_arr[_as_array(codes)]
+
+
+def filter_mask(mask: np.ndarray) -> np.ndarray:
+    """Indices of the set mask positions, ascending (σ's output rows)."""
+    return np.flatnonzero(mask)
+
+
+# ----------------------------------------------------------------------
+# Gather / reencode / dedup (columnar row movement)
+# ----------------------------------------------------------------------
+def _rows_array(rows: Sequence[int]) -> np.ndarray:
+    if isinstance(rows, np.ndarray):
+        return rows.astype(_INT, copy=False)
+    return np.asarray(list(rows) if not hasattr(rows, "__len__") else rows, dtype=_INT)
+
+
+def gather(codes: Sequence[int], rows: Sequence[int]) -> np.ndarray:
+    """Codes at ``rows``, in the given order (no decode, no remap)."""
+    rows_arr = _rows_array(rows)
+    if rows_arr.size == 0:
+        return np.zeros(0, dtype=_INT)
+    return _as_array(codes)[rows_arr]
+
+
+def take_reencode(
+    column, rows: Sequence[int]
+) -> tuple[list[int], list[Any], dict[Any, int] | None, np.ndarray]:
+    """Rows of a column, compactly re-encoded code-to-code.
+
+    Same contract as the reference kernel: first-seen code order, the
+    new dictionary shares the parent's value objects, and the result is
+    byte-identical to decoding and cold-encoding the rows.
+    """
+    rows_arr = _rows_array(rows)
+    if rows_arr.size == 0:
+        empty = np.zeros(0, dtype=_INT)
+        empty.flags.writeable = False
+        return [], [], {}, empty
+    gathered = column_codes(column)[rows_arr]
+    uniques, first_pos, inverse = np.unique(
+        gathered, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)  # numpy 2.x may return the input shape
+    offset = 1 if int(uniques[0]) == -1 else 0
+    order = np.argsort(first_pos[offset:], kind="stable")
+    rank = np.empty(uniques.shape[0], dtype=_INT)
+    if offset:
+        rank[0] = -1
+    sub = np.empty(order.shape[0], dtype=_INT)
+    sub[order] = np.arange(order.shape[0], dtype=_INT)
+    rank[offset:] = sub
+    new_codes = rank[inverse]
+    new_codes.flags.writeable = False
+    dictionary = column.dictionary
+    new_dictionary = [dictionary[int(code)] for code in uniques[offset:][order]]
+    value_to_code = {value: code for code, value in enumerate(new_dictionary)}
+    return new_codes.tolist(), new_dictionary, value_to_code, new_codes
+
+
+def distinct_rows(code_columns: Sequence[Sequence[int]]) -> np.ndarray:
+    """Positions of the first occurrence of each distinct code tuple,
+    ascending (the DISTINCT-projection keep list)."""
+    arrays = [_as_array(codes) for codes in code_columns]
+    if not arrays or arrays[0].shape[0] == 0:
+        return np.zeros(0, dtype=_INT)
+    packed = _pack(arrays)
+    if packed is not None:
+        _, first_pos = np.unique(packed, return_index=True)
+        return np.sort(first_pos).astype(_INT, copy=False)
+    perm, change = _sorted_key_change(arrays)
+    return np.sort(perm[np.flatnonzero(change)]).astype(_INT, copy=False)
+
+
+def group_rows(
+    code_columns: Sequence[Sequence[int]], rows: Sequence[int]
+) -> list[list[int]]:
+    """Groups of ``rows`` sharing a composite code key, first-seen order."""
+    rows_arr = _rows_array(rows)
+    if rows_arr.size == 0:
+        return []
+    keys = [_as_array(codes)[rows_arr] for codes in code_columns]
+    perm, change = _sorted_key_change(keys)
+    starts = np.flatnonzero(change)
+    ends = np.append(starts[1:], rows_arr.size)
+    order = np.argsort(perm[starts], kind="stable")
+    starts_list, ends_list = starts.tolist(), ends.tolist()
+    return [
+        rows_arr[perm[starts_list[g] : ends_list[g]]].tolist()
+        for g in order.tolist()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Grouped aggregation (the SQL executor's GROUP BY kernel)
+# ----------------------------------------------------------------------
+def grouped_aggregate(
+    key_columns: Sequence[Sequence[int]],
+    rows: Sequence[int],
+    distinct_specs: Sequence[Sequence[Sequence[int]]],
+) -> tuple[list[tuple[int, ...]], list[int], list[list[int]]]:
+    """Group ``rows`` by composite key and aggregate, all vectorized.
+
+    Same contract as the reference kernel: keys in first-seen order,
+    per-group ``COUNT(*)``, and per spec the per-group
+    ``COUNT(DISTINCT …)`` ignoring rows with NULL in a counted column.
+    """
+    rows_arr = _rows_array(rows)
+    m = rows_arr.size
+    if m == 0:
+        return [], [], [[] for _ in distinct_specs]
+    keys = [_as_array(codes)[rows_arr] for codes in key_columns]
+    if not keys:
+        keys = [np.zeros(m, dtype=_INT)]
+    perm, change = _sorted_key_change(keys)
+    starts = np.flatnonzero(change)
+    num_groups = starts.shape[0]
+    firsts = perm[starts]
+    order = np.argsort(firsts, kind="stable")
+    new_id = np.empty(num_groups, dtype=_INT)
+    new_id[order] = np.arange(num_groups, dtype=_INT)
+    gid = np.empty(m, dtype=_INT)
+    gid[perm] = new_id[np.cumsum(change) - 1]
+    counts = np.bincount(gid, minlength=num_groups).tolist()
+    firsts_ordered = firsts[order]
+    if key_columns:
+        keys_out = list(
+            zip(*[key[firsts_ordered].tolist() for key in keys])
+        )
+    else:
+        keys_out = [()] * num_groups
+    distincts: list[list[int]] = []
+    for spec in distinct_specs:
+        spec_arrays = [_as_array(codes)[rows_arr] for codes in spec]
+        valid = np.ones(m, dtype=bool)
+        for arr in spec_arrays:
+            valid &= arr >= 0
+        selected = np.flatnonzero(valid)
+        if selected.size == 0:
+            distincts.append([0] * num_groups)
+            continue
+        combo_keys = [gid[selected]]
+        combo_keys.extend(arr[selected] for arr in spec_arrays)
+        perm2, change2 = _sorted_key_change(combo_keys)
+        combo_gids = combo_keys[0][perm2[np.flatnonzero(change2)]]
+        distincts.append(np.bincount(combo_gids, minlength=num_groups).tolist())
+    return keys_out, counts, distincts
+
+
+# ----------------------------------------------------------------------
+# Hash join (code-space natural join kernel)
+# ----------------------------------------------------------------------
+def hash_join_index(
+    left_key_columns: Sequence[Sequence[int]],
+    right_key_columns: Sequence[Sequence[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching ``(left_rows, right_rows)`` index pairs, left-major.
+
+    Implemented as one joint factorization of both sides' keys plus a
+    run-length expansion: each left row's matches are the right rows of
+    its key group, ascending — identical output order to the reference
+    backend's dict-based probe loop.
+    """
+    left = [_as_array(codes) for codes in left_key_columns]
+    right = [_as_array(codes) for codes in right_key_columns]
+    n_left = left[0].shape[0]
+    n_right = right[0].shape[0]
+    empty = np.zeros(0, dtype=_INT)
+    if n_left == 0 or n_right == 0:
+        return empty, empty
+    all_keys = [np.concatenate([l, r]) for l, r in zip(left, right)]
+    perm, change = _sorted_key_change(all_keys)
+    gid = np.empty(n_left + n_right, dtype=_INT)
+    gid[perm] = np.cumsum(change) - 1
+    num_groups = int(gid.max()) + 1
+    gid_left = gid[:n_left]
+    gid_right = gid[n_left:]
+    right_counts = np.bincount(gid_right, minlength=num_groups)
+    # Right rows bucketed by group, ascending within a bucket (stable).
+    right_order = np.argsort(gid_right, kind="stable")
+    offsets = np.zeros(num_groups + 1, dtype=_INT)
+    np.cumsum(right_counts, out=offsets[1:])
+    match_counts = right_counts[gid_left]
+    total = int(match_counts.sum())
+    if total == 0:
+        return empty, empty
+    left_rows = np.repeat(np.arange(n_left, dtype=_INT), match_counts)
+    run_starts = np.cumsum(match_counts) - match_counts
+    within = np.arange(total, dtype=_INT) - np.repeat(run_starts, match_counts)
+    right_rows = right_order[np.repeat(offsets[gid_left], match_counts) + within]
+    return left_rows, right_rows.astype(_INT, copy=False)
+
+
+# ----------------------------------------------------------------------
 # Distinct counting
 # ----------------------------------------------------------------------
 def count_distinct(code_columns: Sequence[Sequence[int]]) -> int:

@@ -234,6 +234,230 @@ def conditional_entropy_pair(target, given) -> tuple[float, float, int]:
 
 
 # ----------------------------------------------------------------------
+# Predicate masks (the expression IR's leaf primitives)
+# ----------------------------------------------------------------------
+def mask_fill(num_rows: int, value: bool) -> list[bool]:
+    """A constant mask."""
+    return [bool(value)] * num_rows
+
+
+def as_mask(flags: Sequence[bool], num_rows: int) -> list[bool]:
+    """Coerce an already-computed flag sequence to this backend's mask."""
+    return list(flags)
+
+
+def mask_and(left: Sequence[bool], right: Sequence[bool]) -> list[bool]:
+    """Elementwise conjunction of two masks."""
+    return [a and b for a, b in zip(left, right)]
+
+
+def mask_or(left: Sequence[bool], right: Sequence[bool]) -> list[bool]:
+    """Elementwise disjunction of two masks."""
+    return [a or b for a, b in zip(left, right)]
+
+
+def mask_not(mask: Sequence[bool]) -> list[bool]:
+    """Elementwise negation of a mask."""
+    return [not flag for flag in mask]
+
+
+def mask_any(mask: Sequence[bool]) -> bool:
+    """Whether any mask position is set."""
+    return any(mask)
+
+
+def mask_eq_code(codes: Sequence[int], code: int) -> list[bool]:
+    """Rows whose code equals ``code`` (code-space equality)."""
+    return [c == code for c in codes]
+
+
+def mask_in_codes(codes: Sequence[int], wanted: frozenset[int]) -> list[bool]:
+    """Rows whose code is in ``wanted`` (code-space IN)."""
+    return [c in wanted for c in codes]
+
+
+def mask_table_lookup(
+    codes: Sequence[int], table: Sequence[bool], null_value: bool
+) -> list[bool]:
+    """Per-row truth via a per-code boolean table (NULL gets its own slot)."""
+    return [null_value if c < 0 else table[c] for c in codes]
+
+
+def mask_codes_eq(left: Sequence[int], right: Sequence[int]) -> list[bool]:
+    """Elementwise code equality of two parallel code sequences."""
+    return [a == b for a, b in zip(left, right)]
+
+
+def remap_codes(
+    codes: Sequence[int], mapping: Sequence[int], null_target: int
+) -> list[int]:
+    """``mapping[c]`` per row; NULL codes become ``null_target``."""
+    return [null_target if c < 0 else mapping[c] for c in codes]
+
+
+def filter_mask(mask: Sequence[bool]) -> list[int]:
+    """Indices of the set mask positions, ascending (σ's output rows)."""
+    return [row for row, flag in enumerate(mask) if flag]
+
+
+# ----------------------------------------------------------------------
+# Gather / reencode / dedup (columnar row movement)
+# ----------------------------------------------------------------------
+def gather(codes: Sequence[int], rows: Sequence[int]) -> list[int]:
+    """Codes at ``rows``, in the given order (no decode, no remap)."""
+    return [codes[row] for row in rows]
+
+
+def take_reencode(
+    column, rows: Sequence[int]
+) -> tuple[list[int], list[Any], dict[Any, int] | None, Any]:
+    """Rows of a column as a compactly re-encoded ``(codes, dictionary,
+    value_to_code, codes_array)`` quadruple (the ``factorize`` shape).
+
+    Works code-to-code: the remap hashes small ints instead of decoded
+    values, and the new dictionary shares the parent's value *objects*.
+    First-seen order is preserved, so the result is byte-identical to
+    decoding the rows and cold-encoding them.
+    """
+    codes = column.codes
+    dictionary = column.dictionary
+    remap: dict[int, int] = {}
+    new_codes: list[int] = []
+    new_dictionary: list[Any] = []
+    for row in rows:
+        code = codes[row]
+        if code < 0:
+            new_codes.append(-1)
+            continue
+        new_code = remap.get(code)
+        if new_code is None:
+            new_code = len(new_dictionary)
+            remap[code] = new_code
+            new_dictionary.append(dictionary[code])
+        new_codes.append(new_code)
+    value_to_code = {value: code for code, value in enumerate(new_dictionary)}
+    return new_codes, new_dictionary, value_to_code, None
+
+
+def distinct_rows(code_columns: Sequence[Sequence[int]]) -> list[int]:
+    """Positions of the first occurrence of each distinct code tuple,
+    ascending (the DISTINCT-projection keep list)."""
+    if not code_columns:
+        return []
+    keep: list[int] = []
+    if len(code_columns) == 1:
+        seen_single: set[int] = set()
+        for row, code in enumerate(code_columns[0]):
+            if code not in seen_single:
+                seen_single.add(code)
+                keep.append(row)
+        return keep
+    seen: set[tuple[int, ...]] = set()
+    for row, key in enumerate(zip(*code_columns)):
+        if key not in seen:
+            seen.add(key)
+            keep.append(row)
+    return keep
+
+
+def group_rows(
+    code_columns: Sequence[Sequence[int]], rows: Sequence[int]
+) -> list[list[int]]:
+    """Groups of ``rows`` sharing a composite code key, first-seen order."""
+    groups: dict = {}
+    single = len(code_columns) == 1
+    codes0 = code_columns[0]
+    get = groups.get
+    for row in rows:
+        key = codes0[row] if single else tuple(codes[row] for codes in code_columns)
+        bucket = get(key)
+        if bucket is None:
+            groups[key] = [row]
+        else:
+            bucket.append(row)
+    return list(groups.values())
+
+
+# ----------------------------------------------------------------------
+# Grouped aggregation (the SQL executor's GROUP BY kernel)
+# ----------------------------------------------------------------------
+def grouped_aggregate(
+    key_columns: Sequence[Sequence[int]],
+    rows: Sequence[int],
+    distinct_specs: Sequence[Sequence[Sequence[int]]],
+) -> tuple[list[tuple[int, ...]], list[int], list[list[int]]]:
+    """Group ``rows`` by composite key and aggregate in one pass.
+
+    Returns ``(keys, counts, distincts)``: the group key tuples in
+    first-seen order, the per-group ``COUNT(*)``, and — per entry of
+    ``distinct_specs`` (each a list of code columns) — the per-group
+    ``COUNT(DISTINCT …)`` where rows with a NULL in any counted column
+    are ignored (SQL semantics).
+    """
+    keys: list[tuple[int, ...]] = []
+    counts: list[int] = []
+    index: dict[tuple[int, ...], int] = {}
+    seen: list[list[set[tuple[int, ...]]]] = [[] for _ in distinct_specs]
+    for row in rows:
+        key = tuple(codes[row] for codes in key_columns)
+        gid = index.get(key)
+        if gid is None:
+            gid = len(keys)
+            index[key] = gid
+            keys.append(key)
+            counts.append(0)
+            for spec_seen in seen:
+                spec_seen.append(set())
+        counts[gid] += 1
+        for spec, spec_seen in zip(distinct_specs, seen):
+            combo = tuple(codes[row] for codes in spec)
+            if any(code < 0 for code in combo):  # SQL: NULLs are not counted
+                continue
+            spec_seen[gid].add(combo)
+    distincts = [[len(group_seen) for group_seen in spec_seen] for spec_seen in seen]
+    return keys, counts, distincts
+
+
+# ----------------------------------------------------------------------
+# Hash join (code-space natural join kernel)
+# ----------------------------------------------------------------------
+def hash_join_index(
+    left_key_columns: Sequence[Sequence[int]],
+    right_key_columns: Sequence[Sequence[int]],
+) -> tuple[list[int], list[int]]:
+    """Matching ``(left_rows, right_rows)`` index pairs, left-major.
+
+    Both key sides must live in a *shared* code space (the caller
+    remaps one dictionary into the other).  The right side is hashed,
+    the left side probes in row order, and matches are emitted in right
+    row order within each left row — the classic hash-join output
+    order, identical to the reference row-dict join.
+    """
+    single = len(right_key_columns) == 1
+    build: dict = {}
+    get = build.get
+    codes0 = right_key_columns[0]
+    for row in range(len(codes0)):
+        key = codes0[row] if single else tuple(c[row] for c in right_key_columns)
+        bucket = get(key)
+        if bucket is None:
+            build[key] = [row]
+        else:
+            bucket.append(row)
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    left0 = left_key_columns[0]
+    for row in range(len(left0)):
+        key = left0[row] if single else tuple(c[row] for c in left_key_columns)
+        matches = build.get(key)
+        if matches is None:
+            continue
+        left_rows.extend([row] * len(matches))
+        right_rows.extend(matches)
+    return left_rows, right_rows
+
+
+# ----------------------------------------------------------------------
 # Violating-pair counting
 # ----------------------------------------------------------------------
 def count_violating_pairs(x_partition, y_columns: Sequence[Sequence[int]]) -> int:

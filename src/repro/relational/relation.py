@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from typing import Any
 
-from . import kernels
+from . import expr, kernels
 from .encoding import EncodedColumn
 from .errors import ArityError, SchemaError, TypeMismatchError
 from .partition import Partition, StrippedPartition
@@ -286,19 +286,24 @@ class Relation:
         if not distinct:
             columns = {name: _copy_column(self._columns[name]) for name in names}
             return Relation(schema, columns, self._num_rows)
-        seen: set[tuple[int, ...]] = set()
-        keep: list[int] = []
-        code_columns = [self._columns[name].codes for name in names]
-        for row in range(self._num_rows):
-            key = tuple(codes[row] for codes in code_columns)
-            if key not in seen:
-                seen.add(key)
-                keep.append(row)
+        code_columns = [self._columns[name].kernel_codes() for name in names]
+        keep = kernels.get_backend().distinct_rows(code_columns)
         columns = {name: self._columns[name].take(keep) for name in names}
         return Relation(schema, columns, len(keep))
 
-    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Relation":
-        """σ with an arbitrary Python predicate over row dicts."""
+    def select(
+        self, predicate: "expr.Predicate | Callable[[dict[str, Any]], bool]"
+    ) -> "Relation":
+        """σ over an IR predicate (:mod:`repro.relational.expr`).
+
+        IR predicates evaluate columnar through the kernel backend
+        (code-space masks; no row dicts are materialized).  A plain
+        ``Callable[[dict], bool]`` is still accepted for backward
+        compatibility but runs the legacy per-row loop — prefer the IR
+        form, which is both faster and inspectable.
+        """
+        if expr.is_predicate(predicate):
+            return self.take(expr.filter_rows(self, predicate))
         names = self._schema.attribute_names
         columns = [self._columns[name] for name in names]
         keep = [

@@ -5,6 +5,21 @@ Evaluates a parsed :class:`~repro.sql.ast.SelectQuery` against a
 Results come back as a :class:`ResultSet` — column names plus row
 tuples — so examples and the CLI can print MySQL-style output.
 
+Two engines implement evaluation:
+
+* ``"columnar"`` (default) — the query compiles to the typed predicate
+  IR of :mod:`repro.relational.expr` and runs filter → group →
+  aggregate end-to-end on encoded code columns through the active
+  kernel backend.  ``WHERE`` becomes a vectorized mask (equality and
+  ``IN`` resolve in code space through the dictionary), ``GROUP BY``
+  plus ``COUNT``/``COUNT(DISTINCT …)`` run as one grouped-aggregate
+  kernel call, and projections gather codes instead of decoding row by
+  row.
+* ``"rowdict"`` — the original tree-walking interpreter over
+  materialized row dicts, retained as the *equivalence oracle*: the
+  property suite asserts both engines return identical results on both
+  kernel backends, NULL edge cases included.
+
 Semantics follow SQL where it matters to the paper:
 
 * ``COUNT(DISTINCT a, b)`` ignores rows where *any* counted attribute
@@ -19,10 +34,12 @@ Semantics follow SQL where it matters to the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
+from repro.relational import expr as ir
+from repro.relational import kernels
 from repro.relational.catalog import Catalog
-from repro.relational.errors import ReproError
+from repro.relational.errors import ReproError, UnknownAttributeError
 from repro.relational.relation import Relation
 
 from .ast import (
@@ -40,7 +57,15 @@ from .ast import (
 )
 from .parser import parse
 
-__all__ = ["ResultSet", "SqlExecutionError", "execute", "execute_on_relation"]
+__all__ = [
+    "ResultSet",
+    "SqlExecutionError",
+    "compile_expression",
+    "execute",
+    "execute_on_relation",
+]
+
+_ENGINES = ("columnar", "rowdict")
 
 
 class SqlExecutionError(ReproError):
@@ -82,29 +107,69 @@ class ResultSet:
         return "\n".join([header, divider, *body])
 
 
-def execute(catalog: Catalog, sql: str) -> ResultSet:
+def execute(catalog: Catalog, sql: str, engine: str = "columnar") -> ResultSet:
     """Parse and run ``sql`` against a catalog."""
     query = parse(sql)
     relation = catalog.relation(query.table)
-    return _run(relation, query)
+    return _run(relation, query, engine)
 
 
-def execute_on_relation(relation: Relation, sql: str) -> ResultSet:
+def execute_on_relation(
+    relation: Relation, sql: str, engine: str = "columnar"
+) -> ResultSet:
     """Parse and run ``sql``; the FROM clause must name this relation."""
     query = parse(sql)
     if query.table != relation.name:
         raise SqlExecutionError(
             f"query targets {query.table!r} but got relation {relation.name!r}"
         )
-    return _run(relation, query)
+    return _run(relation, query, engine)
 
 
 # ----------------------------------------------------------------------
-# Evaluation
+# AST → IR compilation
 # ----------------------------------------------------------------------
-def _run(relation: Relation, query: SelectQuery) -> ResultSet:
-    rows = _filtered_rows(relation, query.where)
+def compile_expression(expression: Expression) -> ir.Predicate:
+    """Compile a parsed ``WHERE`` AST into the relational predicate IR."""
+    if isinstance(expression, Comparison):
+        return ir.Cmp(
+            expression.op,
+            _compile_operand(expression.left),
+            _compile_operand(expression.right),
+        )
+    if isinstance(expression, IsNull):
+        return ir.IsNull(_compile_operand(expression.operand), expression.negated)
+    if isinstance(expression, Not):
+        return ir.Not(compile_expression(expression.operand))
+    if isinstance(expression, And):
+        return ir.And(
+            compile_expression(expression.left), compile_expression(expression.right)
+        )
+    if isinstance(expression, Or):
+        return ir.Or(
+            compile_expression(expression.left), compile_expression(expression.right)
+        )
+    raise SqlExecutionError(f"cannot evaluate {expression!r} as a predicate")
+
+
+def _compile_operand(operand: Any) -> ir.Operand:
+    if isinstance(operand, ColumnRef):
+        return ir.Col(operand.name)
+    if isinstance(operand, Literal):
+        return ir.Lit(operand.value)
+    raise SqlExecutionError(f"cannot evaluate operand {operand!r}")
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+def _run(relation: Relation, query: SelectQuery, engine: str = "columnar") -> ResultSet:
+    if engine not in _ENGINES:
+        raise SqlExecutionError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    rows = _filtered_rows(relation, query.where, engine)
     if query.group_by:
+        if engine == "columnar":
+            return _run_grouped_columnar(relation, query, rows)
         return _run_grouped(relation, query, rows)
     aggregates = [
         item for item in query.items
@@ -115,17 +180,30 @@ def _run(relation: Relation, query: SelectQuery) -> ResultSet:
             raise SqlExecutionError(
                 "cannot mix aggregates and plain columns without GROUP BY"
             )
+        aggregate = _aggregate_columnar if engine == "columnar" else _aggregate
         values = tuple(
-            _aggregate(relation, item.expression, rows) for item in query.items
+            aggregate(relation, item.expression, rows) for item in query.items
         )
         columns = tuple(item.output_name for item in query.items)
         return ResultSet(columns, (values,))
+    if engine == "columnar":
+        return _run_projection_columnar(relation, query, rows)
     return _run_projection(relation, query, rows)
 
 
-def _filtered_rows(relation: Relation, where: Expression | None) -> list[int]:
+def _filtered_rows(
+    relation: Relation, where: Expression | None, engine: str
+) -> Sequence[int]:
     if where is None:
         return list(range(relation.num_rows))
+    if engine == "columnar":
+        predicate = compile_expression(where)
+        try:
+            return ir.filter_rows(relation, predicate)
+        except UnknownAttributeError as error:
+            raise SqlExecutionError(str(error)) from None
+        except ir.ExpressionError as error:
+            raise SqlExecutionError(str(error)) from None
     names = relation.attribute_names
     columns = {name: relation.column(name) for name in names}
     keep: list[int] = []
@@ -136,6 +214,146 @@ def _filtered_rows(relation: Relation, where: Expression | None) -> list[int]:
     return keep
 
 
+def _projection_names(relation: Relation, query: SelectQuery) -> tuple[list[str], list[str]]:
+    """Resolved input column names and output labels of a projection."""
+    names: list[str] = []
+    for item in query.items:
+        assert isinstance(item.expression, ColumnRef)
+        if item.expression.name == "*":
+            names.extend(relation.attribute_names)
+        else:
+            names.append(item.expression.name)
+    star_used = any(
+        isinstance(item.expression, ColumnRef) and item.expression.name == "*"
+        for item in query.items
+    )
+    if star_used:
+        output_names = list(names)
+    else:
+        output_names = [item.output_name for item in query.items]
+    return names, output_names
+
+
+# ----------------------------------------------------------------------
+# Columnar engine
+# ----------------------------------------------------------------------
+def _gathered_codes(
+    relation: Relation, names: Sequence[str], rows: Sequence[int]
+) -> list[Sequence[int]]:
+    backend = kernels.get_backend()
+    return [
+        backend.gather(relation.column(name).kernel_codes(), rows) for name in names
+    ]
+
+
+def _aggregate_columnar(
+    relation: Relation, expression: Any, rows: Sequence[int]
+) -> int:
+    if isinstance(expression, CountStar):
+        return len(rows)
+    if isinstance(expression, CountDistinct):
+        backend = kernels.get_backend()
+        gathered = _gathered_codes(relation, expression.columns, rows)
+        # SQL semantics: a row with NULL in any counted column is not
+        # counted.  Build the validity mask in code space and count
+        # distinct combinations among the surviving positions.
+        valid = backend.mask_fill(len(rows), True)
+        for codes in gathered:
+            valid = backend.mask_and(
+                valid, backend.mask_not(backend.mask_eq_code(codes, -1))
+            )
+        positions = backend.filter_mask(valid)
+        if len(positions) == 0:
+            return 0
+        return backend.count_distinct(
+            [backend.gather(codes, positions) for codes in gathered]
+        )
+    raise SqlExecutionError(f"unsupported aggregate {expression!r}")
+
+
+def _decode_column(column, codes: Sequence[int]) -> list[Any]:
+    dictionary = column.dictionary
+    if hasattr(codes, "tolist"):
+        codes = codes.tolist()
+    return [None if code < 0 else dictionary[code] for code in codes]
+
+
+def _run_projection_columnar(
+    relation: Relation, query: SelectQuery, rows: Sequence[int]
+) -> ResultSet:
+    names, output_names = _projection_names(relation, query)
+    backend = kernels.get_backend()
+    columns = [relation.column(name) for name in names]
+    if query.distinct:
+        gathered = _gathered_codes(relation, names, rows)
+        positions = backend.distinct_rows(gathered)
+        if query.limit is not None:
+            positions = positions[: query.limit]
+        out_codes = [backend.gather(codes, positions) for codes in gathered]
+    else:
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        out_codes = _gathered_codes(relation, names, rows)
+    decoded = [
+        _decode_column(column, codes) for column, codes in zip(columns, out_codes)
+    ]
+    if not decoded:
+        return ResultSet(tuple(output_names), ())
+    return ResultSet(tuple(output_names), tuple(zip(*decoded)))
+
+
+def _run_grouped_columnar(
+    relation: Relation, query: SelectQuery, rows: Sequence[int]
+) -> ResultSet:
+    group_columns = [relation.column(name) for name in query.group_by]
+    output_names: list[str] = []
+    distinct_specs: list[list[Sequence[int]]] = []
+    for item in query.items:
+        if isinstance(item.expression, ColumnRef):
+            if item.expression.name not in query.group_by:
+                raise SqlExecutionError(
+                    f"column {item.expression.name!r} must appear in GROUP BY"
+                )
+        elif isinstance(item.expression, CountDistinct):
+            distinct_specs.append(
+                [
+                    relation.column(name).kernel_codes()
+                    for name in item.expression.columns
+                ]
+            )
+        elif not isinstance(item.expression, CountStar):
+            raise SqlExecutionError(f"unsupported aggregate {item.expression!r}")
+        output_names.append(item.output_name)
+    backend = kernels.get_backend()
+    keys, counts, distincts = backend.grouped_aggregate(
+        [column.kernel_codes() for column in group_columns], rows, distinct_specs
+    )
+    num_groups = len(keys)
+    if query.limit is not None:
+        num_groups = min(num_groups, query.limit)
+    result_rows: list[tuple[Any, ...]] = []
+    for group in range(num_groups):
+        key = keys[group]
+        record: list[Any] = []
+        spec_index = 0
+        for item in query.items:
+            if isinstance(item.expression, ColumnRef):
+                position = query.group_by.index(item.expression.name)
+                code = key[position]
+                column = group_columns[position]
+                record.append(None if code < 0 else column.dictionary[code])
+            elif isinstance(item.expression, CountStar):
+                record.append(counts[group])
+            else:
+                record.append(distincts[spec_index][group])
+                spec_index += 1
+        result_rows.append(tuple(record))
+    return ResultSet(tuple(output_names), tuple(result_rows))
+
+
+# ----------------------------------------------------------------------
+# Row-dict engine (the retained equivalence oracle)
+# ----------------------------------------------------------------------
 def _evaluate(expr: Expression, values: dict[str, Any]) -> bool:
     if isinstance(expr, Comparison):
         left = _operand(expr.left, values)
@@ -182,7 +400,7 @@ def _operand(expr: Any, values: dict[str, Any]) -> Any:
     raise SqlExecutionError(f"cannot evaluate operand {expr!r}")
 
 
-def _aggregate(relation: Relation, expression: Any, rows: list[int]) -> int:
+def _aggregate(relation: Relation, expression: Any, rows: Sequence[int]) -> int:
     if isinstance(expression, CountStar):
         return len(rows)
     if isinstance(expression, CountDistinct):
@@ -198,41 +416,26 @@ def _aggregate(relation: Relation, expression: Any, rows: list[int]) -> int:
 
 
 def _run_projection(
-    relation: Relation, query: SelectQuery, rows: list[int]
+    relation: Relation, query: SelectQuery, rows: Sequence[int]
 ) -> ResultSet:
-    names: list[str] = []
-    for item in query.items:
-        assert isinstance(item.expression, ColumnRef)
-        if item.expression.name == "*":
-            names.extend(relation.attribute_names)
-        else:
-            names.append(item.expression.name)
+    names, output_names = _projection_names(relation, query)
     columns = [relation.column(name) for name in names]
-    output_names: list[str] = []
-    star_used = any(
-        isinstance(item.expression, ColumnRef) and item.expression.name == "*"
-        for item in query.items
-    )
-    if star_used:
-        output_names = list(names)
-    else:
-        output_names = [item.output_name for item in query.items]
     result_rows: list[tuple[Any, ...]] = []
     seen: set[tuple[Any, ...]] = set()
     for row in rows:
+        if query.limit is not None and len(result_rows) >= query.limit:
+            break
         record = tuple(column.value(row) for column in columns)
         if query.distinct:
             if record in seen:
                 continue
             seen.add(record)
         result_rows.append(record)
-        if query.limit is not None and len(result_rows) >= query.limit:
-            break
     return ResultSet(tuple(output_names), tuple(result_rows))
 
 
 def _run_grouped(
-    relation: Relation, query: SelectQuery, rows: list[int]
+    relation: Relation, query: SelectQuery, rows: Sequence[int]
 ) -> ResultSet:
     group_columns = [relation.column(name) for name in query.group_by]
     groups: dict[tuple[int, ...], list[int]] = {}
@@ -249,6 +452,8 @@ def _run_grouped(
         output_names.append(item.output_name)
     result_rows: list[tuple[Any, ...]] = []
     for key, group_rows in groups.items():
+        if query.limit is not None and len(result_rows) >= query.limit:
+            break
         record: list[Any] = []
         for item in query.items:
             if isinstance(item.expression, ColumnRef):
@@ -259,6 +464,4 @@ def _run_grouped(
             else:
                 record.append(_aggregate(relation, item.expression, group_rows))
         result_rows.append(tuple(record))
-        if query.limit is not None and len(result_rows) >= query.limit:
-            break
     return ResultSet(tuple(output_names), tuple(result_rows))

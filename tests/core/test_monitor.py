@@ -255,3 +255,77 @@ class TestEndToEndDriftDetection:
         relation = Relation.from_rows(schema, drifted)
         best = find_first_repair(relation, fd("Branch -> Tax"))
         assert best is not None and best.added == ("Class",)
+
+
+class TestScopePredicates:
+    """IR scope predicates (PR 4): the monitor watches σ_scope."""
+
+    def _schema(self):
+        return RelationSchema("stream", ["Region", "Key", "Val"])
+
+    def test_out_of_scope_rows_never_enter_counters(self):
+        from repro.relational import expr
+
+        scope = expr.eq(expr.col("Region"), "eu")
+        for engine in ("delta", "legacy"):
+            monitor = FDMonitor(self._schema(), engine=engine, scope=scope)
+            state = monitor.watch(fd("Key -> Val"), threshold=0.9)
+            monitor.append(("eu", "k1", "v1"))
+            monitor.append(("us", "k1", "v2"))  # out of scope: would violate
+            assert monitor.num_rows == 2
+            assert state.confidence == 1.0
+
+    def test_scoped_violation_still_alerts(self):
+        from repro.relational import expr
+
+        scope = expr.eq(expr.col("Region"), "eu")
+        alerts: list[FDAlert] = []
+        monitor = FDMonitor(
+            self._schema(), on_alert=alerts.append, scope=scope
+        )
+        monitor.watch(fd("Key -> Val"), threshold=1.0)
+        monitor.append(("eu", "k1", "v1"))
+        monitor.append(("eu", "k1", "v2"))
+        assert len(alerts) == 1
+
+    def test_scope_engines_agree(self):
+        from repro.relational import expr
+
+        scope = expr.or_(
+            expr.gt(expr.col("Val"), 1), expr.is_null(expr.col("Key"))
+        )
+        schema = RelationSchema("s", ["Region", "Key", "Val"])
+        rows = [
+            ("eu", "a", 0), ("eu", "a", 2), ("us", None, 3),
+            ("eu", "b", 1), ("us", "a", 5),
+        ]
+        states = []
+        for engine in ("delta", "legacy"):
+            monitor = FDMonitor(schema, engine=engine, scope=scope)
+            state = monitor.watch(fd("Key -> Val"), threshold=0.1)
+            monitor.extend(rows)
+            states.append(state.assessment())
+        assert states[0].distinct_x == states[1].distinct_x
+        assert states[0].distinct_xy == states[1].distinct_xy
+        assert states[0].confidence == states[1].confidence
+
+    def test_unknown_scope_column_raises_at_construction(self):
+        from repro.relational import expr
+        from repro.relational.errors import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            FDMonitor(self._schema(), scope=expr.eq(expr.col("nope"), 1))
+
+    def test_history_sampling_counts_out_of_scope_rows(self):
+        from repro.relational import expr
+
+        monitor = FDMonitor(
+            self._schema(), history_every=2, scope=expr.eq(expr.col("Region"), "eu")
+        )
+        state = monitor.watch(fd("Key -> Val"))
+        for i in range(10):
+            region = "eu" if i % 2 else "us"  # every sampling row is out of scope
+            monitor.append((region, f"k{i}", "v"))
+        # Sampling keys off observed stream position (rows 2,4,6,8,10),
+        # not off in-scope rows only.
+        assert len(state.history) == 5
