@@ -176,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--fds-only", action="store_true", help="show only FD-shaped constraints"
     )
+    mine.add_argument(
+        "--engine",
+        choices=("tiled", "reference"),
+        default="tiled",
+        help="discovery engine: sample-then-verify (exact) or one-shot "
+        "enumeration with honest sampling",
+    )
 
     return parser
 
@@ -449,15 +456,19 @@ def _cmd_normalize(args: argparse.Namespace) -> int:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.dc.bridge import dc_to_fd
-    from repro.dc.evidence import build_evidence_set
+    from repro.dc.engine import discover_dcs
     from repro.dc.predicates import build_predicate_space
-    from repro.dc.search import mine_denial_constraints
 
     catalog = _load(args.catalog)
     relation = catalog.relation(args.relation)
     space = build_predicate_space(relation, order_predicates=False)
-    evidence = build_evidence_set(relation, space, max_pairs=args.max_pairs)
-    result = mine_denial_constraints(evidence, max_size=args.max_size)
+    result = discover_dcs(
+        relation,
+        space,
+        engine=args.engine,
+        max_size=args.max_size,
+        sample_pairs=args.max_pairs,
+    )
     shown = 0
     for dc in result.constraints:
         fd = dc_to_fd(dc)

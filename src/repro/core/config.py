@@ -46,16 +46,21 @@ class EngineConfig:
     30-attribute discovery at LHS ≤ 3 caches ~4.5k sets and must not
     thrash); ``delta_track_limit`` bounds how many attribute sets the
     delta engine maintains incrementally per relation.  ``None`` means
-    unbounded.  Construction only validates; :meth:`activate` installs
-    the choices process-wide (backend via
-    :func:`repro.relational.kernels.set_backend`, taking precedence
-    over the ``REPRO_BACKEND`` environment variable; cache bounds via
-    :func:`repro.relational.statistics.configure_caches`).
+    unbounded.  ``dc_tile`` is the edge length (representative rows) of
+    the DC evidence engine's pair-space blocks — larger tiles amortize
+    kernel dispatch, smaller ones bound peak memory.  Construction only
+    validates; :meth:`activate` installs the choices process-wide
+    (backend via :func:`repro.relational.kernels.set_backend`, taking
+    precedence over the ``REPRO_BACKEND`` environment variable; cache
+    bounds via :func:`repro.relational.statistics.configure_caches`;
+    the tile via :func:`repro.dc.engine.set_tile`, taking precedence
+    over ``REPRO_DC_TILE``).
     """
 
     backend: str = "auto"
     partition_cache_size: int | None = 8192
     delta_track_limit: int | None = 64
+    dc_tile: int = 4096
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "python", "numpy"):
@@ -66,6 +71,12 @@ class EngineConfig:
             raise ValueError("partition_cache_size must be >= 1 or None")
         if self.delta_track_limit is not None and self.delta_track_limit < 1:
             raise ValueError("delta_track_limit must be >= 1 or None")
+        if isinstance(self.dc_tile, bool) or not isinstance(self.dc_tile, int):
+            raise ValueError(
+                f"dc_tile must be a positive integer, got {self.dc_tile!r}"
+            )
+        if self.dc_tile < 1:
+            raise ValueError("dc_tile must be >= 1")
 
     def resolve(self) -> str:
         """The concrete backend name this config would run on."""
@@ -79,11 +90,14 @@ class EngineConfig:
         Raises :class:`~repro.relational.errors.KernelBackendError` if
         ``numpy`` is requested but not installed.
         """
+        from repro.dc import engine as dc_engine
+
         kernels.set_backend(self.backend)
         statistics.configure_caches(
             partition_cache_size=self.partition_cache_size,
             delta_track_limit=self.delta_track_limit,
         )
+        dc_engine.set_tile(self.dc_tile)
 
 
 class GoodnessMode(enum.Enum):

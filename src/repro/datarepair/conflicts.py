@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.dc.model import DenialConstraint
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import check_fd_attributes
 from repro.relational import kernels
@@ -32,8 +33,10 @@ from repro.relational.relation import Relation
 __all__ = [
     "Conflict",
     "ConflictGraph",
+    "DCConflict",
     "all_violating_pairs",
     "build_conflict_graph",
+    "build_dc_conflict_graph",
     "violating_groups",
 ]
 
@@ -95,6 +98,28 @@ class Conflict:
 
     def __str__(self) -> str:
         return f"rows ({self.left}, {self.right}) violate {self.fd}"
+
+
+@dataclass(frozen=True)
+class DCConflict:
+    """One violating pair: rows ``(left, right)`` break ``dc``.
+
+    Exposes the constraint under the ``fd`` name too, so the whole
+    :class:`ConflictGraph` machinery (components, deletion repairs,
+    CQA degree reads) applies to denial constraints unchanged.
+    """
+
+    left: int
+    right: int
+    dc: DenialConstraint
+
+    @property
+    def fd(self) -> DenialConstraint:
+        """Duck-typing alias: the violated constraint."""
+        return self.dc
+
+    def __str__(self) -> str:
+        return f"rows ({self.left}, {self.right}) violate {self.dc}"
 
 
 @dataclass
@@ -186,3 +211,48 @@ def build_conflict_graph(
             ):
                 conflicts.append(Conflict(left, right, fd))
     return ConflictGraph(relation, tuple(decomposed), conflicts)
+
+
+def build_dc_conflict_graph(
+    relation: Relation,
+    dcs: list[DenialConstraint],
+    max_conflicts_per_dc: int | None = None,
+) -> ConflictGraph:
+    """The conflict graph of a relation under a set of denial
+    constraints.
+
+    Violating pairs are enumerated by the tiled evidence engine
+    (:func:`repro.dc.engine.dc_violating_pairs`): each DC's own
+    predicates are evaluated block-vectorized over the pair space, so
+    the graph costs O(pairs · |DC attrs| / SIMD) instead of the row-dict
+    interpreter of :meth:`DenialConstraint.violations`.  Edges are
+    undirected, so each ordered violation lands once (``left < right``),
+    mirroring the FD builder's convention.  The result plugs into the
+    deletion-repair and CQA machinery unchanged — subset repairs of DC
+    violations are maximal independent sets exactly as for FDs.
+
+    ``max_conflicts_per_dc`` caps the *unordered* edges kept per DC
+    (previews): the cap is applied after collapsing ordered hits, so
+    both kernel backends deliver the full cap.  Which edges survive a
+    truncation follows the block-scan order and may differ between
+    backends; the untruncated graph is backend-identical.
+    """
+    from repro.dc.engine import dc_violating_pairs
+
+    conflicts: list[Conflict | DCConflict] = []
+    for dc in dcs:
+        for attribute in sorted(dc.attributes):
+            relation.schema.validate_names([attribute])
+        seen: set[tuple[int, int]] = set()
+        # Each unordered edge yields at most two ordered hits, so 2×
+        # the cap guarantees enough hits to fill it.
+        limit = None if max_conflicts_per_dc is None else 2 * max_conflicts_per_dc
+        for left, right in dc_violating_pairs(relation, dc, limit=limit):
+            pair = (left, right) if left < right else (right, left)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            conflicts.append(DCConflict(pair[0], pair[1], dc))
+            if max_conflicts_per_dc is not None and len(seen) >= max_conflicts_per_dc:
+                break
+    return ConflictGraph(relation, tuple(dcs), conflicts)

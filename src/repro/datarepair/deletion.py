@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from repro.dc.engine import dc_violating_pairs
+from repro.dc.model import DenialConstraint
 from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import is_exact
 from repro.relational.relation import Relation
@@ -111,8 +113,15 @@ def minimum_deletion_repair(
             cover |= _matching_cover(component)
     keep = [row for row in range(relation.num_rows) if row not in cover]
     repaired = relation.take(keep)
-    for fd in graph.fds:
-        assert is_exact(repaired, fd), f"repair left {fd} violated"
+    for constraint in graph.fds:
+        # The graph may carry denial constraints (build_dc_conflict_graph):
+        # those are re-checked through the tiled engine's block scan.
+        if isinstance(constraint, DenialConstraint):
+            assert not dc_violating_pairs(
+                repaired, constraint, limit=1
+            ), f"repair left {constraint} violated"
+        else:
+            assert is_exact(repaired, constraint), f"repair left {constraint} violated"
     return DeletionRepair(
         original=relation,
         repaired=repaired,

@@ -8,7 +8,10 @@ so that argument can be benchmarked instead of merely cited:
 
 * :mod:`~repro.dc.model` — predicates, denial constraints, violations;
 * :mod:`~repro.dc.predicates` — the finite predicate space;
-* :mod:`~repro.dc.evidence` — pair evidence sets (bitmask multiset);
+* :mod:`~repro.dc.evidence` — pair evidence sets (bitmask multiset)
+  with the per-predicate postings :class:`EvidenceIndex`;
+* :mod:`~repro.dc.engine` — the tiled block-vectorized evidence
+  builder and the sample-then-verify discovery loop;
 * :mod:`~repro.dc.search` — minimal-cover enumeration of valid DCs;
 * :mod:`~repro.dc.bridge` — FD ↔ DC translation;
 * :mod:`~repro.dc.relax` — the end-to-end workflow with per-FD verdicts;
@@ -17,7 +20,8 @@ so that argument can be benchmarked instead of merely cited:
 """
 
 from .bridge import dc_to_fd, fd_to_dc, fds_among
-from .evidence import EvidenceSet, build_evidence_set
+from .engine import build_evidence_tiled, dc_violating_pairs, discover_dcs
+from .evidence import EvidenceIndex, EvidenceSet, build_evidence_set
 from .model import DCError, DenialConstraint, Operator, Predicate
 from .predicates import PredicateSpace, build_predicate_space
 from .relax import RelaxOutcome, RelaxReport, RelaxVerdict, discover_then_relax
@@ -36,6 +40,7 @@ __all__ = [
     "DCError",
     "DCRepairResult",
     "DenialConstraint",
+    "EvidenceIndex",
     "EvidenceSet",
     "Operator",
     "Predicate",
@@ -44,9 +49,12 @@ __all__ = [
     "RelaxReport",
     "RelaxVerdict",
     "build_evidence_set",
+    "build_evidence_tiled",
     "build_predicate_space",
     "dc_confidence",
     "dc_to_fd",
+    "dc_violating_pairs",
+    "discover_dcs",
     "discover_then_relax",
     "extend_dc_by_one",
     "fd_to_dc",

@@ -25,19 +25,191 @@ counted with multiplicities — O(m²) for m distinct rows.  ``max_pairs``
 switches to deterministic sampling so discovery stays usable on the
 benchmark relations — a standard move (the original FastDC also samples
 for its approximate variant) that we surface honestly in the result
-object.
+object.  Sampled pairs are drawn through a seeded full-period LCG
+permutation of the pair index space, so the sample is spread across the
+relation instead of concentrating on a prefix (row order *does* carry
+signal on sorted inputs).
+
+Candidate probing (``violations_of``/``is_valid``) runs on a lazily
+built :class:`EvidenceIndex` — per-predicate postings over the distinct
+masks — so each query costs a postings intersection instead of a scan
+over every distinct evidence, and repeated queries for the same mask
+are memoized.
+
+This module is the *reference* engine; :mod:`repro.dc.engine` holds the
+tiled block-vectorized builder and the sample-then-verify discovery
+loop that scale the same computation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import isqrt
+from typing import Iterator
 
 from repro.relational.relation import Relation
 
-from .model import Operator
 from .predicates import PredicateSpace
 
-__all__ = ["EvidenceSet", "build_evidence_set"]
+__all__ = ["EvidenceIndex", "EvidenceSet", "build_evidence_set"]
+
+
+class EvidenceIndex:
+    """Per-predicate postings over the distinct evidence masks.
+
+    ``masks[eid]``/``weights[eid]`` enumerate the distinct evidences in
+    deterministic (ascending mask) order.  ``postings[p]`` is the
+    posting list of predicate ``p`` — the evidence ids whose mask
+    contains ``p`` — stored as a *bitset over evidence ids* (a Python
+    bignum: bit ``eid`` set ⇔ ``p ∈ masks[eid]``), with its total
+    multiplicity precomputed in ``posting_weights``.  A candidate DC's
+    violating weight is then the weight of the intersection of its
+    predicates' postings: one C-level ``&`` chain over
+    O(distinct / 64) words plus a walk of the (typically tiny) result —
+    instead of an O(distinct) scan per probe, which is what makes the
+    mining search and the repair loops cheap on evidence-rich
+    instances.
+
+    ``probes``/``intersections`` count queries and actual intersection
+    computations (the memoization tests pin the difference).
+    """
+
+    __slots__ = (
+        "masks",
+        "weights",
+        "total_weight",
+        "num_predicates",
+        "postings",
+        "posting_weights",
+        "probes",
+        "intersections",
+        "_weights_array",
+        "_memo",
+    )
+
+    def __init__(self, counts: dict[int, int], num_predicates: int) -> None:
+        self.masks = sorted(counts)
+        self.weights = [counts[mask] for mask in self.masks]
+        self.total_weight = sum(self.weights)
+        self.num_predicates = num_predicates
+        postings = [0] * num_predicates
+        posting_weights = [0] * num_predicates
+        for eid, (mask, weight) in enumerate(zip(self.masks, self.weights)):
+            eid_bit = 1 << eid
+            probe = mask
+            while probe:
+                bit = probe & -probe
+                pred = bit.bit_length() - 1
+                postings[pred] |= eid_bit
+                posting_weights[pred] += weight
+                probe ^= bit
+        self.postings = postings
+        self.posting_weights = posting_weights
+        self.probes = 0
+        self.intersections = 0
+        self._weights_array = None
+        self._memo: dict[int, int] = {}
+
+    def _weights_numpy(self):
+        """The weights as a cached int64 array (numpy walks only)."""
+        if self._weights_array is None:
+            import numpy
+
+            self._weights_array = numpy.asarray(self.weights, dtype=numpy.int64)
+        return self._weights_array
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct evidence masks indexed."""
+        return len(self.masks)
+
+    def _intersection(self, dc_mask: int) -> int:
+        """Bitset of evidence ids containing every predicate bit."""
+        self.intersections += 1
+        inter = -1
+        probe = dc_mask
+        while probe:
+            bit = probe & -probe
+            inter &= self.postings[bit.bit_length() - 1]
+            if not inter:
+                return 0
+            probe ^= bit
+        return inter
+
+    def _intersection_weight(self, inter: int, stop_above: int | None = None) -> int:
+        """Total weight of the evidence ids set in ``inter``.
+
+        Walks the bitset bytes-wise — O(distinct/8 + result) — instead
+        of peeling bits off the bignum (which would rewrite the whole
+        integer per bit).  On the numpy backend the walk is an
+        ``unpackbits`` + masked sum.  ``stop_above`` early-exits the
+        python walk once the running total exceeds it.
+        """
+        if not inter:
+            return 0
+        num = len(self.masks)
+        data = inter.to_bytes((num + 7) // 8, "little")
+        if stop_above is None:
+            from repro.relational import kernels
+
+            if kernels.active_backend_name() == "numpy":
+                import numpy
+
+                bits = numpy.unpackbits(
+                    numpy.frombuffer(data, dtype=numpy.uint8), bitorder="little"
+                )[:num]
+                return int(self._weights_numpy()[bits.view(bool)].sum())
+        weights = self.weights
+        total = 0
+        base = 0
+        for byte in data:
+            if byte:
+                while byte:
+                    low = byte & -byte
+                    total += weights[base + low.bit_length() - 1]
+                    byte ^= low
+                if stop_above is not None and total > stop_above:
+                    return total
+            base += 8
+        return total
+
+    def violations_of(self, dc_mask: int) -> int:
+        """Weight of the evidences containing *all* of ``dc_mask``."""
+        self.probes += 1
+        if dc_mask == 0:
+            return self.total_weight
+        if dc_mask & (dc_mask - 1) == 0:  # single predicate
+            return self.posting_weights[dc_mask.bit_length() - 1]
+        return self._intersection_weight(self._intersection(dc_mask))
+
+    def is_valid(self, dc_mask: int, max_violations: int = 0) -> bool:
+        """Whether the DC holds, tolerating ``max_violations`` pairs.
+
+        The zero-tolerance case is a pure bitset emptiness test;
+        with tolerance the weight walk early-exits at the budget.
+        """
+        self.probes += 1
+        if dc_mask == 0:
+            return self.total_weight <= max_violations
+        if dc_mask & (dc_mask - 1) == 0:
+            return self.posting_weights[dc_mask.bit_length() - 1] <= max_violations
+        inter = self._intersection(dc_mask)
+        if max_violations == 0:
+            return not inter
+        weight = self._intersection_weight(inter, stop_above=max_violations)
+        return weight <= max_violations
+
+    def cached_violations(self, dc_mask: int) -> int:
+        """:meth:`violations_of`, memoized per mask.
+
+        The memo lives on the index (bounded by the masks actually
+        probed, freed with it) rather than in a process-global cache
+        that would pin dead indexes.
+        """
+        cached = self._memo.get(dc_mask)
+        if cached is None:
+            cached = self._memo[dc_mask] = self.violations_of(dc_mask)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -60,20 +232,141 @@ class EvidenceSet:
         """Number of distinct evidence masks."""
         return len(self.counts)
 
+    @property
+    def index(self) -> EvidenceIndex:
+        """The postings index over the distinct masks (built lazily)."""
+        cached = self.__dict__.get("_index")
+        if cached is None:
+            cached = EvidenceIndex(self.counts, self.space.size)
+            object.__setattr__(self, "_index", cached)
+        return cached
+
     def violations_of(self, dc_mask: int) -> int:
         """Ordered pairs that satisfy *all* predicates in ``dc_mask``.
 
-        Zero means the DC is valid (on the summarized pairs).
+        Zero means the DC is valid (on the summarized pairs).  Runs on
+        the postings index, memoized per mask.
         """
-        return sum(
-            count
-            for mask, count in self.counts.items()
-            if mask & dc_mask == dc_mask
-        )
+        return self.index.cached_violations(dc_mask)
 
     def is_valid(self, dc_mask: int, max_violations: int = 0) -> bool:
         """Whether the DC holds, tolerating ``max_violations`` pairs."""
         return self.violations_of(dc_mask) <= max_violations
+
+
+# ----------------------------------------------------------------------
+# Deterministic pair sampling
+# ----------------------------------------------------------------------
+#: Seed of the sampling permutation (fixed: sampling is deterministic).
+_SAMPLE_SEED = 0x51_7CC1_B727_220A_95
+
+
+def _decode_pair(k: int, n: int) -> tuple[int, int]:
+    """The ``k``-th unordered pair ``(i, j)``, ``i < j``, in the
+    lexicographic enumeration over ``n`` rows (exact integer math)."""
+    total = n * (n - 1) // 2
+    r = total - k  # pairs from (i, i+1) to the end, inclusive
+    q = (1 + isqrt(8 * r + 1)) // 2
+    while q * (q - 1) // 2 < r:
+        q += 1
+    while (q - 1) * (q - 2) // 2 >= r:
+        q -= 1
+    i = n - q
+    offset = i * (2 * n - i - 1) // 2  # pairs before row i
+    return i, i + 1 + (k - offset)
+
+
+def _sampled_pair_ids(total: int, budget: int) -> Iterator[int]:
+    """``min(budget, total)`` distinct pair ids, deterministically.
+
+    A full-period LCG over the next power-of-two modulus visits every
+    residue exactly once; ids beyond ``total`` are skipped (at most
+    half), yielding a seeded permutation prefix of ``range(total)`` —
+    the sample is spread across the whole pair space, so sampled
+    discovery stays unbiased on sorted inputs where a prefix of the
+    enumeration would only ever see neighbouring rows.
+    """
+    wanted = min(budget, total)
+    if wanted <= 0:
+        return
+    if wanted >= total:
+        yield from range(total)
+        return
+    modulus = 1 << max(total - 1, 1).bit_length()
+    multiplier = (0x9E37_79B9 * 4 + 1) % modulus or 1  # ≡ 1 (mod 4)
+    increment = 0x3C6E_F372_FE94_F82B % modulus | 1  # odd
+    state = _SAMPLE_SEED % modulus
+    emitted = 0
+    for _ in range(modulus):
+        state = (multiplier * state + increment) % modulus
+        if state < total:
+            yield state
+            emitted += 1
+            if emitted >= wanted:
+                return
+
+
+# ----------------------------------------------------------------------
+# Shared construction helpers (the tiled engine reuses these)
+# ----------------------------------------------------------------------
+def _attribute_tables(relation: Relation, space: PredicateSpace) -> list[tuple]:
+    """Per-attribute ``(codes, values, eq_lane, lt_lane, gt_lane,
+    ne_lane, has_order)`` tuples, in ``space.attributes`` order.
+
+    ``values`` is ``None`` for attributes without order predicates
+    (only code equality matters there).
+    """
+    lanes = space.comparison_lanes()
+    tables = []
+    for name in space.attributes:
+        eq_lane, lt_lane, gt_lane, ne_lane, has_order = lanes[name]
+        column = relation.column(name)
+        tables.append(
+            (
+                column.codes,
+                column.values() if has_order else None,
+                eq_lane,
+                lt_lane,
+                gt_lane,
+                ne_lane,
+                has_order,
+            )
+        )
+    return tables
+
+
+def _collapse_duplicates(
+    relation: Relation, attributes: tuple[str, ...]
+) -> tuple[list[int], list[int], int]:
+    """``(rep_rows, multiplicities, within_pairs)`` after collapsing
+    rows identical on every predicate-space attribute.
+
+    Representatives are sorted ascending; ``within_pairs`` counts the
+    unordered pairs *inside* duplicate classes (their evidence is the
+    all-equal lane on every attribute).
+    """
+    n = relation.num_rows
+    duplicates = relation.stripped_partition(list(attributes))
+    reps: list[tuple[int, int]] = []
+    in_class = [False] * n
+    within_pairs = 0
+    for cls_rows in duplicates:
+        size = len(cls_rows)
+        reps.append((cls_rows[0], size))
+        within_pairs += size * (size - 1) // 2
+        for row in cls_rows:
+            in_class[row] = True
+    reps.extend((row, 1) for row in range(n) if not in_class[row])
+    reps.sort()
+    return [row for row, _ in reps], [mult for _, mult in reps], within_pairs
+
+
+def _eq_all_lane(tables: list[tuple]) -> int:
+    """The evidence mask of a pair of identical rows."""
+    mask = 0
+    for table in tables:
+        mask |= table[2]
+    return mask
 
 
 def build_evidence_set(
@@ -83,81 +376,31 @@ def build_evidence_set(
 ) -> EvidenceSet:
     """Compute the evidence multiset of ``relation`` under ``space``.
 
-    ``max_pairs`` bounds the number of *unordered* pairs examined; rows
-    are taken in order (deterministic), which for our generators is
-    equivalent to random sampling because row order carries no signal.
+    ``max_pairs`` bounds the number of *unordered* pairs examined; the
+    sampled pairs are drawn through a seeded permutation of the pair
+    index space (deterministic across runs, spread across the relation).
     """
-    eq_bits: list[tuple[int, int]] = []  # (column position, bit) per EQ pred
-    masks_by_attr: dict[str, dict[Operator, int]] = {}
-    for i, pred in enumerate(space.predicates):
-        masks_by_attr.setdefault(pred.attribute, {})[pred.operator] = 1 << i
-
-    attributes = space.attributes
-    columns = {name: relation.column(name) for name in attributes}
-    code_columns = {name: columns[name].codes for name in attributes}
-    # Decoded values are needed only for order comparisons.
-    ordered_attrs = [
-        name
-        for name in attributes
-        if any(op.is_order for op in masks_by_attr[name])
-    ]
-    value_columns = {name: columns[name].values() for name in ordered_attrs}
+    tables = _attribute_tables(relation, space)
 
     n = relation.num_rows
     counts: dict[int, int] = {}
-    pairs_done = 0
-    sampled = False
     total_unordered = n * (n - 1) // 2
     budget = max_pairs if max_pairs is not None else total_unordered
 
-    # Precompute per-attribute forward/backward bit tables so the inner
-    # loop is a few dict-free integer ops per attribute.
-    tables = []
-    for name in attributes:
-        ops = masks_by_attr[name]
-        eq_bit = ops.get(Operator.EQ, 0)
-        ne_bit = ops.get(Operator.NE, 0)
-        lt_bit = ops.get(Operator.LT, 0)
-        le_bit = ops.get(Operator.LE, 0)
-        gt_bit = ops.get(Operator.GT, 0)
-        ge_bit = ops.get(Operator.GE, 0)
-        has_order = name in value_columns
-        tables.append(
-            (
-                code_columns[name],
-                value_columns.get(name),
-                eq_bit | le_bit | ge_bit,          # mask when t.A = s.A
-                ne_bit | lt_bit | le_bit,          # forward mask when t.A < s.A
-                ne_bit | gt_bit | ge_bit,          # forward mask when t.A > s.A
-                has_order,
-                ne_bit,
-            )
-        )
-
-    if budget >= total_unordered and attributes:
+    if budget >= total_unordered and space.attributes:
         # Full enumeration: collapse duplicate rows.  Rows in the same
         # class of the all-attribute partition carry identical codes
         # (hence identical decoded values), so every pair involving
         # them is counted once per representative, with multiplicity.
-        duplicates = relation.stripped_partition(list(attributes))
-        eq_all = 0
-        for table in tables:
-            eq_all |= table[2]
-        reps: list[tuple[int, int]] = []  # (representative row, class size)
-        in_class = [False] * n
-        within_pairs = 0
-        for cls_rows in duplicates:
-            size = len(cls_rows)
-            reps.append((cls_rows[0], size))
-            within_pairs += size * (size - 1) // 2
-            for row in cls_rows:
-                in_class[row] = True
-        reps.extend((row, 1) for row in range(n) if not in_class[row])
-        reps.sort()
+        rep_rows, mults, within_pairs = _collapse_duplicates(
+            relation, space.attributes
+        )
         if within_pairs:
             # Both directions of an identical pair satisfy exactly the
             # equality-compatible predicates on every attribute.
+            eq_all = _eq_all_lane(tables)
             counts[eq_all] = counts.get(eq_all, 0) + 2 * within_pairs
+        reps = list(zip(rep_rows, mults))
         if _vectorizable(space, tables):
             _pairwise_masks_vectorized(tables, reps, counts)
         else:
@@ -169,39 +412,34 @@ def build_evidence_set(
             sampled=False,
         )
 
-    done = False
-    for i in range(n):  # sampled path: plain pair loop under a budget
-        if done:
-            break
-        for j in range(i + 1, n):
-            if pairs_done >= budget:
-                sampled = pairs_done < total_unordered
-                done = True
-                break
-            forward = 0
-            backward = 0
-            for codes, values, eq_mask, lt_mask, gt_mask, has_order, ne_bit in tables:
-                if codes[i] == codes[j]:
-                    forward |= eq_mask
-                    backward |= eq_mask
-                elif has_order:
-                    if values[i] < values[j]:
-                        forward |= lt_mask
-                        backward |= gt_mask
-                    else:
-                        forward |= gt_mask
-                        backward |= lt_mask
+    pairs_done = 0  # sampled path: permuted pair ids under a budget
+    for k in _sampled_pair_ids(total_unordered, budget):
+        i, j = _decode_pair(k, n)
+        forward = 0
+        backward = 0
+        for codes, values, eq_lane, lt_lane, gt_lane, ne_lane, has_order in tables:
+            if codes[i] == codes[j]:
+                forward |= eq_lane
+                backward |= eq_lane
+            elif has_order:
+                left, right = values[i], values[j]
+                if left is not None and right is not None and left < right:
+                    forward |= lt_lane
+                    backward |= gt_lane
                 else:
-                    forward |= ne_bit
-                    backward |= ne_bit
-            counts[forward] = counts.get(forward, 0) + 1
-            counts[backward] = counts.get(backward, 0) + 1
-            pairs_done += 1
+                    forward |= gt_lane
+                    backward |= lt_lane
+            else:
+                forward |= ne_lane
+                backward |= ne_lane
+        counts[forward] = counts.get(forward, 0) + 1
+        counts[backward] = counts.get(backward, 0) + 1
+        pairs_done += 1
     return EvidenceSet(
         space=space,
         counts=counts,
         total_pairs=2 * pairs_done,
-        sampled=sampled,
+        sampled=pairs_done < total_unordered,
     )
 
 
@@ -210,42 +448,46 @@ def _pairwise_masks_reference(
     reps: list[tuple[int, int]],
     counts: dict[int, int],
 ) -> None:
-    """The reference pair loop: one mask pair per representative pair."""
+    """The reference pair loop: one mask pair per representative pair.
+
+    Order comparisons involving NULL or NaN fall into the ``gt`` lane
+    exactly as a direct ``<`` evaluates them (always false) — the same
+    three-way semantics the block kernels implement.
+    """
     for a in range(len(reps)):
         i, mult_i = reps[a]
         for b in range(a + 1, len(reps)):
             j, mult_j = reps[b]
             forward = 0
             backward = 0
-            for codes, values, eq_mask, lt_mask, gt_mask, has_order, ne_bit in tables:
+            for codes, values, eq_lane, lt_lane, gt_lane, ne_lane, has_order in tables:
                 if codes[i] == codes[j]:
-                    forward |= eq_mask
-                    backward |= eq_mask
+                    forward |= eq_lane
+                    backward |= eq_lane
                 elif has_order:
-                    if values[i] < values[j]:
-                        forward |= lt_mask
-                        backward |= gt_mask
+                    left, right = values[i], values[j]
+                    if left is not None and right is not None and left < right:
+                        forward |= lt_lane
+                        backward |= gt_lane
                     else:
-                        forward |= gt_mask
-                        backward |= lt_mask
+                        forward |= gt_lane
+                        backward |= lt_lane
                 else:
-                    forward |= ne_bit
-                    backward |= ne_bit
+                    forward |= ne_lane
+                    backward |= ne_lane
             weight = mult_i * mult_j
             counts[forward] = counts.get(forward, 0) + weight
             counts[backward] = counts.get(backward, 0) + weight
 
 
 def _vectorizable(space: PredicateSpace, tables: list) -> bool:
-    """Whether the numpy pairwise sweep applies.
+    """Whether the legacy single-word numpy pairwise sweep applies.
 
     Requires the numpy backend to be active, evidence masks that fit in
     a signed 64-bit lane, and NULL- and NaN-free columns under every
-    order predicate: ranks are undefined against NULL, and a rank
-    total-orders NaN where the reference's direct ``<`` comparisons
-    are always false.  The space builder never emits order predicates
-    on nullable columns, so the guards mostly cover hand-built spaces
-    and NaN-bearing float columns.
+    order predicate (the rank comparison used here would total-order
+    them).  The tiled engine (:mod:`repro.dc.engine`) has none of these
+    restrictions — this path survives as the property-test oracle.
     """
     from repro.relational import kernels
 
@@ -253,7 +495,7 @@ def _vectorizable(space: PredicateSpace, tables: list) -> bool:
         return False
     if space.size > 62:
         return False
-    for codes, values, _eq, _lt, _gt, has_order, _ne in tables:
+    for codes, values, _eq, _lt, _gt, _ne, has_order in tables:
         if not has_order:
             continue
         if any(code < 0 for code in codes):
@@ -285,10 +527,10 @@ def _pairwise_masks_vectorized(
     rep_rows = np.asarray([row for row, _mult in reps], dtype=np.int64)
     mults = np.asarray([mult for _row, mult in reps], dtype=np.int64)
     attr_tables = []
-    for codes, values, eq_mask, lt_mask, gt_mask, has_order, ne_bit in tables:
+    for codes, values, eq_lane, lt_lane, gt_lane, ne_lane, _has_order in tables:
         rep_codes = np.asarray(codes, dtype=np.int64)[rep_rows]
         rep_ranks = None
-        if has_order:
+        if values is not None:
             # Rank distinct values by the exact Python order (no float
             # round-trip), then compare ranks instead of values.
             distinct = sorted(set(values[int(row)] for row in rep_rows))
@@ -296,19 +538,19 @@ def _pairwise_masks_vectorized(
             rep_ranks = np.asarray(
                 [rank_of[values[int(row)]] for row in rep_rows], dtype=np.int64
             )
-        attr_tables.append((rep_codes, rep_ranks, eq_mask, lt_mask, gt_mask, ne_bit))
+        attr_tables.append((rep_codes, rep_ranks, eq_lane, lt_lane, gt_lane, ne_lane))
     for i in range(m - 1):
         tail = slice(i + 1, m)
         forward = np.zeros(m - i - 1, dtype=np.int64)
         backward = np.zeros(m - i - 1, dtype=np.int64)
-        for rep_codes, rep_ranks, eq_mask, lt_mask, gt_mask, ne_bit in attr_tables:
+        for rep_codes, rep_ranks, eq_lane, lt_lane, gt_lane, ne_lane in attr_tables:
             equal = rep_codes[tail] == rep_codes[i]
             if rep_ranks is not None:
                 less = rep_ranks[i] < rep_ranks[tail]  # values[i] < values[j]
-                forward |= np.where(equal, eq_mask, np.where(less, lt_mask, gt_mask))
-                backward |= np.where(equal, eq_mask, np.where(less, gt_mask, lt_mask))
+                forward |= np.where(equal, eq_lane, np.where(less, lt_lane, gt_lane))
+                backward |= np.where(equal, eq_lane, np.where(less, gt_lane, lt_lane))
             else:
-                word = np.where(equal, eq_mask, ne_bit)
+                word = np.where(equal, eq_lane, ne_lane)
                 forward |= word
                 backward |= word
         weights = mults[i] * mults[tail]

@@ -81,6 +81,45 @@ class PredicateSpace:
             pred for i, pred in enumerate(self.predicates) if mask >> i & 1
         )
 
+    def comparison_lanes(self) -> dict[str, tuple[int, int, int, int, bool]]:
+        """Per attribute, the evidence bits of each three-way outcome.
+
+        Evidence construction classifies every pair into one of three
+        *lanes* per attribute — ``t.A = s.A``, ``t.A < s.A`` or
+        ``t.A > s.A`` — and each lane satisfies a fixed subset of the
+        attribute's predicates.  Returns, per attribute,
+        ``(eq_lane, lt_lane, gt_lane, ne_lane, has_order)``:
+
+        * ``eq_lane`` — bits satisfied when the values are equal
+          (``=``, ``≤``, ``≥``);
+        * ``lt_lane`` / ``gt_lane`` — bits satisfied when the left
+          value is strictly smaller / larger (``≠`` plus the matching
+          strict and non-strict order bits);
+        * ``ne_lane`` — the bits for unordered attributes' "different"
+          lane (just ``≠``);
+        * ``has_order`` — whether any order predicate is in the space
+          (when false only the ``eq``/``ne`` lanes can occur).
+        """
+        by_attr: dict[str, dict[Operator, int]] = {}
+        for i, pred in enumerate(self.predicates):
+            by_attr.setdefault(pred.attribute, {})[pred.operator] = 1 << i
+        lanes: dict[str, tuple[int, int, int, int, bool]] = {}
+        for attribute, ops in by_attr.items():
+            eq_bit = ops.get(Operator.EQ, 0)
+            ne_bit = ops.get(Operator.NE, 0)
+            lt_bit = ops.get(Operator.LT, 0)
+            le_bit = ops.get(Operator.LE, 0)
+            gt_bit = ops.get(Operator.GT, 0)
+            ge_bit = ops.get(Operator.GE, 0)
+            lanes[attribute] = (
+                eq_bit | le_bit | ge_bit,
+                ne_bit | lt_bit | le_bit,
+                ne_bit | gt_bit | ge_bit,
+                ne_bit,
+                any(op.is_order for op in ops),
+            )
+        return lanes
+
     def equality(self, attribute: str) -> Predicate:
         """The ``t.A = s.A`` predicate (KeyError if not in the space)."""
         pred = Predicate(attribute, Operator.EQ)

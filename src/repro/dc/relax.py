@@ -37,9 +37,9 @@ from repro.fd.measures import assess
 from repro.relational.relation import Relation
 
 from .bridge import fds_among
-from .evidence import build_evidence_set
+from .engine import discover_dcs
 from .predicates import build_predicate_space
-from .search import DCDiscoveryResult, mine_denial_constraints
+from .search import DCDiscoveryResult
 
 __all__ = ["RelaxOutcome", "RelaxVerdict", "RelaxReport", "discover_then_relax"]
 
@@ -110,6 +110,7 @@ def discover_then_relax(
     max_pairs: int | None = 200_000,
     order_predicates: bool = False,
     max_constraints: int | None = None,
+    engine: str = "tiled",
 ) -> RelaxReport:
     """Run the [16]-style workflow against ``designer_fds``.
 
@@ -119,15 +120,24 @@ def discover_then_relax(
     another structural handicap the report makes visible).
     ``order_predicates=False`` keeps the space to the FD fragment,
     which is the generous setting for the comparison: order predicates
-    only blow the space up further.
+    only blow the space up further.  ``engine`` selects the discovery
+    path: ``"tiled"`` (default) runs sample-then-verify with
+    ``max_pairs`` as the sample budget — exact results without full
+    evidence construction; ``"reference"`` is the legacy one-shot
+    enumeration where ``max_pairs`` truncates honestly-flagged
+    sampling.
     """
     report = RelaxReport()
 
     start = time.perf_counter()
     space = build_predicate_space(relation, order_predicates=order_predicates)
-    evidence = build_evidence_set(relation, space, max_pairs=max_pairs)
-    discovery = mine_denial_constraints(
-        evidence, max_size=max_size, max_constraints=max_constraints
+    discovery = discover_dcs(
+        relation,
+        space,
+        engine=engine,
+        max_size=max_size,
+        max_constraints=max_constraints,
+        sample_pairs=max_pairs,
     )
     report.discovery = discovery
     report.mined_fds = fds_among(discovery.constraints)

@@ -118,6 +118,7 @@ def extend_dc_by_one(
     """
     base = base or dc
     space = evidence.space
+    index = evidence.index
     dc_mask = space.mask_of(dc.predicates)
     violating = evidence.violations_of(dc_mask)
     base_set = set(base.predicates)
@@ -137,13 +138,10 @@ def extend_dc_by_one(
         # the UNIQUE-attribute pathology of §3.  `collateral` counts the
         # pairs the predicate exempts beyond the violations it had to
         # fix; a surgical predicate scores ≈ 0, a trivializing one
-        # scores ≈ all pairs.
-        pred_bit = 1 << space.index_of(pred)
-        exempts_total = sum(
-            count
-            for mask, count in evidence.counts.items()
-            if not mask & pred_bit
-        )
+        # scores ≈ all pairs.  The exempted weight is the complement of
+        # the predicate's posting list — O(1) off the index.
+        pred_id = space.index_of(pred)
+        exempts_total = index.total_weight - index.posting_weights[pred_id]
         needed = violating - still_violating
         collateral = exempts_total - needed
         confidence = (

@@ -81,8 +81,11 @@ def mine_denial_constraints(
 
     # An evidence is "hit" by predicate p when p ∉ e. With tolerance,
     # evidences whose total multiplicity can be absorbed by the budget
-    # participate in a weighted variant handled below.
-    evidences = sorted(evidence.counts.items(), key=lambda kv: -kv[1])
+    # participate in a weighted variant handled below.  All weight
+    # queries run on the postings index: a candidate's violating weight
+    # is the intersection of its predicates' postings (O(k · smallest
+    # posting)), not a scan over every distinct evidence.
+    index = evidence.index
     full_mask = (1 << num_preds) - 1
 
     # Per-predicate conflict masks: bits of predicates that cannot
@@ -101,13 +104,14 @@ def mine_denial_constraints(
         return any(prev & mask == prev for prev in found_masks)
 
     def violating_weight(dc_mask: int) -> int:
-        return sum(count for e, count in evidences if e & dc_mask == dc_mask)
+        return index.violations_of(dc_mask)
 
     def search(chosen_mask: int, chosen_count: int, start_pred: int) -> None:
         if max_constraints is not None and len(found_masks) >= max_constraints:
             return
         result.branches_explored += 1
-        if chosen_count and violating_weight(chosen_mask) <= max_violations:
+        chosen_weight = violating_weight(chosen_mask) if chosen_count else None
+        if chosen_count and chosen_weight <= max_violations:
             if not already_covered(chosen_mask):
                 # Check proper subsets: drop any predicate and the DC
                 # must become invalid, else the candidate is non-minimal.
@@ -141,16 +145,14 @@ def mine_denial_constraints(
             if not (banned >> p) & 1
         ]
         # Branch order: predicates hitting the most currently-violating
-        # weight first (steepest descent toward validity).
-        still = [
-            (e, count)
-            for e, count in evidences
-            if e & chosen_mask == chosen_mask
-        ]
+        # weight first (steepest descent toward validity).  p's hit
+        # weight is exactly the violating weight its addition removes.
+        still_weight = (
+            chosen_weight if chosen_weight is not None else violating_weight(0)
+        )
 
         def coverage(p: int) -> int:
-            bit = 1 << p
-            return sum(count for e, count in still if not e & bit)
+            return still_weight - violating_weight(chosen_mask | (1 << p))
 
         # NOTE: a predicate is *useful* only if adding it removes some
         # violating weight; useless predicates can never make a minimal DC.

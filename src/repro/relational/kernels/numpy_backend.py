@@ -954,6 +954,475 @@ def conditional_entropy_pair(target, given) -> tuple[float, float, int]:
 
 
 # ----------------------------------------------------------------------
+# Evidence masks (the DC engine's pair kernels)
+# ----------------------------------------------------------------------
+#: Bits per evidence word; evidence masks wider than one word are kept
+#: as tuples of int64 lanes and reassembled into Python ints only at
+#: aggregation time (distinct masks are few).
+EVIDENCE_WORD_BITS = 62
+_WORD_MASK = (1 << EVIDENCE_WORD_BITS) - 1
+
+EVIDENCE_OPS = python_backend.EVIDENCE_OPS
+
+#: Cap on pairs evaluated per vectorized chunk: bounds the block
+#: kernels' peak memory at O(chunk · words) regardless of tile size.
+_EVIDENCE_CHUNK = 1 << 21
+
+#: Largest mixed-radix state space aggregated via ``np.bincount``.
+#: Each attribute contributes a factor 3 (ordered) or 2 (unordered);
+#: beyond the cap the sweep falls back to sorting mask words.
+_COMBO_LIMIT = 1 << 22
+
+
+def _mask_words(mask: int, num_words: int) -> list[int]:
+    return [
+        (mask >> (EVIDENCE_WORD_BITS * word)) & _WORD_MASK
+        for word in range(num_words)
+    ]
+
+
+def evidence_specs(
+    attr_tables: Sequence[tuple],
+    rows: Sequence[int],
+    mults: Sequence[int],
+    num_predicates: int,
+) -> dict:
+    """Precompute per-attribute pair-evaluation state for the block
+    kernels (same contract as the reference backend).
+
+    Ordered attributes are ranked by the exact Python order of their
+    distinct comparable values; NULL and NaN rows carry a ``valid``
+    flag instead of a rank — the block kernels route such pairs into
+    the ``gt`` lane, matching a direct ``<`` comparison (always false).
+    """
+    rows_arr = _rows_array(rows)
+    num_words = max(1, -(-num_predicates // EVIDENCE_WORD_BITS))
+    attrs = []
+    for codes, values, eq_lane, lt_lane, gt_lane, ne_lane, has_order in attr_tables:
+        rep_codes = _as_array(codes)[rows_arr] if rows_arr.size else _as_array([])
+        ranks = None
+        valid = None
+        if has_order:
+            rep_values = [values[int(row)] for row in rows_arr.tolist()]
+            flags = [
+                value is not None and value == value for value in rep_values
+            ]
+            comparable = sorted(
+                {value for value, ok in zip(rep_values, flags) if ok}
+            )
+            rank_of = {value: rank for rank, value in enumerate(comparable)}
+            ranks = np.asarray(
+                [rank_of[v] if ok else 0 for v, ok in zip(rep_values, flags)],
+                dtype=_INT,
+            )
+            valid = np.asarray(flags, dtype=bool)
+        lanes = []
+        for word in range(num_words):
+            lanes.append(
+                tuple(
+                    np.int64(w)
+                    for w in (
+                        _mask_words(eq_lane, num_words)[word],
+                        _mask_words(lt_lane, num_words)[word],
+                        _mask_words(gt_lane, num_words)[word],
+                        _mask_words(ne_lane, num_words)[word],
+                    )
+                )
+            )
+        touched = [
+            word for word, lane in enumerate(lanes) if any(int(w) for w in lane)
+        ]
+        attrs.append((rep_codes, ranks, valid, lanes, touched))
+    # The per-pair evidence mask is a pure function of the per-attribute
+    # three-way state, so pairs can be aggregated as mixed-radix state
+    # combos (one np.bincount, no sort) and each distinct combo decoded
+    # to its forward/backward masks once — as long as the state space
+    # stays enumerable.
+    radixes = [
+        3 if has_order else 2
+        for _codes, _values, _eq, _lt, _gt, _ne, has_order in attr_tables
+    ]
+    combo_size = 1
+    for radix in radixes:
+        combo_size *= radix
+        if combo_size > _COMBO_LIMIT:
+            combo_size = None
+            break
+    return {
+        "attrs": attrs,
+        "mults": np.asarray(list(mults), dtype=_INT),
+        "m": int(rows_arr.size),
+        "num_words": num_words,
+        "radixes": radixes,
+        "combo_size": combo_size,
+    }
+
+
+def _combo_luts(specs: dict) -> list:
+    """Per attribute, per touched word: state → word-lane lookup tables
+    for both pair directions (built once per spec)."""
+    luts = specs.get("combo_luts")
+    if luts is None:
+        luts = []
+        for attr, radix in zip(specs["attrs"], specs["radixes"]):
+            lanes, touched = attr[3], attr[4]
+            per_word = []
+            for word in touched:
+                eq_lane, lt_lane, gt_lane, ne_lane = lanes[word]
+                if radix == 2:
+                    fwd = bwd = np.asarray([eq_lane, ne_lane], dtype=_INT)
+                else:
+                    fwd = np.asarray([eq_lane, lt_lane, gt_lane], dtype=_INT)
+                    bwd = np.asarray([eq_lane, gt_lane, lt_lane], dtype=_INT)
+                per_word.append((word, fwd, bwd))
+            luts.append(per_word)
+        specs["combo_luts"] = luts
+    return luts
+
+
+def _accumulate_combos(
+    specs: dict, combos: np.ndarray, weights: np.ndarray, counts: dict[int, int]
+) -> None:
+    """Weighted combo histogram → mask counts (both directions).
+
+    ``np.bincount`` sums int64 weights exactly while they stay under
+    2⁵³ (they do: bounded by ordered pair counts).  The distinct combos
+    are decoded vectorized — digit extraction by array divmod, word
+    lanes by tiny lookup-table gathers — with Python touched only to
+    splice multi-word lanes into bignum masks.
+    """
+    sums = np.bincount(combos, weights=weights.astype(np.float64, copy=False))
+    nonzero = np.flatnonzero(sums)
+    if nonzero.size == 0:
+        return
+    group_weights = sums[nonzero].tolist()
+    num_words = specs["num_words"]
+    forward = [np.zeros(nonzero.size, dtype=_INT) for _ in range(num_words)]
+    backward = [np.zeros(nonzero.size, dtype=_INT) for _ in range(num_words)]
+    remainder = nonzero.copy()
+    luts = _combo_luts(specs)
+    for attr_index in reversed(range(len(luts))):
+        radix = specs["radixes"][attr_index]
+        digits = remainder % radix
+        remainder //= radix
+        for word, fwd_lut, bwd_lut in luts[attr_index]:
+            forward[word] |= fwd_lut[digits]
+            backward[word] |= bwd_lut[digits]
+    if num_words == 1:
+        fwd_masks = forward[0].tolist()
+        bwd_masks = backward[0].tolist()
+    else:
+        fwd_columns = [word.tolist() for word in forward]
+        bwd_columns = [word.tolist() for word in backward]
+        fwd_masks = []
+        bwd_masks = []
+        for group in range(nonzero.size):
+            mask = 0
+            for word in range(num_words):
+                mask |= fwd_columns[word][group] << (EVIDENCE_WORD_BITS * word)
+            fwd_masks.append(mask)
+            mask = 0
+            for word in range(num_words):
+                mask |= bwd_columns[word][group] << (EVIDENCE_WORD_BITS * word)
+            bwd_masks.append(mask)
+    for fwd_mask, bwd_mask, weight in zip(fwd_masks, bwd_masks, group_weights):
+        weight = int(weight)
+        counts[fwd_mask] = counts.get(fwd_mask, 0) + weight
+        counts[bwd_mask] = counts.get(bwd_mask, 0) + weight
+
+
+def _blocks(m: int, tile: int):
+    """Yield ``(a, b, jlo, jhi, diagonal)`` row-stripe × column-block
+    rectangles covering every pair ``i < j`` exactly once; each
+    rectangle holds ≤ the chunk cap pairs.  Diagonal rectangles start
+    their columns at the stripe's first row, so only the small
+    per-stripe triangle is wasted eval (masked out by the caller)."""
+    for ilo in range(0, m, tile):
+        ihi = min(ilo + tile, m)
+        for jlo in range(ilo, m, tile):
+            jhi = min(jlo + tile, m)
+            if jlo == ilo:
+                a = ilo
+                while a < ihi:
+                    width = jhi - a
+                    stripe = max(1, _EVIDENCE_CHUNK // max(width, 1))
+                    b = min(a + stripe, ihi)
+                    yield a, b, a, jhi, True
+                    a = b
+            else:
+                width = jhi - jlo
+                stripe = max(1, _EVIDENCE_CHUNK // max(width, 1))
+                for a in range(ilo, ihi, stripe):
+                    b = min(a + stripe, ihi)
+                    yield a, b, jlo, jhi, False
+
+
+def _pair_lanes(attr, lefts: np.ndarray, rights: np.ndarray):
+    """Three-way classification arrays ``(equal, less)`` for explicit
+    position pairs.
+
+    ``less`` is ``None`` for unordered attributes; the third state
+    (left larger / incomparable) is the complement of the two.
+    """
+    rep_codes, ranks, valid, _lanes, _touched = attr
+    equal = rep_codes[lefts] == rep_codes[rights]
+    if ranks is None:
+        return equal, None
+    less = valid[lefts] & valid[rights] & (ranks[lefts] < ranks[rights])
+    return equal, less
+
+
+def _lanes_block(attr, a: int, b: int, jlo: int, jhi: int):
+    """Broadcast three-way classification over a block rectangle.
+
+    Slices are contiguous views, so per-attribute work is one
+    vectorized comparison — no gather arrays.  Equal codes imply equal
+    ranks and NULL/NaN rows are never ``valid``, so ``less`` is false
+    exactly where the reference's ``<`` is.
+    """
+    rep_codes, ranks, valid, _lanes, _touched = attr
+    equal = rep_codes[a:b, None] == rep_codes[None, jlo:jhi]
+    if ranks is None:
+        return equal, None
+    less = (valid[a:b, None] & valid[None, jlo:jhi]) & (
+        ranks[a:b, None] < ranks[None, jlo:jhi]
+    )
+    return equal, less
+
+
+def _accumulate_words(
+    words: list[np.ndarray], weights: np.ndarray, counts: dict[int, int]
+) -> None:
+    """Aggregate per-pair mask words into ``{python int mask: weight}``."""
+    perm, change = _sorted_key_change(words)
+    starts = np.flatnonzero(change)
+    sums = np.add.reduceat(weights[perm], starts)
+    firsts = perm[starts]
+    columns = [word[firsts].tolist() for word in words]
+    for gid, weight in enumerate(sums.tolist()):
+        if not weight:  # masked-out pairs (zeroed diagonal weights)
+            continue
+        mask = 0
+        for word, column in enumerate(columns):
+            mask |= column[gid] << (EVIDENCE_WORD_BITS * word)
+        counts[mask] = counts.get(mask, 0) + weight
+
+
+def _fold_chunk(
+    specs: dict,
+    lefts: np.ndarray,
+    rights: np.ndarray,
+    counts: dict[int, int],
+) -> None:
+    mults = specs["mults"]
+    weights = mults[lefts] * mults[rights]
+    if specs["combo_size"] is not None:
+        combos = None
+        for attr, radix in zip(specs["attrs"], specs["radixes"]):
+            equal, less = _pair_lanes(attr, lefts, rights)
+            state = _state_of(equal, less)
+            if combos is None:
+                combos = state
+            else:
+                combos *= radix
+                combos += state
+        _accumulate_combos(specs, combos, weights, counts)
+        return
+    num_words = specs["num_words"]
+    size = lefts.size
+    forward = [np.zeros(size, dtype=_INT) for _ in range(num_words)]
+    backward = [np.zeros(size, dtype=_INT) for _ in range(num_words)]
+    for attr in specs["attrs"]:
+        equal, less = _pair_lanes(attr, lefts, rights)
+        lanes, touched = attr[3], attr[4]
+        for word in touched:
+            eq_lane, lt_lane, gt_lane, ne_lane = lanes[word]
+            if less is None:
+                contribution = np.where(equal, eq_lane, ne_lane)
+                forward[word] |= contribution
+                backward[word] |= contribution
+            else:
+                forward[word] |= np.where(
+                    equal, eq_lane, np.where(less, lt_lane, gt_lane)
+                )
+                backward[word] |= np.where(
+                    equal, eq_lane, np.where(less, gt_lane, lt_lane)
+                )
+    _accumulate_words(forward, weights, counts)
+    _accumulate_words(backward, weights, counts)
+
+
+def _state_of(equal: np.ndarray, less: np.ndarray | None) -> np.ndarray:
+    """Three-way state per pair: 0 equal, 1 left-smaller, 2 otherwise
+    (for unordered attributes: 0 equal, 1 different)."""
+    if less is None:
+        return (~equal).astype(_INT)
+    return (~equal).astype(_INT) * 2 - less.astype(_INT)
+
+
+def _fold_block(
+    specs: dict,
+    a: int,
+    b: int,
+    jlo: int,
+    jhi: int,
+    diagonal: bool,
+    counts: dict[int, int],
+) -> None:
+    """Broadcast-evaluate one block rectangle and aggregate its masks.
+
+    With an enumerable state space the rectangle reduces to a weighted
+    ``np.bincount`` over mixed-radix state combos (no sort, masks of
+    any width decoded per distinct combo); otherwise evidence words are
+    materialized per pair and aggregated by lexsort.
+    """
+    mults = specs["mults"]
+    weights = mults[a:b, None] * mults[None, jlo:jhi]
+    if diagonal:
+        # Zero out the lower-triangle weights: the pairs contribute
+        # nothing, with no gather needed.
+        weights = weights * (
+            np.arange(a, b, dtype=_INT)[:, None] < np.arange(jlo, jhi, dtype=_INT)
+        )
+    if specs["combo_size"] is not None:
+        combos = None
+        for attr, radix in zip(specs["attrs"], specs["radixes"]):
+            equal, less = _lanes_block(attr, a, b, jlo, jhi)
+            state = _state_of(equal, less)
+            if combos is None:
+                combos = state
+            else:
+                combos *= radix
+                combos += state
+        _accumulate_combos(specs, combos.ravel(), weights.ravel(), counts)
+        return
+    num_words = specs["num_words"]
+    shape = (b - a, jhi - jlo)
+    forward = [np.zeros(shape, dtype=_INT) for _ in range(num_words)]
+    backward = [np.zeros(shape, dtype=_INT) for _ in range(num_words)]
+    for attr in specs["attrs"]:
+        equal, less = _lanes_block(attr, a, b, jlo, jhi)
+        lanes, touched = attr[3], attr[4]
+        for word in touched:
+            eq_lane, lt_lane, gt_lane, ne_lane = lanes[word]
+            if less is None:
+                contribution = np.where(equal, eq_lane, ne_lane)
+                forward[word] |= contribution
+                backward[word] |= contribution
+            else:
+                forward[word] |= np.where(
+                    equal, eq_lane, np.where(less, lt_lane, gt_lane)
+                )
+                backward[word] |= np.where(
+                    equal, eq_lane, np.where(less, gt_lane, lt_lane)
+                )
+    flat_forward = [word.ravel() for word in forward]
+    flat_backward = [word.ravel() for word in backward]
+    flat_weights = weights.ravel()
+    _accumulate_words(flat_forward, flat_weights, counts)
+    _accumulate_words(flat_backward, flat_weights, counts)
+
+
+def evidence_sweep(specs: dict, tile: int, counts: dict[int, int]) -> None:
+    """Fold the evidence of every unordered pair (both directions) into
+    ``counts``, one broadcast block rectangle at a time."""
+    m = specs["m"]
+    if m < 2:
+        return
+    for a, b, jlo, jhi, diagonal in _blocks(m, tile):
+        _fold_block(specs, a, b, jlo, jhi, diagonal, counts)
+
+
+def evidence_pairs_into(
+    specs: dict,
+    lefts: Sequence[int],
+    rights: Sequence[int],
+    counts: dict[int, int],
+) -> None:
+    """Fold the evidence of explicit position pairs into ``counts``."""
+    lefts_arr = _rows_array(lefts)
+    rights_arr = _rows_array(rights)
+    if lefts_arr.size == 0:
+        return
+    for start in range(0, int(lefts_arr.size), _EVIDENCE_CHUNK):
+        stop = start + _EVIDENCE_CHUNK
+        _fold_chunk(specs, lefts_arr[start:stop], rights_arr[start:stop], counts)
+
+
+def dc_scan(
+    specs: dict,
+    pred_ops: Sequence[tuple[int, int]],
+    tile: int,
+    max_hits: int | None,
+) -> tuple[int, list[tuple[int, int]]]:
+    """Violations of one DC over every pair, chunk-wise with early exit.
+
+    Only the DC's own attributes are classified, so verification costs
+    O(pairs · |DC attrs| / SIMD) regardless of the predicate space.
+    Returns ``(violating ordered weight seen, ordered hit pairs)``;
+    scanning stops at the first chunk that fills ``max_hits``.
+    """
+    m = specs["m"]
+    mults = specs["mults"]
+    attrs = specs["attrs"]
+    used = sorted(set(pos for pos, _op in pred_ops))
+    weight_seen = 0
+    hits: list[tuple[int, int]] = []
+    if m < 2:
+        return 0, []
+    for a, b, jlo, jhi, diagonal in _blocks(m, tile):
+        width = jhi - jlo
+        lanes = {pos: _lanes_block(attrs[pos], a, b, jlo, jhi) for pos in used}
+        tri = (
+            np.arange(a, b, dtype=_INT)[:, None] < np.arange(jlo, jhi, dtype=_INT)
+            if diagonal
+            else None
+        )
+        weights = None
+        for direction in ("fwd", "bwd"):
+            sat = tri.copy() if tri is not None else np.ones((b - a, width), dtype=bool)
+            for pos, op in pred_ops:
+                equal, less = lanes[pos]
+                if less is None:
+                    greater = None
+                else:
+                    greater = ~equal & ~less
+                if direction == "bwd" and less is not None:
+                    less, greater = greater, less
+                if op == 0:  # =
+                    sat &= equal
+                elif op == 1:  # !=
+                    sat &= ~equal
+                elif op == 2:  # <
+                    sat &= less
+                elif op == 3:  # <=
+                    sat &= equal | less
+                elif op == 4:  # >
+                    sat &= greater
+                else:  # >=
+                    sat &= equal | greater
+                if not sat.any():
+                    break
+            positions = np.flatnonzero(sat.ravel())
+            if positions.size == 0:
+                continue
+            if weights is None:
+                weights = (mults[a:b, None] * mults[None, jlo:jhi]).ravel()
+            weight_seen += int(weights[positions].sum())
+            left_rows = (a + positions // width).tolist()
+            right_rows = (jlo + positions % width).tolist()
+            pairs = (
+                zip(left_rows, right_rows)
+                if direction == "fwd"
+                else zip(right_rows, left_rows)
+            )
+            hits.extend(pairs)
+        if max_hits is not None and len(hits) >= max_hits:
+            return weight_seen, hits[:max_hits]
+    return weight_seen, hits
+
+
+# ----------------------------------------------------------------------
 # Violating-pair counting
 # ----------------------------------------------------------------------
 def count_violating_pairs(x_partition, y_columns: Sequence[Sequence[int]]) -> int:

@@ -458,6 +458,188 @@ def hash_join_index(
 
 
 # ----------------------------------------------------------------------
+# Evidence masks (the DC engine's pair kernels)
+# ----------------------------------------------------------------------
+# Pair evaluation is a three-way classification per attribute — equal,
+# left-smaller, left-larger — and each outcome contributes a fixed
+# *lane* of predicate bits to the pair's evidence mask.  NULL and NaN
+# are order-incomparable: any order comparison involving them is false,
+# so such pairs fall into the ``gt`` lane exactly as a direct ``<``
+# evaluates them.  Masks are plain Python ints here (the native bignum
+# is this backend's multi-word representation); the numpy backend
+# splits the same masks into 62-bit int64 words.
+
+#: Opcode order mirrors ``repro.dc.model.Operator`` without importing
+#: it (kernels stay dc-free): EQ, NE, LT, LE, GT, GE.
+EVIDENCE_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Satisfaction of each opcode per forward three-way state
+#: (0 = equal, 1 = left smaller, 2 = left larger).
+_OP_SAT = (
+    (True, False, False),  # =
+    (False, True, True),  # !=
+    (False, True, False),  # <
+    (True, True, False),  # <=
+    (False, False, True),  # >
+    (True, False, True),  # >=
+)
+
+#: State swap for the backward direction of a pair.
+_SWAP_STATE = (0, 2, 1)
+
+
+def evidence_specs(
+    attr_tables: Sequence[tuple],
+    rows: Sequence[int],
+    mults: Sequence[int],
+    num_predicates: int,
+) -> dict:
+    """Precompute per-attribute pair-evaluation state for the block
+    kernels.
+
+    ``attr_tables`` holds, per attribute, ``(codes, values, eq_lane,
+    lt_lane, gt_lane, ne_lane, has_order)`` over the *full* relation;
+    ``rows`` selects the representative rows, ``mults`` their duplicate
+    multiplicities.  The returned spec is backend-opaque.
+    """
+    attrs = []
+    for codes, values, eq_lane, lt_lane, gt_lane, ne_lane, has_order in attr_tables:
+        rep_codes = [codes[row] for row in rows]
+        if has_order:
+            rep_values = [values[row] for row in rows]
+            comparable = [
+                value is not None and value == value for value in rep_values
+            ]
+            attrs.append(
+                (rep_codes, rep_values, comparable, eq_lane, lt_lane, gt_lane)
+            )
+        else:
+            attrs.append((rep_codes, None, None, eq_lane, ne_lane, ne_lane))
+    return {
+        "attrs": attrs,
+        "mults": list(mults),
+        "m": len(rows),
+        "num_predicates": num_predicates,
+    }
+
+
+def _pair_masks(attrs: list, i: int, j: int) -> tuple[int, int]:
+    """Forward/backward evidence masks of the pair ``(i, j)``."""
+    forward = 0
+    backward = 0
+    for rep_codes, rep_values, comparable, eq_lane, lt_lane, gt_lane in attrs:
+        if rep_codes[i] == rep_codes[j]:
+            forward |= eq_lane
+            backward |= eq_lane
+        elif rep_values is None:
+            forward |= lt_lane  # the shared ne lane (see evidence_specs)
+            backward |= lt_lane
+        elif comparable[i] and comparable[j] and rep_values[i] < rep_values[j]:
+            forward |= lt_lane
+            backward |= gt_lane
+        else:
+            forward |= gt_lane
+            backward |= lt_lane
+    return forward, backward
+
+
+def evidence_sweep(specs: dict, tile: int, counts: dict[int, int]) -> None:
+    """Fold the evidence of every unordered pair (both directions) into
+    ``counts``, block by block.
+
+    Blocks are cosmetic for this backend (loops touch each pair once
+    either way) but keep the traversal structurally identical to the
+    numpy tiles, so both backends see the same pair order.
+    """
+    attrs = specs["attrs"]
+    mults = specs["mults"]
+    m = specs["m"]
+    for ilo in range(0, m, tile):
+        ihi = min(ilo + tile, m)
+        for jlo in range(ilo, m, tile):
+            jhi = min(jlo + tile, m)
+            for i in range(ilo, ihi):
+                start = i + 1 if jlo <= i else jlo
+                for j in range(start, jhi):
+                    forward, backward = _pair_masks(attrs, i, j)
+                    weight = mults[i] * mults[j]
+                    counts[forward] = counts.get(forward, 0) + weight
+                    counts[backward] = counts.get(backward, 0) + weight
+
+
+def evidence_pairs_into(
+    specs: dict,
+    lefts: Sequence[int],
+    rights: Sequence[int],
+    counts: dict[int, int],
+) -> None:
+    """Fold the evidence of explicit position pairs into ``counts``
+    (the sampled and refinement paths)."""
+    attrs = specs["attrs"]
+    mults = specs["mults"]
+    for i, j in zip(lefts, rights):
+        forward, backward = _pair_masks(attrs, i, j)
+        weight = mults[i] * mults[j]
+        counts[forward] = counts.get(forward, 0) + weight
+        counts[backward] = counts.get(backward, 0) + weight
+
+
+def dc_scan(
+    specs: dict,
+    pred_ops: Sequence[tuple[int, int]],
+    tile: int,
+    max_hits: int | None,
+) -> tuple[int, list[tuple[int, int]]]:
+    """Violations of one DC over every pair, with early exit.
+
+    ``pred_ops`` lists ``(attribute position, opcode)`` conjuncts (see
+    ``EVIDENCE_OPS``).  Returns ``(violating ordered weight seen,
+    ordered hit pairs)``; enumeration stops once ``max_hits`` hits are
+    collected, so the weight is a lower bound when truncated.
+    """
+    attrs = specs["attrs"]
+    mults = specs["mults"]
+    m = specs["m"]
+    used = sorted(set(pos for pos, _op in pred_ops))
+    weight_seen = 0
+    hits: list[tuple[int, int]] = []
+    for ilo in range(0, m, tile):
+        ihi = min(ilo + tile, m)
+        for jlo in range(ilo, m, tile):
+            jhi = min(jlo + tile, m)
+            for i in range(ilo, ihi):
+                start = i + 1 if jlo <= i else jlo
+                for j in range(start, jhi):
+                    states: dict[int, int] = {}
+                    for pos in used:
+                        codes, values, comparable = attrs[pos][:3]
+                        if codes[i] == codes[j]:
+                            states[pos] = 0
+                        elif (
+                            values is not None
+                            and comparable[i]
+                            and comparable[j]
+                            and values[i] < values[j]
+                        ):
+                            states[pos] = 1
+                        else:
+                            states[pos] = 2
+                    weight = mults[i] * mults[j]
+                    if all(_OP_SAT[op][states[pos]] for pos, op in pred_ops):
+                        weight_seen += weight
+                        hits.append((i, j))
+                    if all(
+                        _OP_SAT[op][_SWAP_STATE[states[pos]]]
+                        for pos, op in pred_ops
+                    ):
+                        weight_seen += weight
+                        hits.append((j, i))
+                    if max_hits is not None and len(hits) >= max_hits:
+                        return weight_seen, hits[:max_hits]
+    return weight_seen, hits
+
+
+# ----------------------------------------------------------------------
 # Violating-pair counting
 # ----------------------------------------------------------------------
 def count_violating_pairs(x_partition, y_columns: Sequence[Sequence[int]]) -> int:
