@@ -54,13 +54,19 @@ class EngineConfig:
     precedence over the ``REPRO_BACKEND`` environment variable; cache
     bounds via :func:`repro.relational.statistics.configure_caches`;
     the tile via :func:`repro.dc.engine.set_tile`, taking precedence
-    over ``REPRO_DC_TILE``).
+    over ``REPRO_DC_TILE``).  ``workers`` selects the morsel-driven
+    parallel layer's pool width (0 = serial, the byte-identical
+    oracle; 1 also runs inline; ≥ 2 fans work units across a process
+    pool on the numpy backend / a thread pool on the python backend),
+    installed via :func:`repro.relational.parallel.set_workers` and
+    taking precedence over ``REPRO_WORKERS``.
     """
 
     backend: str = "auto"
     partition_cache_size: int | None = 8192
     delta_track_limit: int | None = 64
     dc_tile: int = 4096
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "python", "numpy"):
@@ -77,6 +83,14 @@ class EngineConfig:
             )
         if self.dc_tile < 1:
             raise ValueError("dc_tile must be >= 1")
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            raise ValueError(
+                f"workers must be a non-negative integer, got {self.workers!r}"
+            )
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be a non-negative integer, got {self.workers}"
+            )
 
     def resolve(self) -> str:
         """The concrete backend name this config would run on."""
@@ -91,6 +105,7 @@ class EngineConfig:
         ``numpy`` is requested but not installed.
         """
         from repro.dc import engine as dc_engine
+        from repro.relational import parallel
 
         kernels.set_backend(self.backend)
         statistics.configure_caches(
@@ -98,6 +113,7 @@ class EngineConfig:
             delta_track_limit=self.delta_track_limit,
         )
         dc_engine.set_tile(self.dc_tile)
+        parallel.set_workers(self.workers)
 
 
 class GoodnessMode(enum.Enum):

@@ -38,7 +38,7 @@ from collections import OrderedDict
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
-from . import kernels
+from . import kernels, parallel
 from .delta import GroupTracker
 from .partition import StrippedPartition
 
@@ -92,6 +92,34 @@ def partition_cache_limit() -> int | None:
 def tracker_limit() -> int | None:
     """The active bound on delta trackers per relation."""
     return _tracker_limit
+
+
+def _build_chain(backend, code_columns):
+    """The sorted-prefix partition chain of one attribute set.
+
+    Pure function of the code columns — the reason serial and parallel
+    priming produce byte-identical partitions.
+    """
+    chain = []
+    current = backend.stripped_from_codes(code_columns[0])
+    chain.append(current)
+    for codes in code_columns[1:]:
+        current = current.refine(codes)
+        chain.append(current)
+    return chain
+
+
+def _prime_chain_local(arrays, payload, code_columns):
+    """Serial / thread-pool priming worker (shares in-process state)."""
+    return _build_chain(kernels.get_backend(), code_columns)
+
+
+def _prime_chain_shm(arrays, payload, slots):
+    """Process-pool priming worker: code columns arrive as shared-
+    memory views, partitions travel back by value (they are the
+    result, so this copy is the irreducible transfer)."""
+    backend = kernels.backend_module(payload)
+    return _build_chain(backend, [arrays[slot] for slot in slots])
 
 
 class RelationStatistics:
@@ -236,6 +264,61 @@ class RelationStatistics:
     def cached_partition(self, attrs: Sequence[str]) -> StrippedPartition | None:
         """The cached partition for ``attrs``, or ``None`` (never builds)."""
         return self._partition_cache.get(frozenset(attrs))
+
+    def prime_partitions(self, attr_sets: Sequence[Sequence[str]]) -> int:
+        """Batch-build missing stripped partitions, morsel-parallel.
+
+        Each requested set is built as its *sorted-name prefix chain*
+        from scratch (π_{a}, π_{ab}, …), independent of whatever the
+        cache happens to hold — that independence is what makes the
+        result a pure function of the relation, so the serial and
+        parallel modes install byte-identical partitions in the same
+        (request, prefix-depth) order.  Every missing prefix along a
+        chain is installed too, mirroring what the lazy builder would
+        cache on the way up; already-cached keys are never overwritten.
+        Returns the number of partitions installed.
+        """
+        jobs: list[tuple[str, ...]] = []
+        seen: set[frozenset[str]] = set()
+        for attrs in attr_sets:
+            key = frozenset(attrs)
+            if not key or key in seen or key in self._partition_cache:
+                continue
+            seen.add(key)
+            jobs.append(tuple(sorted(key)))
+        if not jobs:
+            return 0
+        relation = self._relation
+        kind = parallel.pool_kind()
+        if kind == "process":
+            arrays: list = []
+            slots: dict[str, int] = {}
+            for names in jobs:
+                for name in names:
+                    if name not in slots:
+                        slots[name] = len(arrays)
+                        arrays.append(relation.column(name).kernel_codes())
+            chains = parallel.morsel_map(
+                _prime_chain_shm,
+                [tuple(slots[name] for name in names) for names in jobs],
+                arrays=arrays,
+                payload=kernels.active_backend_name(),
+            )
+        else:
+            columns = [
+                [relation.column(name).kernel_codes() for name in names]
+                for names in jobs
+            ]
+            chains = parallel.morsel_map(_prime_chain_local, columns)
+        built = 0
+        for names, chain in zip(jobs, chains):
+            for depth, partition in enumerate(chain, start=1):
+                key = frozenset(names[:depth])
+                if key not in self._partition_cache:
+                    self._store_partition(key, partition)
+                    self._partitions_built += 1
+                    built += 1
+        return built
 
     # ------------------------------------------------------------------
     # The delta engine (incremental maintenance across extensions)
