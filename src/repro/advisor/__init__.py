@@ -10,11 +10,14 @@ consequent.  This package turns the argument into code:
   FDs, with estimated speedups;
 * :mod:`~repro.advisor.rewrite` — index-aware execution of the mini
   SQL dialect, plus the FD shortcut lookups (consequent fetch and,
-  for invertible FDs, the reverse antecedent fetch).
+  for invertible FDs, the reverse antecedent fetch);
+* :mod:`~repro.advisor.workload` — measured before/after evaluation
+  of the recommendations against a generated query stream.
 """
 
 from .advisor import AdvisorReport, IndexRecommendation, recommend_indexes
 from .index import AttributeIndex, IndexedRelation
+from .workload import QueryTiming, WorkloadReport, evaluate_workload
 from .rewrite import (
     InvertibilityError,
     QueryPlan,
@@ -31,9 +34,12 @@ __all__ = [
     "IndexedRelation",
     "InvertibilityError",
     "QueryPlan",
+    "QueryTiming",
+    "WorkloadReport",
     "execute_indexed",
     "fetch_antecedent",
     "fetch_consequent",
+    "evaluate_workload",
     "plan_access",
     "recommend_indexes",
 ]

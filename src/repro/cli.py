@@ -124,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="run a SELECT against the catalog")
     query.add_argument("catalog", type=Path)
     query.add_argument("sql")
+    query.add_argument(
+        "--engine",
+        choices=("columnar", "rowdict"),
+        default="columnar",
+        help="execution engine (rowdict is the reference oracle)",
+    )
+    query.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV instead of the aligned text table",
+    )
 
     import_cmd = sub.add_parser("import", help="add a relation from a CSV file")
     import_cmd.add_argument("catalog", type=Path)
@@ -350,8 +361,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     catalog = _load(args.catalog)
-    result = execute(catalog, args.sql)
-    print(result.to_text())
+    result = execute(catalog, args.sql, engine=args.engine)
+    if args.csv:
+        print(result.to_csv(), end="")
+    else:
+        print(result.to_text())
     return 0
 
 

@@ -40,7 +40,7 @@ from repro.fd.fd import FunctionalDependency
 from repro.fd.measures import FDAssessment
 from repro.relational import expr
 from repro.relational.delta import DeltaStream, GroupTracker
-from repro.relational.errors import ArityError
+from repro.relational.errors import ArityError, validate_engine
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
@@ -154,8 +154,7 @@ class FDMonitor:
         else:
             relation = None
             self._schema = schema
-        if engine not in _ENGINES:
-            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        validate_engine(engine, _ENGINES)
         self._arity = self._schema.arity
         self._watched: list[MonitoredFD] = []
         self._on_alert = on_alert

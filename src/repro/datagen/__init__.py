@@ -10,10 +10,13 @@ deterministically and offline:
 * :mod:`repro.datagen.engineered` — the known-minimal-repair builder
   underneath the simulators;
 * :mod:`repro.datagen.violations` — noise vs semantic-drift injection;
-* :mod:`repro.datagen.synthetic` — plain random relations for tests.
+* :mod:`repro.datagen.synthetic` — plain random relations for tests;
+* :mod:`repro.datagen.queries` — a seeded SQL query-stream generator
+  for workload-driven advisor evaluation.
 """
 
 from .engineered import EngineeredSpec, engineered_relation
+from .queries import QUERY_KINDS, GeneratedQuery, generate_workload
 from .places import F1, F2, F3, F4, places_catalog, places_fds, places_relation
 from .realworld import (
     REAL_DATASET_SPECS,
@@ -56,6 +59,8 @@ __all__ = [
     "FULL_ARITY",
     "FULL_NON_NULL",
     "FULL_ROWS",
+    "GeneratedQuery",
+    "QUERY_KINDS",
     "REAL_DATASET_SPECS",
     "SCALE_PRESETS",
     "TPCH_FDS",
@@ -69,6 +74,7 @@ __all__ = [
     "engineered_relation",
     "generate_table",
     "generate_tpch",
+    "generate_workload",
     "image_relation",
     "image_spec",
     "inject_drift",

@@ -1,0 +1,293 @@
+"""A seeded TPC-H-style query-stream generator.
+
+The paper evaluates FD maintenance on DBGEN databases; this module
+generates the *query workload* side of such an evaluation: a
+deterministic stream of SELECTs over any catalog (typically
+:func:`~repro.datagen.tpch.generate_tpch`), mixing the shapes a
+monitoring deployment issues —
+
+* ``point`` — equality lookups on a declared FD's antecedent (the
+  shape the advisor can index);
+* ``fd_fetch`` — fetch an FD's consequent attributes for one
+  antecedent value (the monitor's repair-inspection query);
+* ``aggregate`` — GROUP BY with COUNT/SUM/AVG and an occasional
+  HAVING;
+* ``join`` — equi-join a foreign key to the key of its home table
+  (detected structurally: a column that is the first attribute of one
+  relation and also appears in another);
+* ``topk`` — ORDER BY a numeric column DESC with LIMIT;
+* ``range`` — numeric band predicates under an aggregate.
+
+Everything is driven by one :class:`random.Random` seeded from
+``seed``, and values are sampled from the actual relation columns, so
+the same (catalog, seed, count) always produces the same SQL texts
+with realistic selectivities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.types import AttributeType
+
+__all__ = ["QUERY_KINDS", "GeneratedQuery", "generate_workload"]
+
+QUERY_KINDS = ("point", "fd_fetch", "aggregate", "join", "topk", "range")
+
+#: Grouping columns with more distinct values than this fraction of the
+#: rows make degenerate GROUP BYs (every group a singleton), so the
+#: generator skips them.
+_MAX_GROUP_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One workload member: the SQL text plus provenance tags."""
+
+    name: str
+    sql: str
+    kind: str
+    table: str
+
+
+def generate_workload(
+    catalog: Catalog,
+    count: int = 20,
+    seed: int = 0,
+    kinds: tuple[str, ...] = QUERY_KINDS,
+) -> list[GeneratedQuery]:
+    """Generate a deterministic query stream over ``catalog``.
+
+    Cycles through ``kinds`` until ``count`` queries exist, skipping a
+    kind when the catalog offers no fitting relation (e.g. ``join``
+    without any detectable foreign key), so the result can be shorter
+    than ``count`` only on degenerate catalogs.
+    """
+    for kind in kinds:
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected {QUERY_KINDS}")
+    rng = random.Random(seed)
+    maker = _Maker(catalog, rng)
+    queries: list[GeneratedQuery] = []
+    misses = 0
+    while len(queries) < count and misses < len(kinds):
+        kind = kinds[(len(queries) + misses) % len(kinds)]
+        query = maker.make(kind, len(queries))
+        if query is None:
+            misses += 1
+            continue
+        misses = 0
+        queries.append(query)
+    return queries
+
+
+class _Maker:
+    def __init__(self, catalog: Catalog, rng: random.Random) -> None:
+        self._catalog = catalog
+        self._rng = rng
+        self._tables = sorted(catalog.relation_names())
+        self._joins = _join_candidates(catalog, self._tables)
+
+    def make(self, kind: str, index: int) -> GeneratedQuery | None:
+        sql_and_table = getattr(self, f"_make_{kind}")()
+        if sql_and_table is None:
+            return None
+        sql, table = sql_and_table
+        return GeneratedQuery(f"q{index:03d}_{kind}", sql, kind, table)
+
+    # -- helpers --------------------------------------------------------
+    def _relation(self, table: str) -> Relation:
+        return self._catalog.relation(table)
+
+    def _tables_with_rows(self) -> list[str]:
+        return [t for t in self._tables if self._relation(t).num_rows > 0]
+
+    def _sample_literal(self, relation: Relation, column: str) -> str | None:
+        row = self._rng.randrange(relation.num_rows)
+        value = relation.column(column).value(row)
+        return _literal(value)
+
+    def _numeric_columns(self, relation: Relation) -> list[str]:
+        return [
+            attribute.name
+            for attribute in relation.schema.attributes
+            if attribute.type in (AttributeType.INTEGER, AttributeType.FLOAT)
+        ]
+
+    def _group_columns(self, relation: Relation) -> list[str]:
+        limit = max(1, int(relation.num_rows * _MAX_GROUP_RATIO))
+        return [
+            name
+            for name in relation.attribute_names
+            if len(relation.column(name).dictionary) <= limit
+        ]
+
+    def _fd_site(self):
+        """A (table, fd) pair with single-attribute antecedent, if any."""
+        sites = []
+        for table in self._tables_with_rows():
+            for fd in self._catalog.fds(table):
+                if len(fd.antecedent) == 1:
+                    sites.append((table, fd))
+        if not sites:
+            return None
+        return self._rng.choice(sites)
+
+    # -- kinds ----------------------------------------------------------
+    def _make_point(self):
+        site = self._fd_site()
+        if site is None:
+            return None
+        table, fd = site
+        relation = self._relation(table)
+        key = fd.antecedent[0]
+        literal = self._sample_literal(relation, key)
+        if literal is None:
+            return None
+        return f"SELECT * FROM {table} WHERE {key} = {literal}", table
+
+    def _make_fd_fetch(self):
+        site = self._fd_site()
+        if site is None:
+            return None
+        table, fd = site
+        relation = self._relation(table)
+        key = fd.antecedent[0]
+        literal = self._sample_literal(relation, key)
+        if literal is None:
+            return None
+        outputs = ", ".join(fd.antecedent + fd.consequent)
+        return (
+            f"SELECT DISTINCT {outputs} FROM {table} WHERE {key} = {literal}",
+            table,
+        )
+
+    def _make_aggregate(self):
+        candidates = []
+        for table in self._tables_with_rows():
+            relation = self._relation(table)
+            groups = self._group_columns(relation)
+            numerics = self._numeric_columns(relation)
+            if groups and numerics:
+                candidates.append((table, groups, numerics))
+        if not candidates:
+            return None
+        table, groups, numerics = self._rng.choice(candidates)
+        group = self._rng.choice(groups)
+        numeric = self._rng.choice(numerics)
+        func = self._rng.choice(("SUM", "AVG", "MIN", "MAX"))
+        sql = (
+            f"SELECT {group}, COUNT(*), {func}({numeric}) "
+            f"FROM {table} GROUP BY {group}"
+        )
+        if self._rng.random() < 0.5:
+            sql += f" HAVING COUNT(*) > {self._rng.randint(1, 3)}"
+        return sql, table
+
+    def _make_join(self):
+        if not self._joins:
+            return None
+        fact, dim, key = self._rng.choice(self._joins)
+        dim_relation = self._relation(dim)
+        payload = [
+            name for name in dim_relation.attribute_names[1:3] if name != key
+        ]
+        outputs = ", ".join(
+            [f"{fact}.{key}"] + [f"{dim}.{name}" for name in payload]
+        )
+        sql = (
+            f"SELECT {outputs} FROM {fact} "
+            f"JOIN {dim} ON {fact}.{key} = {dim}.{key}"
+        )
+        numerics = self._numeric_columns(self._relation(fact))
+        numerics = [n for n in numerics if n != key]
+        if numerics:
+            column = self._rng.choice(numerics)
+            bound = self._sample_literal(self._relation(fact), column)
+            if bound is not None:
+                sql += f" WHERE {fact}.{column} >= {bound}"
+        return sql, fact
+
+    def _make_topk(self):
+        candidates = []
+        for table in self._tables_with_rows():
+            numerics = self._numeric_columns(self._relation(table))
+            if numerics:
+                candidates.append((table, numerics))
+        if not candidates:
+            return None
+        table, numerics = self._rng.choice(candidates)
+        column = self._rng.choice(numerics)
+        names = self._relation(table).attribute_names
+        outputs = ", ".join(dict.fromkeys([names[0], column]))
+        k = self._rng.choice((5, 10, 25))
+        return (
+            f"SELECT {outputs} FROM {table} ORDER BY {column} DESC, "
+            f"{names[0]} LIMIT {k}",
+            table,
+        )
+
+    def _make_range(self):
+        candidates = []
+        for table in self._tables_with_rows():
+            numerics = self._numeric_columns(self._relation(table))
+            if numerics:
+                candidates.append((table, numerics))
+        if not candidates:
+            return None
+        table, numerics = self._rng.choice(candidates)
+        relation = self._relation(table)
+        column = self._rng.choice(numerics)
+        low = self._sample_literal(relation, column)
+        high = self._sample_literal(relation, column)
+        if low is None or high is None:
+            return None
+        if float(low) > float(high):
+            low, high = high, low
+        return (
+            f"SELECT COUNT(*) FROM {table} "
+            f"WHERE {column} >= {low} AND {column} <= {high}",
+            table,
+        )
+
+
+def _join_candidates(
+    catalog: Catalog, tables: list[str]
+) -> list[tuple[str, str, str]]:
+    """(fact, dimension, key) triples, detected structurally.
+
+    A join candidate pairs a relation carrying column ``k`` with the
+    relation whose *first* attribute is ``k`` (its key) — e.g.
+    ``orders.custkey → customer`` in TPC-H.
+    """
+    heads: dict[str, str] = {}
+    for table in tables:
+        names = catalog.relation(table).attribute_names
+        if names:
+            heads.setdefault(names[0], table)
+    candidates = []
+    for table in tables:
+        relation = catalog.relation(table)
+        if relation.num_rows == 0:
+            continue
+        for name in relation.attribute_names:
+            home = heads.get(name)
+            if home is not None and home != table:
+                candidates.append((table, home, name))
+    return sorted(candidates)
+
+
+def _literal(value: object) -> str | None:
+    """Render a sampled value as a SQL literal, or None if it cannot be."""
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        if value != value or value in (float("inf"), float("-inf")):
+            return None
+        return repr(value)
+    if isinstance(value, str) and "'" not in value:
+        return f"'{value}'"
+    return None

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.relational import kernels, parallel
+from repro.relational.errors import validate_engine
 from repro.relational.relation import Relation
 
 from .evidence import (
@@ -394,6 +395,7 @@ def discover_dcs(
     equivalence oracle and for approximate mining
     (``max_violations > 0``), which needs true pair multiplicities.
     """
+    validate_engine(engine, ("tiled", "reference"), DCError)
     if space is None:
         space = build_predicate_space(relation, order_predicates=order_predicates)
     if engine == "reference":
@@ -404,8 +406,6 @@ def discover_dcs(
             max_violations=max_violations,
             max_constraints=max_constraints,
         )
-    if engine != "tiled":
-        raise DCError(f"unknown discovery engine {engine!r}")
     if max_violations:
         raise DCError(
             "the tiled engine verifies exact DCs only; use engine='reference' "

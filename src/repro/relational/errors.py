@@ -19,6 +19,7 @@ __all__ = [
     "DuplicateRelationError",
     "ArityError",
     "KernelBackendError",
+    "validate_engine",
 ]
 
 
@@ -113,3 +114,23 @@ class KernelBackendError(ReproError):
         super().__init__(f"kernel backend {backend!r} unavailable: {reason}")
         self.backend = backend
         self.reason = reason
+
+
+def validate_engine(
+    value: str,
+    allowed: tuple[str, ...],
+    error_type: type[Exception] = ValueError,
+) -> str:
+    """Validate an ``engine=`` keyword against its allowed values.
+
+    Every subsystem that exposes engine selection — SQL execution, DC
+    discovery, FD monitoring — funnels through this helper so the error
+    message is uniform (see the engine matrix in docs/ARCHITECTURE.md).
+    ``error_type`` lets each call site keep its established exception
+    class.
+    """
+    if value not in allowed:
+        raise error_type(
+            f"unknown engine {value!r}; expected one of {tuple(allowed)}"
+        )
+    return value

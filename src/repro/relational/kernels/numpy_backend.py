@@ -879,6 +879,88 @@ def hash_join_index(
     return left_rows, right_rows.astype(_INT, copy=False)
 
 
+def left_join_index(
+    left_key_columns: Sequence[Sequence[int]],
+    right_key_columns: Sequence[Sequence[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Left-outer variant of :func:`hash_join_index`.
+
+    Same joint-factorization machinery, but unmatched left rows keep a
+    slot: their match count is clamped to one and the gathered right
+    row is masked to ``-1`` — identical output order to the reference
+    backend's probe loop.
+    """
+    left = [_as_array(codes) for codes in left_key_columns]
+    right = [_as_array(codes) for codes in right_key_columns]
+    n_left = left[0].shape[0]
+    n_right = right[0].shape[0]
+    if n_left == 0:
+        empty = np.zeros(0, dtype=_INT)
+        return empty, empty.copy()
+    if n_right == 0:
+        return (
+            np.arange(n_left, dtype=_INT),
+            np.full(n_left, -1, dtype=_INT),
+        )
+    all_keys = [np.concatenate([l, r]) for l, r in zip(left, right)]
+    perm, change = _sorted_key_change(all_keys)
+    gid = np.empty(n_left + n_right, dtype=_INT)
+    gid[perm] = np.cumsum(change) - 1
+    num_groups = int(gid.max()) + 1
+    gid_left = gid[:n_left]
+    gid_right = gid[n_left:]
+    right_counts = np.bincount(gid_right, minlength=num_groups)
+    right_order = np.argsort(gid_right, kind="stable")
+    offsets = np.zeros(num_groups + 1, dtype=_INT)
+    np.cumsum(right_counts, out=offsets[1:])
+    match_counts = right_counts[gid_left]
+    out_counts = np.where(match_counts > 0, match_counts, 1)
+    total = int(out_counts.sum())
+    left_rows = np.repeat(np.arange(n_left, dtype=_INT), out_counts)
+    run_starts = np.cumsum(out_counts) - out_counts
+    within = np.arange(total, dtype=_INT) - np.repeat(run_starts, out_counts)
+    matched = np.repeat(match_counts > 0, out_counts)
+    # Clamp the gather index so unmatched slots (whose bucket offset may
+    # point past the end) stay in bounds before being masked to -1.
+    indices = np.minimum(
+        np.repeat(offsets[gid_left], out_counts) + within, n_right - 1
+    )
+    right_rows = np.where(matched, right_order[indices], -1)
+    return left_rows, right_rows.astype(_INT, copy=False)
+
+
+def gather_padded(
+    codes: Sequence[int], rows: Sequence[int], fill: int = -1
+) -> np.ndarray:
+    """Codes at ``rows``; negative row indices yield ``fill``."""
+    rows_arr = _rows_array(rows)
+    if rows_arr.size == 0:
+        return np.zeros(0, dtype=_INT)
+    arr = _as_array(codes)
+    if arr.size == 0:
+        return np.full(rows_arr.size, fill, dtype=_INT)
+    picked = arr[np.where(rows_arr < 0, 0, rows_arr)]
+    return np.where(rows_arr < 0, fill, picked).astype(_INT, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Sorting (the SQL executor's ORDER BY kernel)
+# ----------------------------------------------------------------------
+def sort_index(rank_columns: Sequence[Sequence[int]]) -> np.ndarray:
+    """Stable ascending lexicographic argsort of parallel rank columns.
+
+    ``np.lexsort`` treats its *last* key as primary, so the columns are
+    reversed; lexsort is stable, matching the reference backend's
+    ``sorted`` on rank tuples.
+    """
+    if not rank_columns:
+        return np.zeros(0, dtype=_INT)
+    keys = [_as_array(codes) for codes in rank_columns]
+    if keys[0].shape[0] == 0:
+        return np.zeros(0, dtype=_INT)
+    return np.lexsort(keys[::-1]).astype(_INT, copy=False)
+
+
 # ----------------------------------------------------------------------
 # Distinct counting
 # ----------------------------------------------------------------------

@@ -465,6 +465,74 @@ def hash_join_index(
     return left_rows, right_rows
 
 
+def left_join_index(
+    left_key_columns: Sequence[Sequence[int]],
+    right_key_columns: Sequence[Sequence[int]],
+) -> tuple[list[int], list[int]]:
+    """Left-outer variant of :func:`hash_join_index`.
+
+    Every left row appears at least once; a left row with no match
+    emits one pair whose right row is ``-1`` (the padding sentinel
+    :func:`gather_padded` turns into NULL codes).  Output order matches
+    the inner join for matched rows.
+    """
+    single = len(right_key_columns) == 1
+    build: dict = {}
+    get = build.get
+    codes0 = right_key_columns[0]
+    for row in range(len(codes0)):
+        key = codes0[row] if single else tuple(c[row] for c in right_key_columns)
+        bucket = get(key)
+        if bucket is None:
+            build[key] = [row]
+        else:
+            bucket.append(row)
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    left0 = left_key_columns[0]
+    for row in range(len(left0)):
+        key = left0[row] if single else tuple(c[row] for c in left_key_columns)
+        matches = build.get(key)
+        if matches is None:
+            left_rows.append(row)
+            right_rows.append(-1)
+            continue
+        left_rows.extend([row] * len(matches))
+        right_rows.extend(matches)
+    return left_rows, right_rows
+
+
+def gather_padded(
+    codes: Sequence[int], rows: Sequence[int], fill: int = -1
+) -> list[int]:
+    """Codes at ``rows``; negative row indices yield ``fill``.
+
+    The left-join gather: padded right rows (``-1``) become NULL codes
+    without the wrap-around a plain ``codes[-1]`` would silently do.
+    """
+    return [fill if row < 0 else codes[row] for row in rows]
+
+
+# ----------------------------------------------------------------------
+# Sorting (the SQL executor's ORDER BY kernel)
+# ----------------------------------------------------------------------
+def sort_index(rank_columns: Sequence[Sequence[int]]) -> list[int]:
+    """Stable ascending lexicographic argsort of parallel rank columns.
+
+    The executor pre-computes integer ranks per key (NULL smallest,
+    descending keys negated), so the kernel never touches values.
+    """
+    if not rank_columns:
+        return []
+    n = len(rank_columns[0])
+    if len(rank_columns) == 1:
+        ranks = rank_columns[0]
+        return sorted(range(n), key=lambda row: ranks[row])
+    return sorted(
+        range(n), key=lambda row: tuple(col[row] for col in rank_columns)
+    )
+
+
 # ----------------------------------------------------------------------
 # Evidence masks (the DC engine's pair kernels)
 # ----------------------------------------------------------------------

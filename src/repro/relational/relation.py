@@ -17,6 +17,7 @@ object, so the per-relation statistics cache never goes stale.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from typing import Any
 
@@ -298,12 +299,18 @@ class Relation:
 
         IR predicates evaluate columnar through the kernel backend
         (code-space masks; no row dicts are materialized).  A plain
-        ``Callable[[dict], bool]`` is still accepted for backward
-        compatibility but runs the legacy per-row loop — prefer the IR
-        form, which is both faster and inspectable.
+        ``Callable[[dict], bool]`` is deprecated: it runs the legacy
+        per-row loop and will be removed — build an IR predicate (or go
+        through the SQL layer) instead.
         """
         if expr.is_predicate(predicate):
             return self.take(expr.filter_rows(self, predicate))
+        warnings.warn(
+            "Relation.select with a callable predicate is deprecated; "
+            "pass a repro.relational.expr predicate instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         names = self._schema.attribute_names
         columns = [self._columns[name] for name in names]
         keep = [

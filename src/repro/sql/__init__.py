@@ -1,49 +1,104 @@
 """Mini SQL layer (system S2 in DESIGN.md).
 
-Lexer, parser and executor for the query surface the paper's prototype
-uses — ``SELECT COUNT(DISTINCT …) FROM R [WHERE …]`` plus plain
-SELECT / GROUP BY for inspection — and :class:`SqlCountBackend`, which
+A three-stage pipeline — :func:`parse` produces an AST,
+:func:`~repro.sql.plan.plan_query` normalises it into a logical plan
+(Scan / Join / Filter / Aggregate / Sort / Project / Limit), and the
+executor compiles each operator onto the columnar kernels (or the
+retained row-dict oracle via ``engine="rowdict"``).  The grammar covers
+the query surface the paper's prototype uses — ``COUNT(DISTINCT …)``
+measure queries — plus joins, GROUP BY / HAVING, ORDER BY and
+LIMIT/OFFSET for workload experiments.  :func:`connect` /
+:class:`Database` is the user-facing facade; :class:`SqlCountBackend`
 computes FD measures through literal SQL text.
 """
 
 from .ast import (
+    AggregateCall,
     And,
+    Arith,
     ColumnRef,
     Comparison,
     CountDistinct,
     CountStar,
+    InList,
     IsNull,
+    JoinClause,
     Literal,
     Not,
     Or,
+    OrderItem,
     SelectItem,
     SelectQuery,
 )
 from .backend import SqlCountBackend
-from .executor import ResultSet, SqlExecutionError, execute, execute_on_relation
+from .database import Database, connect
+from .errors import PlanError, SqlExecutionError
+from .executor import (
+    ResultRow,
+    ResultSet,
+    execute,
+    execute_on_relation,
+    execute_plan,
+)
 from .parser import parse
+from .plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    plan_query,
+    to_sql,
+)
 from .tokens import SqlSyntaxError, Token, TokenType, tokenize
 
 __all__ = [
+    "Aggregate",
+    "AggregateCall",
+    "AggregateSpec",
     "And",
+    "Arith",
     "ColumnRef",
     "Comparison",
     "CountDistinct",
     "CountStar",
+    "Database",
+    "Filter",
+    "InList",
     "IsNull",
+    "Join",
+    "JoinClause",
+    "Limit",
     "Literal",
     "Not",
     "Or",
+    "OrderItem",
+    "Plan",
+    "PlanError",
+    "Project",
+    "ResultRow",
     "ResultSet",
+    "Scan",
     "SelectItem",
     "SelectQuery",
+    "Sort",
+    "SortKey",
     "SqlCountBackend",
     "SqlExecutionError",
     "SqlSyntaxError",
     "Token",
     "TokenType",
+    "connect",
     "execute",
     "execute_on_relation",
+    "execute_plan",
     "parse",
+    "plan_query",
+    "to_sql",
     "tokenize",
 ]

@@ -1,7 +1,13 @@
-"""AST nodes for the mini SQL layer.
+"""AST nodes for the SQL layer.
 
-The grammar is deliberately small (DESIGN.md §2/S2); every node is an
-immutable dataclass, and the executor dispatches on node type.
+Every node is an immutable dataclass.  The planner (:mod:`repro.sql.plan`)
+normalises a parsed :class:`SelectQuery` into a logical operator tree;
+the executor never walks this AST directly except through the plan.
+
+Pre-PR-7 constructors keep working: ``ColumnRef("a")``,
+``SelectQuery(items=…, table=…, where=…, group_by=…, distinct=…,
+limit=…)``, ``CountStar()`` and ``CountDistinct(("a", "b"))`` are all
+unchanged — new fields default away.
 """
 
 from __future__ import annotations
@@ -12,13 +18,19 @@ from typing import Any, Union
 __all__ = [
     "ColumnRef",
     "Literal",
+    "Arith",
     "Comparison",
+    "InList",
     "IsNull",
     "Not",
     "And",
     "Or",
     "CountStar",
     "CountDistinct",
+    "AggregateCall",
+    "AGGREGATE_FUNCS",
+    "JoinClause",
+    "OrderItem",
     "SelectItem",
     "SelectQuery",
     "Expression",
@@ -27,9 +39,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ColumnRef:
-    """A reference to an attribute by name."""
+    """A reference to an attribute, optionally table-qualified (``t.col``)."""
 
     name: str
+    table: str | None = None
+
+    @property
+    def qualified(self) -> str:
+        """Display form: ``t.col`` when qualified, else ``col``."""
+        return f"{self.table}.{self.name}" if self.table else self.name
 
 
 @dataclass(frozen=True)
@@ -40,19 +58,37 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Arith:
+    """``left <op> right`` with op ∈ {+, -, *, /}."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
 class Comparison:
     """``left <op> right`` with op ∈ {=, <>, <, <=, >, >=}."""
 
     op: str
-    left: Union["Expression", ColumnRef, Literal]
-    right: Union["Expression", ColumnRef, Literal]
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (literal, …)``."""
+
+    operand: "Expression"
+    values: tuple[Any, ...]
+    negated: bool = False
 
 
 @dataclass(frozen=True)
 class IsNull:
     """``expr IS [NOT] NULL``."""
 
-    operand: Union[ColumnRef, Literal]
+    operand: "Expression"
     negated: bool = False
 
 
@@ -79,9 +115,6 @@ class Or:
     right: "Expression"
 
 
-Expression = Union[Comparison, IsNull, Not, And, Or, ColumnRef, Literal]
-
-
 @dataclass(frozen=True)
 class CountStar:
     """``COUNT(*)``."""
@@ -94,11 +127,62 @@ class CountDistinct:
     columns: tuple[str, ...]
 
 
+AGGREGATE_FUNCS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``func(expr)`` for func ∈ COUNT/SUM/MIN/MAX/AVG.
+
+    ``COUNT(*)`` and ``COUNT(DISTINCT …)`` keep their dedicated nodes
+    for backward compatibility; the planner normalises all three shapes
+    into one internal spec.
+    """
+
+    func: str
+    argument: "Expression"
+    distinct: bool = False
+
+
+Expression = Union[
+    Arith,
+    Comparison,
+    InList,
+    IsNull,
+    Not,
+    And,
+    Or,
+    ColumnRef,
+    Literal,
+    CountStar,
+    CountDistinct,
+    AggregateCall,
+]
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``[INNER|LEFT [OUTER]] JOIN table [AS alias] ON condition``."""
+
+    kind: str  # "inner" | "left"
+    table: str
+    alias: str | None
+    on: Expression
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key with its direction."""
+
+    expression: Expression
+    descending: bool = False
+
+
 @dataclass(frozen=True)
 class SelectItem:
-    """One projection item: a column, ``COUNT(*)`` or ``COUNT(DISTINCT …)``."""
+    """One projection item: any expression plus an optional alias."""
 
-    expression: Union[ColumnRef, CountStar, CountDistinct]
+    expression: Expression
     alias: str | None = None
 
     @property
@@ -110,7 +194,11 @@ class SelectItem:
             return self.expression.name
         if isinstance(self.expression, CountStar):
             return "count"
-        return "count_distinct"
+        if isinstance(self.expression, CountDistinct):
+            return "count_distinct"
+        if isinstance(self.expression, AggregateCall):
+            return self.expression.func
+        return "expr"
 
 
 @dataclass(frozen=True)
@@ -123,3 +211,8 @@ class SelectQuery:
     group_by: tuple[str, ...] = ()
     distinct: bool = False
     limit: int | None = None
+    table_alias: str | None = None
+    joins: tuple[JoinClause, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    offset: int | None = None

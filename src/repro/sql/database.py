@@ -1,0 +1,73 @@
+"""User-facing query facade over a catalog.
+
+``connect(catalog)`` (or ``Database(catalog)``) is the front door of
+the SQL layer: one object that runs the whole parse → plan → execute
+pipeline and pins per-call engine and worker settings::
+
+    db = connect(catalog)
+    result = db.query("SELECT City, COUNT(*) FROM Places GROUP BY City")
+    print(result.to_csv())
+
+The facade adds no semantics of its own — :meth:`Database.query` is
+``execute`` plus a scoped :func:`repro.relational.parallel.use_workers`
+— so everything the property suite proves about the engines holds here
+too.
+"""
+
+from __future__ import annotations
+
+from repro.relational import parallel
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+
+from .executor import ResultSet, execute, execute_plan
+from .plan import Plan
+
+__all__ = ["Database", "connect"]
+
+
+class Database:
+    """A catalog bound to the parse → plan → execute pipeline."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    @classmethod
+    def from_relations(cls, *relations: Relation) -> "Database":
+        """Build a database holding just the given relations."""
+        catalog = Catalog()
+        for relation in relations:
+            catalog.add_relation(relation)
+        return cls(catalog)
+
+    def table_names(self) -> list[str]:
+        return list(self.catalog.relation_names())
+
+    def query(
+        self, sql: str, engine: str = "columnar", workers: int | None = None
+    ) -> ResultSet:
+        """Run one SQL statement and return its :class:`ResultSet`.
+
+        ``workers`` scopes the parallel morsel count for this call only
+        (``None`` keeps the process-wide setting).
+        """
+        if workers is None:
+            return execute(self.catalog, sql, engine)
+        with parallel.use_workers(workers):
+            return execute(self.catalog, sql, engine)
+
+    def query_plan(
+        self, plan: Plan, engine: str = "columnar", workers: int | None = None
+    ) -> ResultSet:
+        """Run an already-built logical plan (the programmatic surface)."""
+        if workers is None:
+            return execute_plan(self.catalog, plan, engine)
+        with parallel.use_workers(workers):
+            return execute_plan(self.catalog, plan, engine)
+
+
+def connect(source: Catalog | Database) -> Database:
+    """The conventional entry point: wrap a catalog in a Database."""
+    if isinstance(source, Database):
+        return source
+    return Database(source)

@@ -1,0 +1,22 @@
+"""Errors shared by the SQL planning and execution stages.
+
+:class:`SqlSyntaxError` (tokenizer/parser) lives in
+:mod:`repro.sql.tokens`; this module holds the post-parse failures.
+:class:`PlanError` subclasses :class:`SqlExecutionError` so callers
+that run a query end to end can keep catching one type regardless of
+whether the problem surfaced while planning or while executing.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import ReproError
+
+__all__ = ["SqlExecutionError", "PlanError"]
+
+
+class SqlExecutionError(ReproError):
+    """Raised when a well-formed query cannot be evaluated."""
+
+
+class PlanError(SqlExecutionError):
+    """Raised when a parsed query cannot be turned into a logical plan."""

@@ -1,75 +1,137 @@
-"""Executor for the mini SQL layer.
+"""Plan executor: the third stage of parse → plan → execute.
 
-Evaluates a parsed :class:`~repro.sql.ast.SelectQuery` against a
-:class:`~repro.relational.catalog.Catalog` (or a single relation).
-Results come back as a :class:`ResultSet` — column names plus row
-tuples — so examples and the CLI can print MySQL-style output.
+A logical plan (:mod:`repro.sql.plan`) is evaluated bottom-up over
+*frames* — ordered columns with a name and a table qualifier each.
+Results come back as a :class:`ResultSet` (column names plus row
+tuples with dict-style access).
 
-Two engines implement evaluation:
+Two engines implement every operator:
 
-* ``"columnar"`` (default) — the query compiles to the typed predicate
-  IR of :mod:`repro.relational.expr` and runs filter → group →
-  aggregate end-to-end on encoded code columns through the active
-  kernel backend.  ``WHERE`` becomes a vectorized mask (equality and
-  ``IN`` resolve in code space through the dictionary), ``GROUP BY``
-  plus ``COUNT``/``COUNT(DISTINCT …)`` run as one grouped-aggregate
-  kernel call, and projections gather codes instead of decoding row by
-  row.
-* ``"rowdict"`` — the original tree-walking interpreter over
-  materialized row dicts, retained as the *equivalence oracle*: the
+* ``"columnar"`` (default) — frames hold dictionary-encoded
+  :class:`~repro.relational.encoding.EncodedColumn` vectors.  Filters
+  compile to the typed predicate IR of :mod:`repro.relational.expr`
+  and run as vectorized masks through the active kernel backend; joins
+  remap one side's dictionary into the other's code space and run the
+  ``hash_join_index`` / ``left_join_index`` kernels; grouping rides
+  ``group_rows``; ORDER BY pre-computes integer ranks per dictionary
+  entry and argsorts them with the ``sort_index`` kernel.
+* ``"rowdict"`` — frames hold decoded row tuples and every operator is
+  a per-row tree walk, retained as the *equivalence oracle*: the
   property suite asserts both engines return identical results on both
-  kernel backends, NULL edge cases included.
+  kernel backends, NULL/NaN edge cases included.
 
-Semantics follow SQL where it matters to the paper:
+Name resolution is *static and eager* in both engines: every column
+reference in a filter, projection, join key, or sort key is resolved
+against the input frame (respecting ``t.col`` qualifiers, rejecting
+ambiguous names) before any row is evaluated.
 
-* ``COUNT(DISTINCT a, b)`` ignores rows where *any* counted attribute
-  is NULL (MySQL behaviour; the FD layer forbids NULLs in FD attributes
-  anyway, so engine-counting and SQL-counting agree on FD measures —
-  a property the test suite checks);
-* comparisons with NULL are never true (no three-valued logic beyond
-  that: ``WHERE`` keeps a row only when the predicate evaluates to
-  truth).
+Deliberately shared between the engines — they define the semantics,
+so sharing is what makes the oracle comparison byte-exact:
+
+* :func:`_fold_spec` — aggregate folds (``SUM``/``MIN``/``MAX``/``AVG``
+  skip NULLs and return NULL on empty input; ``COUNT`` returns 0), so
+  float accumulation order is identical;
+* :func:`_distinct_ranks` — the total order ORDER BY uses
+  (NULL smallest, then NaN, then value order; incomparable mixes
+  raise), applied to each engine's first-seen distinct values.
+
+SQL semantics that matter to the paper are unchanged from the
+pre-plan executor: ``COUNT(DISTINCT a, b)`` ignores rows where any
+counted attribute is NULL, and comparisons with NULL are never true
+(two-valued logic; ``NOT (A = 3)`` is true on a NULL row).
 """
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.relational import expr as ir
 from repro.relational import kernels
 from repro.relational.catalog import Catalog
-from repro.relational.errors import ReproError, UnknownAttributeError
+from repro.relational.encoding import EncodedColumn, remap_dictionary
+from repro.relational.errors import UnknownAttributeError, validate_engine
 from repro.relational.relation import Relation
 
 from .ast import (
+    AggregateCall,
     And,
+    Arith,
     ColumnRef,
     Comparison,
     CountDistinct,
     CountStar,
     Expression,
+    InList,
     IsNull,
     Literal,
     Not,
     Or,
     SelectQuery,
 )
+from .errors import PlanError, SqlExecutionError
 from .parser import parse
+from .plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    plan_query,
+)
 
 __all__ = [
+    "ResultRow",
     "ResultSet",
     "SqlExecutionError",
+    "PlanError",
     "compile_expression",
     "execute",
     "execute_on_relation",
+    "execute_plan",
 ]
 
 _ENGINES = ("columnar", "rowdict")
 
+#: Code-space sentinel for a right-side NULL join key: never equal to a
+#: left code (≥ 0), a left NULL (-1), or an unseen value (-2), so SQL's
+#: "NULL never matches" falls out of plain int equality.
+_JOIN_NULL = -3
 
-class SqlExecutionError(ReproError):
-    """Raised when a well-formed query cannot be evaluated."""
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+class ResultRow(tuple):
+    """One result row: a tuple that also answers to column names."""
+
+    def __new__(cls, values: Iterable[Any], names: tuple[str, ...]):
+        row = super().__new__(cls, values)
+        row._names = names
+        return row
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            try:
+                index = self._names.index(key)
+            except ValueError:
+                raise KeyError(f"unknown column {key!r}") from None
+            return tuple.__getitem__(self, index)
+        return tuple.__getitem__(self, key)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The row as ``{column: value}`` (first wins on duplicates)."""
+        out: dict[str, Any] = {}
+        for name, value in zip(self._names, self):
+            out.setdefault(name, value)
+        return out
 
 
 @dataclass(frozen=True)
@@ -78,6 +140,11 @@ class ResultSet:
 
     columns: tuple[str, ...]
     rows: tuple[tuple[Any, ...], ...]
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Alias of :attr:`columns` (the facade-facing name)."""
+        return self.columns
 
     @property
     def scalar(self) -> Any:
@@ -94,6 +161,9 @@ class ResultSet:
     def __iter__(self):
         return iter(self.rows)
 
+    def __getitem__(self, index: int):
+        return self.rows[index]
+
     def to_text(self, max_rows: int = 20) -> str:
         """A plain-text rendering (used by the CLI)."""
         header = " | ".join(self.columns)
@@ -106,12 +176,30 @@ class ResultSet:
             body.append(f"... ({len(self.rows) - max_rows} more rows)")
         return "\n".join([header, divider, *body])
 
+    def to_csv(self) -> str:
+        """The result as CSV text (header row first, NULL → empty)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return buffer.getvalue()
 
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
 def execute(catalog: Catalog, sql: str, engine: str = "columnar") -> ResultSet:
-    """Parse and run ``sql`` against a catalog."""
-    query = parse(sql)
-    relation = catalog.relation(query.table)
-    return _run(relation, query, engine)
+    """Parse, plan and run ``sql`` against a catalog."""
+    return execute_plan(catalog, plan_query(parse(sql)), engine)
+
+
+def execute_plan(catalog: Catalog, plan: Plan, engine: str = "columnar") -> ResultSet:
+    """Run an already-built logical plan against a catalog."""
+    validate_engine(engine, _ENGINES, SqlExecutionError)
+    if engine == "columnar":
+        return _ColumnarEngine(catalog, None).run(plan)
+    return _RowdictEngine(catalog, None).run(plan)
 
 
 def execute_on_relation(
@@ -126,19 +214,49 @@ def execute_on_relation(
     return _run(relation, query, engine)
 
 
+def _run(relation: Relation, query: SelectQuery, engine: str = "columnar") -> ResultSet:
+    """Plan and run a parsed query against one relation (no catalog).
+
+    Retained under its historical name: the advisor's index-aware
+    executor and the oracle property suite call it directly.
+    """
+    validate_engine(engine, _ENGINES, SqlExecutionError)
+    plan = plan_query(query)
+    if engine == "columnar":
+        return _ColumnarEngine(None, relation).run(plan)
+    return _RowdictEngine(None, relation).run(plan)
+
+
 # ----------------------------------------------------------------------
-# AST → IR compilation
+# AST → IR compilation (name-based; kept as a public compat surface)
 # ----------------------------------------------------------------------
 def compile_expression(expression: Expression) -> ir.Predicate:
-    """Compile a parsed ``WHERE`` AST into the relational predicate IR."""
+    """Compile a parsed WHERE AST into the relational predicate IR.
+
+    Column references compile by *name* (qualifiers are dropped); the
+    executor itself compiles by resolved frame position instead.
+    """
+    if isinstance(expression, ColumnRef):
+        return ir.Col(expression.name)
+    if isinstance(expression, Literal):
+        return ir.Lit(expression.value)
+    if isinstance(expression, Arith):
+        return ir.Arith(
+            expression.op,
+            compile_expression(expression.left),
+            compile_expression(expression.right),
+        )
     if isinstance(expression, Comparison):
         return ir.Cmp(
             expression.op,
-            _compile_operand(expression.left),
-            _compile_operand(expression.right),
+            compile_expression(expression.left),
+            compile_expression(expression.right),
         )
+    if isinstance(expression, InList):
+        membership = ir.InList(compile_expression(expression.operand), expression.values)
+        return ir.Not(membership) if expression.negated else membership
     if isinstance(expression, IsNull):
-        return ir.IsNull(_compile_operand(expression.operand), expression.negated)
+        return ir.IsNull(compile_expression(expression.operand), expression.negated)
     if isinstance(expression, Not):
         return ir.Not(compile_expression(expression.operand))
     if isinstance(expression, And):
@@ -152,316 +270,699 @@ def compile_expression(expression: Expression) -> ir.Predicate:
     raise SqlExecutionError(f"cannot evaluate {expression!r} as a predicate")
 
 
-def _compile_operand(operand: Any) -> ir.Operand:
-    if isinstance(operand, ColumnRef):
-        return ir.Col(operand.name)
-    if isinstance(operand, Literal):
-        return ir.Lit(operand.value)
-    raise SqlExecutionError(f"cannot evaluate operand {operand!r}")
-
-
 # ----------------------------------------------------------------------
-# Shared plumbing
+# Shared semantics
 # ----------------------------------------------------------------------
-def _run(relation: Relation, query: SelectQuery, engine: str = "columnar") -> ResultSet:
-    if engine not in _ENGINES:
-        raise SqlExecutionError(f"engine must be one of {_ENGINES}, got {engine!r}")
-    rows = _filtered_rows(relation, query.where, engine)
-    if query.group_by:
-        if engine == "columnar":
-            return _run_grouped_columnar(relation, query, rows)
-        return _run_grouped(relation, query, rows)
-    aggregates = [
-        item for item in query.items
-        if isinstance(item.expression, (CountStar, CountDistinct))
+def _resolve_ref(
+    names: Sequence[str], quals: Sequence[str | None], ref: ColumnRef
+) -> int:
+    """Static name resolution against a frame schema."""
+    matches = [
+        i
+        for i, (name, qual) in enumerate(zip(names, quals))
+        if name == ref.name and (ref.table is None or qual == ref.table)
     ]
-    if aggregates:
-        if len(aggregates) != len(query.items):
-            raise SqlExecutionError(
-                "cannot mix aggregates and plain columns without GROUP BY"
-            )
-        aggregate = _aggregate_columnar if engine == "columnar" else _aggregate
-        values = tuple(
-            aggregate(relation, item.expression, rows) for item in query.items
+    if not matches:
+        raise SqlExecutionError(f"unknown column {ref.qualified!r}")
+    if len(matches) > 1:
+        raise SqlExecutionError(f"ambiguous column {ref.qualified!r}")
+    return matches[0]
+
+
+def _fold_spec(
+    spec: AggregateSpec, arg_columns: Sequence[Sequence[Any]], rows: Iterable[int]
+) -> Any:
+    """One aggregate value over one group.
+
+    ``arg_columns`` holds the fully evaluated argument values (whole
+    frame); ``rows`` selects the group.  Rows with a NULL in any
+    argument are skipped (SQL), DISTINCT keeps first-seen unique
+    tuples, and the fold iterates in group row order — shared between
+    both engines so float results are bit-identical.
+    """
+    if not spec.arguments:  # COUNT(*)
+        return sum(1 for _ in rows)
+    tuples: list[tuple[Any, ...]] = []
+    for row in rows:
+        values = tuple(column[row] for column in arg_columns)
+        if any(value is None for value in values):
+            continue
+        tuples.append(values)
+    if spec.distinct:
+        seen: dict[tuple[Any, ...], None] = {}
+        for values in tuples:
+            seen.setdefault(values, None)
+        tuples = list(seen)
+    if spec.func == "count":
+        return len(tuples)
+    if not tuples:
+        return None
+    values = [t[0] for t in tuples]
+    try:
+        if spec.func == "sum":
+            return sum(values[1:], values[0])
+        if spec.func == "min":
+            return min(values)
+        if spec.func == "max":
+            return max(values)
+        if spec.func == "avg":
+            return sum(values[1:], values[0]) / len(values)
+    except TypeError as error:
+        raise SqlExecutionError(f"cannot aggregate {spec.func}: {error}") from None
+    raise SqlExecutionError(f"unknown aggregate function {spec.func!r}")
+
+
+_UNSET = object()
+
+
+def _distinct_ranks(values: Sequence[Any]) -> list[int]:
+    """ORDER BY ranks for a sequence of distinct values.
+
+    NaN entries all rank 1 (after NULL's implicit 0, before every
+    comparable value); comparable values are ranked by sorted order
+    with ``==``-equal entries sharing a rank (stable sort then keeps
+    their input order).  Raises on an incomparable mix.
+    """
+    ranks = [1] * len(values)
+    comparable = [(v, i) for i, v in enumerate(values) if v == v]
+    try:
+        comparable.sort(key=lambda pair: pair[0])
+    except TypeError as error:
+        raise SqlExecutionError(f"cannot order by mixed types: {error}") from None
+    rank = 1
+    previous: Any = _UNSET
+    for value, index in comparable:
+        if previous is _UNSET or not (value == previous):
+            rank += 1
+        ranks[index] = rank
+        previous = value
+    return ranks
+
+
+def _arith_value(op: str, left: Any, right: Any) -> Any:
+    """Shared scalar arithmetic: NULL propagates, errors are uniform."""
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+    except TypeError:
+        raise SqlExecutionError(f"cannot compute {left!r} {op} {right!r}") from None
+    except ZeroDivisionError:
+        raise SqlExecutionError(f"division by zero: {left!r} / {right!r}") from None
+    raise SqlExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _peel_result_shape(plan: Plan) -> tuple[Limit | None, Project]:
+    limit: Limit | None = None
+    if isinstance(plan, Limit):
+        limit = plan
+        plan = plan.source
+    if not isinstance(plan, Project):
+        raise SqlExecutionError(
+            f"plan root must be Project or Limit, got {type(plan).__name__}"
         )
-        columns = tuple(item.output_name for item in query.items)
-        return ResultSet(columns, (values,))
-    if engine == "columnar":
-        return _run_projection_columnar(relation, query, rows)
-    return _run_projection(relation, query, rows)
+    return limit, plan
 
 
-def _filtered_rows(
-    relation: Relation, where: Expression | None, engine: str
+def _slice_positions(
+    positions: Sequence[int], limit: Limit | None
 ) -> Sequence[int]:
-    if where is None:
-        return list(range(relation.num_rows))
-    if engine == "columnar":
-        predicate = compile_expression(where)
-        try:
-            return ir.filter_rows(relation, predicate)
-        except UnknownAttributeError as error:
-            raise SqlExecutionError(str(error)) from None
-        except ir.ExpressionError as error:
-            raise SqlExecutionError(str(error)) from None
-    names = relation.attribute_names
-    columns = {name: relation.column(name) for name in names}
-    keep: list[int] = []
-    for row in range(relation.num_rows):
-        values = {name: columns[name].value(row) for name in names}
-        if _evaluate(where, values):
-            keep.append(row)
-    return keep
-
-
-def _projection_names(relation: Relation, query: SelectQuery) -> tuple[list[str], list[str]]:
-    """Resolved input column names and output labels of a projection."""
-    names: list[str] = []
-    for item in query.items:
-        assert isinstance(item.expression, ColumnRef)
-        if item.expression.name == "*":
-            names.extend(relation.attribute_names)
-        else:
-            names.append(item.expression.name)
-    star_used = any(
-        isinstance(item.expression, ColumnRef) and item.expression.name == "*"
-        for item in query.items
-    )
-    if star_used:
-        output_names = list(names)
-    else:
-        output_names = [item.output_name for item in query.items]
-    return names, output_names
+    if limit is None:
+        return positions
+    start = limit.offset
+    if limit.limit is None:
+        return positions[start:]
+    return positions[start : start + limit.limit]
 
 
 # ----------------------------------------------------------------------
 # Columnar engine
 # ----------------------------------------------------------------------
-def _gathered_codes(
-    relation: Relation, names: Sequence[str], rows: Sequence[int]
-) -> list[Sequence[int]]:
-    backend = kernels.get_backend()
-    return [
-        backend.gather(relation.column(name).kernel_codes(), rows) for name in names
-    ]
+class _CFrame:
+    """An ordered set of encoded columns with names and qualifiers."""
+
+    __slots__ = ("names", "quals", "columns", "num_rows")
+
+    def __init__(
+        self,
+        names: list[str],
+        quals: list[str | None],
+        columns: list[EncodedColumn],
+        num_rows: int,
+    ) -> None:
+        self.names = names
+        self.quals = quals
+        self.columns = columns
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_relation(cls, relation: Relation, qualifier: str) -> "_CFrame":
+        names = list(relation.attribute_names)
+        columns = [relation.column(name) for name in names]
+        return cls(names, [qualifier] * len(names), columns, relation.num_rows)
+
+    def take(self, rows: Sequence[int]) -> "_CFrame":
+        columns = [column.take(rows) for column in self.columns]
+        return _CFrame(self.names, self.quals, columns, len(rows))
+
+    def resolve(self, ref: ColumnRef) -> int:
+        return _resolve_ref(self.names, self.quals, ref)
 
 
-def _aggregate_columnar(
-    relation: Relation, expression: Any, rows: Sequence[int]
-) -> int:
-    if isinstance(expression, CountStar):
-        return len(rows)
-    if isinstance(expression, CountDistinct):
+class _FrameSchema:
+    """Just enough schema for the IR mask evaluator's name probes."""
+
+    __slots__ = ("_count",)
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+
+    def position(self, name: str) -> int:
+        index = int(name)
+        if not 0 <= index < self._count:
+            raise UnknownAttributeError(name)
+        return index
+
+
+class _FrameRelation:
+    """Adapter: a frame pretending to be a Relation for the IR evaluator.
+
+    Column "names" are frame positions as strings — the executor
+    resolves real names statically and compiles ``Col(str(position))``.
+    """
+
+    def __init__(self, frame: _CFrame) -> None:
+        self._frame = frame
+        self.schema = _FrameSchema(len(frame.columns))
+
+    @property
+    def num_rows(self) -> int:
+        return self._frame.num_rows
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [str(i) for i in range(len(self._frame.columns))]
+
+    def column(self, name: str) -> EncodedColumn:
+        return self._frame.columns[int(name)]
+
+
+def _compact(column: EncodedColumn) -> EncodedColumn:
+    """Re-encode so the dictionary is exactly the present values,
+    first-seen — the invariant ORDER BY's rank tables rely on."""
+    return column.take(range(len(column.codes)))
+
+
+class _ColumnarEngine:
+    def __init__(self, catalog: Catalog | None, relation: Relation | None) -> None:
+        self._catalog = catalog
+        self._relation = relation
+
+    def run(self, plan: Plan) -> ResultSet:
+        limit, project = _peel_result_shape(plan)
+        frame = self._frame(project.source)
+        names, columns = self._project_columns(frame, project)
         backend = kernels.get_backend()
-        gathered = _gathered_codes(relation, expression.columns, rows)
-        # SQL semantics: a row with NULL in any counted column is not
-        # counted.  Build the validity mask in code space and count
-        # distinct combinations among the surviving positions.
-        valid = backend.mask_fill(len(rows), True)
-        for codes in gathered:
-            valid = backend.mask_and(
-                valid, backend.mask_not(backend.mask_eq_code(codes, -1))
-            )
-        positions = backend.filter_mask(valid)
-        if len(positions) == 0:
-            return 0
-        return backend.count_distinct(
-            [backend.gather(codes, positions) for codes in gathered]
-        )
-    raise SqlExecutionError(f"unsupported aggregate {expression!r}")
-
-
-def _decode_column(column, codes: Sequence[int]) -> list[Any]:
-    dictionary = column.dictionary
-    if hasattr(codes, "tolist"):
-        codes = codes.tolist()
-    return [None if code < 0 else dictionary[code] for code in codes]
-
-
-def _run_projection_columnar(
-    relation: Relation, query: SelectQuery, rows: Sequence[int]
-) -> ResultSet:
-    names, output_names = _projection_names(relation, query)
-    backend = kernels.get_backend()
-    columns = [relation.column(name) for name in names]
-    if query.distinct:
-        gathered = _gathered_codes(relation, names, rows)
-        positions = backend.distinct_rows(gathered)
-        if query.limit is not None:
-            positions = positions[: query.limit]
-        out_codes = [backend.gather(codes, positions) for codes in gathered]
-    else:
-        if query.limit is not None:
-            rows = rows[: query.limit]
-        out_codes = _gathered_codes(relation, names, rows)
-    decoded = [
-        _decode_column(column, codes) for column, codes in zip(columns, out_codes)
-    ]
-    if not decoded:
-        return ResultSet(tuple(output_names), ())
-    return ResultSet(tuple(output_names), tuple(zip(*decoded)))
-
-
-def _run_grouped_columnar(
-    relation: Relation, query: SelectQuery, rows: Sequence[int]
-) -> ResultSet:
-    group_columns = [relation.column(name) for name in query.group_by]
-    output_names: list[str] = []
-    distinct_specs: list[list[Sequence[int]]] = []
-    for item in query.items:
-        if isinstance(item.expression, ColumnRef):
-            if item.expression.name not in query.group_by:
-                raise SqlExecutionError(
-                    f"column {item.expression.name!r} must appear in GROUP BY"
+        if project.distinct:
+            codes = [
+                column.kernel_codes()
+                if isinstance(column, EncodedColumn)
+                else EncodedColumn.from_values(column).kernel_codes()
+                for column in columns
+            ]
+            positions: Sequence[int] = list(backend.distinct_rows(codes))
+        else:
+            positions = range(frame.num_rows)
+        positions = _slice_positions(positions, limit)
+        out_rows = []
+        decoded: list[list[Any]] = []
+        for column in columns:
+            if isinstance(column, EncodedColumn):
+                gathered = backend.gather(column.kernel_codes(), list(positions))
+                dictionary = column.dictionary
+                decoded.append(
+                    [None if code < 0 else dictionary[code] for code in gathered]
                 )
-        elif isinstance(item.expression, CountDistinct):
-            distinct_specs.append(
-                [
-                    relation.column(name).kernel_codes()
-                    for name in item.expression.columns
-                ]
-            )
-        elif not isinstance(item.expression, CountStar):
-            raise SqlExecutionError(f"unsupported aggregate {item.expression!r}")
-        output_names.append(item.output_name)
-    backend = kernels.get_backend()
-    keys, counts, distincts = backend.grouped_aggregate(
-        [column.kernel_codes() for column in group_columns], rows, distinct_specs
-    )
-    num_groups = len(keys)
-    if query.limit is not None:
-        num_groups = min(num_groups, query.limit)
-    result_rows: list[tuple[Any, ...]] = []
-    for group in range(num_groups):
-        key = keys[group]
-        record: list[Any] = []
-        spec_index = 0
-        for item in query.items:
-            if isinstance(item.expression, ColumnRef):
-                position = query.group_by.index(item.expression.name)
-                code = key[position]
-                column = group_columns[position]
-                record.append(None if code < 0 else column.dictionary[code])
-            elif isinstance(item.expression, CountStar):
-                record.append(counts[group])
             else:
-                record.append(distincts[spec_index][group])
-                spec_index += 1
-        result_rows.append(tuple(record))
-    return ResultSet(tuple(output_names), tuple(result_rows))
+                decoded.append([column[p] for p in positions])
+        names_tuple = tuple(names)
+        for i in range(len(positions)):
+            out_rows.append(ResultRow((column[i] for column in decoded), names_tuple))
+        return ResultSet(names_tuple, tuple(out_rows))
+
+    # -- operators ------------------------------------------------------
+    def _frame(self, plan: Plan) -> _CFrame:
+        if isinstance(plan, Scan):
+            return _CFrame.from_relation(self._scan_relation(plan), plan.binding)
+        if isinstance(plan, Filter):
+            return self._filter(self._frame(plan.source), plan)
+        if isinstance(plan, Join):
+            return self._join(self._frame(plan.source), plan)
+        if isinstance(plan, Aggregate):
+            return self._aggregate(self._frame(plan.source), plan)
+        if isinstance(plan, Sort):
+            return self._sort(self._frame(plan.source), plan.keys)
+        raise SqlExecutionError(f"unsupported plan node {type(plan).__name__}")
+
+    def _scan_relation(self, scan: Scan) -> Relation:
+        if self._catalog is None:
+            assert self._relation is not None
+            return self._relation
+        return self._catalog.relation(scan.table)
+
+    def _filter(self, frame: _CFrame, node: Filter) -> _CFrame:
+        predicate = self._compile(frame, node.predicate)
+        try:
+            rows = ir.filter_rows(_FrameRelation(frame), predicate)
+        except (ir.ExpressionError, UnknownAttributeError) as error:
+            raise SqlExecutionError(str(error)) from None
+        return frame.take(rows)
+
+    def _compile(self, frame: _CFrame, expression: Expression) -> Any:
+        if isinstance(expression, ColumnRef):
+            return ir.Col(str(frame.resolve(expression)))
+        if isinstance(expression, Literal):
+            return ir.Lit(expression.value)
+        if isinstance(expression, Arith):
+            return ir.Arith(
+                expression.op,
+                self._compile(frame, expression.left),
+                self._compile(frame, expression.right),
+            )
+        if isinstance(expression, Comparison):
+            return ir.Cmp(
+                expression.op,
+                self._compile(frame, expression.left),
+                self._compile(frame, expression.right),
+            )
+        if isinstance(expression, InList):
+            membership = ir.InList(
+                self._compile(frame, expression.operand), expression.values
+            )
+            return ir.Not(membership) if expression.negated else membership
+        if isinstance(expression, IsNull):
+            return ir.IsNull(
+                self._compile(frame, expression.operand), expression.negated
+            )
+        if isinstance(expression, Not):
+            return ir.Not(self._compile(frame, expression.operand))
+        if isinstance(expression, And):
+            return ir.And(
+                self._compile(frame, expression.left),
+                self._compile(frame, expression.right),
+            )
+        if isinstance(expression, Or):
+            return ir.Or(
+                self._compile(frame, expression.left),
+                self._compile(frame, expression.right),
+            )
+        raise SqlExecutionError(f"cannot evaluate {expression!r} as a predicate")
+
+    def _join(self, frame: _CFrame, node: Join) -> _CFrame:
+        if self._catalog is None:
+            raise SqlExecutionError("joins require a catalog")
+        right_rel = self._catalog.relation(node.table)
+        right = _CFrame.from_relation(right_rel, node.binding)
+        backend = kernels.get_backend()
+        left_codes = []
+        right_codes = []
+        for left_ref, right_ref in zip(node.left_keys, node.right_keys):
+            left_col = frame.columns[frame.resolve(left_ref)]
+            right_col = right.columns[right.resolve(right_ref)]
+            # SQL ON-equality: NULL never matches (right NULLs leave the
+            # shared code space entirely), NaN never matches (== policy).
+            mapping = remap_dictionary(right_col, left_col, nan_matches=False)
+            left_codes.append(left_col.kernel_codes())
+            right_codes.append(
+                backend.remap_codes(right_col.kernel_codes(), mapping, _JOIN_NULL)
+            )
+        if node.kind == "left":
+            left_rows, right_rows = backend.left_join_index(left_codes, right_codes)
+            right_columns = [
+                _compact(
+                    EncodedColumn(
+                        list(backend.gather_padded(column.kernel_codes(), right_rows)),
+                        list(column.dictionary),
+                    )
+                )
+                for column in right.columns
+            ]
+        else:
+            left_rows, right_rows = backend.hash_join_index(left_codes, right_codes)
+            right_columns = [column.take(right_rows) for column in right.columns]
+        left_columns = [column.take(left_rows) for column in frame.columns]
+        return _CFrame(
+            frame.names + right.names,
+            frame.quals + right.quals,
+            left_columns + right_columns,
+            len(left_columns[0].codes) if left_columns else 0,
+        )
+
+    def _eval_values(self, frame: _CFrame, expression: Expression) -> list[Any]:
+        """Evaluate a value expression over every frame row."""
+        if isinstance(expression, ColumnRef):
+            return frame.columns[frame.resolve(expression)].values()
+        if isinstance(expression, Literal):
+            return [expression.value] * frame.num_rows
+        if isinstance(expression, Arith):
+            left = self._eval_values(frame, expression.left)
+            right = self._eval_values(frame, expression.right)
+            op = expression.op
+            return [_arith_value(op, l, r) for l, r in zip(left, right)]
+        raise SqlExecutionError(f"cannot evaluate {expression!r} as a value")
+
+    def _aggregate(self, frame: _CFrame, node: Aggregate) -> _CFrame:
+        backend = kernels.get_backend()
+        key_positions = [frame.resolve(key) for key in node.group_by]
+        if key_positions:
+            key_codes = [frame.columns[p].kernel_codes() for p in key_positions]
+            groups = backend.group_rows(key_codes, list(range(frame.num_rows)))
+        else:
+            groups = [list(range(frame.num_rows))]
+        arg_columns_per_spec = [
+            [self._eval_values(frame, argument) for argument in spec.arguments]
+            for spec in node.specs
+        ]
+        first_rows = [group[0] for group in groups] if key_positions else []
+        columns = [frame.columns[p].take(first_rows) for p in key_positions]
+        names = [frame.names[p] for p in key_positions]
+        quals: list[str | None] = [frame.quals[p] for p in key_positions]
+        for index, (spec, arg_columns) in enumerate(
+            zip(node.specs, arg_columns_per_spec)
+        ):
+            values = [_fold_spec(spec, arg_columns, group) for group in groups]
+            columns.append(EncodedColumn.from_values(values))
+            names.append(f"__agg{index}")
+            quals.append(None)
+        return _CFrame(names, quals, columns, len(groups))
+
+    def _sort(self, frame: _CFrame, keys: tuple[SortKey, ...]) -> _CFrame:
+        backend = kernels.get_backend()
+        rank_columns = []
+        for key in keys:
+            if isinstance(key.expression, ColumnRef):
+                column = frame.columns[frame.resolve(key.expression)]
+            else:
+                column = EncodedColumn.from_values(
+                    self._eval_values(frame, key.expression)
+                )
+            ranks = _distinct_ranks(column.dictionary)
+            sign = -1 if key.descending else 1
+            rank_columns.append(
+                [sign * (0 if code < 0 else ranks[code]) for code in column.codes]
+            )
+        order = backend.sort_index(rank_columns)
+        return frame.take(list(order))
+
+    def _project_columns(
+        self, frame: _CFrame, node: Project
+    ) -> tuple[list[str], list[Any]]:
+        """Output names plus one column each — an EncodedColumn for plain
+        references, a value list for computed expressions."""
+        if node.names == ("*",):
+            return list(frame.names), list(frame.columns)
+        names = list(node.names)
+        columns: list[Any] = []
+        for expression in node.expressions:
+            if isinstance(expression, ColumnRef):
+                columns.append(frame.columns[frame.resolve(expression)])
+            else:
+                columns.append(self._eval_values(frame, expression))
+        return names, columns
 
 
 # ----------------------------------------------------------------------
 # Row-dict engine (the retained equivalence oracle)
 # ----------------------------------------------------------------------
-def _evaluate(expr: Expression, values: dict[str, Any]) -> bool:
-    if isinstance(expr, Comparison):
-        left = _operand(expr.left, values)
-        right = _operand(expr.right, values)
-        if left is None or right is None:
-            return False
-        try:
-            if expr.op == "=":
-                return left == right
-            if expr.op == "<>":
-                return left != right
-            if expr.op == "<":
-                return left < right
-            if expr.op == "<=":
-                return left <= right
-            if expr.op == ">":
-                return left > right
-            if expr.op == ">=":
-                return left >= right
-        except TypeError:
-            raise SqlExecutionError(
-                f"cannot compare {left!r} and {right!r} with {expr.op}"
-            ) from None
-        raise SqlExecutionError(f"unknown operator {expr.op!r}")
-    if isinstance(expr, IsNull):
-        value = _operand(expr.operand, values)
-        return (value is not None) if expr.negated else (value is None)
-    if isinstance(expr, Not):
-        return not _evaluate(expr.operand, values)
-    if isinstance(expr, And):
-        return _evaluate(expr.left, values) and _evaluate(expr.right, values)
-    if isinstance(expr, Or):
-        return _evaluate(expr.left, values) or _evaluate(expr.right, values)
-    raise SqlExecutionError(f"cannot evaluate {expr!r} as a predicate")
+class _RFrame:
+    """Decoded row tuples plus the same (names, qualifiers) schema."""
+
+    __slots__ = ("names", "quals", "rows")
+
+    def __init__(
+        self, names: list[str], quals: list[str | None], rows: list[tuple[Any, ...]]
+    ) -> None:
+        self.names = names
+        self.quals = quals
+        self.rows = rows
+
+    @classmethod
+    def from_relation(cls, relation: Relation, qualifier: str) -> "_RFrame":
+        names = list(relation.attribute_names)
+        columns = [relation.column(name) for name in names]
+        rows = [
+            tuple(column.value(row) for column in columns)
+            for row in range(relation.num_rows)
+        ]
+        return cls(names, [qualifier] * len(names), rows)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        return _resolve_ref(self.names, self.quals, ref)
 
 
-def _operand(expr: Any, values: dict[str, Any]) -> Any:
-    if isinstance(expr, ColumnRef):
-        if expr.name not in values:
-            raise SqlExecutionError(f"unknown column {expr.name!r}")
-        return values[expr.name]
-    if isinstance(expr, Literal):
-        return expr.value
-    raise SqlExecutionError(f"cannot evaluate operand {expr!r}")
+class _RowdictEngine:
+    def __init__(self, catalog: Catalog | None, relation: Relation | None) -> None:
+        self._catalog = catalog
+        self._relation = relation
 
-
-def _aggregate(relation: Relation, expression: Any, rows: Sequence[int]) -> int:
-    if isinstance(expression, CountStar):
-        return len(rows)
-    if isinstance(expression, CountDistinct):
-        columns = [relation.column(name) for name in expression.columns]
-        seen: set[tuple[int, ...]] = set()
-        for row in rows:
-            codes = tuple(column.codes[row] for column in columns)
-            if any(code < 0 for code in codes):  # SQL: NULLs are not counted
-                continue
-            seen.add(codes)
-        return len(seen)
-    raise SqlExecutionError(f"unsupported aggregate {expression!r}")
-
-
-def _run_projection(
-    relation: Relation, query: SelectQuery, rows: Sequence[int]
-) -> ResultSet:
-    names, output_names = _projection_names(relation, query)
-    columns = [relation.column(name) for name in names]
-    result_rows: list[tuple[Any, ...]] = []
-    seen: set[tuple[Any, ...]] = set()
-    for row in rows:
-        if query.limit is not None and len(result_rows) >= query.limit:
-            break
-        record = tuple(column.value(row) for column in columns)
-        if query.distinct:
-            if record in seen:
-                continue
-            seen.add(record)
-        result_rows.append(record)
-    return ResultSet(tuple(output_names), tuple(result_rows))
-
-
-def _run_grouped(
-    relation: Relation, query: SelectQuery, rows: Sequence[int]
-) -> ResultSet:
-    group_columns = [relation.column(name) for name in query.group_by]
-    groups: dict[tuple[int, ...], list[int]] = {}
-    for row in rows:
-        key = tuple(column.codes[row] for column in group_columns)
-        groups.setdefault(key, []).append(row)
-    output_names: list[str] = []
-    for item in query.items:
-        if isinstance(item.expression, ColumnRef):
-            if item.expression.name not in query.group_by:
-                raise SqlExecutionError(
-                    f"column {item.expression.name!r} must appear in GROUP BY"
+    def run(self, plan: Plan) -> ResultSet:
+        limit, project = _peel_result_shape(plan)
+        frame = self._frame(project.source)
+        if project.names == ("*",):
+            names = tuple(frame.names)
+            out_rows = list(frame.rows)
+        else:
+            names = tuple(project.names)
+            for expression in project.expressions:
+                self._bind(frame, expression)
+            out_rows = [
+                tuple(
+                    self._value(expression, frame, row)
+                    for expression in project.expressions
                 )
-        output_names.append(item.output_name)
-    result_rows: list[tuple[Any, ...]] = []
-    for key, group_rows in groups.items():
-        if query.limit is not None and len(result_rows) >= query.limit:
-            break
-        record: list[Any] = []
-        for item in query.items:
-            if isinstance(item.expression, ColumnRef):
-                position = query.group_by.index(item.expression.name)
-                column = group_columns[position]
-                code = key[position]
-                record.append(None if code < 0 else column.dictionary[code])
+                for row in frame.rows
+            ]
+        if project.distinct:
+            seen: dict[tuple[Any, ...], None] = {}
+            deduped = []
+            for row in out_rows:
+                if row not in seen:
+                    seen[row] = None
+                    deduped.append(row)
+            out_rows = deduped
+        positions = _slice_positions(range(len(out_rows)), limit)
+        return ResultSet(
+            names, tuple(ResultRow(out_rows[p], names) for p in positions)
+        )
+
+    # -- operators ------------------------------------------------------
+    def _frame(self, plan: Plan) -> _RFrame:
+        if isinstance(plan, Scan):
+            return _RFrame.from_relation(self._scan_relation(plan), plan.binding)
+        if isinstance(plan, Filter):
+            return self._filter(self._frame(plan.source), plan)
+        if isinstance(plan, Join):
+            return self._join(self._frame(plan.source), plan)
+        if isinstance(plan, Aggregate):
+            return self._aggregate(self._frame(plan.source), plan)
+        if isinstance(plan, Sort):
+            return self._sort(self._frame(plan.source), plan.keys)
+        raise SqlExecutionError(f"unsupported plan node {type(plan).__name__}")
+
+    def _scan_relation(self, scan: Scan) -> Relation:
+        if self._catalog is None:
+            assert self._relation is not None
+            return self._relation
+        return self._catalog.relation(scan.table)
+
+    def _bind(self, frame: _RFrame, expression: Expression) -> None:
+        """Eager static resolution of every column reference."""
+        if isinstance(expression, ColumnRef):
+            frame.resolve(expression)
+            return
+        if isinstance(expression, (Arith, Comparison, And, Or)):
+            self._bind(frame, expression.left)
+            self._bind(frame, expression.right)
+            return
+        if isinstance(expression, (IsNull, Not, InList)):
+            self._bind(frame, expression.operand)
+            return
+        if isinstance(expression, (Literal, CountStar, CountDistinct)):
+            return
+        if isinstance(expression, AggregateCall):
+            self._bind(frame, expression.argument)
+            return
+        raise SqlExecutionError(f"cannot evaluate {expression!r}")
+
+    def _filter(self, frame: _RFrame, node: Filter) -> _RFrame:
+        self._bind(frame, node.predicate)
+        kept = [
+            row
+            for row in frame.rows
+            if self._truth(node.predicate, frame, row)
+        ]
+        return _RFrame(frame.names, frame.quals, kept)
+
+    def _value(self, expression: Expression, frame: _RFrame, row: tuple) -> Any:
+        if isinstance(expression, ColumnRef):
+            return row[frame.resolve(expression)]
+        if isinstance(expression, Literal):
+            return expression.value
+        if isinstance(expression, Arith):
+            return _arith_value(
+                expression.op,
+                self._value(expression.left, frame, row),
+                self._value(expression.right, frame, row),
+            )
+        raise SqlExecutionError(f"cannot evaluate {expression!r} as a value")
+
+    def _truth(self, expression: Expression, frame: _RFrame, row: tuple) -> bool:
+        if isinstance(expression, Comparison):
+            left = self._value(expression.left, frame, row)
+            right = self._value(expression.right, frame, row)
+            if left is None or right is None:
+                return False
+            op = expression.op
+            try:
+                if op == "=":
+                    return bool(left == right)
+                if op == "<>":
+                    return bool(left != right)
+                if op == "<":
+                    return bool(left < right)
+                if op == "<=":
+                    return bool(left <= right)
+                if op == ">":
+                    return bool(left > right)
+                if op == ">=":
+                    return bool(left >= right)
+            except TypeError:
+                raise SqlExecutionError(
+                    f"cannot compare {left!r} and {right!r} with {op}"
+                ) from None
+            raise SqlExecutionError(f"unknown comparison operator {op!r}")
+        if isinstance(expression, InList):
+            value = self._value(expression.operand, frame, row)
+            if value is None:
+                return expression.negated
+            hit = any(item is not None and value == item for item in expression.values)
+            return (not hit) if expression.negated else hit
+        if isinstance(expression, IsNull):
+            value = self._value(expression.operand, frame, row)
+            return (value is not None) if expression.negated else (value is None)
+        if isinstance(expression, Not):
+            return not self._truth(expression.operand, frame, row)
+        if isinstance(expression, And):
+            return self._truth(expression.left, frame, row) and self._truth(
+                expression.right, frame, row
+            )
+        if isinstance(expression, Or):
+            return self._truth(expression.left, frame, row) or self._truth(
+                expression.right, frame, row
+            )
+        raise SqlExecutionError(f"cannot evaluate {expression!r} as a predicate")
+
+    def _join(self, frame: _RFrame, node: Join) -> _RFrame:
+        if self._catalog is None:
+            raise SqlExecutionError("joins require a catalog")
+        right = _RFrame.from_relation(
+            self._catalog.relation(node.table), node.binding
+        )
+        left_positions = [frame.resolve(ref) for ref in node.left_keys]
+        right_positions = [right.resolve(ref) for ref in node.right_keys]
+        build: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for row in right.rows:
+            key = tuple(row[p] for p in right_positions)
+            if any(v is None or v != v for v in key):  # NULL/NaN never match
+                continue
+            build.setdefault(key, []).append(row)
+        padding = (None,) * len(right.names)
+        out_rows: list[tuple[Any, ...]] = []
+        for row in frame.rows:
+            key = tuple(row[p] for p in left_positions)
+            if any(v is None or v != v for v in key):
+                matches = None
             else:
-                record.append(_aggregate(relation, item.expression, group_rows))
-        result_rows.append(tuple(record))
-    return ResultSet(tuple(output_names), tuple(result_rows))
+                matches = build.get(key)
+            if matches is None:
+                if node.kind == "left":
+                    out_rows.append(row + padding)
+                continue
+            for match in matches:
+                out_rows.append(row + match)
+        return _RFrame(
+            frame.names + right.names, frame.quals + right.quals, out_rows
+        )
+
+    def _aggregate(self, frame: _RFrame, node: Aggregate) -> _RFrame:
+        key_positions = [frame.resolve(key) for key in node.group_by]
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        if key_positions:
+            for index, row in enumerate(frame.rows):
+                key = tuple(row[p] for p in key_positions)
+                groups.setdefault(key, []).append(index)
+            group_rows = list(groups.values())
+        else:
+            group_rows = [list(range(len(frame.rows)))]
+        arg_columns_per_spec = []
+        for spec in node.specs:
+            for argument in spec.arguments:
+                self._bind(frame, argument)
+            arg_columns_per_spec.append(
+                [
+                    [self._value(argument, frame, row) for row in frame.rows]
+                    for argument in spec.arguments
+                ]
+            )
+        out_rows = []
+        for rows in group_rows:
+            record = [frame.rows[rows[0]][p] for p in key_positions]
+            for spec, arg_columns in zip(node.specs, arg_columns_per_spec):
+                record.append(_fold_spec(spec, arg_columns, rows))
+            out_rows.append(tuple(record))
+        names = [frame.names[p] for p in key_positions]
+        quals: list[str | None] = [frame.quals[p] for p in key_positions]
+        for index in range(len(node.specs)):
+            names.append(f"__agg{index}")
+            quals.append(None)
+        return _RFrame(names, quals, out_rows)
+
+    def _sort(self, frame: _RFrame, keys: tuple[SortKey, ...]) -> _RFrame:
+        rank_columns: list[list[int]] = []
+        for key in keys:
+            self._bind(frame, key.expression)
+            values = [
+                self._value(key.expression, frame, row) for row in frame.rows
+            ]
+            # First-seen distinct values (identity-aware for NaN, like
+            # the columnar dictionary), ranked by the shared total order.
+            index: dict[Any, int] = {}
+            distinct: list[Any] = []
+            codes = []
+            for value in values:
+                if value is None:
+                    codes.append(-1)
+                    continue
+                slot = index.get(value)
+                if slot is None:
+                    slot = len(distinct)
+                    index[value] = slot
+                    distinct.append(value)
+                codes.append(slot)
+            ranks = _distinct_ranks(distinct)
+            sign = -1 if key.descending else 1
+            rank_columns.append(
+                [sign * (0 if code < 0 else ranks[code]) for code in codes]
+            )
+        order = sorted(
+            range(len(frame.rows)),
+            key=lambda row: tuple(column[row] for column in rank_columns),
+        )
+        return _RFrame(frame.names, frame.quals, [frame.rows[i] for i in order])

@@ -1,40 +1,62 @@
-"""Recursive-descent parser for the mini SQL grammar.
+"""Recursive-descent parser for the SQL grammar.
 
 Grammar (case-insensitive keywords)::
 
-    query      := SELECT [DISTINCT] items FROM identifier
-                  [WHERE expr] [GROUP BY columns] [LIMIT number]
-    items      := item (',' item)* | '*'
-    item       := (COUNT '(' '*' ')' | COUNT '(' DISTINCT columns ')'
-                  | identifier) [AS identifier]
-    columns    := identifier (',' identifier)*
+    query      := SELECT [DISTINCT] items FROM table_ref join*
+                  [WHERE expr] [GROUP BY columns [HAVING expr]]
+                  [ORDER BY order_item (',' order_item)*]
+                  [LIMIT number [OFFSET number]]
+    table_ref  := identifier [[AS] identifier]
+    join       := [INNER | LEFT [OUTER]] JOIN table_ref ON expr
+    items      := '*' | item (',' item)*
+    item       := expr [AS identifier]
+    columns    := qualified (',' qualified)*
+    order_item := expr [ASC | DESC]
     expr       := or_expr
     or_expr    := and_expr (OR and_expr)*
     and_expr   := not_expr (AND not_expr)*
-    not_expr   := NOT not_expr | primary
-    primary    := '(' expr ')' | operand (comparison | IS [NOT] NULL)
-    operand    := identifier | literal
+    not_expr   := NOT not_expr | cmp_expr
+    cmp_expr   := add_expr [cmpop add_expr
+                            | IS [NOT] NULL
+                            | [NOT] IN '(' literal (',' literal)* ')']
+    add_expr   := mul_expr (('+' | '-') mul_expr)*
+    mul_expr   := primary (('*' | '/') primary)*
+    primary    := '(' expr ')' | literal | aggregate | qualified
+    aggregate  := COUNT '(' ('*' | [DISTINCT] args) ')'
+                  | (SUM|MIN|MAX|AVG) '(' [DISTINCT] expr ')'
+    qualified  := identifier ['.' identifier]
+
+``COUNT(*)`` and ``COUNT(DISTINCT col, …)`` keep their dedicated AST
+nodes; every other aggregate shape becomes :class:`AggregateCall`.
 """
 
 from __future__ import annotations
 
 from .ast import (
+    AggregateCall,
     And,
+    Arith,
     ColumnRef,
     Comparison,
     CountDistinct,
     CountStar,
     Expression,
+    InList,
     IsNull,
+    JoinClause,
     Literal,
     Not,
     Or,
+    OrderItem,
     SelectItem,
     SelectQuery,
 )
 from .tokens import SqlSyntaxError, Token, TokenType, tokenize
 
 __all__ = ["parse"]
+
+_AGG_KEYWORDS = ("count", "sum", "min", "max", "avg")
+_CMP_OPS = ("<>", "!=", "<=", ">=", "=", "<", ">")
 
 
 def parse(text: str) -> SelectQuery:
@@ -52,21 +74,31 @@ class _Parser:
     def _current(self) -> Token:
         return self._tokens[self._index]
 
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
     def _advance(self) -> Token:
         token = self._current
         self._index += 1
         return token
 
+    def _fail(self, message: str, token: Token | None = None) -> None:
+        token = token or self._current
+        raise SqlSyntaxError(
+            message, token.position, token.line, token.column, token.described
+        )
+
     def _expect_keyword(self, word: str) -> Token:
         token = self._current
         if not token.is_keyword(word):
-            raise SqlSyntaxError(f"expected {word.upper()}, got {token.value!r}", token.position)
+            self._fail(f"expected {word.upper()}, got {token.described!r}")
         return self._advance()
 
     def _expect_punct(self, char: str) -> Token:
         token = self._current
         if token.type is not TokenType.PUNCTUATION or token.value != char:
-            raise SqlSyntaxError(f"expected {char!r}, got {token.value!r}", token.position)
+            self._fail(f"expected {char!r}, got {token.described!r}")
         return self._advance()
 
     def _accept_keyword(self, word: str) -> bool:
@@ -82,12 +114,26 @@ class _Parser:
             return True
         return False
 
+    def _accept_operator(self, *ops: str) -> str | None:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            self._advance()
+            return token.value
+        return None
+
     def _expect_identifier(self) -> str:
         token = self._current
         if token.type is not TokenType.IDENTIFIER:
-            raise SqlSyntaxError(f"expected an identifier, got {token.value!r}", token.position)
+            self._fail(f"expected an identifier, got {token.described!r}")
         self._advance()
         return token.value
+
+    def _expect_number(self, context: str) -> int:
+        token = self._current
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            self._fail(f"{context} expects an integer")
+        self._advance()
+        return int(token.value)
 
     # -- grammar --------------------------------------------------------
     def parse_query(self) -> SelectQuery:
@@ -95,24 +141,31 @@ class _Parser:
         distinct = self._accept_keyword("distinct")
         items = self._parse_items()
         self._expect_keyword("from")
-        table = self._expect_identifier()
+        table, table_alias = self._parse_table_ref()
+        joins = self._parse_joins()
         where: Expression | None = None
         group_by: tuple[str, ...] = ()
+        having: Expression | None = None
+        order_by: tuple[OrderItem, ...] = ()
         limit: int | None = None
+        offset: int | None = None
         if self._accept_keyword("where"):
             where = self._parse_expr()
         if self._accept_keyword("group"):
             self._expect_keyword("by")
             group_by = tuple(self._parse_columns())
+            if self._accept_keyword("having"):
+                having = self._parse_expr()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = tuple(self._parse_order_items())
         if self._accept_keyword("limit"):
-            token = self._current
-            if token.type is not TokenType.NUMBER:
-                raise SqlSyntaxError("LIMIT expects a number", token.position)
-            self._advance()
-            limit = int(token.value)
+            limit = self._expect_number("LIMIT")
+            if self._accept_keyword("offset"):
+                offset = self._expect_number("OFFSET")
         end = self._current
         if end.type is not TokenType.END:
-            raise SqlSyntaxError(f"unexpected trailing input {end.value!r}", end.position)
+            self._fail(f"unexpected trailing input {end.value!r}")
         return SelectQuery(
             items=tuple(items),
             table=table,
@@ -120,10 +173,43 @@ class _Parser:
             group_by=group_by,
             distinct=distinct,
             limit=limit,
+            table_alias=table_alias,
+            joins=tuple(joins),
+            having=having,
+            order_by=order_by,
+            offset=offset,
         )
 
+    def _parse_table_ref(self) -> tuple[str, str | None]:
+        table = self._expect_identifier()
+        alias: str | None = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return table, alias
+
+    def _parse_joins(self) -> list[JoinClause]:
+        joins: list[JoinClause] = []
+        while True:
+            if self._accept_keyword("join"):
+                kind = "inner"
+            elif self._accept_keyword("inner"):
+                self._expect_keyword("join")
+                kind = "inner"
+            elif self._accept_keyword("left"):
+                self._accept_keyword("outer")
+                self._expect_keyword("join")
+                kind = "left"
+            else:
+                return joins
+            table, alias = self._parse_table_ref()
+            self._expect_keyword("on")
+            condition = self._parse_expr()
+            joins.append(JoinClause(kind, table, alias, condition))
+
     def _parse_items(self) -> list[SelectItem]:
-        if self._current.type is TokenType.STAR:
+        if self._current.type is TokenType.STAR and self._peek().is_keyword("from"):
             self._advance()
             return [SelectItem(ColumnRef("*"))]
         items = [self._parse_item()]
@@ -132,36 +218,40 @@ class _Parser:
         return items
 
     def _parse_item(self) -> SelectItem:
-        token = self._current
-        if token.is_keyword("count"):
-            self._advance()
-            self._expect_punct("(")
-            if self._current.type is TokenType.STAR:
-                self._advance()
-                self._expect_punct(")")
-                expression: CountStar | CountDistinct = CountStar()
-            else:
-                self._expect_keyword("distinct")
-                columns = self._parse_columns()
-                self._expect_punct(")")
-                expression = CountDistinct(tuple(columns))
-        elif token.type is TokenType.IDENTIFIER:
-            expression = ColumnRef(self._expect_identifier())
-        else:
-            raise SqlSyntaxError(
-                f"expected a column or COUNT, got {token.value!r}", token.position
-            )
+        expression = self._parse_expr()
         alias = None
         if self._accept_keyword("as"):
             alias = self._expect_identifier()
         return SelectItem(expression, alias)
 
     def _parse_columns(self) -> list[str]:
-        columns = [self._expect_identifier()]
+        columns = [self._parse_qualified_name()]
         while self._accept_punct(","):
-            columns.append(self._expect_identifier())
+            columns.append(self._parse_qualified_name())
         return columns
 
+    def _parse_qualified_name(self) -> str:
+        name = self._expect_identifier()
+        if self._accept_punct("."):
+            return f"{name}.{self._expect_identifier()}"
+        return name
+
+    def _parse_order_items(self) -> list[OrderItem]:
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expression, descending)
+
+    # -- expressions ----------------------------------------------------
     def _parse_expr(self) -> Expression:
         return self._parse_or()
 
@@ -180,36 +270,121 @@ class _Parser:
     def _parse_not(self) -> Expression:
         if self._accept_keyword("not"):
             return Not(self._parse_not())
-        return self._parse_primary()
+        return self._parse_cmp()
 
-    def _parse_primary(self) -> Expression:
-        if self._accept_punct("("):
-            inner = self._parse_expr()
-            self._expect_punct(")")
-            return inner
-        operand = self._parse_operand()
+    def _parse_cmp(self) -> Expression:
+        left = self._parse_add()
         token = self._current
         if token.is_keyword("is"):
             self._advance()
             negated = self._accept_keyword("not")
             self._expect_keyword("null")
-            if not isinstance(operand, (ColumnRef, Literal)):
-                raise SqlSyntaxError("IS NULL expects a column or literal", token.position)
-            return IsNull(operand, negated)
-        if token.type is TokenType.OPERATOR:
+            return IsNull(left, negated)
+        negated_in = False
+        if token.is_keyword("not") and self._peek().is_keyword("in"):
             self._advance()
-            right = self._parse_operand()
-            op = "<>" if token.value == "!=" else token.value
-            return Comparison(op, operand, right)
-        raise SqlSyntaxError(
-            f"expected a comparison or IS NULL, got {token.value!r}", token.position
-        )
+            negated_in = True
+            token = self._current
+        if token.is_keyword("in"):
+            self._advance()
+            return self._parse_in_list(left, negated_in)
+        if negated_in:  # NOT consumed but no IN followed
+            self._fail(f"expected IN, got {token.described!r}")
+        op = self._accept_operator(*_CMP_OPS)
+        if op is not None:
+            right = self._parse_add()
+            return Comparison("<>" if op == "!=" else op, left, right)
+        return left
 
-    def _parse_operand(self) -> ColumnRef | Literal:
+    def _parse_in_list(self, operand: Expression, negated: bool) -> InList:
+        self._expect_punct("(")
+        values = [self._parse_literal_value()]
+        while self._accept_punct(","):
+            values.append(self._parse_literal_value())
+        self._expect_punct(")")
+        return InList(operand, tuple(values), negated)
+
+    def _parse_literal_value(self) -> object:
+        literal = self._parse_literal()
+        if literal is None:
+            self._fail(f"IN expects literal values, got {self._current.described!r}")
+        return literal.value
+
+    def _parse_add(self) -> Expression:
+        left = self._parse_mul()
+        while True:
+            op = self._accept_operator("+", "-")
+            if op is not None:
+                left = Arith(op, left, self._parse_mul())
+                continue
+            # The lexer folds a sign into a number when they are
+            # adjacent, so ``a -7`` arrives as IDENT, NUMBER("-7").
+            token = self._current
+            if token.type is TokenType.NUMBER and token.value[0] in "+-":
+                self._advance()
+                magnitude = token.value[1:]
+                value = float(magnitude) if "." in magnitude else int(magnitude)
+                left = Arith(token.value[0], left, Literal(value))
+                continue
+            return left
+
+    def _parse_mul(self) -> Expression:
+        left = self._parse_primary()
+        while True:
+            if self._current.type is TokenType.STAR:
+                self._advance()
+                left = Arith("*", left, self._parse_primary())
+                continue
+            op = self._accept_operator("/")
+            if op is not None:
+                left = Arith("/", left, self._parse_primary())
+                continue
+            return left
+
+    def _parse_primary(self) -> Expression:
         token = self._current
+        if self._accept_punct("("):
+            inner = self._parse_expr()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.KEYWORD and token.value in _AGG_KEYWORDS:
+            return self._parse_aggregate()
+        literal = self._parse_literal()
+        if literal is not None:
+            return literal
         if token.type is TokenType.IDENTIFIER:
             self._advance()
+            if self._accept_punct("."):
+                return ColumnRef(self._expect_identifier(), table=token.value)
             return ColumnRef(token.value)
+        self._fail(f"expected an operand, got {token.described!r}")
+        raise AssertionError("unreachable")
+
+    def _parse_aggregate(self) -> Expression:
+        func = self._advance().value
+        self._expect_punct("(")
+        if func == "count":
+            if self._current.type is TokenType.STAR:
+                self._advance()
+                self._expect_punct(")")
+                return CountStar()
+            distinct = self._accept_keyword("distinct")
+            argument = self._parse_expr()
+            if distinct and isinstance(argument, ColumnRef):
+                columns = [argument.qualified]
+                while self._accept_punct(","):
+                    columns.append(self._parse_qualified_name())
+                self._expect_punct(")")
+                return CountDistinct(tuple(columns))
+            self._expect_punct(")")
+            return AggregateCall("count", argument, distinct)
+        distinct = self._accept_keyword("distinct")
+        argument = self._parse_expr()
+        self._expect_punct(")")
+        return AggregateCall(func, argument, distinct)
+
+    def _parse_literal(self) -> Literal | None:
+        token = self._current
         if token.type is TokenType.NUMBER:
             self._advance()
             value = float(token.value) if "." in token.value else int(token.value)
@@ -226,4 +401,4 @@ class _Parser:
         if token.is_keyword("false"):
             self._advance()
             return Literal(False)
-        raise SqlSyntaxError(f"expected an operand, got {token.value!r}", token.position)
+        return None

@@ -1,0 +1,649 @@
+"""Logical query plans: the middle stage of parse → plan → execute.
+
+:func:`plan_query` normalises a parsed :class:`~repro.sql.ast.SelectQuery`
+into a tree of logical operators::
+
+    Limit(Project(Sort(Filter[having](Aggregate(Filter[where](Join*(Scan)))))))
+
+with every stage optional except Scan and Project.  The planner is
+purely syntactic — it needs no catalog — so plans are frozen,
+comparable dataclasses and :func:`to_sql` can unparse one back to SQL
+text such that ``plan_query(parse(to_sql(p))) == p`` (the property the
+round-trip suite pins).
+
+Normalisations performed here, so the executor never re-derives them:
+
+* aggregate calls (``COUNT(*)``, ``COUNT(DISTINCT …)``, ``SUM``/…)
+  anywhere in SELECT, HAVING, or ORDER BY are pulled out into
+  :class:`AggregateSpec` slots and replaced by references to synthetic
+  ``__agg<i>`` columns of the :class:`Aggregate` operator's output;
+* ``ORDER BY alias`` is substituted with the aliased item's expression;
+* ``GROUP BY`` names (possibly ``t.col``-qualified) become
+  :class:`~repro.sql.ast.ColumnRef` keys;
+* join ``ON`` conditions are decomposed into equi-join key pairs, with
+  each side attributed to the new table or the accumulated left input.
+
+Semantic restrictions (raised as :class:`PlanError`): aggregates in
+WHERE or ON, non-equality join conditions, boolean predicates used as
+values, ``*`` mixed with other items, and plain columns that escape
+GROUP BY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .ast import (
+    AGGREGATE_FUNCS,
+    AggregateCall,
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    CountDistinct,
+    CountStar,
+    Expression,
+    InList,
+    IsNull,
+    JoinClause,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    SelectQuery,
+)
+from .errors import PlanError
+from .tokens import KEYWORDS
+
+__all__ = [
+    "Scan",
+    "Join",
+    "Filter",
+    "Aggregate",
+    "AggregateSpec",
+    "Sort",
+    "SortKey",
+    "Project",
+    "Limit",
+    "Plan",
+    "PlanError",
+    "plan_query",
+    "to_sql",
+]
+
+#: Prefix of the synthetic columns an Aggregate operator emits.
+AGG_PREFIX = "__agg"
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scan:
+    """Read one relation from the catalog."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The qualifier this table's columns answer to."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class Join:
+    """Equi-join the accumulated input with one more table."""
+
+    source: "Plan"
+    kind: str  # "inner" | "left"
+    table: str
+    alias: str | None
+    left_keys: tuple[ColumnRef, ...]
+    right_keys: tuple[ColumnRef, ...]
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Keep the rows where ``predicate`` is true (two-valued)."""
+
+    source: "Plan"
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate slot: ``func([DISTINCT] arguments…)``.
+
+    ``arguments = ()`` encodes ``COUNT(*)``; multiple arguments only
+    occur for ``COUNT(DISTINCT a, b, …)``.
+    """
+
+    func: str
+    arguments: tuple[Expression, ...] = ()
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Group by key columns and compute aggregate slots.
+
+    Output frame: one column per group key (keeping its source name and
+    qualifier) followed by one ``__agg<i>`` column per spec.  With no
+    group keys the output is a single global group — one row even on
+    empty input.
+    """
+
+    source: "Plan"
+    group_by: tuple[ColumnRef, ...]
+    specs: tuple[AggregateSpec, ...]
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY key over the pre-projection frame."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Stable sort (NULL smallest, NaN next, then value order)."""
+
+    source: "Plan"
+    keys: tuple[SortKey, ...]
+
+
+@dataclass(frozen=True)
+class Project:
+    """Evaluate output expressions; optionally deduplicate rows.
+
+    A single ``ColumnRef("*")`` expression (with name ``"*"``) expands
+    to every input column at execution time.
+    """
+
+    source: "Plan"
+    expressions: tuple[Expression, ...]
+    names: tuple[str, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Limit:
+    """Row-range slice after projection: ``[offset : offset + limit]``."""
+
+    source: "Plan"
+    limit: int | None
+    offset: int = 0
+
+
+Plan = Union[Scan, Join, Filter, Aggregate, Sort, Project, Limit]
+
+
+# ----------------------------------------------------------------------
+# Helpers over expressions
+# ----------------------------------------------------------------------
+_AGGREGATE_NODES = (CountStar, CountDistinct, AggregateCall)
+_BOOLEAN_NODES = (Comparison, InList, IsNull, Not, And, Or)
+
+
+def _children(expression: Expression) -> tuple[Expression, ...]:
+    if isinstance(expression, (Arith, Comparison, And, Or)):
+        return (expression.left, expression.right)
+    if isinstance(expression, (IsNull, Not, InList)):
+        return (expression.operand,)
+    if isinstance(expression, AggregateCall):
+        return (expression.argument,)
+    return ()
+
+
+def _contains_aggregate(expression: Expression) -> bool:
+    if isinstance(expression, _AGGREGATE_NODES):
+        return True
+    return any(_contains_aggregate(child) for child in _children(expression))
+
+
+def _forbid_aggregates(expression: Expression, where: str) -> None:
+    if _contains_aggregate(expression):
+        raise PlanError(f"aggregates are not allowed in {where}")
+
+
+def _parse_ref(name: str) -> ColumnRef:
+    """A possibly dotted GROUP BY name as a ColumnRef."""
+    if "." in name:
+        table, _, column = name.partition(".")
+        return ColumnRef(column, table=table)
+    return ColumnRef(name)
+
+
+def _ref_matches(ref: ColumnRef, key: ColumnRef) -> bool:
+    """Whether a select-list reference denotes a group key."""
+    if ref.name != key.name:
+        return False
+    return ref.table is None or key.table is None or ref.table == key.table
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+class _AggregateRewriter:
+    """Pulls aggregate calls out of expressions into shared specs."""
+
+    def __init__(self, group_by: tuple[ColumnRef, ...]) -> None:
+        self.group_by = group_by
+        self.specs: list[AggregateSpec] = []
+
+    def _slot(self, spec: AggregateSpec) -> ColumnRef:
+        try:
+            index = self.specs.index(spec)
+        except ValueError:
+            index = len(self.specs)
+            self.specs.append(spec)
+        return ColumnRef(f"{AGG_PREFIX}{index}")
+
+    def rewrite(self, expression: Expression) -> Expression:
+        if isinstance(expression, CountStar):
+            return self._slot(AggregateSpec("count"))
+        if isinstance(expression, CountDistinct):
+            arguments = tuple(_parse_ref(name) for name in expression.columns)
+            return self._slot(AggregateSpec("count", arguments, distinct=True))
+        if isinstance(expression, AggregateCall):
+            if expression.func not in AGGREGATE_FUNCS:
+                raise PlanError(f"unknown aggregate function {expression.func!r}")
+            _forbid_aggregates(expression.argument, "aggregate arguments")
+            spec = AggregateSpec(
+                expression.func, (expression.argument,), expression.distinct
+            )
+            return self._slot(spec)
+        if isinstance(expression, ColumnRef):
+            if any(_ref_matches(expression, key) for key in self.group_by):
+                return expression
+            if not self.group_by:
+                raise PlanError(
+                    "cannot mix aggregates and plain columns without GROUP BY"
+                )
+            raise PlanError(
+                f"column {expression.qualified!r} must appear in GROUP BY"
+            )
+        if isinstance(expression, Literal):
+            return expression
+        if isinstance(expression, Arith):
+            return Arith(
+                expression.op,
+                self.rewrite(expression.left),
+                self.rewrite(expression.right),
+            )
+        if isinstance(expression, Comparison):
+            return Comparison(
+                expression.op,
+                self.rewrite(expression.left),
+                self.rewrite(expression.right),
+            )
+        if isinstance(expression, InList):
+            return InList(
+                self.rewrite(expression.operand),
+                expression.values,
+                expression.negated,
+            )
+        if isinstance(expression, IsNull):
+            return IsNull(self.rewrite(expression.operand), expression.negated)
+        if isinstance(expression, Not):
+            return Not(self.rewrite(expression.operand))
+        if isinstance(expression, And):
+            return And(self.rewrite(expression.left), self.rewrite(expression.right))
+        if isinstance(expression, Or):
+            return Or(self.rewrite(expression.left), self.rewrite(expression.right))
+        raise PlanError(f"cannot plan expression {expression!r}")
+
+
+def _conjuncts(expression: Expression) -> list[Expression]:
+    if isinstance(expression, And):
+        return _conjuncts(expression.left) + _conjuncts(expression.right)
+    return [expression]
+
+
+def _join_keys(
+    join: JoinClause,
+) -> tuple[tuple[ColumnRef, ...], tuple[ColumnRef, ...]]:
+    """Split an ON condition into (left-side, right-side) key columns."""
+    binding = join.alias or join.table
+    left_keys: list[ColumnRef] = []
+    right_keys: list[ColumnRef] = []
+    for conjunct in _conjuncts(join.on):
+        _forbid_aggregates(conjunct, "JOIN conditions")
+        if not (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            raise PlanError(
+                "JOIN conditions must be conjunctions of column equalities, "
+                f"got {conjunct!r}"
+            )
+        sides = (conjunct.left, conjunct.right)
+        on_right = [ref.table == binding for ref in sides]
+        if on_right == [False, True]:
+            left_ref, right_ref = sides
+        elif on_right == [True, False]:
+            right_ref, left_ref = sides
+        else:
+            raise PlanError(
+                f"cannot attribute join condition on {join.table!r}: exactly one "
+                f"side must be qualified with {binding!r}"
+            )
+        left_keys.append(left_ref)
+        right_keys.append(right_ref)
+    return tuple(left_keys), tuple(right_keys)
+
+
+def plan_query(query: SelectQuery) -> Plan:
+    """Normalise a parsed query into a logical plan."""
+    node: Plan = Scan(query.table, query.table_alias)
+    for join in query.joins:
+        if join.kind not in ("inner", "left"):
+            raise PlanError(f"unknown join kind {join.kind!r}")
+        left_keys, right_keys = _join_keys(join)
+        node = Join(node, join.kind, join.table, join.alias, left_keys, right_keys)
+    if query.where is not None:
+        _forbid_aggregates(query.where, "WHERE")
+        node = Filter(node, query.where)
+
+    group_by = tuple(_parse_ref(name) for name in query.group_by)
+    star = (
+        len(query.items) == 1
+        and isinstance(query.items[0].expression, ColumnRef)
+        and query.items[0].expression.name == "*"
+    )
+    if any(
+        isinstance(item.expression, ColumnRef) and item.expression.name == "*"
+        for item in query.items
+    ) and not star:
+        raise PlanError("SELECT * cannot be combined with other items")
+
+    needs_aggregate = bool(group_by) or any(
+        _contains_aggregate(item.expression) for item in query.items
+    )
+    if query.having is not None:
+        needs_aggregate = True
+    if any(_contains_aggregate(key.expression) for key in query.order_by):
+        needs_aggregate = True
+
+    if needs_aggregate and star:
+        if not group_by:
+            raise PlanError(
+                "cannot mix aggregates and plain columns without GROUP BY"
+            )
+        raise PlanError("column '*' must appear in GROUP BY")
+
+    if needs_aggregate:
+        rewriter = _AggregateRewriter(group_by)
+        expressions = tuple(rewriter.rewrite(item.expression) for item in query.items)
+        having = None if query.having is None else rewriter.rewrite(query.having)
+        order_keys = _order_keys(query, expressions, rewriter.rewrite)
+        node = Aggregate(node, group_by, tuple(rewriter.specs))
+        if having is not None:
+            node = Filter(node, having)
+    else:
+        expressions = tuple(item.expression for item in query.items)
+        having = None
+        order_keys = _order_keys(query, expressions, lambda e: e)
+
+    for key in order_keys:
+        _forbid_boolean(key.expression, "ORDER BY")
+    if order_keys:
+        node = Sort(node, order_keys)
+
+    if star:
+        names: tuple[str, ...] = ("*",)
+    else:
+        names = tuple(item.output_name for item in query.items)
+        for expression in expressions:
+            _forbid_boolean(expression, "SELECT items")
+    node = Project(node, expressions, names, distinct=query.distinct)
+    if query.limit is not None or query.offset is not None:
+        node = Limit(node, query.limit, query.offset or 0)
+    return node
+
+
+def _forbid_boolean(expression: Expression, where: str) -> None:
+    if isinstance(expression, _BOOLEAN_NODES):
+        raise PlanError(f"boolean expressions are not supported in {where}")
+
+
+def _order_keys(
+    query: SelectQuery,
+    rewritten_items: tuple[Expression, ...],
+    rewrite,
+) -> tuple[SortKey, ...]:
+    """Resolve ORDER BY keys: alias substitution, then normal rewriting."""
+    keys: list[SortKey] = []
+    for item in query.order_by:
+        expression = item.expression
+        if isinstance(expression, ColumnRef) and expression.table is None:
+            for select_item, rewritten in zip(query.items, rewritten_items):
+                if select_item.alias == expression.name:
+                    expression = rewritten
+                    break
+            else:
+                expression = rewrite(expression)
+        else:
+            expression = rewrite(expression)
+        keys.append(SortKey(expression, item.descending))
+    return tuple(keys)
+
+
+# ----------------------------------------------------------------------
+# Unparsing (the round-trip property's other half)
+# ----------------------------------------------------------------------
+def to_sql(plan: Plan) -> str:
+    """SQL text whose plan equals ``plan`` (canonical shapes only).
+
+    Raises :class:`PlanError` when the plan does not have the canonical
+    :func:`plan_query` shape or contains unrepresentable literals.
+    """
+    node = plan
+    limit: Limit | None = None
+    if isinstance(node, Limit):
+        limit = node
+        node = node.source
+    if not isinstance(node, Project):
+        raise PlanError(f"cannot unparse plan rooted at {type(node).__name__}")
+    project = node
+    node = project.source
+    sort: Sort | None = None
+    if isinstance(node, Sort):
+        sort = node
+        node = node.source
+    having: Filter | None = None
+    if isinstance(node, Filter) and isinstance(node.source, Aggregate):
+        having = node
+        node = node.source
+    aggregate: Aggregate | None = None
+    if isinstance(node, Aggregate):
+        aggregate = node
+        node = node.source
+    where: Filter | None = None
+    if isinstance(node, Filter):
+        where = node
+        node = node.source
+    joins: list[Join] = []
+    while isinstance(node, Join):
+        joins.append(node)
+        node = node.source
+    joins.reverse()
+    if not isinstance(node, Scan):
+        raise PlanError(f"cannot unparse plan with a {type(node).__name__} source")
+    scan = node
+
+    specs = aggregate.specs if aggregate else ()
+
+    parts = ["SELECT"]
+    if project.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_item_sql(e, n, specs) for e, n in
+                           zip(project.expressions, project.names)))
+    parts.append(f"FROM {scan.table}")
+    if scan.alias:
+        parts.append(f"AS {scan.alias}")
+    for join in joins:
+        parts.append("LEFT JOIN" if join.kind == "left" else "JOIN")
+        parts.append(join.table)
+        if join.alias:
+            parts.append(f"AS {join.alias}")
+        condition = " AND ".join(
+            f"({_expr_sql(l, specs)} = {_expr_sql(r, specs)})"
+            for l, r in zip(join.left_keys, join.right_keys)
+        )
+        parts.append(f"ON {condition}")
+    if where is not None:
+        parts.append(f"WHERE {_expr_sql(where.predicate, specs)}")
+    if aggregate is not None and aggregate.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(key.qualified for key in aggregate.group_by)
+        )
+    if having is not None:
+        parts.append(f"HAVING {_expr_sql(having.predicate, specs)}")
+    if sort is not None:
+        rendered = []
+        for key in sort.keys:
+            text = _expr_sql(key.expression, specs)
+            rendered.append(f"{text} DESC" if key.descending else text)
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if limit is not None:
+        if limit.limit is None:
+            raise PlanError("cannot unparse an OFFSET without a LIMIT")
+        parts.append(f"LIMIT {limit.limit}")
+        if limit.offset:
+            parts.append(f"OFFSET {limit.offset}")
+    return " ".join(parts)
+
+
+def _agg_slot(ref: ColumnRef, specs: tuple[AggregateSpec, ...]) -> AggregateSpec | None:
+    if ref.table is not None or not ref.name.startswith(AGG_PREFIX):
+        return None
+    suffix = ref.name[len(AGG_PREFIX):]
+    if not suffix.isdigit() or int(suffix) >= len(specs):
+        return None
+    return specs[int(suffix)]
+
+
+def _spec_sql(spec: AggregateSpec) -> str:
+    if spec.func == "count" and not spec.arguments:
+        return "COUNT(*)"
+    if (
+        spec.func == "count"
+        and spec.distinct
+        and all(isinstance(a, ColumnRef) for a in spec.arguments)
+    ):
+        columns = ", ".join(a.qualified for a in spec.arguments)
+        return f"COUNT(DISTINCT {columns})"
+    if len(spec.arguments) != 1:
+        raise PlanError(f"cannot unparse aggregate spec {spec!r}")
+    inner = _expr_sql(spec.arguments[0], ())
+    prefix = "DISTINCT " if spec.distinct else ""
+    return f"{spec.func.upper()}({prefix}{inner})"
+
+
+def _derived_name(expression: Expression, specs: tuple[AggregateSpec, ...]) -> str:
+    """What ``SelectItem.output_name`` derives after a reparse."""
+    if isinstance(expression, ColumnRef):
+        spec = _agg_slot(expression, specs)
+        if spec is None:
+            return expression.name
+        if spec.func == "count" and not spec.arguments:
+            return "count"
+        if (
+            spec.func == "count"
+            and spec.distinct
+            and all(isinstance(a, ColumnRef) for a in spec.arguments)
+        ):
+            return "count_distinct"
+        return spec.func
+    return "expr"
+
+
+def _item_sql(
+    expression: Expression, name: str, specs: tuple[AggregateSpec, ...]
+) -> str:
+    if isinstance(expression, ColumnRef) and expression.name == "*":
+        return "*"
+    text = _expr_sql(expression, specs)
+    if name == _derived_name(expression, specs):
+        return text
+    if name.lower() in KEYWORDS or not _is_identifier(name):
+        raise PlanError(f"cannot unparse output name {name!r} as an alias")
+    return f"{text} AS {name}"
+
+
+def _is_identifier(name: str) -> bool:
+    return bool(name) and (name[0].isalpha() or name[0] == "_") and all(
+        ch.isalnum() or ch == "_" for ch in name
+    )
+
+
+def _literal_sql(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, (int, float)):
+        text = repr(value)
+        if any(ch in text for ch in "einfa"):  # 1e-07, inf, nan
+            raise PlanError(f"cannot unparse numeric literal {value!r}")
+        return text
+    if isinstance(value, str):
+        if "'" in value:
+            raise PlanError(f"cannot unparse string literal {value!r}")
+        return f"'{value}'"
+    raise PlanError(f"cannot unparse literal {value!r}")
+
+
+def _expr_sql(expression: Expression, specs: tuple[AggregateSpec, ...]) -> str:
+    if isinstance(expression, ColumnRef):
+        spec = _agg_slot(expression, specs)
+        if spec is not None:
+            return _spec_sql(spec)
+        return expression.qualified
+    if isinstance(expression, Literal):
+        return _literal_sql(expression.value)
+    if isinstance(expression, (Arith, Comparison)):
+        left = _expr_sql(expression.left, specs)
+        right = _expr_sql(expression.right, specs)
+        return f"({left} {expression.op} {right})"
+    if isinstance(expression, InList):
+        values = ", ".join(_literal_sql(v) for v in expression.values)
+        keyword = "NOT IN" if expression.negated else "IN"
+        return f"({_expr_sql(expression.operand, specs)} {keyword} ({values}))"
+    if isinstance(expression, IsNull):
+        keyword = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"({_expr_sql(expression.operand, specs)} {keyword})"
+    if isinstance(expression, Not):
+        return f"(NOT {_expr_sql(expression.operand, specs)})"
+    if isinstance(expression, And):
+        return (
+            f"({_expr_sql(expression.left, specs)} AND "
+            f"{_expr_sql(expression.right, specs)})"
+        )
+    if isinstance(expression, Or):
+        return (
+            f"({_expr_sql(expression.left, specs)} OR "
+            f"{_expr_sql(expression.right, specs)})"
+        )
+    if isinstance(expression, CountStar):
+        return "COUNT(*)"
+    if isinstance(expression, CountDistinct):
+        return f"COUNT(DISTINCT {', '.join(expression.columns)})"
+    if isinstance(expression, AggregateCall):
+        return _spec_sql(
+            AggregateSpec(expression.func, (expression.argument,), expression.distinct)
+        )
+    raise PlanError(f"cannot unparse expression {expression!r}")

@@ -1,16 +1,19 @@
-"""SQL tokenizer for the mini query layer.
+"""SQL tokenizer for the query layer.
 
-Supports exactly the surface the paper's prototype needs (Section 4.4
-computes confidence and goodness with ``SELECT COUNT(DISTINCT …)``
-queries) plus enough of SELECT/WHERE/GROUP BY for the examples: keyword
-and identifier tokens, quoted strings, numbers, comparison operators,
+Covers the surface of the parse → plan → execute pipeline: keyword and
+identifier tokens (with ``.``-qualified references left to the parser),
+quoted strings, numbers, comparison *and* arithmetic operators,
 parentheses, commas, ``*``.
+
+Errors carry the full source coordinates — byte offset, 1-based line
+and column, and the offending fragment — so a multi-line query reports
+``line 3, column 7`` instead of a bare offset.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.relational.errors import ReproError
 
@@ -18,12 +21,34 @@ __all__ = ["SqlSyntaxError", "TokenType", "Token", "tokenize", "KEYWORDS"]
 
 
 class SqlSyntaxError(ReproError, ValueError):
-    """Raised on malformed SQL text."""
+    """Raised on malformed SQL text.
 
-    def __init__(self, message: str, position: int | None = None) -> None:
-        suffix = f" (at offset {position})" if position is not None else ""
-        super().__init__(f"{message}{suffix}")
+    ``position`` is the byte offset into the source; ``line`` and
+    ``column`` are 1-based when known.  ``fragment`` is the offending
+    token text (or ``"end of input"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+        fragment: str | None = None,
+    ) -> None:
+        where = ""
+        if line is not None and column is not None:
+            where = f" (line {line}, column {column}"
+            if fragment:
+                where += f", at {fragment!r}"
+            where += ")"
+        elif position is not None:
+            where = f" (at offset {position})"
+        super().__init__(f"{message}{where}")
         self.position = position
+        self.line = line
+        self.column = column
+        self.fragment = fragment
 
 
 class TokenType(enum.Enum):
@@ -40,33 +65,74 @@ class TokenType(enum.Enum):
 
 
 KEYWORDS = {
-    "select", "distinct", "count", "from", "where", "group", "by", "order",
-    "and", "or", "not", "is", "null", "as", "asc", "desc", "limit", "true",
-    "false",
+    "select", "distinct", "count", "sum", "min", "max", "avg", "from",
+    "where", "group", "by", "order", "having", "and", "or", "not", "is",
+    "null", "in", "as", "asc", "desc", "limit", "offset", "true", "false",
+    "join", "inner", "left", "outer", "on",
 }
 
-_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">")
-_PUNCTUATION = "(),"
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "/")
+_PUNCTUATION = "(),."
 
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token with its source offset (for error messages)."""
+    """One lexical token with its source coordinates."""
 
     type: TokenType
     value: str
     position: int
+    line: int = field(default=1, compare=False)
+    column: int = field(default=1, compare=False)
 
     def is_keyword(self, word: str) -> bool:
         """Whether this token is the given keyword (case-insensitive)."""
         return self.type is TokenType.KEYWORD and self.value == word
 
+    @property
+    def described(self) -> str:
+        """The fragment an error message should show for this token."""
+        return self.value if self.type is not TokenType.END else "end of input"
+
+
+class _Cursor:
+    """Tracks line/column while scanning the source left to right."""
+
+    __slots__ = ("text", "line", "column", "_scanned")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.line = 1
+        self.column = 1
+        self._scanned = 0
+
+    def at(self, index: int) -> tuple[int, int]:
+        """``(line, column)`` of ``index``; indices must be ascending."""
+        for ch in self.text[self._scanned : index]:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self._scanned = max(self._scanned, index)
+        return self.line, self.column
+
 
 def tokenize(text: str) -> list[Token]:
     """Split SQL text into tokens; always ends with an END token."""
     tokens: list[Token] = []
+    cursor = _Cursor(text)
     index = 0
     length = len(text)
+
+    def emit(type_: TokenType, value: str, position: int) -> None:
+        line, column = cursor.at(position)
+        tokens.append(Token(type_, value, position, line, column))
+
+    def fail(message: str, position: int, fragment: str) -> None:
+        line, column = cursor.at(position)
+        raise SqlSyntaxError(message, position, line, column, fragment)
+
     while index < length:
         ch = text[index]
         if ch.isspace():
@@ -75,29 +141,16 @@ def tokenize(text: str) -> list[Token]:
         if ch == "'":
             end = text.find("'", index + 1)
             if end == -1:
-                raise SqlSyntaxError("unterminated string literal", index)
-            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
+                fail("unterminated string literal", index, text[index : index + 10])
+            emit(TokenType.STRING, text[index + 1 : end], index)
             index = end + 1
             continue
         if ch == '"':
             end = text.find('"', index + 1)
             if end == -1:
-                raise SqlSyntaxError("unterminated quoted identifier", index)
-            tokens.append(Token(TokenType.IDENTIFIER, text[index + 1 : end], index))
+                fail("unterminated quoted identifier", index, text[index : index + 10])
+            emit(TokenType.IDENTIFIER, text[index + 1 : end], index)
             index = end + 1
-            continue
-        matched_operator = _match_operator(text, index)
-        if matched_operator is not None:
-            tokens.append(Token(TokenType.OPERATOR, matched_operator, index))
-            index += len(matched_operator)
-            continue
-        if ch in _PUNCTUATION:
-            tokens.append(Token(TokenType.PUNCTUATION, ch, index))
-            index += 1
-            continue
-        if ch == "*":
-            tokens.append(Token(TokenType.STAR, "*", index))
-            index += 1
             continue
         if ch.isdigit() or (ch in "+-" and index + 1 < length and text[index + 1].isdigit()):
             end = index + 1
@@ -106,8 +159,21 @@ def tokenize(text: str) -> list[Token]:
                 if text[end] == ".":
                     seen_dot = True
                 end += 1
-            tokens.append(Token(TokenType.NUMBER, text[index:end], index))
+            emit(TokenType.NUMBER, text[index:end], index)
             index = end
+            continue
+        matched_operator = _match_operator(text, index)
+        if matched_operator is not None:
+            emit(TokenType.OPERATOR, matched_operator, index)
+            index += len(matched_operator)
+            continue
+        if ch in _PUNCTUATION:
+            emit(TokenType.PUNCTUATION, ch, index)
+            index += 1
+            continue
+        if ch == "*":
+            emit(TokenType.STAR, "*", index)
+            index += 1
             continue
         if ch.isalpha() or ch == "_":
             end = index + 1
@@ -116,13 +182,14 @@ def tokenize(text: str) -> list[Token]:
             word = text[index:end]
             lowered = word.lower()
             if lowered in KEYWORDS:
-                tokens.append(Token(TokenType.KEYWORD, lowered, index))
+                emit(TokenType.KEYWORD, lowered, index)
             else:
-                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+                emit(TokenType.IDENTIFIER, word, index)
             index = end
             continue
-        raise SqlSyntaxError(f"unexpected character {ch!r}", index)
-    tokens.append(Token(TokenType.END, "", length))
+        fail(f"unexpected character {ch!r}", index, ch)
+    line, column = cursor.at(length)
+    tokens.append(Token(TokenType.END, "", length, line, column))
     return tokens
 
 

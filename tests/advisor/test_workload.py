@@ -1,0 +1,62 @@
+"""Workload-driven advisor evaluation (``repro.advisor.workload``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import evaluate_workload
+from repro.datagen import generate_tpch, generate_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = generate_tpch("tiny", seed=7)
+    queries = generate_workload(catalog, count=12, seed=2016)
+    return catalog, queries
+
+
+def test_every_query_timed(setup):
+    catalog, queries = setup
+    report = evaluate_workload(catalog, queries)
+    assert len(report.timings) == len(queries)
+    for timing in report.timings:
+        assert timing.baseline_seconds >= 0.0
+        assert timing.advised_seconds >= 0.0
+        assert timing.access_path in ("index", "scan", "join")
+
+
+def test_indexes_built_from_exact_fds(setup):
+    catalog, queries = setup
+    report = evaluate_workload(catalog, queries)
+    assert report.indexes_built
+    tables = {table for table, _ in report.indexes_built}
+    # Only tables whose declared FD holds exactly get an index; the
+    # TPC-H generator plants violations in lineitem/orders/partsupp.
+    assert tables <= {"customer", "nation", "part", "region", "supplier"}
+
+
+def test_point_queries_route_through_indexes(setup):
+    catalog, queries = setup
+    report = evaluate_workload(catalog, queries)
+    indexed_kinds = {
+        t.kind for t in report.timings if t.access_path == "index"
+    }
+    assert report.indexed_queries >= 1
+    assert indexed_kinds <= {"point", "fd_fetch"}
+
+
+def test_join_queries_marked(setup):
+    catalog, queries = setup
+    report = evaluate_workload(catalog, queries)
+    for timing in report.timings:
+        if timing.kind == "join":
+            assert timing.access_path == "join"
+
+
+def test_report_renders(setup):
+    catalog, queries = setup
+    report = evaluate_workload(catalog, queries)
+    text = str(report)
+    assert "Workload evaluation" in text
+    assert "total:" in text
+    assert report.speedup > 0.0

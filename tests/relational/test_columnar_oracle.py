@@ -166,7 +166,8 @@ def test_filter_rows_equals_scalar_oracle(backend, relation, predicate):
 def test_select_ir_equals_callable(backend, relation, predicate):
     with kernels.use_backend(backend):
         via_ir = relation.select(predicate)
-        via_callable = relation.select(expr.as_row_callable(predicate))
+        with pytest.warns(DeprecationWarning, match="callable predicate"):
+            via_callable = relation.select(expr.as_row_callable(predicate))
         assert list(via_ir.rows()) == list(via_callable.rows())
 
 

@@ -246,8 +246,11 @@ class TestRelationIntegration:
         assert selected.num_rows == 2
         assert selected.column_values("name") == ["ann", None]
 
-    def test_select_still_accepts_callables(self, relation, backend):
-        selected = relation.select(lambda row: row["city"] == "rome")
+    def test_select_still_accepts_callables_with_deprecation(
+        self, relation, backend
+    ):
+        with pytest.warns(DeprecationWarning, match="callable predicate"):
+            selected = relation.select(lambda row: row["city"] == "rome")
         assert selected.column_values("name") == ["ann", None]
 
     def test_take_matches_value_level_reencode(self, relation, backend):

@@ -144,7 +144,8 @@ class TestAlgebra:
         assert distinct.num_rows == 2
 
     def test_select(self, tiny_relation):
-        selected = tiny_relation.select(lambda row: row["A"] == "a2")
+        with pytest.warns(DeprecationWarning, match="callable predicate"):
+            selected = tiny_relation.select(lambda row: row["A"] == "a2")
         assert selected.num_rows == 2
 
     def test_take_reorders(self, tiny_relation):

@@ -3,15 +3,20 @@
 import pytest
 
 from repro.sql.ast import (
+    AggregateCall,
     And,
+    Arith,
     ColumnRef,
     Comparison,
     CountDistinct,
     CountStar,
+    InList,
     IsNull,
+    JoinClause,
     Literal,
     Not,
     Or,
+    OrderItem,
 )
 from repro.sql.parser import parse
 from repro.sql.tokens import SqlSyntaxError
@@ -117,6 +122,120 @@ class TestGroupLimit:
             parse("SELECT a FROM t LIMIT x")
 
 
+class TestJoins:
+    def test_inner_join(self):
+        query = parse("SELECT a FROM t JOIN u ON t.k = u.k")
+        assert query.joins == (
+            JoinClause(
+                "inner",
+                "u",
+                None,
+                Comparison("=", ColumnRef("k", "t"), ColumnRef("k", "u")),
+            ),
+        )
+
+    def test_inner_keyword_and_alias(self):
+        query = parse("SELECT a FROM t INNER JOIN u AS x ON t.k = x.k")
+        assert query.joins[0].kind == "inner"
+        assert query.joins[0].alias == "x"
+
+    def test_left_outer_join(self):
+        for sql in (
+            "SELECT a FROM t LEFT JOIN u ON t.k = u.k",
+            "SELECT a FROM t LEFT OUTER JOIN u ON t.k = u.k",
+        ):
+            assert parse(sql).joins[0].kind == "left"
+
+    def test_chained_joins(self):
+        query = parse(
+            "SELECT a FROM t JOIN u ON t.k = u.k LEFT JOIN v ON u.j = v.j"
+        )
+        assert [join.kind for join in query.joins] == ["inner", "left"]
+
+    def test_table_alias(self):
+        assert parse("SELECT a FROM t AS x").table_alias == "x"
+        assert parse("SELECT a FROM t x").table_alias == "x"
+
+    def test_qualified_column(self):
+        query = parse("SELECT t.a FROM t")
+        assert query.items[0].expression == ColumnRef("a", table="t")
+        assert query.items[0].output_name == "a"
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        query = parse("SELECT a FROM t WHERE a + b * 2 > 10")
+        # * binds tighter: a + (b * 2).
+        assert query.where == Comparison(
+            ">",
+            Arith("+", ColumnRef("a"), Arith("*", ColumnRef("b"), Literal(2))),
+            Literal(10),
+        )
+
+    def test_parenthesized_arithmetic(self):
+        query = parse("SELECT a FROM t WHERE (a + b) / 2 = 3")
+        assert query.where.left == Arith(
+            "/", Arith("+", ColumnRef("a"), ColumnRef("b")), Literal(2)
+        )
+
+    def test_subtraction_of_literal(self):
+        # The lexer folds the sign into the number; the parser must
+        # still see this as binary subtraction.
+        query = parse("SELECT a FROM t WHERE a - 7 = 0")
+        assert query.where.left == Arith("-", ColumnRef("a"), Literal(7))
+
+    def test_in_list(self):
+        query = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert query.where == InList(ColumnRef("a"), (1, 2, 3))
+
+    def test_not_in_list(self):
+        query = parse("SELECT a FROM t WHERE a NOT IN ('x', 'y')")
+        assert query.where == InList(ColumnRef("a"), ("x", "y"), negated=True)
+
+    def test_aggregate_calls(self):
+        query = parse("SELECT SUM(a), AVG(b), MIN(c), MAX(d), COUNT(a) FROM t")
+        funcs = [item.expression.func for item in query.items]
+        assert funcs == ["sum", "avg", "min", "max", "count"]
+        assert [item.output_name for item in query.items] == funcs
+
+    def test_aggregate_distinct_and_expression_argument(self):
+        query = parse("SELECT SUM(DISTINCT a), SUM(a + b) FROM t")
+        assert query.items[0].expression == AggregateCall(
+            "sum", ColumnRef("a"), distinct=True
+        )
+        assert query.items[1].expression == AggregateCall(
+            "sum", Arith("+", ColumnRef("a"), ColumnRef("b"))
+        )
+
+
+class TestClauses:
+    def test_having(self):
+        query = parse(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert query.having == Comparison(">", CountStar(), Literal(2))
+
+    def test_group_by_qualified(self):
+        query = parse("SELECT t.a, COUNT(*) FROM t GROUP BY t.a")
+        assert query.group_by == ("t.a",)
+
+    def test_order_by(self):
+        query = parse("SELECT a, b FROM t ORDER BY a, b DESC")
+        assert query.order_by == (
+            OrderItem(ColumnRef("a")),
+            OrderItem(ColumnRef("b"), descending=True),
+        )
+
+    def test_order_by_asc_explicit(self):
+        query = parse("SELECT a FROM t ORDER BY a ASC")
+        assert query.order_by == (OrderItem(ColumnRef("a")),)
+
+    def test_limit_offset(self):
+        query = parse("SELECT a FROM t LIMIT 5 OFFSET 3")
+        assert query.limit == 5
+        assert query.offset == 3
+
+
 class TestErrors:
     @pytest.mark.parametrize(
         "sql",
@@ -125,13 +244,39 @@ class TestErrors:
             "SELECT a",
             "SELECT a FROM",
             "SELECT a FROM t WHERE",
-            "SELECT a FROM t trailing",
-            "SELECT COUNT(a) FROM t",  # plain COUNT(col) unsupported
+            "SELECT a FROM t 123",
+            "SELECT a FROM t x trailing",
             "SELECT COUNT(DISTINCT) FROM t",
             "SELECT a, FROM t",
             "SELECT a FROM t WHERE a ==",
+            "SELECT a FROM t JOIN u",
+            "SELECT a FROM t ORDER BY",
+            "SELECT a FROM t LIMIT 5 OFFSET",
+            "SELECT a FROM t GROUP BY a HAVING",
         ],
     )
     def test_malformed_queries(self, sql):
         with pytest.raises(SqlSyntaxError):
             parse(sql)
+
+    def test_trailing_tokens_report_position(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse("SELECT a FROM t x trailing")
+        message = str(info.value)
+        assert "trailing" in message
+        assert "line 1" in message
+        assert "column 19" in message
+
+    def test_unterminated_string_reports_position(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse("SELECT a\nFROM t WHERE a = 'oops")
+        message = str(info.value)
+        assert "unterminated string" in message
+        assert "line 2" in message
+        assert "'oops" in message
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse("SELECT a,\n  FROM t")
+        assert info.value.line == 2
+        assert info.value.column == 3

@@ -1,0 +1,223 @@
+"""The planner: canonical shapes, PlanError surfaces, and the
+round-trip property ``plan_query(parse(to_sql(p))) == p``.
+
+The round trip is the contract that makes logical plans a first-class
+API: any plan the planner emits can be unparsed back to SQL text that
+re-plans to the *same* frozen tree — aggregate slots land in the same
+``__agg<i>`` positions, aliases survive, and every literal the query
+strategies generate is representable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    Limit,
+    PlanError,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    plan_query,
+    to_sql,
+)
+
+from .test_columnar_oracle import join_queries, queries
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(query=queries())
+def test_roundtrip_single_table(query):
+    assume(not (query.limit is None and query.offset is not None))
+    plan = plan_query(query)
+    sql = to_sql(plan)
+    assert plan_query(parse(sql)) == plan
+
+
+@settings(max_examples=100, deadline=None)
+@given(query=join_queries())
+def test_roundtrip_joins(query):
+    plan = plan_query(query)
+    sql = to_sql(plan)
+    assert plan_query(parse(sql)) == plan
+
+
+# ----------------------------------------------------------------------
+# Canonical shapes
+# ----------------------------------------------------------------------
+class TestShapes:
+    def test_bare_projection(self):
+        plan = plan_query(parse("SELECT a, b FROM t"))
+        assert plan == Project(
+            Scan("t"),
+            (ast.ColumnRef("a"), ast.ColumnRef("b")),
+            ("a", "b"),
+        )
+
+    def test_where_then_limit(self):
+        plan = plan_query(parse("SELECT a FROM t WHERE b > 1 LIMIT 3 OFFSET 2"))
+        assert isinstance(plan, Limit)
+        assert plan.limit == 3 and plan.offset == 2
+        project = plan.source
+        assert isinstance(project, Project)
+        filt = project.source
+        assert isinstance(filt, Filter)
+        assert filt.predicate == ast.Comparison(
+            ">", ast.ColumnRef("b"), ast.Literal(1)
+        )
+        assert filt.source == Scan("t")
+
+    def test_group_by_pulls_specs(self):
+        plan = plan_query(
+            parse(
+                "SELECT a, COUNT(*), SUM(b) FROM t GROUP BY a "
+                "HAVING COUNT(*) > 1 ORDER BY a"
+            )
+        )
+        project = plan
+        assert isinstance(project, Project)
+        sort = project.source
+        assert isinstance(sort, Sort)
+        assert sort.keys == (SortKey(ast.ColumnRef("a")),)
+        having = sort.source
+        assert isinstance(having, Filter)
+        aggregate = having.source
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.group_by == (ast.ColumnRef("a"),)
+        assert aggregate.specs == (
+            AggregateSpec("count"),
+            AggregateSpec("sum", (ast.ColumnRef("b"),)),
+        )
+        # HAVING reuses the COUNT(*) slot rather than minting a new one.
+        assert having.predicate == ast.Comparison(
+            ">", ast.ColumnRef("__agg0"), ast.Literal(1)
+        )
+        assert project.expressions == (
+            ast.ColumnRef("a"),
+            ast.ColumnRef("__agg0"),
+            ast.ColumnRef("__agg1"),
+        )
+
+    def test_join_keys_attributed(self):
+        plan = plan_query(
+            parse(
+                "SELECT r.a, s.b FROM r JOIN s AS x ON r.a = x.k LEFT JOIN u "
+                "ON u.j = r.a"
+            )
+        )
+        project = plan
+        assert isinstance(project, Project)
+        outer = project.source
+        assert isinstance(outer, Join)
+        assert outer.kind == "left" and outer.table == "u"
+        assert outer.left_keys == (ast.ColumnRef("a", table="r"),)
+        assert outer.right_keys == (ast.ColumnRef("j", table="u"),)
+        inner = outer.source
+        assert isinstance(inner, Join)
+        assert inner.kind == "inner"
+        assert inner.table == "s" and inner.alias == "x"
+        assert inner.binding == "x"
+        assert inner.right_keys == (ast.ColumnRef("k", table="x"),)
+        assert inner.source == Scan("r")
+
+    def test_order_by_alias_substitutes_expression(self):
+        plan = plan_query(parse("SELECT a + b AS s FROM t ORDER BY s DESC"))
+        project = plan
+        sort = project.source
+        assert isinstance(sort, Sort)
+        assert sort.keys == (
+            SortKey(
+                ast.Arith("+", ast.ColumnRef("a"), ast.ColumnRef("b")),
+                descending=True,
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# PlanError surfaces
+# ----------------------------------------------------------------------
+class TestPlanErrors:
+    @pytest.mark.parametrize(
+        ("sql", "fragment"),
+        [
+            ("SELECT a FROM t WHERE COUNT(*) > 1", "not allowed in WHERE"),
+            ("SELECT a, COUNT(*) FROM t", "without GROUP BY"),
+            (
+                "SELECT a, b, COUNT(*) FROM t GROUP BY a",
+                "'b' must appear in GROUP BY",
+            ),
+            ("SELECT * FROM t GROUP BY a", "'*' must appear in GROUP BY"),
+            (
+                "SELECT r.a FROM r JOIN s ON r.a < s.b",
+                "conjunctions of column equalities",
+            ),
+            (
+                "SELECT r.a FROM r JOIN s ON s.a = s.b",
+                "exactly one side must be qualified",
+            ),
+            (
+                "SELECT r.a FROM r JOIN s ON COUNT(*) = s.b",
+                "not allowed in JOIN conditions",
+            ),
+            ("SELECT a = 1 FROM t", "not supported in SELECT items"),
+            ("SELECT a FROM t ORDER BY a = 1", "not supported in ORDER BY"),
+            ("SELECT SUM(SUM(a)) FROM t", "not allowed in aggregate arguments"),
+        ],
+    )
+    def test_message(self, sql, fragment):
+        with pytest.raises(PlanError, match=fragment):
+            plan_query(parse(sql))
+
+    def test_star_mixed_with_items(self):
+        # The parser already rejects this in SQL text; the planner still
+        # guards against hand-built ASTs.
+        query = ast.SelectQuery(
+            items=(
+                ast.SelectItem(ast.ColumnRef("*")),
+                ast.SelectItem(ast.ColumnRef("a")),
+            ),
+            table="t",
+        )
+        with pytest.raises(PlanError, match="cannot be combined with other items"):
+            plan_query(query)
+
+
+class TestUnparseErrors:
+    def test_non_canonical_root(self):
+        with pytest.raises(PlanError, match="cannot unparse plan rooted at Scan"):
+            to_sql(Scan("t"))
+
+    def test_offset_without_limit(self):
+        plan = Limit(
+            Project(Scan("t"), (ast.ColumnRef("a"),), ("a",)), None, offset=2
+        )
+        with pytest.raises(PlanError, match="OFFSET without a LIMIT"):
+            to_sql(plan)
+
+    def test_unrepresentable_literal(self):
+        plan = Project(
+            Filter(
+                Scan("t"),
+                ast.Comparison("=", ast.ColumnRef("a"), ast.Literal(1e-30)),
+            ),
+            (ast.ColumnRef("a"),),
+            ("a",),
+        )
+        with pytest.raises(PlanError, match="numeric literal"):
+            to_sql(plan)
+
+    def test_keyword_alias(self):
+        plan = Project(Scan("t"), (ast.ColumnRef("a"),), ("select",))
+        with pytest.raises(PlanError, match="as an alias"):
+            to_sql(plan)
