@@ -1,0 +1,80 @@
+"""Monitoring-service load harness: ≥ 1M tuples across ≥ 100 tenants (PR 8).
+
+One deterministic :func:`repro.service.harness.run_load` replay at the
+issue's pinned shape — 100 tenants × 50 batches × 200 rows = 1,000,000
+tuples, every tenant watching two FDs — with **asserted ceilings**:
+
+* peak traced Python heap under ``_PEAK_MB_CEILING`` (the service must
+  stream, not accumulate: bounded queues, checkpoint-pruned WALs, and
+  per-tenant monitors are the only resident state);
+* throughput above ``_MIN_TUPLES_PER_S`` (a generous floor ~4× below
+  observed, so only a pathological regression — an accidental
+  per-batch O(stream) scan, a sync fsync on the hot path — trips it).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the replay to CI seconds (100 tenants
+× 5 batches × 40 rows) and drops the throughput floor; the memory
+ceiling still binds.  Numbers land in ``BENCH_results.json`` either
+way (and the CI ``soak-smoke`` job uploads them as an artifact).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.bench.tables import render_rows
+from repro.relational import kernels
+from repro.service.harness import LoadSpec, run_load
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+_SPEC = (
+    LoadSpec(tenants=100, batches_per_tenant=5, rows_per_batch=40)
+    if _SMOKE
+    else LoadSpec(tenants=100, batches_per_tenant=50, rows_per_batch=200)
+)
+_PEAK_MB_CEILING = 512.0
+_MIN_TUPLES_PER_S = None if _SMOKE else 2_000.0
+
+
+def test_service_load_ceilings(benchmark, show, bench_results, tmp_path):
+    """1M tuples / 100 tenants inside the memory + throughput ceilings."""
+    report = run_once(benchmark, run_load, tmp_path / "state", _SPEC)
+    show(
+        render_rows(
+            [
+                {
+                    "tenants": report["tenants"],
+                    "tuples": f"{report['tuples']:,}",
+                    "seconds": report["seconds"],
+                    "tuples/s": f"{report['tuples_per_s']:,.0f}",
+                    "peak MB": report["peak_mb"],
+                    "alerts": report["alerts"],
+                }
+            ]
+        )
+    )
+    bench_results.record(
+        "service.load_harness",
+        report["seconds"],
+        size=report["tuples"],
+        backend=kernels.active_backend_name(),
+        tenants=report["tenants"],
+        tuples_per_s=report["tuples_per_s"],
+        peak_mb=report["peak_mb"],
+        alerts=report["alerts"],
+        smoke=_SMOKE,
+    )
+    assert report["tenants"] >= 100
+    assert _SMOKE or report["tuples"] >= 1_000_000
+    assert report["alerts"] > 0, "violation mix never tripped a watch"
+    assert report["peak_mb"] <= _PEAK_MB_CEILING, (
+        f"peak traced heap {report['peak_mb']:.1f} MB exceeds the "
+        f"{_PEAK_MB_CEILING:.0f} MB ceiling — the service stopped streaming"
+    )
+    if _MIN_TUPLES_PER_S is not None:
+        assert report["tuples_per_s"] >= _MIN_TUPLES_PER_S, (
+            f"throughput {report['tuples_per_s']:,.0f} tuples/s under the "
+            f"{_MIN_TUPLES_PER_S:,.0f} floor"
+        )

@@ -65,15 +65,24 @@ class BenchResults:
         return entry
 
     def write(self, path: str | Path | None = None) -> Path | None:
-        """Write the collected entries as JSON; no file when empty."""
+        """Write the collected entries as JSON; no file when empty.
+
+        The write is atomic (temp file + :func:`os.replace` in the
+        target's directory): a benchmark run interrupted mid-write can
+        leave a stale results file behind, never a truncated one.
+        """
         if not self.entries:
             return None
         target = Path(path) if path is not None else bench_results_path()
         payload = {"results": self.entries}
-        target.write_text(
-            json.dumps(payload, indent=2, sort_keys=False) + "\n",
-            encoding="utf-8",
-        )
+        text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
+        scratch = target.with_name(f".{target.name}.tmp{os.getpid()}")
+        scratch.write_text(text, encoding="utf-8")
+        try:
+            os.replace(scratch, target)
+        except OSError:
+            scratch.unlink(missing_ok=True)
+            raise
         return target
 
 

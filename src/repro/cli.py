@@ -26,6 +26,8 @@ Beyond the paper's workflow, the extended subsystems are reachable too:
    $ repro-fd keys DB Places              # candidate keys under declared FDs
    $ repro-fd normalize DB Places --form 3nf  # decomposition proposal
    $ repro-fd mine DB Places --max-size 3     # denial-constraint discovery
+   $ repro-fd serve STATE --spec t.json < batches.ndjson  # monitoring service
+   $ repro-fd replay STATE --tenant acme  # durable event stream from the WAL
 
 Every subcommand returns a process exit code of 0 on success, 1 on a
 domain error (unknown relation, malformed FD, …), making the tool
@@ -203,6 +205,70 @@ def build_parser() -> argparse.ArgumentParser:
         "enumeration with honest sampling",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant monitoring service over NDJSON batches",
+        description=(
+            "Reads one JSON object per line from stdin (or --input): "
+            '{"tenant": ID, "batch": N, "rows": [[...], ...]} and writes '
+            "one JSON event per line to stdout.  State (tenant specs, "
+            "write-ahead logs, checkpoints) lives under STATE_DIR; "
+            "restarting the command replays the WAL and continues "
+            "exactly where the previous run stopped."
+        ),
+    )
+    serve.add_argument("state_dir", type=Path)
+    serve.add_argument(
+        "--spec",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="register a tenant from a TenantSpec JSON file "
+        "(repeatable; tenants already in STATE_DIR are recovered "
+        "automatically)",
+    )
+    serve.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="read batches from FILE instead of stdin",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="bounded per-tenant ingest queue (backpressure beyond it)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=50, metavar="N",
+        help="snapshot checkpoint cadence, in applied batches",
+    )
+    serve.add_argument(
+        "--sync",
+        choices=("batch", "none"),
+        default="batch",
+        help="fsync the WAL per commit (batch) or leave it to the OS",
+    )
+    serve.add_argument(
+        "--retain-segments",
+        action="store_true",
+        help="keep WAL segments past checkpoints (enables full `replay`)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="print a tenant's durable event stream from its WAL",
+        description=(
+            "Reconstructs the alert/drift/shed event stream that `serve` "
+            "durably journaled, one JSON event per line — the same "
+            "stream the crash-recovery oracle compares byte-for-byte."
+        ),
+    )
+    replay.add_argument("state_dir", type=Path)
+    replay.add_argument(
+        "--tenant", help="replay only this tenant (default: every tenant)"
+    )
+
     return parser
 
 
@@ -241,6 +307,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         "keys": _cmd_keys,
         "normalize": _cmd_normalize,
         "mine": _cmd_mine,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args)
 
@@ -510,6 +578,90 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         f"{shown} constraint(s) shown of {result.num_constraints} mined "
         f"from {result.evidence_pairs} pairs{sampled}"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import MonitorService, ServiceConfig, TenantSpec
+    from repro.service.events import to_json
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        queue_capacity=args.queue_capacity,
+        checkpoint_every=args.checkpoint_every,
+        sync=args.sync,
+        retain_segments=args.retain_segments,
+    )
+
+    def emit(event) -> None:
+        print(json.dumps(to_json(event), sort_keys=True), flush=True)
+
+    async def run() -> int:
+        service = MonitorService(config, on_event=emit)
+        await service.start()
+        for spec_path in args.spec:
+            spec = TenantSpec.from_json(
+                json.loads(spec_path.read_text(encoding="utf-8"))
+            )
+            if spec.tenant_id not in service.tenant_ids:
+                service.add_tenant(spec)
+        stream = (
+            open(args.input, encoding="utf-8") if args.input else sys.stdin
+        )
+        loop = asyncio.get_running_loop()
+        submitted = 0
+        try:
+            while True:
+                line = await loop.run_in_executor(None, stream.readline)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                batch = json.loads(line)
+                await service.submit(
+                    batch["tenant"], batch["batch"], batch["rows"]
+                )
+                submitted += 1
+        finally:
+            if args.input:
+                stream.close()
+        await service.drain()
+        await service.stop()
+        print(
+            f"served {submitted} batch(es) across "
+            f"{len(service.tenant_ids)} tenant(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.errors import UnknownTenantError
+    from repro.service.wal import read_event_stream
+
+    state_dir: Path = args.state_dir
+    tenants = sorted(
+        path.name
+        for path in state_dir.iterdir()
+        if (path / "spec.json").is_file()
+    ) if state_dir.is_dir() else []
+    if args.tenant is not None:
+        if args.tenant not in tenants:
+            raise UnknownTenantError(args.tenant)
+        tenants = [args.tenant]
+    total = 0
+    for tenant in tenants:
+        for event in read_event_stream(state_dir / tenant, tenant):
+            print(json.dumps(event, sort_keys=True))
+            total += 1
+    print(f"{total} event(s) from {len(tenants)} tenant(s)", file=sys.stderr)
     return 0
 
 

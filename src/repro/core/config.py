@@ -77,12 +77,14 @@ class EngineConfig:
             raise ValueError("partition_cache_size must be >= 1 or None")
         if self.delta_track_limit is not None and self.delta_track_limit < 1:
             raise ValueError("delta_track_limit must be >= 1 or None")
-        if isinstance(self.dc_tile, bool) or not isinstance(self.dc_tile, int):
+        if (
+            isinstance(self.dc_tile, bool)
+            or not isinstance(self.dc_tile, int)
+            or self.dc_tile < 1
+        ):
             raise ValueError(
                 f"dc_tile must be a positive integer, got {self.dc_tile!r}"
             )
-        if self.dc_tile < 1:
-            raise ValueError("dc_tile must be >= 1")
         if isinstance(self.workers, bool) or not isinstance(self.workers, int):
             raise ValueError(
                 f"workers must be a non-negative integer, got {self.workers!r}"
@@ -91,6 +93,61 @@ class EngineConfig:
             raise ValueError(
                 f"workers must be a non-negative integer, got {self.workers}"
             )
+
+    @classmethod
+    def from_env(cls) -> "EngineConfig":
+        """Build a config from the ``REPRO_*`` environment knobs.
+
+        Every knob is validated with the *same* message the constructor
+        raises (plus the variable it came from), so a typo in a service
+        unit file reads identically to a typo in code:
+
+        * ``REPRO_BACKEND``  → :attr:`backend`
+        * ``REPRO_DC_TILE``  → :attr:`dc_tile`
+        * ``REPRO_WORKERS``  → :attr:`workers`
+
+        Unset variables keep the dataclass defaults.  Invalid values
+        raise :class:`ValueError` (or
+        :class:`~repro.relational.errors.KernelBackendError` for the
+        backend, its established type) immediately — misconfiguration
+        surfaces at startup, not at first use deep in a request.
+        """
+        import os
+
+        from repro.dc import engine as dc_engine
+        from repro.relational import parallel
+
+        overrides: dict[str, object] = {}
+        backend = os.environ.get(kernels.BACKEND_ENV_VAR)
+        if backend:
+            overrides["backend"] = kernels._normalize(
+                backend, f"${kernels.BACKEND_ENV_VAR}"
+            )
+        tile = os.environ.get(dc_engine.TILE_ENV_VAR)
+        if tile:
+            try:
+                value = int(tile)
+            except ValueError:
+                raise ValueError(
+                    f"dc_tile must be a positive integer, got {tile!r} "
+                    f"(from ${dc_engine.TILE_ENV_VAR})"
+                ) from None
+            overrides["dc_tile"] = dc_engine._validate_tile(
+                value, f"${dc_engine.TILE_ENV_VAR}"
+            )
+        workers = os.environ.get(parallel.WORKERS_ENV_VAR)
+        if workers:
+            try:
+                value = int(workers)
+            except ValueError:
+                raise ValueError(
+                    f"workers must be a non-negative integer, got {workers!r} "
+                    f"(from ${parallel.WORKERS_ENV_VAR})"
+                ) from None
+            overrides["workers"] = parallel._validate_workers(
+                value, f"${parallel.WORKERS_ENV_VAR}"
+            )
+        return cls(**overrides)
 
     def resolve(self) -> str:
         """The concrete backend name this config would run on."""

@@ -182,13 +182,56 @@ class FDMonitor:
         """Which counter engine this monitor runs on."""
         return "delta" if self._stream is not None else "legacy"
 
+    @property
+    def on_alert(self) -> Callable[[FDAlert], None] | None:
+        """The alert callback (settable; dropped by snapshots)."""
+        return self._on_alert
+
+    @on_alert.setter
+    def on_alert(self, callback: Callable[[FDAlert], None] | None) -> None:
+        self._on_alert = callback
+
+    # ------------------------------------------------------------------
+    # Snapshot support (the monitoring service's checkpoint path)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle every counter but never the alert callback.
+
+        The delta stream, its shared trackers, and the per-FD states are
+        plain dict/tuple structures, so a pickled monitor restores to
+        *exactly* the same confidences, alert arming, and histories —
+        the property the service's checkpoint/replay recovery is pinned
+        on.  Callbacks are process-local (often closures over live
+        queues); the restorer re-attaches one via :attr:`on_alert`.
+        """
+        state = dict(self.__dict__)
+        state["_on_alert"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def watch(
         self, fd: FunctionalDependency, threshold: float | None = None
     ) -> MonitoredFD:
-        """Start watching an FD; replays already-seen seed rows."""
+        """Start watching an FD; replays already-seen seed rows.
+
+        Re-watching an already-watched FD is idempotent: the existing
+        state (counters, alert arming, history) is returned rather than
+        a duplicate being registered — so alerts keep firing exactly
+        once per crossing however many times a caller re-declares its
+        watch list.  An explicit ``threshold`` on a re-watch updates
+        the trigger level in place.
+        """
+        explicit = threshold is not None
         threshold = self._default_threshold if threshold is None else threshold
         if not 0.0 < threshold <= 1.0:
             raise ValueError("alert threshold must be in (0, 1]")
+        for state in self._watched:
+            if state.fd == fd:
+                if explicit:
+                    state.threshold = threshold
+                return state
         # Validate the FD's attributes *before* touching the shared
         # stream, so a failed watch leaves no orphan trackers behind.
         x_positions = self._schema.positions(fd.antecedent)

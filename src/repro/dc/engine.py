@@ -100,8 +100,10 @@ _OPCODE = {
 
 def _validate_tile(tile: object, source: str) -> int:
     if isinstance(tile, bool) or not isinstance(tile, int) or tile < 1:
+        # Same message as EngineConfig's constructor validation, plus
+        # the source, so every configuration path reads identically.
         raise ValueError(
-            f"evidence tile from {source} must be a positive integer, got {tile!r}"
+            f"dc_tile must be a positive integer, got {tile!r} (from {source})"
         )
     return tile
 
@@ -126,7 +128,8 @@ def effective_tile() -> int:
             value = int(env)
         except ValueError:
             raise ValueError(
-                f"${TILE_ENV_VAR} must be a positive integer, got {env!r}"
+                f"dc_tile must be a positive integer, got {env!r} "
+                f"(from ${TILE_ENV_VAR})"
             ) from None
         return _validate_tile(value, f"${TILE_ENV_VAR}")
     return DEFAULT_TILE

@@ -93,8 +93,12 @@ def available_backends() -> tuple[str, ...]:
 def _normalize(name: str, source: str) -> str:
     normalized = name.strip().lower()
     if normalized not in _KNOWN:
+        # Same message as EngineConfig's constructor validation, plus
+        # the source, so env-var typos read identically to code typos.
         raise KernelBackendError(
-            name, f"unknown backend from {source}; expected one of {_KNOWN}"
+            name,
+            f"backend must be 'auto', 'python' or 'numpy', got {name!r} "
+            f"(from {source})",
         )
     return normalized
 

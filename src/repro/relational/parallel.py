@@ -52,22 +52,28 @@ import mmap
 import multiprocessing
 import os
 import pickle
+import signal
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Any, Iterator
 
 from . import kernels
+from .errors import WorkerPoolError
 
 __all__ = [
     "WORKERS_ENV_VAR",
     "effective_workers",
     "morsel_map",
     "pool_kind",
+    "set_morsel_timeout",
     "set_workers",
     "shutdown_pools",
+    "use_morsel_timeout",
     "use_workers",
 ]
 
@@ -82,6 +88,14 @@ DEFAULT_WORKERS = 0
 #: In-process override installed by :func:`set_workers`; ``None``
 #: defers to the environment variable / default.
 _forced_workers: int | None = None
+
+#: Morsel-map watchdog in seconds; ``None`` (the default) waits
+#: indefinitely, the historical behaviour.  When set, a process-pool
+#: map that makes no progress within the window — the signature of a
+#: crashed worker whose tasks can never complete — raises
+#: :class:`~repro.relational.errors.WorkerPoolError` after discarding
+#: the broken pool, so callers can retry on a fresh one.
+_morsel_timeout: float | None = None
 
 #: Live executors, keyed by ``(kind, workers)``; populated lazily and
 #: reused across morsel maps (hypothesis suites fan out thousands of
@@ -143,6 +157,40 @@ def effective_workers() -> int:
     return DEFAULT_WORKERS
 
 
+def set_morsel_timeout(seconds: float | None) -> None:
+    """Arm (or disarm, with ``None``) the morsel-map watchdog.
+
+    The monitoring service arms this so a crashed pool worker surfaces
+    as a retryable :class:`~repro.relational.errors.WorkerPoolError`
+    instead of a hang.
+    """
+    global _morsel_timeout
+    if seconds is None:
+        _morsel_timeout = None
+        return
+    if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+        raise ValueError(
+            f"morsel timeout must be a positive number, got {seconds!r}"
+        )
+    if seconds <= 0:
+        raise ValueError(
+            f"morsel timeout must be a positive number, got {seconds}"
+        )
+    _morsel_timeout = float(seconds)
+
+
+@contextmanager
+def use_morsel_timeout(seconds: float | None) -> Iterator[None]:
+    """Scoped :func:`set_morsel_timeout` (tests and the service use this)."""
+    global _morsel_timeout
+    previous = _morsel_timeout
+    set_morsel_timeout(seconds)
+    try:
+        yield
+    finally:
+        _morsel_timeout = previous
+
+
 @contextmanager
 def use_workers(workers: int | None) -> Iterator[None]:
     """Scoped :func:`set_workers` (tests and benchmarks use this)."""
@@ -177,14 +225,45 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _stop_pool(kind: str, pool) -> None:
+    """Tear one pool down, surviving the failure modes of a pool whose
+    workers already died (SIGKILL, OOM).
+
+    ``Pool.terminate``/``join`` can wedge *forever* when a worker was
+    killed while holding a queue lock, so process-pool workers are
+    SIGKILLed first and the teardown itself runs on a daemon thread
+    with a bounded join — especially from the :mod:`atexit` hook at
+    interpreter shutdown, this must never hang or print a stray
+    traceback, only (at worst) abandon an already-broken pool."""
+    if kind == "process":
+        for worker in list(getattr(pool, "_pool", None) or []):
+            pid = getattr(worker, "pid", None)
+            if pid and worker.is_alive():
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+
+    def _teardown() -> None:
+        try:
+            if kind == "thread":
+                pool.shutdown(wait=True)
+            else:
+                pool.terminate()
+                pool.join()
+        except Exception:
+            pass
+
+    closer = threading.Thread(
+        target=_teardown, daemon=True, name="repro-pool-teardown"
+    )
+    closer.start()
+    closer.join(timeout=1.0)
+
+
 def _shutdown_kind(kind: str) -> None:
     for key in [key for key in _pools if key[0] == kind]:
-        pool = _pools.pop(key)
-        if kind == "thread":
-            pool.shutdown(wait=True)
-        else:
-            pool.terminate()
-            pool.join()
+        _stop_pool(kind, _pools.pop(key))
 
 
 def _thread_pool(workers: int) -> ThreadPoolExecutor:
@@ -214,8 +293,11 @@ def _process_pool(workers: int):
 def shutdown_pools() -> None:
     """Tear down every pool (threads joined, processes terminated).
 
-    Idempotent; registered via :mod:`atexit`.  The next morsel map
-    simply builds a fresh pool.
+    Idempotent — the pool registry is drained as it is walked, so a
+    second call (or the :mod:`atexit` firing after an explicit call) is
+    a no-op — and safe when workers have already died: teardown errors
+    are swallowed, never printed at interpreter exit.  The next morsel
+    map simply builds a fresh pool.
     """
     _shutdown_kind("thread")
     _shutdown_kind("process")
@@ -348,6 +430,7 @@ def morsel_map(
     arrays: Sequence[Any] = (),
     payload: Any = None,
     workers: int | None = None,
+    timeout: float | None = None,
 ) -> list:
     """Run ``worker(arrays, payload, task)`` per task, results in order.
 
@@ -363,6 +446,15 @@ def morsel_map(
     small per-call state (pickled once per chunk on processes).  A
     worker exception propagates to the caller with its original type;
     the pool survives for the next call.
+
+    ``timeout`` (or the module-wide :func:`set_morsel_timeout`) arms a
+    watchdog on pooled maps: a map that fails to complete within the
+    window raises :class:`~repro.relational.errors.WorkerPoolError`.
+    On the process pool the stalled pool is terminated and discarded
+    first (a SIGKILL-ed worker's tasks would otherwise hang the map
+    forever), so a retry transparently gets a fresh pool; thread-pool
+    workers cannot be killed, so there the stragglers are merely
+    abandoned to finish in the background.
     """
     tasks = list(tasks)
     if not tasks:
@@ -373,18 +465,41 @@ def morsel_map(
         count = _validate_workers(workers, "workers=")
     kind = pool_kind(count)
     arrays = tuple(arrays)
+    if timeout is None:
+        timeout = _morsel_timeout
     if kind == "serial" or len(tasks) == 1:
         return [worker(arrays, payload, task) for task in tasks]
     if kind == "thread":
         pool = _thread_pool(count)
         futures = [pool.submit(worker, arrays, payload, task) for task in tasks]
-        return [future.result() for future in futures]
+        if timeout is None:
+            return [future.result() for future in futures]
+        try:
+            return [future.result(timeout=timeout) for future in futures]
+        except FutureTimeoutError:
+            raise WorkerPoolError(
+                "thread", f"map did not complete within {timeout:g}s"
+            ) from None
     pool = _process_pool(count)
     manifest, segment = _export_arrays(arrays)
     try:
         call = functools.partial(_run_task, worker, manifest, payload)
         chunksize = max(1, len(tasks) // (count * 4))
-        return pool.map(call, tasks, chunksize=chunksize)
+        if timeout is None:
+            return pool.map(call, tasks, chunksize=chunksize)
+        result = pool.map_async(call, tasks, chunksize=chunksize)
+        try:
+            return result.get(timeout)
+        except multiprocessing.TimeoutError:
+            # A worker died mid-task (its tasks can never complete) or
+            # the pool is otherwise wedged: discard it so the error is
+            # genuinely retryable on a fresh pool.
+            _stop_pool("process", _pools.pop(("process", count), pool))
+            raise WorkerPoolError(
+                "process",
+                f"map did not complete within {timeout:g}s "
+                "(worker crash?); the pool was discarded",
+            ) from None
     finally:
         _release_segment(manifest, segment)
 

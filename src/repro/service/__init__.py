@@ -1,0 +1,60 @@
+"""The always-on multi-tenant monitoring service (`repro serve`).
+
+Layers: :mod:`~repro.service.service` (ingest, apply, degrade),
+:mod:`~repro.service.wal` (durability), :mod:`~repro.service.events`
+(typed event stream + canonical JSON oracle form),
+:mod:`~repro.service.faults` (deterministic fault injection),
+:mod:`~repro.service.harness` (load replay with asserted ceilings).
+"""
+
+from .errors import (
+    BatchFailed,
+    Overloaded,
+    ServiceClosedError,
+    ServiceError,
+    ServiceKilled,
+    TransientFault,
+    UnknownTenantError,
+    WalCorruptError,
+)
+from .events import (
+    AlertEvent,
+    DegradedEvent,
+    DriftEvent,
+    RecoveryEvent,
+    ServiceEvent,
+    ShedEvent,
+    canonical_json,
+)
+from .faults import FaultInjector, FaultPlan, FaultyClient
+from .harness import LoadSpec, run_load
+from .service import MonitorService, ServiceConfig, TenantSpec
+from .wal import TenantWal, read_event_stream
+
+__all__ = [
+    "AlertEvent",
+    "BatchFailed",
+    "DegradedEvent",
+    "DriftEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyClient",
+    "LoadSpec",
+    "MonitorService",
+    "Overloaded",
+    "RecoveryEvent",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceEvent",
+    "ServiceKilled",
+    "ServiceConfig",
+    "ShedEvent",
+    "TenantSpec",
+    "TenantWal",
+    "TransientFault",
+    "UnknownTenantError",
+    "WalCorruptError",
+    "canonical_json",
+    "read_event_stream",
+    "run_load",
+]

@@ -1,0 +1,147 @@
+"""The service's typed event stream and its canonical JSON form.
+
+Every observable outcome of the monitoring service is an event:
+
+* :class:`AlertEvent` — a watched FD's confidence crossed below its
+  threshold inside a specific client batch (wraps
+  :class:`~repro.core.monitor.FDAlert`).
+* :class:`DriftEvent` — the temporal layer's verdict that a confidence
+  history shows sustained drift rather than a blip (the
+  :mod:`repro.temporal` feed, sampled every ``drift_check_every``
+  applied batches).
+* :class:`ShedEvent` — load shedding dropped a run of *accepted*
+  batches for a low-priority tenant.  Loss is explicit and durable,
+  never silent.
+* :class:`DegradedEvent` — a service-level mode transition (tenant
+  entered/left degraded mode, resident-monitor eviction).
+* :class:`RecoveryEvent` — a restart replayed the WAL; counts how many
+  batches were re-applied and how many event records were re-emitted.
+
+Alert and drift events are pinned to the client batch (``seq``) that
+produced them and are stored durably inside the WAL's ``applied``
+records; shed events are durable via ``shed`` records.  That is what
+makes the crash-recovery oracle meaningful: the durable stream
+reconstructed from the WAL after any number of crashes must be
+byte-identical (:func:`canonical_json`) to an uninterrupted run's.
+
+Events round-trip through plain dicts (:func:`to_json` /
+:func:`from_json`); floats survive exactly because JSON serialization
+of Python floats is shortest-round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any
+
+from .errors import WalCorruptError
+
+__all__ = [
+    "AlertEvent",
+    "DegradedEvent",
+    "DriftEvent",
+    "RecoveryEvent",
+    "ServiceEvent",
+    "ShedEvent",
+    "canonical_json",
+    "from_json",
+    "to_json",
+]
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """Common shape: every event names the tenant it belongs to."""
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class AlertEvent(ServiceEvent):
+    """An FD confidence threshold crossing, pinned to a client batch."""
+
+    seq: int
+    fd: str
+    confidence: float
+    threshold: float
+    num_rows: int
+
+
+@dataclass(frozen=True)
+class DriftEvent(ServiceEvent):
+    """A drift detector fired over a watched FD's confidence history."""
+
+    seq: int
+    fd: str
+    verdict: str
+    statistic: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class ShedEvent(ServiceEvent):
+    """Accepted batches ``first_seq..last_seq`` were dropped under load."""
+
+    first_seq: int
+    last_seq: int
+    dropped: int
+
+
+@dataclass(frozen=True)
+class DegradedEvent(ServiceEvent):
+    """A degraded-mode transition (``reason``: entered/recovered/evicted)."""
+
+    reason: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(ServiceEvent):
+    """One tenant's crash recovery summary."""
+
+    checkpoint_seq: int
+    replayed: int
+    reemitted: int
+    resumed_seq: int
+
+
+_TYPES: dict[str, type[ServiceEvent]] = {
+    "alert": AlertEvent,
+    "drift": DriftEvent,
+    "shed": ShedEvent,
+    "degraded": DegradedEvent,
+    "recovery": RecoveryEvent,
+}
+_NAMES = {cls: name for name, cls in _TYPES.items()}
+
+
+def to_json(event: ServiceEvent) -> dict[str, Any]:
+    """Serialize an event to a plain tagged dict."""
+    payload = asdict(event)
+    payload["type"] = _NAMES[type(event)]
+    return payload
+
+
+def from_json(payload: dict[str, Any]) -> ServiceEvent:
+    """Inverse of :func:`to_json`; raises on unknown or malformed shapes."""
+    data = dict(payload)
+    tag = data.pop("type", None)
+    cls = _TYPES.get(tag)
+    if cls is None:
+        raise WalCorruptError(f"unknown event type {tag!r}")
+    expected = {f.name for f in fields(cls)}
+    if set(data) != expected:
+        raise WalCorruptError(
+            f"event {tag!r} has fields {sorted(data)}, expected {sorted(expected)}"
+        )
+    return cls(**data)
+
+
+def canonical_json(events: list[ServiceEvent] | list[dict]) -> str:
+    """One canonical string for a stream — the oracle's byte identity."""
+    rows = [
+        to_json(e) if isinstance(e, ServiceEvent) else e  # type: ignore[arg-type]
+        for e in events
+    ]
+    return json.dumps(rows, sort_keys=True, separators=(",", ":"))

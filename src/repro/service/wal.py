@@ -1,0 +1,372 @@
+"""Per-tenant write-ahead log + snapshot checkpoints.
+
+Durability protocol (one directory per tenant):
+
+* ``spec.json`` — the tenant's declaration (schema, watch list,
+  priority), written once at registration so a bare restart can rebuild
+  every monitor without the caller re-supplying specs.
+* ``wal-<startseq>-<gen>.jsonl`` — append-only segments of JSON-line
+  records, each carrying a CRC32 of its canonical body:
+
+  - ``{"t": "batch", "seq": S, "rows": [...]}`` — the *accept* record.
+    Written (and committed per the sync policy) **before** the submit
+    call acknowledges, so an acknowledged batch is never lost.
+  - ``{"t": "applied", "seq": S, "events": [...]}`` — the *apply*
+    record: the batch's alert/drift events, written after the monitor
+    folded the rows.  Its presence marks the batch's events as
+    durably emitted — recovery re-derives events only for accepted
+    batches *without* an apply record, which is the whole
+    exactly-once story (alerts neither lost nor duplicated).
+  - ``{"t": "shed", "first": F, "last": L}`` — load shedding dropped
+    the accepted run ``F..L``; recovery must not re-apply it.
+
+* ``checkpoint-<seq>-<gen>.pkl`` — a pickled snapshot of the monitor
+  state covering every non-shed batch ``≤ seq``.  Written atomically
+  (temp + ``os.replace``); after a checkpoint the WAL rotates to a new
+  segment and fully-covered old segments are pruned (unless the
+  service is configured to retain them for audit).
+
+Torn writes: a crash mid-append leaves at most a truncated (or
+CRC-mismatching) *tail* in the segment being written.  Recovery stops
+reading a segment at the first bad line — everything after it was never
+acknowledged — and continues with the next segment, which a later
+incarnation opened *fresh* (incarnation generations keep file names
+unique, so a quarantined tail is never appended to).  Bad lines
+*followed by valid ones in the same segment* cannot happen under this
+scheme; duplicated seqs across segments are skipped on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .errors import WalCorruptError
+
+__all__ = ["TenantWal", "WalRecovery", "read_records", "read_event_stream"]
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{12})-(\d{4})\.jsonl$")
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})-(\d{4})\.pkl$")
+
+
+def _crc(body: str) -> int:
+    return zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _encode(record: dict[str, Any]) -> bytes:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    record = dict(record)
+    record["c"] = _crc(body)
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _decode(line: bytes) -> dict[str, Any] | None:
+    """One record, or ``None`` for a torn/garbled line."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    crc = record.pop("c", None)
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if crc != _crc(body):
+        return None
+    return record
+
+
+@dataclass
+class WalRecovery:
+    """Everything a restart needs, parsed from one tenant directory."""
+
+    checkpoint_seq: int = 0
+    checkpoint_payload: bytes | None = None
+    #: Accepted rows by seq (first valid record wins), seq > checkpoint.
+    batches: dict[int, list] = field(default_factory=dict)
+    #: Durable event dicts by seq, for batches already applied.
+    applied: dict[int, list] = field(default_factory=dict)
+    #: Seqs dropped by load shedding (never re-apply).
+    shed: set[int] = field(default_factory=set)
+    #: Shed runs in record order (to reconstruct the event stream).
+    shed_runs: list[tuple[int, int]] = field(default_factory=list)
+    #: Highest seq seen anywhere (accept records or checkpoint).
+    max_seq: int = 0
+
+
+class TenantWal:
+    """Append-only journal + checkpoints for one tenant.
+
+    Appends buffer in user space; :meth:`commit` pushes them to the OS
+    in one write (surviving a process kill from that point on) and —
+    under the default ``sync="batch"`` policy — fsyncs so they survive
+    an OS crash too.  :meth:`abandon` models a hard crash: buffered,
+    uncommitted appends are dropped on the floor.
+    """
+
+    def __init__(self, directory: str | Path, sync: str = "batch") -> None:
+        if sync not in ("batch", "none"):
+            raise ValueError(
+                f"sync must be 'batch' or 'none', got {sync!r}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self._fd: int | None = None
+        self._pending: list[bytes] = []
+        #: Highest seq recorded in each closed/open segment this
+        #: incarnation knows about (path → max seq), for pruning.
+        self._segment_max: dict[Path, int] = {}
+        self._current: Path | None = None
+        self._generation = self._next_generation()
+
+    # ------------------------------------------------------------------
+    # Segment management
+    # ------------------------------------------------------------------
+    def _next_generation(self) -> int:
+        generation = 0
+        for path in self.directory.iterdir():
+            match = _SEGMENT_RE.match(path.name) or _CHECKPOINT_RE.match(
+                path.name
+            )
+            if match:
+                generation = max(generation, int(match.group(2)) + 1)
+        return min(generation, 9999)
+
+    def open_segment(self, start_seq: int) -> None:
+        """Start appending to a fresh segment (never reuses a file)."""
+        self.close()
+        name = f"wal-{start_seq:012d}-{self._generation:04d}.jsonl"
+        path = self.directory / name
+        self._fd = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._current = path
+        self._segment_max.setdefault(path, start_seq - 1)
+
+    def _append(self, record: dict[str, Any], seq: int) -> None:
+        if self._fd is None:
+            raise WalCorruptError("no open WAL segment (open_segment first)")
+        self._pending.append(_encode(record))
+        path = self._current
+        assert path is not None
+        self._segment_max[path] = max(self._segment_max[path], seq)
+
+    def append_batch(self, seq: int, rows: list) -> None:
+        """Journal an accepted batch (commit before acknowledging)."""
+        self._append({"t": "batch", "seq": seq, "rows": rows}, seq)
+
+    def append_applied(self, seq: int, events: list[dict]) -> None:
+        """Journal a batch's derived events (its exactly-once marker)."""
+        self._append({"t": "applied", "seq": seq, "events": events}, seq)
+
+    def append_shed(self, first: int, last: int) -> None:
+        """Journal a load-shed run (explicit, durable loss)."""
+        self._append({"t": "shed", "first": first, "last": last}, last)
+
+    def commit(self) -> None:
+        """Push buffered appends to the OS (+fsync under ``batch``)."""
+        if self._pending:
+            if self._fd is None:
+                raise WalCorruptError("no open WAL segment to commit to")
+            os.write(self._fd, b"".join(self._pending))
+            self._pending.clear()
+        if self.sync == "batch" and self._fd is not None:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        """Commit and close the current segment (graceful)."""
+        if self._fd is not None:
+            self.commit()
+            os.close(self._fd)
+            self._fd = None
+            self._current = None
+
+    def abandon(self) -> None:
+        """Crash semantics: drop uncommitted appends, close the fd."""
+        self._pending.clear()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+            self._current = None
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self,
+        seq: int,
+        payload: bytes,
+        *,
+        keep_checkpoints: int = 2,
+        retain_segments: bool = False,
+    ) -> None:
+        """Atomically persist a snapshot covering seqs ``≤ seq``.
+
+        Commits the journal first (the snapshot must never be *ahead*
+        of the durable log), writes the pickle via temp +
+        ``os.replace``, rotates to a fresh segment, and prunes fully
+        covered segments and stale checkpoints.
+        """
+        self.commit()
+        name = f"checkpoint-{seq:012d}-{self._generation:04d}.pkl"
+        target = self.directory / name
+        scratch = self.directory / f".{name}.tmp{os.getpid()}"
+        scratch.write_bytes(payload)
+        os.replace(scratch, target)
+        self.open_segment(seq + 1)
+        self._prune(seq, keep_checkpoints, retain_segments)
+
+    def _prune(
+        self, seq: int, keep_checkpoints: int, retain_segments: bool
+    ) -> None:
+        checkpoints = sorted(
+            (
+                path
+                for path in self.directory.iterdir()
+                if _CHECKPOINT_RE.match(path.name)
+            ),
+            key=lambda p: p.name,
+        )
+        for stale in checkpoints[: -keep_checkpoints or None]:
+            stale.unlink(missing_ok=True)
+        if retain_segments:
+            return
+        for path, max_seq in list(self._segment_max.items()):
+            if path != self._current and max_seq <= seq:
+                path.unlink(missing_ok=True)
+                del self._segment_max[path]
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> WalRecovery:
+        """Parse the directory into a :class:`WalRecovery`.
+
+        Picks the newest structurally valid checkpoint, then replays
+        every segment in (start, generation) order, skipping records at
+        or below the checkpoint and tolerating a torn tail per segment.
+        """
+        recovery = WalRecovery()
+        checkpoints = sorted(
+            (
+                (path.name, path)
+                for path in self.directory.iterdir()
+                if _CHECKPOINT_RE.match(path.name)
+            ),
+            reverse=True,
+        )
+        for name, path in checkpoints:
+            payload = path.read_bytes()
+            if payload:
+                match = _CHECKPOINT_RE.match(name)
+                assert match is not None
+                recovery.checkpoint_seq = int(match.group(1))
+                recovery.checkpoint_payload = payload
+                break
+        recovery.max_seq = recovery.checkpoint_seq
+        for record in read_records(self.directory):
+            kind = record.get("t")
+            if kind == "batch":
+                seq = record["seq"]
+                recovery.max_seq = max(recovery.max_seq, seq)
+                if seq <= recovery.checkpoint_seq:
+                    continue
+                recovery.batches.setdefault(seq, record["rows"])
+            elif kind == "applied":
+                seq = record["seq"]
+                if seq <= recovery.checkpoint_seq:
+                    continue
+                recovery.applied.setdefault(seq, record["events"])
+            elif kind == "shed":
+                first, last = record["first"], record["last"]
+                recovery.max_seq = max(recovery.max_seq, last)
+                if last <= recovery.checkpoint_seq:
+                    continue
+                recovery.shed_runs.append((first, last))
+                recovery.shed.update(range(first, last + 1))
+            else:
+                raise WalCorruptError(
+                    f"unknown WAL record type {kind!r} in {self.directory}"
+                )
+        for seq in recovery.applied:
+            if seq not in recovery.batches and seq not in recovery.shed:
+                raise WalCorruptError(
+                    f"applied record for seq {seq} without its batch record "
+                    f"in {self.directory}"
+                )
+        return recovery
+
+
+def read_records(directory: str | Path) -> list[dict[str, Any]]:
+    """All valid records across segments, in journal order."""
+    directory = Path(directory)
+    segments = sorted(
+        (
+            path
+            for path in directory.iterdir()
+            if _SEGMENT_RE.match(path.name)
+        ),
+        key=lambda p: p.name,
+    )
+    records: list[dict[str, Any]] = []
+    for path in segments:
+        for line in path.read_bytes().splitlines():
+            record = _decode(line)
+            if record is None:
+                # Torn tail: nothing after it in this segment was ever
+                # acknowledged; later segments are read normally.
+                break
+            records.append(record)
+    return records
+
+
+def read_event_stream(directory: str | Path, tenant: str) -> list[dict]:
+    """The tenant's durable event stream, reconstructed from the WAL.
+
+    ``applied`` records contribute their stored alert/drift events;
+    ``shed`` records synthesize the shed event at their journal
+    position.  Requires the service to run with segment retention on
+    (``retain_segments=True``) if the stream must reach back past the
+    latest checkpoint.  This is the stream the crash-recovery oracle
+    compares byte-for-byte between faulted and uninterrupted runs.
+    """
+    stream: list[dict] = []
+    for record in read_records(directory):
+        kind = record.get("t")
+        if kind == "applied":
+            stream.extend(record["events"])
+        elif kind == "shed":
+            stream.append(
+                {
+                    "type": "shed",
+                    "tenant": tenant,
+                    "first_seq": record["first"],
+                    "last_seq": record["last"],
+                    "dropped": record["last"] - record["first"] + 1,
+                }
+            )
+    return stream
+
+
+def encode_snapshot(state: dict[str, Any]) -> bytes:
+    """Pickle a checkpoint payload (monitor + service counters)."""
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_snapshot(payload: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_snapshot`."""
+    try:
+        state = pickle.loads(payload)
+    except Exception as error:  # damaged checkpoint = corruption, loud
+        raise WalCorruptError(f"checkpoint unreadable: {error}") from error
+    if not isinstance(state, dict) or "monitor" not in state:
+        raise WalCorruptError("checkpoint payload has an unexpected shape")
+    return state

@@ -1,0 +1,152 @@
+"""The ``repro-fd serve`` / ``repro-fd replay`` commands (PR 8)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = {
+    "tenant_id": "acme",
+    "relation": "places",
+    "attributes": ["Region", "District", "Manager"],
+    "watches": [{"fd": "[District] -> [Region]", "threshold": 0.9}],
+    "priority": 0,
+    "engine": "delta",
+    "history_every": 100,
+}
+
+CLEAN = [["R1", "D1", "M1"], ["R2", "D2", "M2"]]
+DIRTY = [["R1", "D3", "M1"], ["R2", "D3", "M2"], ["R3", "D3", "M3"]]
+
+
+def _write_ndjson(path, batches):
+    lines = [json.dumps(batch) for batch in batches]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "acme.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    return path
+
+
+class TestServe:
+    def test_serve_emits_alert_events(self, tmp_path, spec_file, capsys):
+        feed = tmp_path / "batches.ndjson"
+        _write_ndjson(
+            feed,
+            [
+                {"tenant": "acme", "batch": 1, "rows": CLEAN},
+                {"tenant": "acme", "batch": 2, "rows": DIRTY},
+            ],
+        )
+        code = main(
+            [
+                "serve",
+                str(tmp_path / "state"),
+                "--spec",
+                str(spec_file),
+                "--input",
+                str(feed),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        alerts = [e for e in events if e["type"] == "alert"]
+        assert len(alerts) == 1
+        assert alerts[0]["tenant"] == "acme"
+        assert alerts[0]["seq"] == 2
+        assert alerts[0]["fd"] == "[District] -> [Region]"
+        assert "served 2 batch(es) across 1 tenant(s)" in captured.err
+
+    def test_restart_recovers_and_deduplicates(
+        self, tmp_path, spec_file, capsys
+    ):
+        state = tmp_path / "state"
+        feed1 = tmp_path / "one.ndjson"
+        _write_ndjson(feed1, [{"tenant": "acme", "batch": 1, "rows": CLEAN}])
+        assert (
+            main(
+                ["serve", str(state), "--spec", str(spec_file),
+                 "--input", str(feed1)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Second incarnation: batch 1 resubmitted (duplicate, ignored),
+        # batch 2 is new.  No --spec needed — the tenant is recovered
+        # from its persisted spec.json.
+        feed2 = tmp_path / "two.ndjson"
+        _write_ndjson(
+            feed2,
+            [
+                {"tenant": "acme", "batch": 1, "rows": CLEAN},
+                {"tenant": "acme", "batch": 2, "rows": DIRTY},
+            ],
+        )
+        assert main(["serve", str(state), "--input", str(feed2)]) == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert [e["type"] for e in events if e["type"] == "recovery"] == [
+            "recovery"
+        ]
+        alerts = [e for e in events if e["type"] == "alert"]
+        assert [a["seq"] for a in alerts] == [2]
+
+    def test_unknown_tenant_in_feed_fails(self, tmp_path, spec_file, capsys):
+        feed = tmp_path / "bad.ndjson"
+        _write_ndjson(feed, [{"tenant": "ghost", "batch": 1, "rows": CLEAN}])
+        code = main(
+            ["serve", str(tmp_path / "state"), "--spec", str(spec_file),
+             "--input", str(feed)]
+        )
+        assert code == 1
+        assert "unknown tenant" in capsys.readouterr().err
+
+
+class TestReplay:
+    @pytest.fixture
+    def served_state(self, tmp_path, spec_file, capsys):
+        state = tmp_path / "state"
+        feed = tmp_path / "batches.ndjson"
+        _write_ndjson(
+            feed,
+            [
+                {"tenant": "acme", "batch": 1, "rows": CLEAN},
+                {"tenant": "acme", "batch": 2, "rows": DIRTY},
+            ],
+        )
+        assert (
+            main(
+                ["serve", str(state), "--spec", str(spec_file),
+                 "--input", str(feed), "--retain-segments"]
+            )
+            == 0
+        )
+        capsys.readouterr()  # discard the serve output
+        return state
+
+    def test_replay_prints_the_durable_stream(self, served_state, capsys):
+        assert main(["replay", str(served_state)]) == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert [e["type"] for e in events] == ["alert"]
+        assert events[0]["seq"] == 2
+        assert "1 event(s) from 1 tenant(s)" in captured.err
+
+    def test_replay_tenant_filter(self, served_state, capsys):
+        assert main(["replay", str(served_state), "--tenant", "acme"]) == 0
+        assert "1 event(s) from 1 tenant(s)" in capsys.readouterr().err
+
+    def test_replay_unknown_tenant_fails(self, served_state, capsys):
+        assert main(["replay", str(served_state), "--tenant", "ghost"]) == 1
+        assert "unknown tenant" in capsys.readouterr().err
+
+    def test_replay_empty_state_dir(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nothing")]) == 0
+        assert "0 event(s) from 0 tenant(s)" in capsys.readouterr().err

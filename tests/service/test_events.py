@@ -1,0 +1,75 @@
+"""Event codec: exact round-trips, loud failures, canonical form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.errors import WalCorruptError
+from repro.service.events import (
+    AlertEvent,
+    DegradedEvent,
+    DriftEvent,
+    RecoveryEvent,
+    ShedEvent,
+    canonical_json,
+    from_json,
+    to_json,
+)
+
+SAMPLES = [
+    AlertEvent(
+        tenant="t",
+        seq=3,
+        fd="[District] -> [Region]",
+        confidence=2 / 3,
+        threshold=0.9,
+        num_rows=41,
+    ),
+    DriftEvent(
+        tenant="t",
+        seq=7,
+        fd="[A] -> [B]",
+        verdict="drift",
+        statistic=0.125,
+        detail="cusum crossed",
+    ),
+    ShedEvent(tenant="t", first_seq=4, last_seq=9, dropped=6),
+    DegradedEvent(tenant="t", reason="entered", detail="load shed"),
+    RecoveryEvent(
+        tenant="t", checkpoint_seq=10, replayed=3, reemitted=1, resumed_seq=14
+    ),
+]
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).__name__)
+def test_round_trip_is_exact(event):
+    assert from_json(to_json(event)) == event
+
+
+def test_floats_survive_json_exactly():
+    event = SAMPLES[0]
+    assert from_json(to_json(event)).confidence == 2 / 3
+
+
+def test_unknown_type_raises():
+    with pytest.raises(WalCorruptError, match="unknown event type"):
+        from_json({"type": "gossip", "tenant": "t"})
+
+
+def test_field_mismatch_raises():
+    payload = to_json(SAMPLES[2])
+    payload["extra"] = 1
+    with pytest.raises(WalCorruptError, match="has fields"):
+        from_json(payload)
+    payload = to_json(SAMPLES[2])
+    del payload["dropped"]
+    with pytest.raises(WalCorruptError, match="has fields"):
+        from_json(payload)
+
+
+def test_canonical_json_is_stable_and_mixed():
+    events = SAMPLES[:2]
+    as_dicts = [to_json(e) for e in events]
+    assert canonical_json(events) == canonical_json(as_dicts)
+    assert canonical_json(events) == canonical_json(list(events))
+    assert '"type":"alert"' in canonical_json(events)

@@ -1,0 +1,35 @@
+"""The load harness at test scale (the 1M-tuple run lives in
+``benchmarks/bench_service.py``; this pins shape and determinism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.harness import LoadSpec, make_batch, run_load
+
+
+def test_load_spec_validates():
+    with pytest.raises(ValueError, match="tenants must be a positive"):
+        LoadSpec(tenants=0)
+    with pytest.raises(ValueError, match="violation_rate"):
+        LoadSpec(violation_rate=1.5)
+    assert LoadSpec(tenants=3, batches_per_tenant=4, rows_per_batch=5).total_tuples == 60
+
+
+def test_batches_are_seed_deterministic():
+    spec = LoadSpec(seed=9)
+    assert make_batch(spec, 2, 3) == make_batch(spec, 2, 3)
+    assert make_batch(spec, 2, 3) != make_batch(spec, 2, 4)
+    assert make_batch(spec, 2, 3) != make_batch(LoadSpec(seed=10), 2, 3)
+
+
+def test_small_load_run_reports_ceiling_metrics(tmp_path):
+    spec = LoadSpec(
+        tenants=4, batches_per_tenant=5, rows_per_batch=25, violation_rate=0.2
+    )
+    report = run_load(tmp_path / "state", spec)
+    assert report["tenants"] == 4
+    assert report["tuples"] == 500
+    assert report["tuples_per_s"] > 0
+    assert report["peak_mb"] > 0
+    assert report["alerts"] >= 1  # the violation mix must trip watches

@@ -1,0 +1,208 @@
+"""The WAL's durability contract: commits survive, tears are quarantined."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.errors import WalCorruptError
+from repro.service.wal import (
+    TenantWal,
+    decode_snapshot,
+    encode_snapshot,
+    read_event_stream,
+    read_records,
+)
+
+
+def make_wal(tmp_path, **kwargs):
+    wal = TenantWal(tmp_path / "t", sync=kwargs.pop("sync", "none"), **kwargs)
+    wal.open_segment(1)
+    return wal
+
+
+class TestAppendCommit:
+    def test_committed_records_are_readable(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a", 1]])
+        wal.append_applied(1, [{"type": "alert", "seq": 1}])
+        wal.commit()
+        wal.close()
+        records = read_records(tmp_path / "t")
+        assert [r["t"] for r in records] == ["batch", "applied"]
+        assert records[0]["rows"] == [["a", 1]]
+
+    def test_abandon_drops_uncommitted_appends(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.commit()
+        wal.append_batch(2, [["b"]])  # never committed
+        wal.abandon()
+        records = read_records(tmp_path / "t")
+        assert [r["seq"] for r in records] == [1]
+
+    def test_commit_without_segment_raises(self, tmp_path):
+        wal = TenantWal(tmp_path / "t", sync="none")
+        with pytest.raises(WalCorruptError, match="open_segment"):
+            wal.append_batch(1, [])
+
+    def test_bad_sync_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sync must be 'batch' or 'none'"):
+            TenantWal(tmp_path / "t", sync="always")
+
+
+class TestTornTails:
+    def test_truncated_tail_is_ignored(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.commit()
+        wal.close()
+        segment = next((tmp_path / "t").glob("wal-*.jsonl"))
+        intact = segment.read_bytes()
+        segment.write_bytes(intact + b'{"t": "batch", "seq": 2, "ro')
+        records = read_records(tmp_path / "t")
+        assert [r["seq"] for r in records] == [1]
+
+    def test_crc_mismatch_stops_the_segment(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.commit()
+        wal.close()
+        segment = next((tmp_path / "t").glob("wal-*.jsonl"))
+        line = segment.read_bytes()
+        record = json.loads(line)
+        record["rows"] = [["tampered"]]  # body no longer matches "c"
+        segment.write_bytes(json.dumps(record).encode() + b"\n")
+        assert read_records(tmp_path / "t") == []
+
+    def test_later_segments_survive_an_earlier_tear(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.checkpoint(1, encode_snapshot({"monitor": None}), retain_segments=True)
+        wal.append_batch(2, [["b"]])
+        wal.commit()
+        wal.close()
+        first = sorted((tmp_path / "t").glob("wal-*.jsonl"))[0]
+        first.write_bytes(first.read_bytes() + b"garbage\n")
+        assert [r["seq"] for r in read_records(tmp_path / "t")] == [1, 2]
+
+
+class TestCheckpoints:
+    def test_recover_prefers_checkpoint_and_skips_covered(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.append_applied(1, [])
+        wal.checkpoint(1, encode_snapshot({"monitor": "M1"}))
+        wal.append_batch(2, [["b"]])
+        wal.commit()
+        wal.close()
+        recovery = TenantWal(tmp_path / "t", sync="none").recover()
+        assert recovery.checkpoint_seq == 1
+        assert decode_snapshot(recovery.checkpoint_payload)["monitor"] == "M1"
+        assert sorted(recovery.batches) == [2]
+        assert recovery.max_seq == 2
+
+    def test_checkpoint_prunes_covered_segments(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.append_applied(1, [])
+        wal.checkpoint(1, encode_snapshot({"monitor": None}))
+        segments = list((tmp_path / "t").glob("wal-*.jsonl"))
+        assert len(segments) == 1  # only the fresh post-checkpoint segment
+        wal.close()
+
+    def test_retain_segments_keeps_history(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.checkpoint(1, encode_snapshot({"monitor": None}), retain_segments=True)
+        assert len(list((tmp_path / "t").glob("wal-*.jsonl"))) == 2
+        wal.close()
+
+    def test_stale_checkpoints_are_pruned(self, tmp_path):
+        wal = make_wal(tmp_path)
+        for seq in range(1, 5):
+            wal.append_batch(seq, [["a"]])
+            wal.checkpoint(
+                seq, encode_snapshot({"monitor": None}), keep_checkpoints=2
+            )
+        checkpoints = sorted((tmp_path / "t").glob("checkpoint-*.pkl"))
+        assert len(checkpoints) == 2
+        wal.close()
+
+    def test_empty_checkpoint_file_falls_back(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.checkpoint(1, encode_snapshot({"monitor": None}), retain_segments=True)
+        wal.append_batch(2, [["b"]])
+        wal.commit()
+        wal.close()
+        # Damage the newest checkpoint to zero bytes (torn write at the
+        # filesystem level); recovery must fall back to replaying all.
+        checkpoint = next((tmp_path / "t").glob("checkpoint-*.pkl"))
+        checkpoint.write_bytes(b"")
+        recovery = TenantWal(tmp_path / "t", sync="none").recover()
+        assert recovery.checkpoint_seq == 0
+        assert sorted(recovery.batches) == [1, 2]
+
+    def test_corrupt_snapshot_raises(self):
+        with pytest.raises(WalCorruptError, match="checkpoint unreadable"):
+            decode_snapshot(b"not a pickle")
+        with pytest.raises(WalCorruptError, match="unexpected shape"):
+            decode_snapshot(encode_snapshot({"no-monitor-key": 1}))
+
+
+class TestRecoveryInvariants:
+    def test_applied_without_batch_is_corruption(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_applied(3, [])
+        wal.commit()
+        wal.close()
+        with pytest.raises(WalCorruptError, match="without its batch record"):
+            TenantWal(tmp_path / "t", sync="none").recover()
+
+    def test_unknown_record_type_is_corruption(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal._append({"t": "mystery", "seq": 1}, 1)
+        wal.commit()
+        wal.close()
+        with pytest.raises(WalCorruptError, match="unknown WAL record type"):
+            TenantWal(tmp_path / "t", sync="none").recover()
+
+    def test_shed_runs_skip_replay_but_keep_the_stream(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.append_applied(1, [{"type": "alert", "tenant": "t", "seq": 1}])
+        wal.append_batch(2, [["b"]])
+        wal.append_batch(3, [["c"]])
+        wal.append_shed(2, 3)
+        wal.commit()
+        wal.close()
+        recovery = TenantWal(tmp_path / "t", sync="none").recover()
+        assert recovery.shed == {2, 3}
+        assert sorted(recovery.batches) == [1, 2, 3]
+        stream = read_event_stream(tmp_path / "t", "t")
+        assert [entry["type"] for entry in stream] == ["alert", "shed"]
+        assert stream[1]["dropped"] == 2
+
+    def test_duplicate_seq_keeps_first_record(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["original"]])
+        wal.append_batch(1, [["duplicate"]])
+        wal.commit()
+        wal.close()
+        recovery = TenantWal(tmp_path / "t", sync="none").recover()
+        assert recovery.batches[1] == [["original"]]
+
+    def test_generations_never_reuse_file_names(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append_batch(1, [["a"]])
+        wal.commit()
+        wal.abandon()
+        reopened = TenantWal(tmp_path / "t", sync="none")
+        reopened.open_segment(1)  # same start seq as the first incarnation
+        reopened.append_batch(2, [["b"]])
+        reopened.commit()
+        reopened.close()
+        assert len(list((tmp_path / "t").glob("wal-*.jsonl"))) == 2
+        assert [r["seq"] for r in read_records(tmp_path / "t")] == [1, 2]
