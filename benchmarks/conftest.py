@@ -17,6 +17,8 @@ Benches that measure wall time record their numbers through the
 session-scoped ``bench_results`` fixture; the file is written once at
 the end of the run (and uploaded as a CI artifact by the smoke job),
 giving the repo a perf trajectory that can be diffed across PRs.
+Writes merge by entry identity ``(name, backend, scale, rows)``, so a
+scale-factor storage run and the smoke suite can share one file.
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ def bench_results():
     """Session-wide collector writing ``BENCH_results.json`` at exit."""
     results = BenchResults()
     yield results
-    path = results.write()
+    path = results.write(merge=True)
     if path is not None:
         print(f"\n[bench] wrote {len(results.entries)} entries to {path}")
 

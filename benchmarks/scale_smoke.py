@@ -1,0 +1,126 @@
+"""CI scale smoke: everything out-of-core at SF 0.01, hard memory assert.
+
+Generates TPC-H ``lineitem`` (~60K rows) straight to a chunked store in
+a temp directory, then runs the three out-of-core consumers end to end
+under ``tracemalloc``:
+
+* discovery — level-1 TANE plus the Table 5 FD assessment
+  (``partkey → suppkey``), exact spill-merge mode;
+* SQL — a pushed-down aggregate through ``query_store``;
+* monitoring — the full store replayed through the service, one chunk
+  per batch (``run_store_ingest``).
+
+The hard assert: peak traced heap stays under ¼ of the store's
+materialized column bytes (with a small fixed floor for the
+interpreter's own baseline), i.e. the pipeline never quietly
+materializes the table.  Results append to ``BENCH_results.json``
+(merge-by-identity, so other jobs' entries survive).
+
+Run: ``PYTHONPATH=src python benchmarks/scale_smoke.py``
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+from repro.bench.timing import BenchResults, Timer
+from repro.datagen import tpch
+from repro.relational import kernels
+from repro.service.harness import run_store_ingest
+from repro.storage.profile import assess_fd, tane_level1
+from repro.storage.sqlbridge import query_store
+
+SCALE = "small"  # SF 0.01
+CHUNK_ROWS = 4096
+FLOOR_BYTES = 32 * 1024 * 1024
+
+
+def main() -> int:
+    results = BenchResults()
+    preset = tpch.SCALE_PRESETS[SCALE]
+    with tempfile.TemporaryDirectory(prefix="scale-smoke-") as tmp:
+        with Timer() as gen_timer:
+            stores = tpch.generate_to_store(
+                Path(tmp) / "tpch",
+                preset,
+                seed=42,
+                tables=("lineitem",),
+                chunk_rows=CHUNK_ROWS,
+            )
+        store = stores["lineitem"]
+        materialized = store.manifest.materialized_bytes()
+        ceiling = max(materialized / 4, FLOOR_BYTES)
+        print(
+            f"[scale-smoke] generated lineitem SF {preset.scale_factor}: "
+            f"{store.num_rows:,} rows / {store.num_chunks} chunks, "
+            f"{materialized / 1e6:.1f} MB materialized, "
+            f"gen {gen_timer.formatted}"
+        )
+
+        tracemalloc.start()
+        with Timer() as timer:
+            fds = tane_level1(
+                store,
+                ("orderkey", "partkey", "suppkey", "linenumber"),
+                mode="exact",
+            )
+            verdict = assess_fd(store, ("partkey",), ("suppkey",))
+            result = query_store(
+                store,
+                "SELECT suppkey, COUNT(*) AS c FROM lineitem "
+                "WHERE quantity > 30 GROUP BY suppkey",
+            )
+            # The ingest harness resets the shared peak counter for its
+            # own phase report, so snapshot the discovery/SQL peak first.
+            _, discovery_peak = tracemalloc.get_traced_memory()
+            report = run_store_ingest(
+                store,
+                Path(tmp) / "state",
+                watches=(("[partkey] -> [suppkey]", 0.999),),
+                columns=("orderkey", "partkey", "suppkey", "quantity"),
+            )
+        _, ingest_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak = max(discovery_peak, ingest_peak)
+
+        print(
+            f"[scale-smoke] tane level-1: {len(fds)} unary FDs; "
+            f"partkey->suppkey confidence {verdict.confidence:.4f}; "
+            f"sql groups {len(result.rows)}; "
+            f"ingest {report['tuples']:,} tuples, {report['alerts']} alerts"
+        )
+        print(
+            f"[scale-smoke] {timer.formatted}, peak {peak / 1e6:.1f} MB "
+            f"(ceiling {ceiling / 1e6:.1f} MB)"
+        )
+        results.record(
+            "storage.scale_smoke",
+            timer.elapsed,
+            backend=kernels.active_backend_name(),
+            scale=preset.scale_factor,
+            rows=store.num_rows,
+            peak_mb=round(peak / 1e6, 2),
+            ceiling_mb=round(ceiling / 1e6, 2),
+            alerts=report["alerts"],
+        )
+        results.write(merge=True)
+
+        assert report["tuples"] == store.num_rows, "ingest dropped tuples"
+        assert verdict.confidence < 1.0, "partkey->suppkey must be violated"
+        if peak >= ceiling:
+            print(
+                f"[scale-smoke] FAIL: peak {peak / 1e6:.1f} MB breaches "
+                f"the {ceiling / 1e6:.1f} MB out-of-core ceiling",
+                file=sys.stderr,
+            )
+            return 1
+        store.close()
+    print("[scale-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,12 +5,18 @@ The paper reports durations in a ``1h 59m 19s 884ms`` style (Table 5);
 tables read like the originals.
 
 :class:`BenchResults` is the machine-readable side: benches record one
-entry per measured workload (name, size, seconds, backend, plus any
-extra keys) and the suite writes them to ``BENCH_results.json`` so the
-perf trajectory across PRs can be diffed and archived (CI uploads the
-file as a workflow artifact).  The output path defaults to
-``BENCH_results.json`` in the working directory and can be moved with
-``REPRO_BENCH_RESULTS``.
+entry per measured workload (name, size, seconds, backend, scale, rows,
+plus any extra keys) and the suite writes them to
+``BENCH_results.json`` so the perf trajectory across PRs can be diffed
+and archived (CI uploads the file as a workflow artifact).  The output
+path defaults to ``BENCH_results.json`` in the working directory and
+can be moved with ``REPRO_BENCH_RESULTS``.
+
+Writes are atomic, and :meth:`BenchResults.write` can *merge* into an
+existing file: entries are keyed by ``(name, backend, scale, rows)``,
+so a scale-factor-1 storage run recorded later updates its own rows
+without clobbering the smoke-run entries already on disk (and vice
+versa).
 """
 
 from __future__ import annotations
@@ -38,9 +44,10 @@ class BenchResults:
 
     One entry per measured workload; the canonical keys are ``name``
     (benchmark identifier), ``size`` (workload scale, e.g. rows),
-    ``seconds`` (wall time), and ``backend`` (kernel backend the run
-    used) — extra keyword pairs (speedups, window counts, …) are kept
-    verbatim.
+    ``seconds`` (wall time), ``backend`` (kernel backend the run used),
+    ``scale`` (dataset scale factor, e.g. TPC-H SF), and ``rows``
+    (tuples processed) — extra keyword pairs (speedups, window counts,
+    …) are kept verbatim.
     """
 
     def __init__(self) -> None:
@@ -52,6 +59,8 @@ class BenchResults:
         seconds: float,
         size: int | None = None,
         backend: str | None = None,
+        scale: float | str | None = None,
+        rows: int | None = None,
         **extra: Any,
     ) -> dict[str, Any]:
         """Add one measurement; returns the stored entry."""
@@ -60,21 +69,54 @@ class BenchResults:
             entry["size"] = size
         if backend is not None:
             entry["backend"] = backend
+        if scale is not None:
+            entry["scale"] = scale
+        if rows is not None:
+            entry["rows"] = rows
         entry.update(extra)
         self.entries.append(entry)
         return entry
 
-    def write(self, path: str | Path | None = None) -> Path | None:
+    @staticmethod
+    def _identity(entry: dict[str, Any]) -> tuple:
+        """The merge key: one slot per (workload, backend, scale, rows)."""
+        return tuple(
+            entry.get(key) for key in ("name", "backend", "scale", "rows")
+        )
+
+    def write(
+        self, path: str | Path | None = None, merge: bool = False
+    ) -> Path | None:
         """Write the collected entries as JSON; no file when empty.
 
         The write is atomic (temp file + :func:`os.replace` in the
         target's directory): a benchmark run interrupted mid-write can
         leave a stale results file behind, never a truncated one.
+
+        With ``merge=True``, entries already on disk survive unless this
+        run re-measured the same identity ``(name, backend, scale,
+        rows)`` — so a scale-factor run and a smoke run can share one
+        results file without clobbering each other.  A corrupt or
+        foreign existing file is treated as empty rather than fatal.
         """
         if not self.entries:
             return None
         target = Path(path) if path is not None else bench_results_path()
-        payload = {"results": self.entries}
+        entries = self.entries
+        if merge and target.exists():
+            try:
+                existing = json.loads(target.read_text(encoding="utf-8"))
+                previous = list(existing.get("results", []))
+            except (OSError, ValueError, AttributeError):
+                previous = []
+            fresh = {self._identity(entry) for entry in entries}
+            kept = [
+                entry
+                for entry in previous
+                if isinstance(entry, dict) and self._identity(entry) not in fresh
+            ]
+            entries = kept + entries
+        payload = {"results": entries}
         text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
         scratch = target.with_name(f".{target.name}.tmp{os.getpid()}")
         scratch.write_text(text, encoding="utf-8")

@@ -23,7 +23,9 @@ kernel backend (:mod:`repro.relational.kernels`) the relational hot
 paths run on — ``python`` (stdlib reference loops) or ``numpy``
 (vectorized, the ``[fast]`` extra).  The ``REPRO_BACKEND`` environment
 variable overrides the default resolution; an activated
-:class:`EngineConfig` overrides both.
+:class:`EngineConfig` overrides both.  ``approx`` selects the profiling
+estimator family the same way — ``"exact"`` kernels or the
+:mod:`repro.sketch` sketches (``$REPRO_APPROX``).
 """
 
 from __future__ import annotations
@@ -59,7 +61,13 @@ class EngineConfig:
     oracle; 1 also runs inline; ≥ 2 fans work units across a process
     pool on the numpy backend / a thread pool on the python backend),
     installed via :func:`repro.relational.parallel.set_workers` and
-    taking precedence over ``REPRO_WORKERS``.
+    taking precedence over ``REPRO_WORKERS``.  ``approx`` picks the
+    profiling estimator family for the out-of-core layer
+    (:mod:`repro.storage.profile`): ``"exact"`` (spill-merge kernels,
+    the default) or ``"sketch"`` (:mod:`repro.sketch` HyperLogLog +
+    seeded samples with stated error bounds), installed via
+    :func:`repro.sketch.set_approx` and taking precedence over
+    ``REPRO_APPROX``.
     """
 
     backend: str = "auto"
@@ -67,6 +75,7 @@ class EngineConfig:
     delta_track_limit: int | None = 64
     dc_tile: int = 4096
     workers: int = 0
+    approx: str = "exact"
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "python", "numpy"):
@@ -93,6 +102,10 @@ class EngineConfig:
             raise ValueError(
                 f"workers must be a non-negative integer, got {self.workers}"
             )
+        if self.approx not in ("exact", "sketch"):
+            raise ValueError(
+                f"approx must be 'exact' or 'sketch', got {self.approx!r}"
+            )
 
     @classmethod
     def from_env(cls) -> "EngineConfig":
@@ -105,6 +118,7 @@ class EngineConfig:
         * ``REPRO_BACKEND``  → :attr:`backend`
         * ``REPRO_DC_TILE``  → :attr:`dc_tile`
         * ``REPRO_WORKERS``  → :attr:`workers`
+        * ``REPRO_APPROX``   → :attr:`approx`
 
         Unset variables keep the dataclass defaults.  Invalid values
         raise :class:`ValueError` (or
@@ -114,6 +128,7 @@ class EngineConfig:
         """
         import os
 
+        from repro import sketch
         from repro.dc import engine as dc_engine
         from repro.relational import parallel
 
@@ -147,6 +162,11 @@ class EngineConfig:
             overrides["workers"] = parallel._validate_workers(
                 value, f"${parallel.WORKERS_ENV_VAR}"
             )
+        approx = os.environ.get(sketch.APPROX_ENV_VAR)
+        if approx:
+            overrides["approx"] = sketch._normalize(
+                approx, f"${sketch.APPROX_ENV_VAR}"
+            )
         return cls(**overrides)
 
     def resolve(self) -> str:
@@ -161,6 +181,7 @@ class EngineConfig:
         Raises :class:`~repro.relational.errors.KernelBackendError` if
         ``numpy`` is requested but not installed.
         """
+        from repro import sketch
         from repro.dc import engine as dc_engine
         from repro.relational import parallel
 
@@ -171,6 +192,7 @@ class EngineConfig:
         )
         dc_engine.set_tile(self.dc_tile)
         parallel.set_workers(self.workers)
+        sketch.set_approx(self.approx)
 
 
 class GoodnessMode(enum.Enum):

@@ -20,7 +20,9 @@ builds relations where those properties are controlled exactly:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.fd.fd import FunctionalDependency
 from repro.relational.relation import Relation
@@ -29,7 +31,13 @@ from repro.relational.types import AttributeType
 
 from .rng import child_rng, derive_seed
 
-__all__ = ["EngineeredSpec", "engineered_relation"]
+__all__ = [
+    "EngineeredSpec",
+    "engineered_relation",
+    "engineered_rows",
+    "engineered_schema",
+    "engineered_to_store",
+]
 
 
 @dataclass(frozen=True)
@@ -129,6 +137,12 @@ def engineered_relation(spec: EngineeredSpec) -> Relation:
             ]
         columns[name] = values
 
+    schema = engineered_schema(spec)
+    return Relation.from_columns(schema, {name: columns[name] for name in spec.attribute_names})
+
+
+def engineered_schema(spec: EngineeredSpec) -> RelationSchema:
+    """The schema of the relation :func:`engineered_relation` builds."""
     attrs = [
         Attribute(
             name,
@@ -137,8 +151,74 @@ def engineered_relation(spec: EngineeredSpec) -> Relation:
         )
         for name in spec.attribute_names
     ]
-    schema = RelationSchema(spec.name, attrs)
-    return Relation.from_columns(schema, {name: columns[name] for name in spec.attribute_names})
+    return RelationSchema(spec.name, attrs)
+
+
+def engineered_rows(spec: EngineeredSpec) -> Iterator[tuple]:
+    """The spec's rows as a deterministic stream (O(1) row memory).
+
+    Every column owns a dedicated child RNG (the same streams
+    :func:`engineered_relation` consumes column-wise); advancing each
+    one draw per row therefore reproduces the materialized relation
+    value-for-value, without ever holding a full column.
+    """
+    x_rng = child_rng(spec.seed, "engineered", spec.name)
+    repair_rngs = [
+        child_rng(spec.seed, "repair", spec.name, index)
+        for index in range(len(spec.repair_cardinalities))
+    ]
+    filler_rngs = {
+        name: child_rng(spec.seed, "filler", spec.name, name)
+        for name in spec.filler_cardinalities
+    }
+    null_rngs = {
+        name: child_rng(spec.seed, "nulls", spec.name, name)
+        for name in spec.nullable_fillers
+    }
+    for _ in range(spec.num_rows):
+        x = x_rng.randrange(spec.x_cardinality)
+        repairs = tuple(
+            rng.randrange(cardinality)
+            for rng, cardinality in zip(repair_rngs, spec.repair_cardinalities)
+        )
+        y = _y_of(spec, x, repairs)
+        row: list[str | None] = [
+            f"{spec.x_name}_{x}",
+            f"{spec.y_name}_{y}",
+        ]
+        row.extend(
+            f"{name}_{value}"
+            for name, value in zip(spec.repair_names, repairs)
+        )
+        for name, cardinality in spec.filler_cardinalities.items():
+            value = f"{name}_{filler_rngs[name].randrange(cardinality)}"
+            if name in spec.nullable_fillers:
+                if null_rngs[name].random() < spec.null_rate:
+                    row.append(None)
+                    continue
+            row.append(value)
+        yield tuple(row)
+
+
+def engineered_to_store(
+    spec: EngineeredSpec,
+    directory: str | Path,
+    chunk_rows: int | None = None,
+):
+    """Stream the spec straight into a chunked on-disk store.
+
+    Returns the opened :class:`~repro.storage.reader.StoredRelation`;
+    peak memory is one chunk of rows, never the relation.
+    """
+    from repro.storage import DEFAULT_CHUNK_ROWS, StoreWriter
+
+    writer = StoreWriter(
+        directory,
+        engineered_schema(spec),
+        chunk_rows=DEFAULT_CHUNK_ROWS if chunk_rows is None else chunk_rows,
+    )
+    writer.append_rows(engineered_rows(spec))
+    return writer.finalize()
 
 
 def _y_of(spec: EngineeredSpec, x: int, repairs: tuple[int, ...]) -> int:

@@ -27,9 +27,11 @@ tables read like the paper's.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.relational.relation import Relation
 
-from .engineered import EngineeredSpec, engineered_relation
+from .engineered import EngineeredSpec, engineered_relation, engineered_to_store
 
 __all__ = [
     "country_spec",
@@ -40,6 +42,7 @@ __all__ = [
     "rental_relation",
     "image_relation",
     "pagelinks_relation",
+    "dataset_to_store",
     "REAL_DATASET_SPECS",
 ]
 
@@ -190,3 +193,27 @@ def image_relation(scale: float = 1.0, seed: int = 7) -> Relation:
 def pagelinks_relation(scale: float = 1.0, seed: int = 7) -> Relation:
     """Generate the PageLinks simulator (see :func:`pagelinks_spec`)."""
     return engineered_relation(pagelinks_spec(scale, seed))
+
+
+def dataset_to_store(
+    name: str,
+    directory: str | Path,
+    scale: float = 1.0,
+    seed: int = 7,
+    chunk_rows: int | None = None,
+):
+    """Stream one Table 6 simulator straight into a chunked store.
+
+    The streaming path (:func:`~repro.datagen.engineered.engineered_rows`)
+    never materializes the relation — paper-sized PageLinks (842k rows)
+    loads at one-chunk peak memory.  Returns the opened
+    :class:`~repro.storage.reader.StoredRelation`.
+    """
+    try:
+        spec_fn = REAL_DATASET_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of "
+            f"{sorted(REAL_DATASET_SPECS)}"
+        ) from None
+    return engineered_to_store(spec_fn(scale, seed), directory, chunk_rows)

@@ -19,14 +19,26 @@ FD-relevant value distributions:
   ~80 parts with i.i.d. quantities).
 
 Row counts scale with ``scale_factor`` exactly as DBGEN's do (SF 1 =
-the paper's 1GB column of Table 4).  Full-size generation is possible
-but slow in pure Python; the benchmark presets default to scaled-down
-factors and preserve the cardinality *ratios*.
+the paper's 1GB column of Table 4).
+
+Every table is produced by a **streaming row generator**
+(:func:`stream_table`): one dedicated ``child_rng(seed, table)`` driven
+strictly in row order, so the stream is a pure function of
+``(table, scale, seed)`` and materializing it
+(:func:`generate_table`) or writing it straight to the chunked
+on-disk store (:func:`generate_to_store`, dependency-ordered, one
+chunk of rows in memory at a time) yields identical data.
+:func:`expected_rows` gives the DBGEN-style row-count accounting per
+table; :func:`generate_to_store` returns the actual counts alongside
+the opened stores.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 from repro.fd.fd import FunctionalDependency
 from repro.relational.catalog import Catalog
@@ -39,11 +51,16 @@ from .rng import child_rng
 
 __all__ = [
     "TPCH_TABLE_NAMES",
+    "TPCH_LOAD_ORDER",
     "TPCH_FDS",
     "TpchScale",
     "SCALE_PRESETS",
+    "expected_rows",
     "generate_table",
+    "generate_to_store",
     "generate_tpch",
+    "stream_table",
+    "table_schema",
     "tpch_fd",
 ]
 
@@ -56,6 +73,19 @@ TPCH_TABLE_NAMES = (
     "partsupp",
     "region",
     "supplier",
+)
+
+#: Foreign-key dependency order: every table's referenced keys are
+#: generated before its referencing rows stream out.
+TPCH_LOAD_ORDER = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
 )
 
 #: The FDs of Table 5, one per relation, verbatim from the paper.
@@ -119,12 +149,16 @@ _SUPPLIERS_PER_PART = 4
 _STATUSES = ("O", "F", "P")
 
 
+def _preset(scale: str | TpchScale) -> TpchScale:
+    return SCALE_PRESETS[scale] if isinstance(scale, str) else scale
+
+
 def generate_tpch(
     scale: str | TpchScale = "small", seed: int = 42, tables: tuple[str, ...] = TPCH_TABLE_NAMES
 ) -> Catalog:
     """Generate a TPC-H catalog at the given scale, with Table 5's FDs
     declared on every generated relation."""
-    preset = SCALE_PRESETS[scale] if isinstance(scale, str) else scale
+    preset = _preset(scale)
     catalog = Catalog()
     for table in tables:
         relation = generate_table(table, preset, seed)
@@ -136,20 +170,110 @@ def generate_tpch(
 def generate_table(
     table: str, scale: str | TpchScale = "small", seed: int = 42
 ) -> Relation:
-    """Generate a single TPC-H relation."""
-    preset = SCALE_PRESETS[scale] if isinstance(scale, str) else scale
-    generator = _GENERATORS.get(table)
+    """Generate a single TPC-H relation (materialized in memory)."""
+    preset = _preset(scale)
+    return Relation.from_rows(
+        table_schema(table), stream_table(table, preset, seed)
+    )
+
+
+def stream_table(
+    table: str, scale: str | TpchScale = "small", seed: int = 42
+) -> Iterator[tuple[Any, ...]]:
+    """The table's rows as a deterministic stream (O(1) row memory).
+
+    Materializing the stream reproduces :func:`generate_table` exactly:
+    each table owns one ``child_rng(seed, table)`` consumed strictly in
+    row order.
+    """
+    preset = _preset(scale)
+    generator = _ROW_STREAMS.get(table)
     if generator is None:
         raise KeyError(f"unknown TPC-H table {table!r}")
     return generator(preset, seed)
 
 
+def table_schema(table: str) -> RelationSchema:
+    """The schema of one TPC-H table."""
+    builder = _SCHEMAS.get(table)
+    if builder is None:
+        raise KeyError(f"unknown TPC-H table {table!r}")
+    return builder()
+
+
+def expected_rows(table: str, scale: str | TpchScale = "small") -> int | None:
+    """DBGEN-style row accounting: the exact row count of ``table`` at
+    this scale, or ``None`` for ``lineitem`` (its count is drawn per
+    order; the expectation is ``orders × 4``)."""
+    preset = _preset(scale)
+    if table == "region":
+        return len(text.REGION_NAMES)
+    if table == "nation":
+        return len(text.NATION_NAMES)
+    if table == "supplier":
+        return preset.rows(_BASE_SUPPLIERS)
+    if table == "customer":
+        return preset.rows(_BASE_CUSTOMERS)
+    if table == "part":
+        return preset.rows(_BASE_PARTS)
+    if table == "partsupp":
+        return preset.rows(_BASE_PARTS) * _SUPPLIERS_PER_PART
+    if table == "orders":
+        return preset.rows(_BASE_ORDERS)
+    if table == "lineitem":
+        return None
+    raise KeyError(f"unknown TPC-H table {table!r}")
+
+
+def generate_to_store(
+    directory: str | Path,
+    scale: str | TpchScale = "small",
+    seed: int = 42,
+    tables: Sequence[str] | None = None,
+    chunk_rows: int | None = None,
+) -> dict[str, Any]:
+    """Stream TPC-H tables straight into chunked on-disk stores.
+
+    Tables are loaded in foreign-key dependency order
+    (:data:`TPCH_LOAD_ORDER`), each into ``directory/<table>``, holding
+    at most one chunk of rows in memory — the out-of-core DBGEN
+    substitute.  Returns ``{table: StoredRelation}`` (opened); actual
+    row counts are on each store (``store.num_rows``) and are checked
+    against :func:`expected_rows` where the count is deterministic.
+    """
+    from repro.storage import DEFAULT_CHUNK_ROWS, StoreWriter
+
+    preset = _preset(scale)
+    directory = Path(directory)
+    wanted = set(TPCH_TABLE_NAMES if tables is None else tables)
+    unknown = wanted - set(TPCH_TABLE_NAMES)
+    if unknown:
+        raise KeyError(f"unknown TPC-H tables: {sorted(unknown)}")
+    stores: dict[str, Any] = {}
+    for table in TPCH_LOAD_ORDER:
+        if table not in wanted:
+            continue
+        writer = StoreWriter(
+            directory / table,
+            table_schema(table),
+            chunk_rows=DEFAULT_CHUNK_ROWS if chunk_rows is None else chunk_rows,
+        )
+        writer.append_rows(stream_table(table, preset, seed))
+        store = writer.finalize()
+        expected = expected_rows(table, preset)
+        if expected is not None and store.num_rows != expected:
+            raise AssertionError(
+                f"{table}: generated {store.num_rows} rows, expected {expected}"
+            )
+        stores[table] = store
+    return stores
+
+
 # ----------------------------------------------------------------------
-# Fixed tables
+# Schemas
 # ----------------------------------------------------------------------
-def _gen_region(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "region")
-    schema = RelationSchema(
+def _schema_region() -> RelationSchema:
+    return RelationSchema(
         "region",
         [
             Attribute("regionkey", AttributeType.INTEGER, nullable=False),
@@ -157,16 +281,10 @@ def _gen_region(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = [
-        (key, name, text.comment(rng, 8))
-        for key, name in enumerate(text.REGION_NAMES)
-    ]
-    return Relation.from_rows(schema, rows)
 
 
-def _gen_nation(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "nation")
-    schema = RelationSchema(
+def _schema_nation() -> RelationSchema:
+    return RelationSchema(
         "nation",
         [
             Attribute("nationkey", AttributeType.INTEGER, nullable=False),
@@ -175,20 +293,10 @@ def _gen_nation(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = [
-        (key, name, text.NATION_REGION[key], text.comment(rng, 8))
-        for key, name in enumerate(text.NATION_NAMES)
-    ]
-    return Relation.from_rows(schema, rows)
 
 
-# ----------------------------------------------------------------------
-# Scaled tables
-# ----------------------------------------------------------------------
-def _gen_supplier(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "supplier")
-    count = preset.rows(_BASE_SUPPLIERS)
-    schema = RelationSchema(
+def _schema_supplier() -> RelationSchema:
+    return RelationSchema(
         "supplier",
         [
             Attribute("suppkey", AttributeType.INTEGER, nullable=False),
@@ -200,27 +308,10 @@ def _gen_supplier(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = []
-    for key in range(1, count + 1):
-        nation = rng.randrange(25)
-        rows.append(
-            (
-                key,
-                f"Supplier#{key:09d}",
-                text.address(rng),
-                nation,
-                text.phone(rng, nation),
-                round(rng.uniform(-999.99, 9999.99), 2),
-                text.comment(rng, 10),
-            )
-        )
-    return Relation.from_rows(schema, rows)
 
 
-def _gen_customer(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "customer")
-    count = preset.rows(_BASE_CUSTOMERS)
-    schema = RelationSchema(
+def _schema_customer() -> RelationSchema:
+    return RelationSchema(
         "customer",
         [
             Attribute("custkey", AttributeType.INTEGER, nullable=False),
@@ -233,28 +324,10 @@ def _gen_customer(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = []
-    for key in range(1, count + 1):
-        nation = rng.randrange(25)
-        rows.append(
-            (
-                key,
-                f"Customer#{key:09d}",
-                text.address(rng),
-                nation,
-                text.phone(rng, nation),
-                round(rng.uniform(-999.99, 9999.99), 2),
-                rng.choice(text.SEGMENTS),
-                text.comment(rng, 12),
-            )
-        )
-    return Relation.from_rows(schema, rows)
 
 
-def _gen_part(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "part")
-    count = preset.rows(_BASE_PARTS)
-    schema = RelationSchema(
+def _schema_part() -> RelationSchema:
+    return RelationSchema(
         "part",
         [
             Attribute("partkey", AttributeType.INTEGER, nullable=False),
@@ -268,33 +341,10 @@ def _gen_part(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = []
-    for key in range(1, count + 1):
-        mfgr = rng.randint(1, 5)
-        # DBGEN part names collide occasionally; deriving from the key
-        # keeps name → mfgr exact, matching the fast Table 5 row.
-        name = f"{text.part_name(rng)} #{key}"
-        rows.append(
-            (
-                key,
-                name,
-                f"Manufacturer#{mfgr}",
-                f"Brand#{mfgr}{rng.randint(1, 5)}",
-                rng.choice(text.PART_TYPES),
-                rng.randint(1, 50),
-                rng.choice(text.CONTAINERS),
-                round(900 + (key % 1000) + rng.uniform(0, 100), 2),
-                text.comment(rng, 6),
-            )
-        )
-    return Relation.from_rows(schema, rows)
 
 
-def _gen_partsupp(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "partsupp")
-    parts = preset.rows(_BASE_PARTS)
-    suppliers = preset.rows(_BASE_SUPPLIERS)
-    schema = RelationSchema(
+def _schema_partsupp() -> RelationSchema:
+    return RelationSchema(
         "partsupp",
         [
             Attribute("partkey", AttributeType.INTEGER, nullable=False),
@@ -304,27 +354,10 @@ def _gen_partsupp(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = []
-    for partkey in range(1, parts + 1):
-        for slot in range(_SUPPLIERS_PER_PART):
-            suppkey = _part_supplier(partkey, slot, suppliers)
-            rows.append(
-                (
-                    partkey,
-                    suppkey,
-                    rng.randint(1, 9999),
-                    round(rng.uniform(1.0, 1000.0), 2),
-                    text.comment(rng, 10),
-                )
-            )
-    return Relation.from_rows(schema, rows)
 
 
-def _gen_orders(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "orders")
-    customers = preset.rows(_BASE_CUSTOMERS)
-    count = preset.rows(_BASE_ORDERS)
-    schema = RelationSchema(
+def _schema_orders() -> RelationSchema:
+    return RelationSchema(
         "orders",
         [
             Attribute("orderkey", AttributeType.INTEGER, nullable=False),
@@ -338,32 +371,10 @@ def _gen_orders(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    clerks = max(1, count // 1000)
-    rows = []
-    for key in range(1, count + 1):
-        year = rng.randint(1992, 1998)
-        rows.append(
-            (
-                key,
-                rng.randint(1, customers),
-                rng.choice(_STATUSES),
-                round(rng.uniform(800.0, 500000.0), 2),
-                f"{year}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
-                rng.choice(text.PRIORITIES),
-                f"Clerk#{rng.randint(1, clerks):09d}",
-                0,
-                text.comment(rng, 10),
-            )
-        )
-    return Relation.from_rows(schema, rows)
 
 
-def _gen_lineitem(preset: TpchScale, seed: int) -> Relation:
-    rng = child_rng(seed, "lineitem")
-    orders = preset.rows(_BASE_ORDERS)
-    parts = preset.rows(_BASE_PARTS)
-    suppliers = preset.rows(_BASE_SUPPLIERS)
-    schema = RelationSchema(
+def _schema_lineitem() -> RelationSchema:
+    return RelationSchema(
         "lineitem",
         [
             Attribute("orderkey", AttributeType.INTEGER, nullable=False),
@@ -384,7 +395,118 @@ def _gen_lineitem(preset: TpchScale, seed: int) -> Relation:
             Attribute("comment", AttributeType.STRING, nullable=False),
         ],
     )
-    rows = []
+
+
+# ----------------------------------------------------------------------
+# Row streams (one dedicated child RNG each, consumed in row order)
+# ----------------------------------------------------------------------
+def _rows_region(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "region")
+    for key, name in enumerate(text.REGION_NAMES):
+        yield (key, name, text.comment(rng, 8))
+
+
+def _rows_nation(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "nation")
+    for key, name in enumerate(text.NATION_NAMES):
+        yield (key, name, text.NATION_REGION[key], text.comment(rng, 8))
+
+
+def _rows_supplier(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "supplier")
+    count = preset.rows(_BASE_SUPPLIERS)
+    for key in range(1, count + 1):
+        nation = rng.randrange(25)
+        yield (
+            key,
+            f"Supplier#{key:09d}",
+            text.address(rng),
+            nation,
+            text.phone(rng, nation),
+            round(rng.uniform(-999.99, 9999.99), 2),
+            text.comment(rng, 10),
+        )
+
+
+def _rows_customer(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "customer")
+    count = preset.rows(_BASE_CUSTOMERS)
+    for key in range(1, count + 1):
+        nation = rng.randrange(25)
+        yield (
+            key,
+            f"Customer#{key:09d}",
+            text.address(rng),
+            nation,
+            text.phone(rng, nation),
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(text.SEGMENTS),
+            text.comment(rng, 12),
+        )
+
+
+def _rows_part(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "part")
+    count = preset.rows(_BASE_PARTS)
+    for key in range(1, count + 1):
+        mfgr = rng.randint(1, 5)
+        # DBGEN part names collide occasionally; deriving from the key
+        # keeps name → mfgr exact, matching the fast Table 5 row.
+        name = f"{text.part_name(rng)} #{key}"
+        yield (
+            key,
+            name,
+            f"Manufacturer#{mfgr}",
+            f"Brand#{mfgr}{rng.randint(1, 5)}",
+            rng.choice(text.PART_TYPES),
+            rng.randint(1, 50),
+            rng.choice(text.CONTAINERS),
+            round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+            text.comment(rng, 6),
+        )
+
+
+def _rows_partsupp(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "partsupp")
+    parts = preset.rows(_BASE_PARTS)
+    suppliers = preset.rows(_BASE_SUPPLIERS)
+    for partkey in range(1, parts + 1):
+        for slot in range(_SUPPLIERS_PER_PART):
+            suppkey = _part_supplier(partkey, slot, suppliers)
+            yield (
+                partkey,
+                suppkey,
+                rng.randint(1, 9999),
+                round(rng.uniform(1.0, 1000.0), 2),
+                text.comment(rng, 10),
+            )
+
+
+def _rows_orders(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "orders")
+    customers = preset.rows(_BASE_CUSTOMERS)
+    count = preset.rows(_BASE_ORDERS)
+    clerks = max(1, count // 1000)
+    for key in range(1, count + 1):
+        year = rng.randint(1992, 1998)
+        yield (
+            key,
+            rng.randint(1, customers),
+            rng.choice(_STATUSES),
+            round(rng.uniform(800.0, 500000.0), 2),
+            f"{year}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            rng.choice(text.PRIORITIES),
+            f"Clerk#{rng.randint(1, clerks):09d}",
+            0,
+            text.comment(rng, 10),
+        )
+
+
+def _rows_lineitem(preset: TpchScale, seed: int) -> Iterator[tuple[Any, ...]]:
+    rng = child_rng(seed, "lineitem")
+    orders = preset.rows(_BASE_ORDERS)
+    parts = preset.rows(_BASE_PARTS)
+    suppliers = preset.rows(_BASE_SUPPLIERS)
     for orderkey in range(1, orders + 1):
         for linenumber in range(1, rng.randint(1, 2 * _BASE_LINEITEMS_PER_ORDER - 1) + 1):
             partkey = rng.randint(1, parts)
@@ -393,27 +515,24 @@ def _gen_lineitem(preset: TpchScale, seed: int) -> Relation:
             suppkey = _part_supplier(partkey, rng.randrange(_SUPPLIERS_PER_PART), suppliers)
             year = rng.randint(1992, 1998)
             ship = f"{year}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
-            rows.append(
-                (
-                    orderkey,
-                    partkey,
-                    suppkey,
-                    linenumber,
-                    rng.randint(1, 50),
-                    round(rng.uniform(900.0, 100000.0), 2),
-                    round(rng.choice([0.0, 0.01, 0.02, 0.05, 0.1]), 2),
-                    round(rng.choice([0.0, 0.02, 0.04, 0.08]), 2),
-                    rng.choice(["R", "A", "N"]),
-                    rng.choice(["O", "F"]),
-                    ship,
-                    ship,
-                    ship,
-                    rng.choice(text.SHIP_INSTRUCTIONS),
-                    rng.choice(text.SHIP_MODES),
-                    text.comment(rng, 6),
-                )
+            yield (
+                orderkey,
+                partkey,
+                suppkey,
+                linenumber,
+                rng.randint(1, 50),
+                round(rng.uniform(900.0, 100000.0), 2),
+                round(rng.choice([0.0, 0.01, 0.02, 0.05, 0.1]), 2),
+                round(rng.choice([0.0, 0.02, 0.04, 0.08]), 2),
+                rng.choice(["R", "A", "N"]),
+                rng.choice(["O", "F"]),
+                ship,
+                ship,
+                ship,
+                rng.choice(text.SHIP_INSTRUCTIONS),
+                rng.choice(text.SHIP_MODES),
+                text.comment(rng, 6),
             )
-    return Relation.from_rows(schema, rows)
 
 
 def _part_supplier(partkey: int, slot: int, suppliers: int) -> int:
@@ -425,13 +544,24 @@ def _part_supplier(partkey: int, slot: int, suppliers: int) -> int:
     return ((partkey + slot * ((suppliers // _SUPPLIERS_PER_PART) + 1)) % suppliers) + 1
 
 
-_GENERATORS = {
-    "customer": _gen_customer,
-    "lineitem": _gen_lineitem,
-    "nation": _gen_nation,
-    "orders": _gen_orders,
-    "part": _gen_part,
-    "partsupp": _gen_partsupp,
-    "region": _gen_region,
-    "supplier": _gen_supplier,
+_SCHEMAS = {
+    "customer": _schema_customer,
+    "lineitem": _schema_lineitem,
+    "nation": _schema_nation,
+    "orders": _schema_orders,
+    "part": _schema_part,
+    "partsupp": _schema_partsupp,
+    "region": _schema_region,
+    "supplier": _schema_supplier,
+}
+
+_ROW_STREAMS = {
+    "customer": _rows_customer,
+    "lineitem": _rows_lineitem,
+    "nation": _rows_nation,
+    "orders": _rows_orders,
+    "part": _rows_part,
+    "partsupp": _rows_partsupp,
+    "region": _rows_region,
+    "supplier": _rows_supplier,
 }

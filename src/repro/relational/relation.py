@@ -142,6 +142,30 @@ class Relation:
             encoded[attr.name] = EncodedColumn.from_values(values)
         return cls(schema, encoded, num_rows)
 
+    @classmethod
+    def from_store(cls, directory: str) -> "Relation":
+        """Materialize a chunked on-disk store (:mod:`repro.storage`).
+
+        Convenience for small stores; large stores should stay on disk
+        and be consumed chunk-at-a-time through
+        :class:`~repro.storage.reader.StoredRelation`.
+        """
+        from repro.storage import open_store
+
+        return open_store(directory).to_relation()
+
+    def to_store(self, directory: str, chunk_rows: int = 65_536):
+        """Persist this relation as a chunked column store on disk.
+
+        Returns the opened
+        :class:`~repro.storage.reader.StoredRelation`; decoding it back
+        yields exactly this relation's values (the round-trip contract
+        pinned by the storage property suite).
+        """
+        from repro.storage import write_store
+
+        return write_store(self, directory, chunk_rows=chunk_rows)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -1,0 +1,98 @@
+"""Approximate profiling sketches (PR 9).
+
+Two estimator families, both deterministic (seeded hashing / seeded
+reservoirs — never ``hash()``):
+
+* :mod:`repro.sketch.hll` — HyperLogLog distinct counts (splitmix64
+  hashing, vectorized on the numpy backend), stated bound
+  ``3 × 1.04/√m``;
+* :mod:`repro.sketch.sample` — seeded reservoir samples feeding
+  Miller–Madow entropy and U-statistic violating-pair estimates, each
+  returning a :class:`~repro.sketch.sample.SampleEstimate` with its
+  stated bound.
+
+The process-wide **approx mode** mirrors the kernel-backend switch:
+``"exact"`` (default) or ``"sketch"``.  The chunked profiling layer
+(:mod:`repro.storage.profile`) consults :func:`active_approx` to pick
+between exact spill-merge kernels and these sketches; it is installed
+by ``EngineConfig(approx=...)`` / ``$REPRO_APPROX`` and scoped in tests
+with :func:`use_approx`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .hll import HyperLogLog, hash_value, splitmix64
+from .sample import (
+    Reservoir,
+    SampleEstimate,
+    entropy_estimate,
+    violating_pairs_estimate,
+)
+
+__all__ = [
+    "APPROX_ENV_VAR",
+    "DEFAULT_PRECISION",
+    "HyperLogLog",
+    "Reservoir",
+    "SampleEstimate",
+    "active_approx",
+    "entropy_estimate",
+    "hash_value",
+    "set_approx",
+    "splitmix64",
+    "use_approx",
+    "violating_pairs_estimate",
+]
+
+APPROX_ENV_VAR = "REPRO_APPROX"
+
+#: Default HLL precision: 2^14 registers → 16 KiB per sketch, stated
+#: bound ≈ 2.4% relative.
+DEFAULT_PRECISION = 14
+
+_MODES = ("exact", "sketch")
+
+_active: str | None = None
+
+
+def _normalize(mode: str | None, source: str) -> str:
+    if mode is None:
+        return "exact"
+    lowered = str(mode).strip().lower()
+    if lowered not in _MODES:
+        raise ValueError(
+            f"approx mode must be one of {_MODES}, got {mode!r} (from {source})"
+        )
+    return lowered
+
+
+def set_approx(mode: str | None) -> None:
+    """Install the process-wide approx mode (``None`` → ``"exact"``)."""
+    global _active
+    _active = _normalize(mode, "set_approx()")
+
+
+def active_approx() -> str:
+    """The approx mode in effect: explicit setting, else ``$REPRO_APPROX``,
+    else ``"exact"``."""
+    if _active is not None:
+        return _active
+    env = os.environ.get(APPROX_ENV_VAR)
+    if env:
+        return _normalize(env, f"${APPROX_ENV_VAR}")
+    return "exact"
+
+
+@contextmanager
+def use_approx(mode: str | None):
+    """Scoped approx-mode override (tests, benchmarks)."""
+    global _active
+    previous = _active
+    _active = _normalize(mode, "use_approx()")
+    try:
+        yield
+    finally:
+        _active = previous

@@ -43,6 +43,29 @@ class Database:
     def table_names(self) -> list[str]:
         return list(self.catalog.relation_names())
 
+    def attach_store(
+        self,
+        store,
+        where=None,
+        columns=None,
+        limit: int | None = None,
+        replace: bool = False,
+    ) -> Relation:
+        """Register a chunked on-disk store as a queryable table.
+
+        The store is scanned chunk-at-a-time with the optional filter
+        pushed down (:func:`repro.storage.sqlbridge.scan_store`), so
+        only surviving rows are ever materialized; the resulting
+        relation joins the catalog under the store's name and is
+        returned.  Pass ``where``/``columns``/``limit`` to bound the
+        resident slice of a store larger than RAM.
+        """
+        from repro.storage.sqlbridge import scan_store
+
+        relation = scan_store(store, where=where, columns=columns, limit=limit)
+        self.catalog.add_relation(relation, replace=replace)
+        return relation
+
     def query(
         self, sql: str, engine: str = "columnar", workers: int | None = None
     ) -> ResultSet:

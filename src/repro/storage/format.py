@@ -1,0 +1,266 @@
+"""On-disk layout of the chunked columnar store (format v1).
+
+A *store* is one directory per relation holding:
+
+``manifest.json``
+    Schema (names, types, nullability), total row count, per-chunk row
+    counts, and per-column accounting (global cardinality, NULL count,
+    per-chunk local-dictionary sizes and byte spans).
+
+``col_<i>.codes``
+    A 32-byte struct-packed header (:data:`CODES_HEADER`) followed by
+    the column's dictionary codes as raw little-endian ``int64`` pages,
+    one contiguous page per chunk in row order.  Codes are
+    **chunk-local**: each chunk is a self-contained dictionary-encoded
+    column, so materializing one chunk never touches global state.
+    NULL is ``-1``, exactly as in
+    :mod:`repro.relational.encoding`.
+
+``col_<i>.localdict``
+    The per-chunk local dictionaries, one JSON value per line in local
+    code order, chunks concatenated (byte spans in the manifest).
+
+``col_<i>.remap``
+    Per chunk, ``cardinality + 1`` little-endian ``int64`` entries
+    mapping local code → global code.  The extra trailing entry is the
+    ``-1`` NULL sentinel, so ``remap[code]`` is total (Python's and
+    NumPy's ``[-1]`` both hit the last slot) and a chunk's codes lift
+    to global codes with one indexed gather.
+
+``col_<i>.dict``
+    The merged *global* dictionary: one JSON value per line in global
+    code order.  Global codes are assigned in sorted-serialization
+    order during the external merge (:mod:`repro.storage.writer`), so
+    the file doubles as the sorted run of all distinct values.
+
+``col_<i>.dictidx``
+    ``cardinality + 1`` little-endian ``uint64`` byte offsets into
+    ``col_<i>.dict`` — random access to any global value without
+    loading the dictionary.
+
+Values are serialized with :func:`dumps_value` (compact JSON,
+``NaN``/``Infinity`` allowed); the serialized bytes are also the total
+order the dictionary merge sorts by, which keeps the merge type-blind.
+Code pages use native little-endian layout — the binary format is
+explicitly little-endian, and :func:`require_little_endian` guards the
+(purely theoretical, for this codebase) big-endian host case.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+__all__ = [
+    "CODES_HEADER",
+    "CODES_MAGIC",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ColumnMeta",
+    "StoreFormatError",
+    "StoreManifest",
+    "codes_path",
+    "dict_path",
+    "dictidx_path",
+    "dumps_value",
+    "loads_value",
+    "localdict_path",
+    "remap_path",
+    "require_little_endian",
+]
+
+FORMAT_NAME = "repro-columnar"
+FORMAT_VERSION = 1
+
+#: ``col_<i>.codes`` header: magic, version, reserved, chunk_rows,
+#: num_chunks, num_rows.
+CODES_HEADER = struct.Struct("<4sHHQQQ")
+CODES_MAGIC = b"RPRC"
+
+
+class StoreFormatError(Exception):
+    """A store directory is missing, corrupt, or from an unknown version."""
+
+
+def require_little_endian() -> None:
+    """The raw code pages are little-endian; refuse to run elsewhere."""
+    if sys.byteorder != "little":
+        raise StoreFormatError(
+            "the chunked store's raw int64 pages require a little-endian host"
+        )
+
+
+def codes_path(directory: Path, position: int) -> Path:
+    return directory / f"col_{position:05d}.codes"
+
+
+def localdict_path(directory: Path, position: int) -> Path:
+    return directory / f"col_{position:05d}.localdict"
+
+
+def remap_path(directory: Path, position: int) -> Path:
+    return directory / f"col_{position:05d}.remap"
+
+
+def dict_path(directory: Path, position: int) -> Path:
+    return directory / f"col_{position:05d}.dict"
+
+
+def dictidx_path(directory: Path, position: int) -> Path:
+    return directory / f"col_{position:05d}.dictidx"
+
+
+def dumps_value(value: Any) -> bytes:
+    """Serialize one dictionary value; also the merge's sort key."""
+    return json.dumps(value, separators=(",", ":"), allow_nan=True).encode("utf-8")
+
+
+def loads_value(data: bytes) -> Any:
+    """Inverse of :func:`dumps_value`."""
+    return json.loads(data.decode("utf-8"))
+
+
+@dataclass
+class ColumnMeta:
+    """Manifest entry for one column."""
+
+    cardinality: int
+    null_count: int
+    chunk_cardinalities: list[int]
+    chunk_dict_spans: list[tuple[int, int]]
+    dict_bytes: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "cardinality": self.cardinality,
+            "null_count": self.null_count,
+            "chunk_cardinalities": list(self.chunk_cardinalities),
+            "chunk_dict_spans": [list(span) for span in self.chunk_dict_spans],
+            "dict_bytes": self.dict_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "ColumnMeta":
+        return cls(
+            cardinality=payload["cardinality"],
+            null_count=payload["null_count"],
+            chunk_cardinalities=list(payload["chunk_cardinalities"]),
+            chunk_dict_spans=[tuple(span) for span in payload["chunk_dict_spans"]],
+            dict_bytes=payload["dict_bytes"],
+        )
+
+
+@dataclass
+class StoreManifest:
+    """The parsed ``manifest.json`` of one store directory."""
+
+    name: str
+    schema: RelationSchema
+    num_rows: int
+    chunk_rows: int
+    chunk_sizes: list[int]
+    columns: dict[str, ColumnMeta]
+    extra: dict[str, Any]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_sizes)
+
+    def chunk_start(self, index: int) -> int:
+        """First row index of chunk ``index`` (chunks are row-contiguous)."""
+        return sum(self.chunk_sizes[:index])
+
+    def codes_bytes(self) -> int:
+        """Raw bytes of all code pages (8 per row per column)."""
+        return self.num_rows * 8 * self.schema.arity
+
+    def materialized_bytes(self) -> int:
+        """Bytes a full in-RAM materialization of the codes + global
+        dictionaries would occupy — the denominator of the out-of-core
+        memory ceiling asserts (peak RSS must stay well under this)."""
+        return self.codes_bytes() + sum(
+            column.dict_bytes for column in self.columns.values()
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": self.name,
+            "attributes": [
+                {
+                    "name": attr.name,
+                    "type": attr.type.value,
+                    "nullable": attr.nullable,
+                }
+                for attr in self.schema.attributes
+            ],
+            "num_rows": self.num_rows,
+            "chunk_rows": self.chunk_rows,
+            "chunk_sizes": list(self.chunk_sizes),
+            "columns": {
+                name: meta.to_json() for name, meta in self.columns.items()
+            },
+            **self.extra,
+        }
+
+    def save(self, directory: Path) -> None:
+        payload = json.dumps(self.to_json(), indent=2) + "\n"
+        scratch = directory / ".manifest.json.tmp"
+        scratch.write_text(payload, encoding="utf-8")
+        scratch.replace(directory / "manifest.json")
+
+    @classmethod
+    def load(cls, directory: Path) -> "StoreManifest":
+        path = Path(directory) / "manifest.json"
+        if not path.exists():
+            raise StoreFormatError(f"no manifest at {path}")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != FORMAT_NAME:
+            raise StoreFormatError(
+                f"{path} is not a {FORMAT_NAME} store "
+                f"(format={payload.get('format')!r})"
+            )
+        if payload.get("version") != FORMAT_VERSION:
+            raise StoreFormatError(
+                f"unsupported store version {payload.get('version')!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        attrs = [
+            Attribute(
+                item["name"],
+                AttributeType.from_name(item["type"]),
+                nullable=item["nullable"],
+            )
+            for item in payload["attributes"]
+        ]
+        schema = RelationSchema(payload["name"], attrs)
+        known = {
+            "format",
+            "version",
+            "name",
+            "attributes",
+            "num_rows",
+            "chunk_rows",
+            "chunk_sizes",
+            "columns",
+        }
+        return cls(
+            name=payload["name"],
+            schema=schema,
+            num_rows=payload["num_rows"],
+            chunk_rows=payload["chunk_rows"],
+            chunk_sizes=list(payload["chunk_sizes"]),
+            columns={
+                name: ColumnMeta.from_json(meta)
+                for name, meta in payload["columns"].items()
+            },
+            extra={k: v for k, v in payload.items() if k not in known},
+        )

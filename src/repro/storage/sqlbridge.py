@@ -1,0 +1,208 @@
+"""SQL over chunked stores: filter-pushdown scans.
+
+The SQL engines execute against in-memory relations; this module is the
+bridge that gets a :class:`~repro.storage.reader.StoredRelation` under
+them without materializing it.  :func:`scan_store` walks the store one
+chunk at a time, evaluates the (compiled) WHERE predicate columnar on
+each chunk — the PR-8 mask kernels, identical error semantics — and
+materializes **only the surviving rows** (plus, optionally, only the
+requested columns).  Peak memory is one chunk plus the result, so a
+selective query over an SF-1 table runs in a fraction of the table's
+footprint.
+
+:func:`query_store` is the one-call form: parse the statement, push its
+WHERE *and* its projection down through the chunked scan — only the
+columns the statement references are ever decoded — then run the full
+query on the survivors (the engines re-check the residual predicate —
+free on matches, and it keeps their property-tested semantics
+authoritative).
+:meth:`Database.attach_store <repro.sql.database.Database>` uses these
+to register chunked scans in a catalog.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.relational import expr as ir
+from repro.relational import parallel
+from repro.relational.relation import Relation
+from repro.sql import ast
+from repro.sql.errors import SqlExecutionError
+from repro.sql.executor import ResultSet, compile_expression, execute_on_relation
+from repro.sql.parser import parse
+
+from .reader import StoredRelation
+
+__all__ = ["compile_where", "query_store", "scan_store"]
+
+
+def _collect_columns(node: Any, out: set[str]) -> bool:
+    """Gather column names referenced by an AST node into ``out``.
+
+    Returns ``False`` when the node demands every column (``*``), which
+    makes projection pushdown impossible for the whole statement.
+    """
+    if isinstance(node, ast.ColumnRef):
+        if node.name == "*":
+            return False
+        out.add(node.name)
+        return True
+    if isinstance(node, (ast.Literal, ast.CountStar)) or node is None:
+        return True
+    if isinstance(node, ast.CountDistinct):
+        out.update(node.columns)
+        return True
+    if isinstance(node, ast.AggregateCall):
+        return _collect_columns(node.argument, out)
+    if isinstance(node, (ast.Arith, ast.Comparison, ast.And, ast.Or)):
+        left = _collect_columns(node.left, out)
+        return _collect_columns(node.right, out) and left
+    if isinstance(node, (ast.InList, ast.IsNull, ast.Not)):
+        return _collect_columns(node.operand, out)
+    return False  # unknown node shape: scan everything, stay correct
+
+
+def _referenced_columns(query: ast.SelectQuery) -> set[str] | None:
+    """Column names a statement touches, or ``None`` for "all of them"."""
+    names: set[str] = set()
+    for item in query.items:
+        if not _collect_columns(item.expression, names):
+            return None
+    if not _collect_columns(query.where, names):
+        return None
+    if not _collect_columns(query.having, names):
+        return None
+    for key in query.group_by:
+        names.add(key.rsplit(".", 1)[-1])
+    for order in query.order_by:
+        if not _collect_columns(order.expression, names):
+            return None
+    return names
+
+
+def compile_where(condition: str) -> ir.Predicate:
+    """Compile a bare SQL condition string into the predicate IR.
+
+    ``compile_where("price > 100 AND status = 'O'")`` — the condition
+    is parsed with the real SQL grammar (column references resolve by
+    name, qualifiers dropped).
+    """
+    query = parse(f"SELECT * FROM _scan WHERE {condition}")
+    assert query.where is not None
+    return compile_expression(query.where)
+
+
+def _as_predicate(where: "str | ir.Predicate | None") -> ir.Predicate | None:
+    if where is None:
+        return None
+    if isinstance(where, str):
+        return compile_where(where)
+    if not ir.is_predicate(where):
+        raise SqlExecutionError(f"not a predicate: {where!r}")
+    return where
+
+
+def scan_store(
+    store: StoredRelation,
+    where: "str | ir.Predicate | None" = None,
+    columns: Sequence[str] | None = None,
+    limit: int | None = None,
+) -> Relation:
+    """A chunked, filter-pushdown scan materializing only survivors.
+
+    ``where`` (SQL condition string or IR predicate) is evaluated
+    columnar per chunk; ``columns`` prunes the output width (predicate
+    columns are read regardless but not kept); ``limit`` stops the walk
+    as soon as enough rows survive.  The result is an ordinary
+    in-memory :class:`Relation` carrying the store's schema (projected),
+    ready for any engine.
+    """
+    predicate = _as_predicate(where)
+    out_names = (
+        store.schema.attribute_names
+        if columns is None
+        else tuple(store.schema.validate_names(columns))
+    )
+    if predicate is None:
+        scan_names: tuple[str, ...] = out_names
+    else:
+        pred_names = tuple(
+            dict.fromkeys(
+                name
+                for name in ir.columns_of(predicate)
+                if name not in out_names
+            )
+        )
+        unknown = [
+            name
+            for name in pred_names
+            if name not in store.schema.attribute_names
+        ]
+        if unknown:
+            raise SqlExecutionError(f"unknown column {unknown[0]!r}")
+        scan_names = out_names + pred_names
+    out_schema = (
+        store.schema if columns is None else store.schema.project(out_names)
+    )
+    keep = list(range(len(out_names)))
+    rows: list[tuple[Any, ...]] = []
+    for chunk in range(store.num_chunks):
+        if limit is not None and len(rows) >= limit:
+            break
+        relation = store.chunk_relation(chunk, scan_names)
+        if predicate is not None:
+            relation = relation.select(predicate)
+        for row in relation.rows():
+            rows.append(tuple(row[i] for i in keep))
+            if limit is not None and len(rows) >= limit:
+                break
+    return Relation.from_rows(out_schema, rows, validate=False)
+
+
+def query_store(
+    store: StoredRelation,
+    sql: str,
+    engine: str = "columnar",
+    workers: int | None = None,
+) -> ResultSet:
+    """Run one SQL statement against a store, WHERE pushed down.
+
+    The FROM clause must name the store's relation.  The WHERE clause
+    filters chunk by chunk during the scan, so only matching rows are
+    ever resident; the full statement then runs on the survivors
+    through the ordinary engines (joins against other tables are not
+    supported on this path — attach the store into a catalog for that).
+    """
+    query = parse(sql)
+    if query.table != store.name:
+        raise SqlExecutionError(
+            f"query targets {query.table!r} but got store {store.name!r}"
+        )
+    if query.joins:
+        raise SqlExecutionError(
+            "query_store scans a single store; attach it to a Database "
+            "for joins"
+        )
+    predicate = (
+        compile_expression(query.where) if query.where is not None else None
+    )
+    referenced = _referenced_columns(query)
+    if referenced is None:
+        columns: tuple[str, ...] | None = None
+    else:
+        # Keep only real store attributes, in schema order — the rest
+        # are select-item aliases the executor resolves post-scan.  A
+        # column-free statement (SELECT COUNT(*) …) still needs one
+        # column to carry the row count.
+        columns = tuple(
+            name
+            for name in store.schema.attribute_names
+            if name in referenced
+        ) or store.schema.attribute_names[:1]
+    scan = scan_store(store, where=predicate, columns=columns)
+    if workers is None:
+        return execute_on_relation(scan, sql, engine)
+    with parallel.use_workers(workers):
+        return execute_on_relation(scan, sql, engine)

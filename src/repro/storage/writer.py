@@ -1,0 +1,301 @@
+"""Streaming writer for the chunked columnar store.
+
+:class:`StoreWriter` accepts rows one at a time (or in bulk), encodes
+one *chunk-local* dictionary per column per chunk, and never holds more
+than one chunk of raw values in memory.  The global dictionary is built
+by an **external-sort merge**: each flushed chunk also spills its local
+dictionary as a sorted run of ``(serialized value, local code)``
+records, and :meth:`finalize` k-way-merges the runs per column —
+assigning global codes in sorted-serialization order, writing the
+global dictionary + offset index, and emitting the per-chunk
+local→global remap tables.  Peak memory is therefore bounded by one
+chunk of values plus one ``int64`` remap slot per *distinct* value per
+column — the distinct **values** themselves stream through the merge
+and are never resident together.
+
+The encoding of each chunk runs through the active kernel backend
+(:func:`repro.relational.encoding.EncodedColumn.from_values`), so the
+writer is exactly as fast as the engine's normal ingest path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import struct
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+from typing import IO, Any
+
+from repro.relational.encoding import NULL_CODE, EncodedColumn
+from repro.relational.errors import ArityError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+from .format import (
+    CODES_HEADER,
+    CODES_MAGIC,
+    ColumnMeta,
+    StoreManifest,
+    codes_path,
+    dict_path,
+    dictidx_path,
+    dumps_value,
+    localdict_path,
+    remap_path,
+    require_little_endian,
+)
+
+__all__ = ["DEFAULT_CHUNK_ROWS", "StoreWriter", "write_store"]
+
+DEFAULT_CHUNK_ROWS = 65_536
+
+_RUN_RECORD = struct.Struct("<IQ")  # key length, local code
+
+
+def write_store(
+    relation: Relation,
+    directory: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+):
+    """Persist an in-memory relation as a chunked store; returns the
+    opened :class:`~repro.storage.reader.StoredRelation`."""
+    writer = StoreWriter(directory, relation.schema, chunk_rows=chunk_rows)
+    writer.append_rows(relation.rows())
+    return writer.finalize()
+
+
+class _ColumnState:
+    """Per-column open files and accumulated accounting."""
+
+    __slots__ = (
+        "position",
+        "codes_file",
+        "localdict_file",
+        "spill_file",
+        "spill_runs",
+        "chunk_cardinalities",
+        "chunk_dict_spans",
+        "null_count",
+        "localdict_offset",
+    )
+
+    def __init__(self, position: int, directory: Path) -> None:
+        self.position = position
+        self.codes_file: IO[bytes] = open(codes_path(directory, position), "wb")
+        self.codes_file.write(b"\x00" * CODES_HEADER.size)  # patched at finalize
+        self.localdict_file: IO[bytes] = open(
+            localdict_path(directory, position), "wb"
+        )
+        self.spill_file: IO[bytes] = open(
+            directory / f"col_{position:05d}.spill", "w+b"
+        )
+        self.spill_runs: list[tuple[int, int]] = []  # (offset, record count)
+        self.chunk_cardinalities: list[int] = []
+        self.chunk_dict_spans: list[tuple[int, int]] = []
+        self.null_count = 0
+        self.localdict_offset = 0
+
+
+class StoreWriter:
+    """Stream rows into a chunked column store directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        schema: RelationSchema,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        validate: bool = False,
+    ) -> None:
+        require_little_endian()
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.schema = schema
+        self.chunk_rows = chunk_rows
+        self.validate = validate
+        self._arity = schema.arity
+        self._buffer: list[list[Any]] = [[] for _ in range(self._arity)]
+        self._buffered = 0
+        self._chunk_sizes: list[int] = []
+        self._columns = [
+            _ColumnState(position, self.directory) for position in range(self._arity)
+        ]
+        self._finalized = False
+
+    @property
+    def num_rows(self) -> int:
+        """Rows accepted so far (flushed + buffered)."""
+        return sum(self._chunk_sizes) + self._buffered
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def append_row(self, row: Sequence[Any]) -> None:
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        if len(row) != self._arity:
+            raise ArityError(self._arity, len(row))
+        if self.validate:
+            row = [
+                self._validate_value(attr, value)
+                for attr, value in zip(self.schema.attributes, row)
+            ]
+        for values, value in zip(self._buffer, row):
+            values.append(value)
+        self._buffered += 1
+        if self._buffered >= self.chunk_rows:
+            self._flush_chunk()
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.append_row(row)
+
+    @staticmethod
+    def _validate_value(attr, value):
+        if value is None:
+            if not attr.nullable:
+                raise ValueError(f"NULL in non-nullable column {attr.name!r}")
+            return None
+        if attr.type.validate(value):
+            return value
+        return attr.type.coerce(value)
+
+    # ------------------------------------------------------------------
+    # Chunk flush: local encode + sorted spill run
+    # ------------------------------------------------------------------
+    def _flush_chunk(self) -> None:
+        if not self._buffered:
+            return
+        self._chunk_sizes.append(self._buffered)
+        for state, values in zip(self._columns, self._buffer):
+            column = EncodedColumn.from_values(values)
+            codes = array("q", column.codes)
+            state.codes_file.write(codes.tobytes())
+            state.null_count += column.null_count
+            state.chunk_cardinalities.append(column.cardinality)
+            # Local dictionary, one JSON value per line.
+            lines = b"".join(
+                dumps_value(value) + b"\n" for value in column.dictionary
+            )
+            state.localdict_file.write(lines)
+            state.chunk_dict_spans.append((state.localdict_offset, len(lines)))
+            state.localdict_offset += len(lines)
+            # Sorted spill run for the global-dictionary merge.
+            run = sorted(
+                (dumps_value(value), code)
+                for code, value in enumerate(column.dictionary)
+            )
+            offset = state.spill_file.tell()
+            for key, code in run:
+                state.spill_file.write(_RUN_RECORD.pack(len(key), code))
+                state.spill_file.write(key)
+            state.spill_runs.append((offset, len(run)))
+            values.clear()
+        self._buffered = 0
+
+    # ------------------------------------------------------------------
+    # Finalize: external merge of the per-chunk dictionaries
+    # ------------------------------------------------------------------
+    def finalize(self):
+        """Flush, merge dictionaries, write the manifest; returns the
+        opened :class:`~repro.storage.reader.StoredRelation`."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        self._flush_chunk()
+        self._finalized = True
+        num_rows = sum(self._chunk_sizes)
+        columns: dict[str, ColumnMeta] = {}
+        for attr, state in zip(self.schema.attributes, self._columns):
+            header = CODES_HEADER.pack(
+                CODES_MAGIC,
+                1,
+                0,
+                self.chunk_rows,
+                len(self._chunk_sizes),
+                num_rows,
+            )
+            state.codes_file.seek(0)
+            state.codes_file.write(header)
+            state.codes_file.close()
+            state.localdict_file.close()
+            state.spill_file.flush()
+            cardinality, dict_bytes = self._merge_dictionaries(state)
+            state.spill_file.close()
+            os.unlink(state.spill_file.name)
+            columns[attr.name] = ColumnMeta(
+                cardinality=cardinality,
+                null_count=state.null_count,
+                chunk_cardinalities=state.chunk_cardinalities,
+                chunk_dict_spans=state.chunk_dict_spans,
+                dict_bytes=dict_bytes,
+            )
+        manifest = StoreManifest(
+            name=self.schema.name,
+            schema=self.schema,
+            num_rows=num_rows,
+            chunk_rows=self.chunk_rows,
+            chunk_sizes=self._chunk_sizes,
+            columns=columns,
+            extra={},
+        )
+        manifest.save(self.directory)
+        from .reader import StoredRelation
+
+        return StoredRelation(self.directory, manifest)
+
+    def _merge_dictionaries(self, state: _ColumnState) -> tuple[int, int]:
+        """K-way merge of the sorted spill runs → global dict + remaps.
+
+        Returns ``(global cardinality, dictionary bytes)``.  Only the
+        remap tables (one ``int64`` per distinct value per chunk) are
+        RAM-resident; values stream run → merged dictionary file.
+        """
+        remaps = [
+            array("q", bytes(8 * (cardinality + 1)))
+            for cardinality in state.chunk_cardinalities
+        ]
+        for remap in remaps:
+            remap[-1] = NULL_CODE  # total lookup: codes[-1] hits the sentinel
+        streams = [
+            _run_records(state.spill_file.name, offset, count, chunk)
+            for chunk, (offset, count) in enumerate(state.spill_runs)
+        ]
+        global_code = -1
+        previous_key: bytes | None = None
+        dict_file = open(dict_path(self.directory, state.position), "wb")
+        idx_file = open(dictidx_path(self.directory, state.position), "wb")
+        offset = 0
+        try:
+            for key, chunk, local_code in heapq.merge(*streams):
+                if key != previous_key:
+                    global_code += 1
+                    previous_key = key
+                    idx_file.write(struct.pack("<Q", offset))
+                    dict_file.write(key)
+                    dict_file.write(b"\n")
+                    offset += len(key) + 1
+                remaps[chunk][local_code] = global_code
+            idx_file.write(struct.pack("<Q", offset))
+        finally:
+            dict_file.close()
+            idx_file.close()
+        with open(remap_path(self.directory, state.position), "wb") as remap_file:
+            for remap in remaps:
+                remap_file.write(remap.tobytes())
+        return global_code + 1, offset
+
+
+def _run_records(
+    path: str, offset: int, count: int, chunk: int
+) -> Iterator[tuple[bytes, int, int]]:
+    """Stream one sorted spill run as ``(key, chunk, local code)``."""
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        for _ in range(count):
+            header = handle.read(_RUN_RECORD.size)
+            length, code = _RUN_RECORD.unpack(header)
+            key = handle.read(length)
+            yield key, chunk, code

@@ -1,0 +1,89 @@
+"""BenchResults: scale/rows fields and merge-by-identity writes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.timing import BenchResults
+
+
+def _read(path) -> list[dict]:
+    return json.loads(path.read_text(encoding="utf-8"))["results"]
+
+
+class TestRecordFields:
+    def test_scale_and_rows_recorded(self):
+        results = BenchResults()
+        entry = results.record(
+            "x", 1.5, backend="numpy", scale=1.0, rows=6_000_000
+        )
+        assert entry["scale"] == 1.0
+        assert entry["rows"] == 6_000_000
+
+    def test_optional_fields_omitted_when_unset(self):
+        entry = BenchResults().record("x", 1.5)
+        assert set(entry) == {"name", "seconds"}
+
+
+class TestMergeWrite:
+    def test_plain_write_replaces_file(self, tmp_path):
+        target = tmp_path / "r.json"
+        first = BenchResults()
+        first.record("a", 1.0)
+        first.write(target)
+        second = BenchResults()
+        second.record("b", 2.0)
+        second.write(target)
+        assert [entry["name"] for entry in _read(target)] == ["b"]
+
+    def test_merge_keeps_foreign_entries(self, tmp_path):
+        target = tmp_path / "r.json"
+        smoke = BenchResults()
+        smoke.record("svc", 1.0, backend="numpy", scale=0.01)
+        smoke.write(target)
+        sf1 = BenchResults()
+        sf1.record("store", 60.0, backend="numpy", scale=1.0)
+        sf1.write(target, merge=True)
+        names = {entry["name"] for entry in _read(target)}
+        assert names == {"svc", "store"}
+
+    def test_merge_replaces_same_identity(self, tmp_path):
+        target = tmp_path / "r.json"
+        old = BenchResults()
+        old.record("store", 99.0, backend="numpy", scale=1.0, rows=100)
+        old.write(target)
+        new = BenchResults()
+        new.record("store", 55.0, backend="numpy", scale=1.0, rows=100)
+        new.write(target, merge=True)
+        entries = _read(target)
+        assert len(entries) == 1
+        assert entries[0]["seconds"] == 55.0
+
+    def test_different_backend_is_a_different_identity(self, tmp_path):
+        target = tmp_path / "r.json"
+        first = BenchResults()
+        first.record("store", 1.0, backend="numpy", scale=1.0)
+        first.write(target)
+        second = BenchResults()
+        second.record("store", 9.0, backend="python", scale=1.0)
+        second.write(target, merge=True)
+        assert len(_read(target)) == 2
+
+    def test_corrupt_existing_file_is_tolerated(self, tmp_path):
+        target = tmp_path / "r.json"
+        target.write_text("{ not json", encoding="utf-8")
+        results = BenchResults()
+        results.record("a", 1.0)
+        assert results.write(target, merge=True) == target
+        assert [entry["name"] for entry in _read(target)] == ["a"]
+
+    def test_empty_results_write_nothing(self, tmp_path):
+        assert BenchResults().write(tmp_path / "r.json") is None
+        assert not (tmp_path / "r.json").exists()
+
+    def test_no_temp_files_left(self, tmp_path):
+        target = tmp_path / "r.json"
+        results = BenchResults()
+        results.record("a", 1.0)
+        results.write(target, merge=True)
+        assert [p.name for p in tmp_path.iterdir()] == ["r.json"]

@@ -1,0 +1,106 @@
+"""Streaming generators equal their materialized counterparts.
+
+The PR-9 refactor turned the TPC-H and engineered generators into row
+streams feeding the chunked store.  The contract: every stream is a
+pure function of ``(table/spec, scale, seed)`` and reproduces the
+materialized relation value-for-value — so loading straight to disk
+changes nothing but peak memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import tpch
+from repro.datagen.engineered import (
+    EngineeredSpec,
+    engineered_relation,
+    engineered_rows,
+    engineered_to_store,
+)
+from repro.datagen.realworld import country_relation, dataset_to_store
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return EngineeredSpec(
+        name="Stream",
+        num_rows=300,
+        x_name="X",
+        y_name="Y",
+        repair_names=("R",),
+        x_cardinality=9,
+        y_cardinality=5,
+        repair_cardinalities=(4,),
+        filler_cardinalities={"F": 6, "G": 8},
+        nullable_fillers=("G",),
+        seed=23,
+    )
+
+
+class TestTpchStreaming:
+    @pytest.mark.parametrize("table", tpch.TPCH_LOAD_ORDER)
+    def test_stream_equals_generate_table(self, table):
+        relation = tpch.generate_table(table, "tiny", 42)
+        streamed = list(tpch.stream_table(table, "tiny", 42))
+        assert streamed == list(relation.rows())
+
+    def test_load_order_covers_all_tables(self):
+        assert sorted(tpch.TPCH_LOAD_ORDER) == sorted(tpch.TPCH_TABLE_NAMES)
+
+    def test_expected_rows_accounting(self, tmp_path):
+        stores = tpch.generate_to_store(tmp_path, "tiny", seed=42)
+        try:
+            preset = tpch.SCALE_PRESETS["tiny"]
+            for table, store in stores.items():
+                expected = tpch.expected_rows(table, preset)
+                if expected is not None:
+                    assert store.num_rows == expected, table
+            # lineitem has no deterministic count, only an expectation
+            assert tpch.expected_rows("lineitem", preset) is None
+            orders = stores["orders"].num_rows
+            lineitems = stores["lineitem"].num_rows
+            assert 1 * orders <= lineitems <= 7 * orders
+        finally:
+            for store in stores.values():
+                store.close()
+
+    def test_store_matches_materialized(self, tmp_path):
+        stores = tpch.generate_to_store(
+            tmp_path, "tiny", seed=42, tables=("region", "nation", "supplier")
+        )
+        try:
+            for table, store in stores.items():
+                relation = tpch.generate_table(table, "tiny", 42)
+                assert list(store.to_relation().rows()) == list(
+                    relation.rows()
+                )
+        finally:
+            for store in stores.values():
+                store.close()
+
+    def test_unknown_table_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            tpch.generate_to_store(tmp_path, "tiny", tables=("nope",))
+
+
+class TestEngineeredStreaming:
+    def test_rows_equal_materialized(self, spec):
+        relation = engineered_relation(spec)
+        assert list(engineered_rows(spec)) == list(relation.rows())
+
+    def test_store_round_trip(self, spec, tmp_path):
+        relation = engineered_relation(spec)
+        with engineered_to_store(spec, tmp_path / "s", chunk_rows=64) as store:
+            assert store.num_rows == spec.num_rows
+            assert store.num_chunks > 1
+            assert list(store.to_relation().rows()) == list(relation.rows())
+
+    def test_dataset_to_store_matches_relation(self, tmp_path):
+        relation = country_relation()
+        with dataset_to_store("Country", tmp_path / "country") as store:
+            assert list(store.to_relation().rows()) == list(relation.rows())
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="Country"):
+            dataset_to_store("NoSuchData", tmp_path / "x")

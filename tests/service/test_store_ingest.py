@@ -1,0 +1,81 @@
+"""Streaming a chunked store through the monitoring service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.engineered import EngineeredSpec, engineered_to_store
+from repro.service.harness import run_store_ingest
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    spec = EngineeredSpec(
+        name="Ingest",
+        num_rows=1_200,
+        x_name="X",
+        y_name="Y",
+        repair_names=("R",),
+        x_cardinality=20,
+        y_cardinality=6,
+        repair_cardinalities=(5,),
+        seed=11,
+    )
+    store = engineered_to_store(
+        spec, tmp_path_factory.mktemp("ingest") / "rel", chunk_rows=128
+    )
+    yield store
+    store.close()
+
+
+def test_full_replay_counts_every_tuple(store, tmp_path):
+    report = run_store_ingest(
+        store,
+        tmp_path / "state",
+        watches=(("[X] -> [Y]", 0.999),),
+    )
+    assert report["tenants"] == 1
+    assert report["chunks"] == store.num_chunks
+    assert report["tuples"] == store.num_rows
+    assert report["tuples_per_s"] > 0
+
+
+def test_violated_watch_alerts(store, tmp_path):
+    # X -> Y is violated by construction (Y needs the repair attribute)
+    report = run_store_ingest(
+        store,
+        tmp_path / "state",
+        watches=(("[X] -> [Y]", 0.999),),
+    )
+    assert report["alerts"] > 0
+
+
+def test_exact_watch_stays_quiet(store, tmp_path):
+    # X R -> Y is exact by construction: no alerts
+    report = run_store_ingest(
+        store,
+        tmp_path / "state",
+        watches=(("[X, R] -> [Y]", 0.5),),
+    )
+    assert report["alerts"] == 0
+
+
+def test_max_chunks_truncates(store, tmp_path):
+    report = run_store_ingest(
+        store,
+        tmp_path / "state",
+        watches=(("[X] -> [Y]", 0.999),),
+        max_chunks=3,
+    )
+    assert report["chunks"] == 3
+    assert report["tuples"] == sum(store.chunk_sizes[:3])
+
+
+def test_column_subset(store, tmp_path):
+    report = run_store_ingest(
+        store,
+        tmp_path / "state",
+        watches=(("[X] -> [Y]", 0.999),),
+        columns=("X", "Y"),
+    )
+    assert report["tuples"] == store.num_rows

@@ -1,0 +1,58 @@
+"""The approx-mode switch: module global, env var, EngineConfig field."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import sketch
+from repro.core.config import EngineConfig
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    previous = sketch.active_approx()
+    yield
+    sketch.set_approx(previous)
+
+
+class TestModuleSwitch:
+    def test_default_is_exact(self):
+        assert sketch.active_approx() == "exact"
+
+    def test_set_and_read(self):
+        sketch.set_approx("sketch")
+        assert sketch.active_approx() == "sketch"
+
+    def test_use_approx_scopes_and_restores(self):
+        with sketch.use_approx("sketch"):
+            assert sketch.active_approx() == "sketch"
+        assert sketch.active_approx() == "exact"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="sketch"):
+            sketch.set_approx("bogus")
+
+
+class TestEngineConfigApprox:
+    def test_default_and_explicit(self):
+        assert EngineConfig().approx == "exact"
+        assert EngineConfig(approx="sketch").approx == "sketch"
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError, match="approx"):
+            EngineConfig(approx="guess")
+
+    def test_from_env_reads_repro_approx(self, monkeypatch):
+        monkeypatch.setenv(sketch.APPROX_ENV_VAR, "sketch")
+        assert EngineConfig.from_env().approx == "sketch"
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(sketch.APPROX_ENV_VAR, "fast")
+        with pytest.raises(ValueError):
+            EngineConfig.from_env()
+
+    def test_activate_sets_module_mode(self):
+        EngineConfig(approx="sketch").activate()
+        assert sketch.active_approx() == "sketch"
+        EngineConfig(approx="exact").activate()
+        assert sketch.active_approx() == "exact"

@@ -1,0 +1,124 @@
+"""Reservoir sampling + sampled estimators: determinism and bounds."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sketch.sample import (
+    Reservoir,
+    SampleEstimate,
+    entropy_estimate,
+    violating_pairs_estimate,
+)
+
+
+class TestReservoir:
+    def test_keeps_everything_under_capacity(self):
+        reservoir = Reservoir(capacity=10, seed=1)
+        reservoir.extend(range(7))
+        assert sorted(reservoir.items) == list(range(7))
+        assert reservoir.seen == 7
+
+    def test_capacity_is_a_hard_cap(self):
+        reservoir = Reservoir(capacity=16, seed=1)
+        reservoir.extend(range(10_000))
+        assert len(reservoir.items) == 16
+        assert reservoir.seen == 10_000
+
+    def test_seeded_and_deterministic(self):
+        a = Reservoir(capacity=32, seed=9)
+        b = Reservoir(capacity=32, seed=9)
+        a.extend(range(5_000))
+        b.extend(range(5_000))
+        assert a.items == b.items
+
+    def test_roughly_uniform(self):
+        hits = Counter()
+        for seed in range(200):
+            reservoir = Reservoir(capacity=10, seed=seed)
+            reservoir.extend(range(100))
+            hits.update(reservoir.items)
+        # every item selected at least once over 200 independent draws
+        assert len(hits) == 100
+
+
+class TestSampleEstimate:
+    def test_within(self):
+        estimate = SampleEstimate(
+            value=10.0, bound=2.0, sample_size=5, population=50
+        )
+        assert estimate.within(11.9)
+        assert not estimate.within(12.1)
+
+
+class TestEntropyEstimate:
+    def test_full_sample_recovers_exact_entropy(self):
+        rng = random.Random(3)
+        keys = [rng.randrange(8) for _ in range(2_000)]
+        counts = Counter(keys)
+        n = len(keys)
+        exact = -sum((c / n) * math.log(c / n) for c in counts.values())
+        estimate = entropy_estimate(keys, population=n)
+        assert estimate.within(exact)
+        assert abs(estimate.value - exact) < 0.05
+
+    def test_subsample_within_bound(self):
+        rng = random.Random(5)
+        population = [rng.randrange(200) for _ in range(20_000)]
+        counts = Counter(population)
+        n = len(population)
+        exact = -sum((c / n) * math.log(c / n) for c in counts.values())
+        sample = rng.sample(population, 2_000)
+        estimate = entropy_estimate(sample, population=n)
+        assert estimate.within(exact)
+
+    def test_distinct_hint_widens_bound(self):
+        keys = list(range(100))
+        plain = entropy_estimate(keys, population=10_000)
+        hinted = entropy_estimate(
+            keys, population=10_000, distinct_hint=5_000
+        )
+        assert hinted.bound > plain.bound
+
+    def test_degenerate_single_group(self):
+        estimate = entropy_estimate([7] * 100, population=100)
+        assert estimate.value == pytest.approx(0.0, abs=1e-6)
+
+
+class TestViolatingPairsEstimate:
+    @staticmethod
+    def _exact(rows) -> int:
+        x_counts = Counter(x for x, _ in rows)
+        xy_counts = Counter(rows)
+        agree_x = sum(c * (c - 1) // 2 for c in x_counts.values())
+        agree_xy = sum(c * (c - 1) // 2 for c in xy_counts.values())
+        return agree_x - agree_xy
+
+    def test_full_sample_is_exact(self):
+        rng = random.Random(11)
+        rows = [
+            (rng.randrange(10), rng.randrange(3)) for _ in range(500)
+        ]
+        estimate = violating_pairs_estimate(rows, population=len(rows))
+        assert estimate.value == pytest.approx(self._exact(rows))
+
+    def test_subsample_within_bound(self):
+        rng = random.Random(13)
+        population = [
+            (rng.randrange(40), rng.randrange(4)) for _ in range(20_000)
+        ]
+        exact = self._exact(population)
+        sample = rng.sample(population, 4_000)
+        estimate = violating_pairs_estimate(
+            sample, population=len(population)
+        )
+        assert estimate.within(exact)
+
+    def test_no_violations_estimates_zero(self):
+        rows = [(i % 7, i % 7) for i in range(300)]
+        estimate = violating_pairs_estimate(rows, population=300)
+        assert estimate.value == 0.0

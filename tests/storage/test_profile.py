@@ -1,0 +1,190 @@
+"""Out-of-core profiling vs the in-memory engine — same answers.
+
+Every exact profile primitive (:mod:`repro.storage.profile`) is
+cross-checked against its in-memory counterpart on the materialized
+relation; sketch primitives must land within their stated bounds of
+the exact answers.  All checks run on both backends.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.datagen.realworld import country_relation
+from repro.fd.fd import FunctionalDependency
+from repro.fd.measures import assess, count_violating_pairs
+from repro.relational import kernels
+from repro.relational.relation import Relation
+from repro.storage.profile import (
+    assess_fd,
+    distinct_count,
+    evidence_sample,
+    group_size_histogram,
+    group_stats,
+    sample_rows,
+    tane_level1,
+    violating_pairs_count,
+)
+
+BACKENDS = kernels.available_backends()
+
+
+@pytest.fixture(scope="module")
+def country():
+    return country_relation()
+
+
+@pytest.fixture(scope="module")
+def store(country, tmp_path_factory):
+    store = country.to_store(
+        str(tmp_path_factory.mktemp("profile") / "country"), chunk_rows=37
+    )
+    yield store
+    store.close()
+
+
+def _exact_entropy(relation: Relation, attrs) -> float:
+    counts = Counter(
+        tuple(row[relation.schema.position(a)] for a in attrs)
+        for row in relation.rows()
+    )
+    n = relation.num_rows
+    return -sum((c / n) * math.log(c / n) for c in counts.values())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestExactMatchesInMemory:
+    def test_distinct_counts(self, backend, store, country):
+        with kernels.use_backend(backend):
+            for attrs in (
+                ("Region",),
+                ("Region", "GovernmentForm"),
+                ("Region", "HeadOfState", "Continent"),
+            ):
+                got = distinct_count(store, attrs, mode="exact")
+                assert got.exact and got.bound == 0.0
+                assert got.as_int() == country.count_distinct(attrs)
+
+    def test_group_stats(self, backend, store, country):
+        attrs = ("Region", "GovernmentForm")
+        with kernels.use_backend(backend):
+            stats = group_stats(store, attrs, mode="exact")
+        counts = Counter(
+            (row[0], row[1])
+            for row in country.project(attrs).rows()
+        )
+        assert stats.num_rows == country.num_rows
+        assert stats.distinct.as_int() == len(counts)
+        assert stats.agreeing_pairs.as_int() == sum(
+            c * (c - 1) // 2 for c in counts.values()
+        )
+        assert stats.entropy.value == pytest.approx(
+            _exact_entropy(country, attrs)
+        )
+
+    def test_group_size_histogram(self, backend, store, country):
+        attrs = ("Region",)
+        with kernels.use_backend(backend):
+            histogram = group_size_histogram(store, attrs)
+        counts = Counter(row[0] for row in country.project(attrs).rows())
+        expected = Counter(counts.values())
+        assert histogram == dict(expected)
+
+    def test_assess_fd(self, backend, store, country):
+        with kernels.use_backend(backend):
+            got = assess_fd(
+                store, ("Region",), ("GovernmentForm",), mode="exact"
+            )
+        want = assess(
+            country, FunctionalDependency(("Region",), ("GovernmentForm",))
+        )
+        assert got.confidence == pytest.approx(want.confidence)
+        assert got.goodness == want.goodness
+        assert got.exact
+
+    def test_violating_pairs(self, backend, store, country):
+        fd = FunctionalDependency(("Region",), ("GovernmentForm",))
+        with kernels.use_backend(backend):
+            got = violating_pairs_count(
+                store, ("Region",), ("GovernmentForm",), mode="exact"
+            )
+        assert got.as_int() == count_violating_pairs(country, fd)
+
+    def test_tane_level1(self, backend, store, country):
+        attrs = ("Region", "GovernmentForm", "Continent", "HeadOfState")
+        with kernels.use_backend(backend):
+            found = tane_level1(store, attrs, mode="exact")
+        expected = []
+        for a in attrs:
+            for b in attrs:
+                if a != b and country.count_distinct(
+                    (a, b)
+                ) == country.count_distinct((a,)):
+                    expected.append((a, b))
+        assert sorted(found) == sorted(expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSketchWithinBounds:
+    def test_distinct_within_bound(self, backend, store, country):
+        attrs = ("Region", "HeadOfState", "Continent")
+        with kernels.use_backend(backend):
+            sketch = distinct_count(store, attrs, mode="sketch")
+        assert not sketch.exact and sketch.bound > 0
+        assert sketch.within(country.count_distinct(attrs))
+
+    def test_sketch_identical_across_backends(self, backend, store):
+        attrs = ("Region", "GovernmentForm")
+        with kernels.use_backend(backend):
+            got = distinct_count(store, attrs, mode="sketch")
+        with kernels.use_backend("python"):
+            reference = distinct_count(store, attrs, mode="sketch")
+        assert got.value == reference.value
+
+    def test_entropy_and_pairs_within_bound(self, backend, store, country):
+        attrs = ("Region", "GovernmentForm")
+        with kernels.use_backend(backend):
+            stats = group_stats(store, attrs, mode="sketch", sample=150)
+        assert stats.entropy.within(_exact_entropy(country, attrs))
+
+    def test_fd_confidence_bound(self, backend, store, country):
+        fd = FunctionalDependency(("Region",), ("GovernmentForm",))
+        with kernels.use_backend(backend):
+            got = assess_fd(
+                store, ("Region",), ("GovernmentForm",), mode="sketch"
+            )
+        want = assess(country, fd)
+        assert not got.exact
+        assert abs(got.confidence - want.confidence) <= got.confidence_bound
+
+
+class TestSampling:
+    def test_sample_rows_deterministic_and_real(self, store, country):
+        rows_a = sample_rows(store, 50, seed=3)
+        rows_b = sample_rows(store, 50, seed=3)
+        assert rows_a == rows_b
+        assert len(rows_a) == 50
+        population = set(country.rows())
+        assert all(tuple(row) in population for row in rows_a)
+
+    def test_sample_capped_at_population(self, store, country):
+        rows = sample_rows(store, 10 ** 6, seed=0)
+        assert len(rows) == country.num_rows
+
+    def test_evidence_sample_shape(self, store):
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                evidence = evidence_sample(
+                    store,
+                    sample=40,
+                    attributes=("Region", "GovernmentForm", "Continent"),
+                )
+            assert evidence.total_pairs == 40 * 39
+
+    def test_no_spill_files_left_behind(self, store):
+        distinct_count(store, ("Region", "GovernmentForm"), mode="exact")
+        leftovers = list(store.directory.glob("*.groupspill"))
+        assert leftovers == []
