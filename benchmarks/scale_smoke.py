@@ -31,7 +31,7 @@ from repro.datagen import tpch
 from repro.relational import kernels
 from repro.service.harness import run_store_ingest
 from repro.storage.profile import assess_fd, tane_level1
-from repro.storage.sqlbridge import query_store
+from repro.storage.sqlbridge import ScanStats, query_store
 
 SCALE = "small"  # SF 0.01
 CHUNK_ROWS = 4096
@@ -73,6 +73,18 @@ def main() -> int:
                 "SELECT suppkey, COUNT(*) AS c FROM lineitem "
                 "WHERE quantity > 30 GROUP BY suppkey",
             )
+            # A selective orderkey probe: rows arrive orderkey-ascending,
+            # so the zone maps should refute almost every chunk.
+            scan_stats = ScanStats()
+            probe_key = store.chunk_zone(
+                "orderkey", store.num_chunks // 2
+            ).min_value
+            probe = query_store(
+                store,
+                f"SELECT orderkey, quantity FROM lineitem "
+                f"WHERE orderkey = {probe_key}",
+                scan_stats=scan_stats,
+            )
             # The ingest harness resets the shared peak counter for its
             # own phase report, so snapshot the discovery/SQL peak first.
             _, discovery_peak = tracemalloc.get_traced_memory()
@@ -90,6 +102,9 @@ def main() -> int:
             f"[scale-smoke] tane level-1: {len(fds)} unary FDs; "
             f"partkey->suppkey confidence {verdict.confidence:.4f}; "
             f"sql groups {len(result.rows)}; "
+            f"zone maps skipped {scan_stats.chunks_skipped}/"
+            f"{scan_stats.chunks_total} chunks "
+            f"({len(probe.rows)} probe rows); "
             f"ingest {report['tuples']:,} tuples, {report['alerts']} alerts"
         )
         print(
@@ -105,10 +120,16 @@ def main() -> int:
             peak_mb=round(peak / 1e6, 2),
             ceiling_mb=round(ceiling / 1e6, 2),
             alerts=report["alerts"],
+            zone_chunks=scan_stats.chunks_total,
+            zone_skipped=scan_stats.chunks_skipped,
         )
         results.write(merge=True)
 
         assert report["tuples"] == store.num_rows, "ingest dropped tuples"
+        assert probe.rows, "orderkey probe found no rows"
+        assert scan_stats.chunks_skipped >= scan_stats.chunks_total // 2, (
+            "zone maps skipped fewer than half the chunks on a point probe"
+        )
         assert verdict.confidence < 1.0, "partkey->suppkey must be violated"
         if peak >= ceiling:
             print(

@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit CSV instead of the aligned text table",
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized plan (SQL + operator tree + zone-map "
+        "chunk-skip counts) instead of executing",
+    )
 
     import_cmd = sub.add_parser("import", help="add a relation from a CSV file")
     import_cmd.add_argument("catalog", type=Path)
@@ -429,6 +435,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     catalog = _load(args.catalog)
+    if args.explain:
+        from repro.sql.database import Database
+
+        print(Database(catalog).explain(args.sql), end="")
+        return 0
     result = execute(catalog, args.sql, engine=args.engine)
     if args.csv:
         print(result.to_csv(), end="")

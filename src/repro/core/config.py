@@ -67,7 +67,13 @@ class EngineConfig:
     the default) or ``"sketch"`` (:mod:`repro.sketch` HyperLogLog +
     seeded samples with stated error bounds), installed via
     :func:`repro.sketch.set_approx` and taking precedence over
-    ``REPRO_APPROX``.
+    ``REPRO_APPROX``.  ``optimize`` switches the PR-10 query optimizer
+    (plan rewrites in :mod:`repro.sql.optimize` plus zone-map chunk
+    skipping in :mod:`repro.storage.sqlbridge`): ``"on"`` (the default)
+    or ``"off"`` (the unoptimized oracle path the equivalence suite
+    compares against), installed via
+    :func:`repro.sql.optimize.set_optimize` and taking precedence over
+    ``REPRO_OPTIMIZE``.
     """
 
     backend: str = "auto"
@@ -76,6 +82,7 @@ class EngineConfig:
     dc_tile: int = 4096
     workers: int = 0
     approx: str = "exact"
+    optimize: str = "on"
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "python", "numpy"):
@@ -106,6 +113,10 @@ class EngineConfig:
             raise ValueError(
                 f"approx must be 'exact' or 'sketch', got {self.approx!r}"
             )
+        if self.optimize not in ("on", "off"):
+            raise ValueError(
+                f"optimize must be 'on' or 'off', got {self.optimize!r}"
+            )
 
     @classmethod
     def from_env(cls) -> "EngineConfig":
@@ -119,6 +130,7 @@ class EngineConfig:
         * ``REPRO_DC_TILE``  → :attr:`dc_tile`
         * ``REPRO_WORKERS``  → :attr:`workers`
         * ``REPRO_APPROX``   → :attr:`approx`
+        * ``REPRO_OPTIMIZE`` → :attr:`optimize`
 
         Unset variables keep the dataclass defaults.  Invalid values
         raise :class:`ValueError` (or
@@ -131,6 +143,7 @@ class EngineConfig:
         from repro import sketch
         from repro.dc import engine as dc_engine
         from repro.relational import parallel
+        from repro.sql import optimize as sql_optimize
 
         overrides: dict[str, object] = {}
         backend = os.environ.get(kernels.BACKEND_ENV_VAR)
@@ -167,6 +180,11 @@ class EngineConfig:
             overrides["approx"] = sketch._normalize(
                 approx, f"${sketch.APPROX_ENV_VAR}"
             )
+        optimize = os.environ.get(sql_optimize.OPTIMIZE_ENV_VAR)
+        if optimize:
+            overrides["optimize"] = sql_optimize._normalize(
+                optimize, f"${sql_optimize.OPTIMIZE_ENV_VAR}"
+            )
         return cls(**overrides)
 
     def resolve(self) -> str:
@@ -184,6 +202,7 @@ class EngineConfig:
         from repro import sketch
         from repro.dc import engine as dc_engine
         from repro.relational import parallel
+        from repro.sql import optimize as sql_optimize
 
         kernels.set_backend(self.backend)
         statistics.configure_caches(
@@ -193,6 +212,7 @@ class EngineConfig:
         dc_engine.set_tile(self.dc_tile)
         parallel.set_workers(self.workers)
         sketch.set_approx(self.approx)
+        sql_optimize.set_optimize(self.optimize)
 
 
 class GoodnessMode(enum.Enum):

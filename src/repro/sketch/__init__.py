@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import Any, Iterable
 
 from .hll import HyperLogLog, hash_value, splitmix64
 from .sample import (
@@ -40,6 +41,7 @@ __all__ = [
     "SampleEstimate",
     "active_approx",
     "entropy_estimate",
+    "estimate_distinct",
     "hash_value",
     "set_approx",
     "splitmix64",
@@ -84,6 +86,22 @@ def active_approx() -> str:
     if env:
         return _normalize(env, f"${APPROX_ENV_VAR}")
     return "exact"
+
+
+def estimate_distinct(
+    values: Iterable[Any], precision: int = DEFAULT_PRECISION
+) -> float:
+    """HLL distinct-count estimate over ``values`` (NULLs ignored).
+
+    One-shot convenience for consumers that want a number rather than a
+    mergeable sketch — the query optimizer's cost model feeds on this in
+    ``approx="sketch"`` mode.
+    """
+    sketch = HyperLogLog(precision)
+    for value in values:
+        if value is not None:
+            sketch.add(value)
+    return sketch.count()
 
 
 @contextmanager

@@ -40,6 +40,15 @@ from .executor import (
     execute_on_relation,
     execute_plan,
 )
+from .optimize import (
+    OPTIMIZE_ENV_VAR,
+    active_optimize,
+    optimize_plan,
+    render_plan,
+    resolve_optimize,
+    set_optimize,
+    use_optimize,
+)
 from .parser import parse
 from .plan import (
     Aggregate,
@@ -55,6 +64,13 @@ from .plan import (
     plan_query,
     to_sql,
 )
+from .stats import (
+    ColumnStats,
+    StatisticsProvider,
+    TableStats,
+    relation_stats,
+    store_stats,
+)
 from .tokens import SqlSyntaxError, Token, TokenType, tokenize
 
 __all__ = [
@@ -64,6 +80,7 @@ __all__ = [
     "And",
     "Arith",
     "ColumnRef",
+    "ColumnStats",
     "Comparison",
     "CountDistinct",
     "CountStar",
@@ -76,6 +93,7 @@ __all__ = [
     "Limit",
     "Literal",
     "Not",
+    "OPTIMIZE_ENV_VAR",
     "Or",
     "OrderItem",
     "Plan",
@@ -91,14 +109,24 @@ __all__ = [
     "SqlCountBackend",
     "SqlExecutionError",
     "SqlSyntaxError",
+    "StatisticsProvider",
+    "TableStats",
     "Token",
     "TokenType",
+    "active_optimize",
     "connect",
     "execute",
     "execute_on_relation",
     "execute_plan",
+    "optimize_plan",
     "parse",
     "plan_query",
+    "relation_stats",
+    "render_plan",
+    "resolve_optimize",
+    "set_optimize",
+    "store_stats",
     "to_sql",
     "tokenize",
+    "use_optimize",
 ]

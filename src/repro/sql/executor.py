@@ -72,7 +72,9 @@ from .ast import (
     SelectQuery,
 )
 from .errors import PlanError, SqlExecutionError
+from .optimize import optimize_plan, resolve_optimize
 from .parser import parse
+from .stats import StatisticsProvider
 from .plan import (
     Aggregate,
     AggregateSpec,
@@ -189,21 +191,56 @@ class ResultSet:
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
-def execute(catalog: Catalog, sql: str, engine: str = "columnar") -> ResultSet:
-    """Parse, plan and run ``sql`` against a catalog."""
-    return execute_plan(catalog, plan_query(parse(sql)), engine)
+def _maybe_optimize(
+    plan: Plan,
+    catalog: Catalog | None,
+    relation: Relation | None,
+    optimize: str | None,
+) -> Plan:
+    """Apply the optimizer unless the effective mode is ``"off"``.
+
+    ``optimize`` overrides per call (``"on"``/``"off"``); ``None``
+    defers to :func:`repro.sql.optimize.active_optimize` — installed by
+    ``EngineConfig(optimize=...)`` / ``$REPRO_OPTIMIZE``.  The ``"off"``
+    path is the byte-identical oracle the equivalence suite pins
+    against.
+    """
+    if resolve_optimize(optimize) != "on":
+        return plan
+    return optimize_plan(
+        plan, StatisticsProvider(catalog=catalog, relation=relation)
+    )
 
 
-def execute_plan(catalog: Catalog, plan: Plan, engine: str = "columnar") -> ResultSet:
+def execute(
+    catalog: Catalog,
+    sql: str,
+    engine: str = "columnar",
+    optimize: str | None = None,
+) -> ResultSet:
+    """Parse, plan, optimize and run ``sql`` against a catalog."""
+    return execute_plan(catalog, plan_query(parse(sql)), engine, optimize=optimize)
+
+
+def execute_plan(
+    catalog: Catalog,
+    plan: Plan,
+    engine: str = "columnar",
+    optimize: str | None = None,
+) -> ResultSet:
     """Run an already-built logical plan against a catalog."""
     validate_engine(engine, _ENGINES, SqlExecutionError)
+    plan = _maybe_optimize(plan, catalog, None, optimize)
     if engine == "columnar":
         return _ColumnarEngine(catalog, None).run(plan)
     return _RowdictEngine(catalog, None).run(plan)
 
 
 def execute_on_relation(
-    relation: Relation, sql: str, engine: str = "columnar"
+    relation: Relation,
+    sql: str,
+    engine: str = "columnar",
+    optimize: str | None = None,
 ) -> ResultSet:
     """Parse and run ``sql``; the FROM clause must name this relation."""
     query = parse(sql)
@@ -211,10 +248,15 @@ def execute_on_relation(
         raise SqlExecutionError(
             f"query targets {query.table!r} but got relation {relation.name!r}"
         )
-    return _run(relation, query, engine)
+    return _run(relation, query, engine, optimize=optimize)
 
 
-def _run(relation: Relation, query: SelectQuery, engine: str = "columnar") -> ResultSet:
+def _run(
+    relation: Relation,
+    query: SelectQuery,
+    engine: str = "columnar",
+    optimize: str | None = None,
+) -> ResultSet:
     """Plan and run a parsed query against one relation (no catalog).
 
     Retained under its historical name: the advisor's index-aware
@@ -222,6 +264,7 @@ def _run(relation: Relation, query: SelectQuery, engine: str = "columnar") -> Re
     """
     validate_engine(engine, _ENGINES, SqlExecutionError)
     plan = plan_query(query)
+    plan = _maybe_optimize(plan, None, relation, optimize)
     if engine == "columnar":
         return _ColumnarEngine(None, relation).run(plan)
     return _RowdictEngine(None, relation).run(plan)
@@ -423,8 +466,15 @@ class _CFrame:
         self.num_rows = num_rows
 
     @classmethod
-    def from_relation(cls, relation: Relation, qualifier: str) -> "_CFrame":
+    def from_relation(
+        cls,
+        relation: Relation,
+        qualifier: str,
+        subset: tuple[str, ...] | None = None,
+    ) -> "_CFrame":
         names = list(relation.attribute_names)
+        if subset is not None:
+            names = [name for name in names if name in subset] or names[:1]
         columns = [relation.column(name) for name in names]
         return cls(names, [qualifier] * len(names), columns, relation.num_rows)
 
@@ -520,7 +570,9 @@ class _ColumnarEngine:
     # -- operators ------------------------------------------------------
     def _frame(self, plan: Plan) -> _CFrame:
         if isinstance(plan, Scan):
-            return _CFrame.from_relation(self._scan_relation(plan), plan.binding)
+            return _CFrame.from_relation(
+                self._scan_relation(plan), plan.binding, plan.columns
+            )
         if isinstance(plan, Filter):
             return self._filter(self._frame(plan.source), plan)
         if isinstance(plan, Join):
@@ -589,7 +641,7 @@ class _ColumnarEngine:
         if self._catalog is None:
             raise SqlExecutionError("joins require a catalog")
         right_rel = self._catalog.relation(node.table)
-        right = _CFrame.from_relation(right_rel, node.binding)
+        right = _CFrame.from_relation(right_rel, node.binding, node.columns)
         backend = kernels.get_backend()
         left_codes = []
         right_codes = []
@@ -714,8 +766,15 @@ class _RFrame:
         self.rows = rows
 
     @classmethod
-    def from_relation(cls, relation: Relation, qualifier: str) -> "_RFrame":
+    def from_relation(
+        cls,
+        relation: Relation,
+        qualifier: str,
+        subset: tuple[str, ...] | None = None,
+    ) -> "_RFrame":
         names = list(relation.attribute_names)
+        if subset is not None:
+            names = [name for name in names if name in subset] or names[:1]
         columns = [relation.column(name) for name in names]
         rows = [
             tuple(column.value(row) for column in columns)
@@ -765,7 +824,9 @@ class _RowdictEngine:
     # -- operators ------------------------------------------------------
     def _frame(self, plan: Plan) -> _RFrame:
         if isinstance(plan, Scan):
-            return _RFrame.from_relation(self._scan_relation(plan), plan.binding)
+            return _RFrame.from_relation(
+                self._scan_relation(plan), plan.binding, plan.columns
+            )
         if isinstance(plan, Filter):
             return self._filter(self._frame(plan.source), plan)
         if isinstance(plan, Join):
@@ -873,7 +934,7 @@ class _RowdictEngine:
         if self._catalog is None:
             raise SqlExecutionError("joins require a catalog")
         right = _RFrame.from_relation(
-            self._catalog.relation(node.table), node.binding
+            self._catalog.relation(node.table), node.binding, node.columns
         )
         left_positions = [frame.resolve(ref) for ref in node.left_keys]
         right_positions = [right.resolve(ref) for ref in node.right_keys]

@@ -81,10 +81,17 @@ AGG_PREFIX = "__agg"
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Scan:
-    """Read one relation from the catalog."""
+    """Read one relation from the catalog.
+
+    ``columns`` (set by the optimizer's projection pruning, ``None`` in
+    planner output) restricts the frame to a subset of the table's
+    attributes, in schema order; the executor then never decodes the
+    rest.
+    """
 
     table: str
     alias: str | None = None
+    columns: tuple[str, ...] | None = None
 
     @property
     def binding(self) -> str:
@@ -94,7 +101,12 @@ class Scan:
 
 @dataclass(frozen=True)
 class Join:
-    """Equi-join the accumulated input with one more table."""
+    """Equi-join the accumulated input with one more table.
+
+    ``columns`` prunes the *right* table's frame the same way
+    ``Scan.columns`` prunes the scan (join keys are always included by
+    the optimizer when it sets this).
+    """
 
     source: "Plan"
     kind: str  # "inner" | "left"
@@ -102,6 +114,7 @@ class Join:
     alias: str | None
     left_keys: tuple[ColumnRef, ...]
     right_keys: tuple[ColumnRef, ...]
+    columns: tuple[str, ...] | None = None
 
     @property
     def binding(self) -> str:
@@ -474,10 +487,19 @@ def to_sql(plan: Plan) -> str:
         where = node
         node = node.source
     joins: list[Join] = []
-    while isinstance(node, Join):
-        joins.append(node)
+    pushed: list[Expression] = []
+    # The optimizer pushes WHERE conjuncts below joins as plain Filter
+    # nodes; fold them back into the rendered WHERE so optimized plans
+    # unparse too (canonical plans have no spine filters and round-trip
+    # unchanged).
+    while isinstance(node, (Join, Filter)):
+        if isinstance(node, Join):
+            joins.append(node)
+        else:
+            pushed.append(node.predicate)
         node = node.source
     joins.reverse()
+    pushed.reverse()
     if not isinstance(node, Scan):
         raise PlanError(f"cannot unparse plan with a {type(node).__name__} source")
     scan = node
@@ -502,8 +524,12 @@ def to_sql(plan: Plan) -> str:
             for l, r in zip(join.left_keys, join.right_keys)
         )
         parts.append(f"ON {condition}")
-    if where is not None:
-        parts.append(f"WHERE {_expr_sql(where.predicate, specs)}")
+    predicates = pushed + ([where.predicate] if where is not None else [])
+    if predicates:
+        combined = predicates[0]
+        for predicate in predicates[1:]:
+            combined = And(combined, predicate)
+        parts.append(f"WHERE {_expr_sql(combined, specs)}")
     if aggregate is not None and aggregate.group_by:
         parts.append(
             "GROUP BY " + ", ".join(key.qualified for key in aggregate.group_by)

@@ -1,0 +1,160 @@
+"""Statistics feeding the query optimizer's cost model.
+
+The paper's profiling metadata — per-attribute distinct counts and null
+counts — is exactly what a cost-based optimizer consumes, so this module
+reuses it directly: :func:`relation_stats` reads
+:class:`~repro.relational.statistics.RelationStatistics` (dictionary
+cardinalities, free on encoded columns), :func:`store_stats` reads the
+store manifest written at finalize time, and when the engine runs in
+``approx="sketch"`` mode the distinct estimates are re-derived through
+the PR-9 HyperLogLog so the optimizer exercises the same sketch path a
+scale-out deployment would.
+
+Two numbers matter downstream: ``distinct`` (possibly sketch-estimated,
+drives join-order cost ranking) and ``exact_distinct`` (dictionary
+cardinality or ``None``; uniqueness guards that must be *sound*, like
+"this join key is a key", only ever trust the exact figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.relational.schema import RelationSchema
+from repro.relational.types import AttributeType
+from repro.sketch import active_approx, estimate_distinct
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.catalog import Catalog
+    from repro.relational.relation import Relation
+    from repro.storage.reader import StoredRelation
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "StatisticsProvider",
+    "relation_stats",
+    "store_stats",
+]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Optimizer-visible facts about one column."""
+
+    distinct: float
+    """Distinct non-null values (HLL estimate in sketch mode)."""
+
+    null_count: int
+    """NULLs in the column."""
+
+    exact_distinct: int | None
+    """Dictionary cardinality when known exactly, else ``None``.
+
+    Soundness-critical guards (join-key uniqueness) use only this.
+    """
+
+    attr_type: AttributeType
+    """Declared type, for the pushdown safety analysis."""
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column stats for one relation."""
+
+    num_rows: int
+    columns: Mapping[str, ColumnStats]
+    schema: RelationSchema
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def is_unique_key(self, name: str) -> bool:
+        """``True`` only when ``name`` is *provably* duplicate- and
+        NULL-free: exact distinct count equals the row count."""
+        stats = self.columns.get(name)
+        if stats is None or stats.exact_distinct is None:
+            return False
+        return stats.null_count == 0 and stats.exact_distinct == self.num_rows
+
+
+def _sketchable(distinct_exact: int, values) -> float:
+    """The distinct estimate honoring the active approx mode.
+
+    In sketch mode the dictionary's values run through the HyperLogLog —
+    the estimate a chunked/distributed profile would produce — so the
+    cost model sees sketch error instead of silently exact numbers.
+    """
+    if active_approx() != "sketch":
+        return float(distinct_exact)
+    return estimate_distinct(values)
+
+
+def relation_stats(relation: "Relation") -> TableStats:
+    """Build :class:`TableStats` from an in-memory relation.
+
+    Distinct and null counts come from :class:`RelationStatistics`
+    (dictionary metadata, no scan); sketch mode re-estimates distincts
+    through the HLL.
+    """
+    rel_stats = relation.stats
+    columns: dict[str, ColumnStats] = {}
+    for attr in relation.schema.attributes:
+        exact = rel_stats.cardinality(attr.name)
+        columns[attr.name] = ColumnStats(
+            distinct=_sketchable(exact, relation.column(attr.name).dictionary),
+            null_count=rel_stats.null_count(attr.name),
+            exact_distinct=exact,
+            attr_type=attr.type,
+        )
+    return TableStats(
+        num_rows=relation.num_rows, columns=columns, schema=relation.schema
+    )
+
+
+def store_stats(store: "StoredRelation") -> TableStats:
+    """Build :class:`TableStats` from a chunked store's manifest.
+
+    Global cardinality and null counts were persisted by
+    ``StoreWriter.finalize``; nothing is decoded here.
+    """
+    columns: dict[str, ColumnStats] = {}
+    for attr in store.schema.attributes:
+        exact = store.cardinality(attr.name)
+        columns[attr.name] = ColumnStats(
+            distinct=float(exact),
+            null_count=store.null_count(attr.name),
+            exact_distinct=exact,
+            attr_type=attr.type,
+        )
+    return TableStats(
+        num_rows=store.num_rows, columns=columns, schema=store.schema
+    )
+
+
+@dataclass
+class StatisticsProvider:
+    """Lazily materializes :class:`TableStats` per table name.
+
+    Backed by a catalog, a single relation (the ``execute_on_relation``
+    path), or both; results are memoized for the lifetime of one
+    optimizer invocation so repeated lookups during rule application
+    stay O(1).
+    """
+
+    catalog: "Catalog | None" = None
+    relation: "Relation | None" = None
+    _cache: dict[str, TableStats | None] = field(default_factory=dict)
+
+    def table_stats(self, table: str) -> TableStats | None:
+        if table not in self._cache:
+            self._cache[table] = self._build(table)
+        return self._cache[table]
+
+    def _build(self, table: str) -> TableStats | None:
+        if self.relation is not None and self.relation.name == table:
+            return relation_stats(self.relation)
+        if self.catalog is not None and table in self.catalog:
+            return relation_stats(self.catalog.relation(table))
+        return None

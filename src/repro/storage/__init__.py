@@ -21,12 +21,13 @@ larger than RAM:
   (chunked predicate-pushdown materialization).
 """
 
-from .format import StoreFormatError, StoreManifest
+from .format import ChunkZone, StoreFormatError, StoreManifest
 from .reader import StoredRelation, open_store
 from .writer import DEFAULT_CHUNK_ROWS, StoreWriter, write_store
 
 __all__ = [
     "DEFAULT_CHUNK_ROWS",
+    "ChunkZone",
     "StoreFormatError",
     "StoreManifest",
     "StoreWriter",

@@ -1,11 +1,15 @@
-"""On-disk layout of the chunked columnar store (format v1).
+"""On-disk layout of the chunked columnar store (format v2).
 
 A *store* is one directory per relation holding:
 
 ``manifest.json``
     Schema (names, types, nullability), total row count, per-chunk row
     counts, and per-column accounting (global cardinality, NULL count,
-    per-chunk local-dictionary sizes and byte spans).
+    per-chunk local-dictionary sizes and byte spans).  Format v2 adds
+    per-chunk **zone maps** (:class:`ChunkZone`: raw-value min/max,
+    global-code span, NULL count, optional small-dictionary
+    membership) that scans use to skip chunks a pushed-down predicate
+    refutes; v1 manifests still load, with ``chunk_zones=None``.
 
 ``col_<i>.codes``
     A 32-byte struct-packed header (:data:`CODES_HEADER`) followed by
@@ -63,6 +67,8 @@ __all__ = [
     "CODES_MAGIC",
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ChunkZone",
     "ColumnMeta",
     "StoreFormatError",
     "StoreManifest",
@@ -77,7 +83,10 @@ __all__ = [
 ]
 
 FORMAT_NAME = "repro-columnar"
-FORMAT_VERSION = 1
+#: v2 added per-chunk zone maps (``ColumnMeta.chunk_zones``); v1 stores
+#: load fine with ``chunk_zones=None`` — readers then never skip chunks.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 #: ``col_<i>.codes`` header: magic, version, reserved, chunk_rows,
 #: num_chunks, num_rows.
@@ -128,6 +137,55 @@ def loads_value(data: bytes) -> Any:
 
 
 @dataclass
+class ChunkZone:
+    """Zone map for one chunk of one column (format v2).
+
+    ``kind`` is the comparable family of the chunk's non-null values:
+    ``"num"`` (ints/floats, NaN excluded from the range), ``"str"``, or
+    ``None`` when the chunk has no range (empty, all-NULL, all-NaN,
+    booleans, or a mixed family).  ``min_value``/``max_value`` are raw
+    values (only set when ``kind`` is); ``min_code``/``max_code`` are
+    the chunk's global-code span (``-1`` when no non-null values);
+    ``members`` is the full local dictionary when it is small enough
+    for exact membership refutation, else ``None``.
+    """
+
+    kind: str | None
+    min_value: Any
+    max_value: Any
+    null_count: int
+    min_code: int = -1
+    max_code: int = -1
+    members: tuple[Any, ...] | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "min": self.min_value,
+            "max": self.max_value,
+            "nulls": self.null_count,
+            "min_code": self.min_code,
+            "max_code": self.max_code,
+        }
+        if self.members is not None:
+            payload["members"] = list(self.members)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "ChunkZone":
+        members = payload.get("members")
+        return cls(
+            kind=payload["kind"],
+            min_value=payload["min"],
+            max_value=payload["max"],
+            null_count=payload["nulls"],
+            min_code=payload.get("min_code", -1),
+            max_code=payload.get("max_code", -1),
+            members=None if members is None else tuple(members),
+        )
+
+
+@dataclass
 class ColumnMeta:
     """Manifest entry for one column."""
 
@@ -136,24 +194,34 @@ class ColumnMeta:
     chunk_cardinalities: list[int]
     chunk_dict_spans: list[tuple[int, int]]
     dict_bytes: int
+    chunk_zones: list[ChunkZone] | None = None
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "cardinality": self.cardinality,
             "null_count": self.null_count,
             "chunk_cardinalities": list(self.chunk_cardinalities),
             "chunk_dict_spans": [list(span) for span in self.chunk_dict_spans],
             "dict_bytes": self.dict_bytes,
         }
+        if self.chunk_zones is not None:
+            payload["chunk_zones"] = [zone.to_json() for zone in self.chunk_zones]
+        return payload
 
     @classmethod
     def from_json(cls, payload: dict[str, Any]) -> "ColumnMeta":
+        zones = payload.get("chunk_zones")
         return cls(
             cardinality=payload["cardinality"],
             null_count=payload["null_count"],
             chunk_cardinalities=list(payload["chunk_cardinalities"]),
             chunk_dict_spans=[tuple(span) for span in payload["chunk_dict_spans"]],
             dict_bytes=payload["dict_bytes"],
+            chunk_zones=(
+                None
+                if zones is None
+                else [ChunkZone.from_json(zone) for zone in zones]
+            ),
         )
 
 
@@ -228,10 +296,10 @@ class StoreManifest:
                 f"{path} is not a {FORMAT_NAME} store "
                 f"(format={payload.get('format')!r})"
             )
-        if payload.get("version") != FORMAT_VERSION:
+        if payload.get("version") not in SUPPORTED_VERSIONS:
             raise StoreFormatError(
                 f"unsupported store version {payload.get('version')!r} "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         attrs = [
             Attribute(

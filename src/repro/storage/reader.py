@@ -38,6 +38,7 @@ from repro.relational.schema import RelationSchema
 from .format import (
     CODES_HEADER,
     CODES_MAGIC,
+    ChunkZone,
     StoreFormatError,
     StoreManifest,
     codes_path,
@@ -148,6 +149,13 @@ class StoredRelation:
 
     def null_count(self, attr: str) -> int:
         return self.manifest.columns[attr].null_count
+
+    def chunk_zone(self, attr: str, chunk: int) -> ChunkZone | None:
+        """The zone map for one chunk of one column, or ``None`` when
+        the store predates format v2 (scans then never skip)."""
+        self._chunk_span(chunk)
+        zones = self.manifest.columns[attr].chunk_zones
+        return None if zones is None else zones[chunk]
 
     def materialized_bytes(self) -> int:
         """See :meth:`repro.storage.format.StoreManifest.materialized_bytes`."""

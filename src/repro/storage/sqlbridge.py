@@ -1,4 +1,4 @@
-"""SQL over chunked stores: filter-pushdown scans.
+"""SQL over chunked stores: filter-pushdown scans with zone-map skips.
 
 The SQL engines execute against in-memory relations; this module is the
 bridge that gets a :class:`~repro.storage.reader.StoredRelation` under
@@ -9,6 +9,27 @@ materializes **only the surviving rows** (plus, optionally, only the
 requested columns).  Peak memory is one chunk plus the result, so a
 selective query over an SF-1 table runs in a fraction of the table's
 footprint.
+
+Two physical optimizations ride the walk:
+
+* **Zone-map chunk skipping** (format-v2 stores, gated on the PR-10
+  ``optimize`` knob): a chunk is skipped entirely when one WHERE
+  conjunct is *refuted* by its :class:`~repro.storage.format.ChunkZone`
+  — the literal falls outside the chunk's min/max range, misses a
+  small-dictionary membership set, or asserts NULLs a NULL-free chunk
+  cannot have.  Skipping is error-exact: conjuncts are considered in
+  order and the walk stops consulting zones at the first conjunct that
+  could *raise* on the chunk (incomparable order comparison,
+  arithmetic), because the columnar evaluator's short-circuit
+  reachability would surface that error even on an all-false chunk
+  prefix — so a skip happens only where the serial scan provably
+  returns nothing and raises nothing.
+* **Morsel fan-out**: when a worker pool is active (PR 6), the
+  surviving chunks are mapped across it and the per-chunk survivor rows
+  concatenated in chunk order — byte-identical to the serial walk.  The
+  fan-out engages only when every conjunct is provably raise-free on
+  every surviving chunk (pool error ordering is nondeterministic) and
+  no LIMIT is in play (the serial walk stops early).
 
 :func:`query_store` is the one-call form: parse the statement, push its
 WHERE *and* its projection down through the chunked scan — only the
@@ -22,20 +43,46 @@ to register chunked scans in a catalog.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.relational import expr as ir
-from repro.relational import parallel
+from repro.relational import kernels, parallel
 from repro.relational.relation import Relation
 from repro.sql import ast
 from repro.sql.errors import SqlExecutionError
 from repro.sql.executor import ResultSet, compile_expression, execute_on_relation
+from repro.sql.optimize import active_optimize
 from repro.sql.parser import parse
 
-from .reader import StoredRelation
+from .format import ChunkZone
+from .reader import StoredRelation, open_store
 
-__all__ = ["compile_where", "query_store", "scan_store"]
+__all__ = [
+    "ScanStats",
+    "compile_where",
+    "count_skippable_chunks",
+    "query_store",
+    "scan_store",
+]
+
+
+@dataclass
+class ScanStats:
+    """Chunk-skipping counters one :func:`scan_store` call fills in.
+
+    Pass an instance via ``scan_store(..., stats=...)`` (or
+    ``query_store(..., scan_stats=...)``) to observe how many chunks the
+    zone maps refuted; ``EXPLAIN`` and the benchmarks read these.
+    """
+
+    chunks_total: int = 0
+    chunks_skipped: int = 0
+
+    @property
+    def chunks_scanned(self) -> int:
+        return self.chunks_total - self.chunks_skipped
 
 
 def _collect_columns(node: Any, out: set[str]) -> bool:
@@ -104,20 +151,258 @@ def _as_predicate(where: "str | ir.Predicate | None") -> ir.Predicate | None:
     return where
 
 
+# ----------------------------------------------------------------------
+# Zone-map refutation
+# ----------------------------------------------------------------------
+_ZoneLookup = Callable[[str], "ChunkZone | None"]
+
+_FLIPPED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _split_conjuncts(predicate: ir.Predicate) -> list[ir.Predicate]:
+    """Flatten an AND tree left-to-right (mirrors the evaluator's order)."""
+    out: list[ir.Predicate] = []
+
+    def walk(node: ir.Predicate) -> None:
+        if isinstance(node, ir.And):
+            walk(node.left)
+            walk(node.right)
+        else:
+            out.append(node)
+
+    walk(predicate)
+    return out
+
+
+def _literal_family(value: Any) -> str | None:
+    """The comparable family of a literal; bools count as ``"num"``
+    (Python orders them with numbers, unlike chunk *kind* classification
+    where a bool-valued column gets no range)."""
+    if isinstance(value, bool):
+        return "num"
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def _col_op_lit(conjunct: ir.Predicate) -> tuple[str, str, Any] | None:
+    """Normalize a ``Col <op> Lit`` / ``Lit <op> Col`` comparison to
+    ``(column, op, literal)`` with the column on the left."""
+    if not isinstance(conjunct, ir.Cmp):
+        return None
+    if isinstance(conjunct.left, ir.Col) and isinstance(conjunct.right, ir.Lit):
+        return conjunct.left.name, conjunct.op, conjunct.right.value
+    if isinstance(conjunct.left, ir.Lit) and isinstance(conjunct.right, ir.Col):
+        return conjunct.right.name, _FLIPPED_OP[conjunct.op], conjunct.left.value
+    return None
+
+
+def _may_raise_on_chunk(
+    conjunct: ir.Predicate, zone_of: _ZoneLookup, chunk_rows: int
+) -> bool:
+    """Whether evaluating ``conjunct`` could raise on this chunk.
+
+    Conservative: ``True`` unless the zone map *proves* otherwise.
+    Equality and membership never raise over scalar store values;
+    order comparisons are safe when the literal's family matches the
+    chunk's zone kind (or the comparison short-circuits on NULL/NaN).
+    """
+    if isinstance(conjunct, (ir.And, ir.Or)):
+        return _may_raise_on_chunk(
+            conjunct.left, zone_of, chunk_rows
+        ) or _may_raise_on_chunk(conjunct.right, zone_of, chunk_rows)
+    if isinstance(conjunct, ir.Not):
+        return _may_raise_on_chunk(conjunct.operand, zone_of, chunk_rows)
+    if isinstance(conjunct, (ir.IsNull, ir.InList)):
+        # Membership/null tests over a plain column or literal cannot
+        # raise; an Arith operand can (type error, division by zero).
+        return not isinstance(conjunct.operand, (ir.Col, ir.Lit))
+    if isinstance(conjunct, ir.Cmp):
+        if not isinstance(conjunct.left, (ir.Col, ir.Lit)) or not isinstance(
+            conjunct.right, (ir.Col, ir.Lit)
+        ):
+            return True
+        if conjunct.op in ("=", "<>"):
+            return False
+        shape = _col_op_lit(conjunct)
+        if shape is None:
+            return True  # col-vs-col (or lit-vs-lit) order comparison
+        name, _, literal = shape
+        if literal is None:
+            return False  # NULL comparisons short-circuit to false
+        zone = zone_of(name)
+        if zone is None:
+            return True
+        if zone.null_count == chunk_rows:
+            return False  # every row short-circuits on NULL
+        family = _literal_family(literal)
+        return family is None or zone.kind != family
+    return True
+
+
+def _refutes_eq(zone: ChunkZone, literal: Any) -> bool:
+    """No non-null value of the chunk can ``=``-match ``literal``."""
+    if literal is None or literal != literal:
+        return True  # NULL / NaN equal nothing under the oracle
+    if zone.members is not None:
+        return not any(member == literal for member in zone.members)
+    family = _literal_family(literal)
+    if zone.kind is not None and zone.kind == family:
+        return literal < zone.min_value or literal > zone.max_value
+    return False
+
+
+def _zone_refutes(
+    conjunct: ir.Predicate, zone_of: _ZoneLookup, chunk_rows: int
+) -> bool:
+    """Whether the zone map proves ``conjunct`` matches no chunk row.
+
+    Callers must already have established (via
+    :func:`_may_raise_on_chunk`) that the conjunct cannot raise here.
+    """
+    if isinstance(conjunct, ir.Cmp):
+        shape = _col_op_lit(conjunct)
+        if shape is None:
+            return False
+        name, op, literal = shape
+        zone = zone_of(name)
+        if zone is None:
+            return False
+        if literal is None:
+            return True  # a NULL operand makes every comparison false
+        if zone.null_count == chunk_rows:
+            return True  # all-NULL chunk: every comparison is false
+        if op == "=":
+            return _refutes_eq(zone, literal)
+        if op == "<>":
+            return zone.members is not None and all(
+                member == literal for member in zone.members
+            )
+        if literal != literal:
+            return True  # order comparisons against NaN are false
+        family = _literal_family(literal)
+        if zone.kind is None or zone.kind != family:
+            return False
+        if op == "<":
+            return zone.min_value >= literal
+        if op == "<=":
+            return zone.min_value > literal
+        if op == ">":
+            return zone.max_value <= literal
+        return zone.max_value < literal  # ">="
+    if isinstance(conjunct, ir.InList):
+        if not isinstance(conjunct.operand, ir.Col):
+            return False
+        zone = zone_of(conjunct.operand.name)
+        if zone is None:
+            return False
+        if zone.null_count == chunk_rows:
+            return True
+        return all(
+            item is None or _refutes_eq(zone, item) for item in conjunct.values
+        )
+    if isinstance(conjunct, ir.IsNull):
+        if not isinstance(conjunct.operand, ir.Col):
+            return False
+        zone = zone_of(conjunct.operand.name)
+        if zone is None:
+            return False
+        if conjunct.negated:
+            return zone.null_count == chunk_rows
+        return zone.null_count == 0
+    if isinstance(conjunct, ir.Not):
+        inner = conjunct.operand
+        if isinstance(inner, ir.IsNull):
+            return _zone_refutes(
+                ir.IsNull(inner.operand, not inner.negated), zone_of, chunk_rows
+            )
+        if isinstance(inner, ir.InList) and isinstance(inner.operand, ir.Col):
+            # NOT IN under two-valued NOT: NULL (and NaN) rows satisfy
+            # it, so refutation needs a NULL-free chunk whose every
+            # dictionary value provably matches the list.
+            zone = zone_of(inner.operand.name)
+            if zone is None or zone.null_count or zone.members is None:
+                return False
+            return all(
+                any(item is not None and member == item for item in inner.values)
+                for member in zone.members
+            )
+    return False
+
+
+def _chunk_refuted(
+    conjuncts: list[ir.Predicate], zone_of: _ZoneLookup, chunk_rows: int
+) -> bool:
+    """Left-to-right conjunct walk, stopping at the first that might
+    raise on this chunk — exactly the prefix whose all-false outcome
+    makes every later conjunct's error unreachable under the columnar
+    evaluator's short-circuit reachability."""
+    for conjunct in conjuncts:
+        if _may_raise_on_chunk(conjunct, zone_of, chunk_rows):
+            return False
+        if _zone_refutes(conjunct, zone_of, chunk_rows):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Parallel chunk scan
+# ----------------------------------------------------------------------
+#: Stores opened inside pool workers, keyed by directory.  Seeded with
+#: the caller's open store before dispatch, so thread-pool workers (and
+#: fork-started process workers) reuse its mmaps and remap caches;
+#: spawn-started workers open their own copy once and keep it.
+_WORKER_STORES: dict[str, StoredRelation] = {}
+
+
+def _scan_chunk_rows(arrays, payload, chunk: int) -> list[tuple[Any, ...]]:
+    """Morsel worker: filter one chunk, return its surviving row tuples.
+
+    Dispatched only for chunks where every conjunct is provably
+    raise-free, so error ordering is moot.  The mask runs through the
+    serial columnar walk directly — workers must not re-enter the pool.
+    """
+    directory, scan_names, predicate, keep = payload
+    store = _WORKER_STORES.get(directory)
+    if store is None:
+        store = open_store(directory)
+        _WORKER_STORES[directory] = store
+    relation = store.chunk_relation(chunk, scan_names)
+    if predicate is None:
+        return [tuple(row[i] for i in keep) for row in relation.rows()]
+    backend = kernels.get_backend()
+    truth, error = ir._mask(relation, predicate, backend)
+    if error is not None and backend.mask_any(error):  # pragma: no cover
+        row = backend.filter_mask(error)[0]
+        ir._raise_for_row(relation, predicate, int(row))
+    names = relation.schema.attribute_names
+    columns = [relation.column(names[i]) for i in keep]
+    return [
+        tuple(column.value(int(index)) for column in columns)
+        for index in backend.filter_mask(truth)
+    ]
+
+
 def scan_store(
     store: StoredRelation,
     where: "str | ir.Predicate | None" = None,
     columns: Sequence[str] | None = None,
     limit: int | None = None,
+    stats: ScanStats | None = None,
 ) -> Relation:
     """A chunked, filter-pushdown scan materializing only survivors.
 
     ``where`` (SQL condition string or IR predicate) is evaluated
     columnar per chunk; ``columns`` prunes the output width (predicate
     columns are read regardless but not kept); ``limit`` stops the walk
-    as soon as enough rows survive.  The result is an ordinary
-    in-memory :class:`Relation` carrying the store's schema (projected),
-    ready for any engine.
+    as soon as enough rows survive; ``stats`` receives the zone-map
+    skip counters.  Chunks whose zone map refutes a WHERE conjunct are
+    skipped without being read (``optimize`` knob on, format-v2 store);
+    the surviving chunks fan across the morsel pool when one is active.
+    The result is an ordinary in-memory :class:`Relation` carrying the
+    store's schema (projected), ready for any engine.
     """
     predicate = _as_predicate(where)
     out_names = (
@@ -146,9 +431,45 @@ def scan_store(
     out_schema = (
         store.schema if columns is None else store.schema.project(out_names)
     )
-    keep = list(range(len(out_names)))
-    rows: list[tuple[Any, ...]] = []
+    keep = tuple(range(len(out_names)))
+    conjuncts = [] if predicate is None else _split_conjuncts(predicate)
+    skipping = predicate is not None and active_optimize() == "on"
+    surviving: list[int] = []
+    raise_free = True  # every conjunct provably error-free on survivors
     for chunk in range(store.num_chunks):
+        zone_of = _zone_lookup(store, chunk)
+        chunk_rows = store.manifest.chunk_sizes[chunk]
+        if skipping and _chunk_refuted(conjuncts, zone_of, chunk_rows):
+            continue
+        surviving.append(chunk)
+        if raise_free:
+            raise_free = not any(
+                _may_raise_on_chunk(conjunct, zone_of, chunk_rows)
+                for conjunct in conjuncts
+            )
+    if stats is not None:
+        stats.chunks_total = store.num_chunks
+        stats.chunks_skipped = store.num_chunks - len(surviving)
+    pool = parallel.pool_kind()
+    fan_out = (
+        limit is None
+        and len(surviving) > 1
+        and raise_free
+        and pool != "serial"
+        and (pool != "process" or parallel.picklable(predicate))
+    )
+    if fan_out:
+        directory = str(store.directory)
+        _WORKER_STORES[directory] = store
+        parts = parallel.morsel_map(
+            _scan_chunk_rows,
+            surviving,
+            payload=(directory, scan_names, predicate, keep),
+        )
+        rows = [row for part in parts for row in part]
+        return Relation.from_rows(out_schema, rows, validate=False)
+    rows: list[tuple[Any, ...]] = []
+    for chunk in surviving:
         if limit is not None and len(rows) >= limit:
             break
         relation = store.chunk_relation(chunk, scan_names)
@@ -161,11 +482,43 @@ def scan_store(
     return Relation.from_rows(out_schema, rows, validate=False)
 
 
+def count_skippable_chunks(
+    store: StoredRelation, where: "str | ir.Predicate | None"
+) -> ScanStats:
+    """Dry-run the zone-map walk: how many chunks ``where`` refutes.
+
+    No chunk is read — this is the number :func:`scan_store` would skip
+    with the ``optimize`` knob on, which is what ``EXPLAIN`` reports.
+    """
+    predicate = _as_predicate(where)
+    stats = ScanStats(chunks_total=store.num_chunks)
+    if predicate is None:
+        return stats
+    conjuncts = _split_conjuncts(predicate)
+    for chunk in range(store.num_chunks):
+        if _chunk_refuted(
+            conjuncts, _zone_lookup(store, chunk), store.manifest.chunk_sizes[chunk]
+        ):
+            stats.chunks_skipped += 1
+    return stats
+
+
+def _zone_lookup(store: StoredRelation, chunk: int) -> _ZoneLookup:
+    def zone_of(name: str) -> ChunkZone | None:
+        try:
+            return store.chunk_zone(name, chunk)
+        except KeyError:  # defensive: predicate names are pre-validated
+            return None
+
+    return zone_of
+
+
 def query_store(
     store: StoredRelation,
     sql: str,
     engine: str = "columnar",
     workers: int | None = None,
+    scan_stats: ScanStats | None = None,
 ) -> ResultSet:
     """Run one SQL statement against a store, WHERE pushed down.
 
@@ -201,8 +554,9 @@ def query_store(
             for name in store.schema.attribute_names
             if name in referenced
         ) or store.schema.attribute_names[:1]
-    scan = scan_store(store, where=predicate, columns=columns)
     if workers is None:
+        scan = scan_store(store, where=predicate, columns=columns, stats=scan_stats)
         return execute_on_relation(scan, sql, engine)
     with parallel.use_workers(workers):
+        scan = scan_store(store, where=predicate, columns=columns, stats=scan_stats)
         return execute_on_relation(scan, sql, engine)

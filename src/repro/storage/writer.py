@@ -36,6 +36,7 @@ from repro.relational.schema import RelationSchema
 from .format import (
     CODES_HEADER,
     CODES_MAGIC,
+    ChunkZone,
     ColumnMeta,
     StoreManifest,
     codes_path,
@@ -47,9 +48,13 @@ from .format import (
     require_little_endian,
 )
 
-__all__ = ["DEFAULT_CHUNK_ROWS", "StoreWriter", "write_store"]
+__all__ = ["DEFAULT_CHUNK_ROWS", "ZONE_MEMBER_LIMIT", "StoreWriter", "write_store"]
 
 DEFAULT_CHUNK_ROWS = 65_536
+
+#: A chunk dictionary at most this large is stored verbatim in the zone
+#: map (``ChunkZone.members``) for exact membership refutation.
+ZONE_MEMBER_LIMIT = 16
 
 _RUN_RECORD = struct.Struct("<IQ")  # key length, local code
 
@@ -77,6 +82,7 @@ class _ColumnState:
         "spill_runs",
         "chunk_cardinalities",
         "chunk_dict_spans",
+        "chunk_zones",
         "null_count",
         "localdict_offset",
     )
@@ -94,6 +100,7 @@ class _ColumnState:
         self.spill_runs: list[tuple[int, int]] = []  # (offset, record count)
         self.chunk_cardinalities: list[int] = []
         self.chunk_dict_spans: list[tuple[int, int]] = []
+        self.chunk_zones: list[ChunkZone] = []
         self.null_count = 0
         self.localdict_offset = 0
 
@@ -154,6 +161,46 @@ class StoreWriter:
             self.append_row(row)
 
     @staticmethod
+    def _chunk_zone(column: EncodedColumn) -> ChunkZone:
+        """Zone-map facts visible at flush time (code span filled at
+        finalize once global codes exist).
+
+        ``kind`` is set only when every non-null value is one comparable
+        family — numbers excluding booleans (NaN excluded from the
+        range) or strings — because refutation by range is only sound
+        within a family.
+        """
+        dictionary = column.dictionary
+        members = (
+            tuple(dictionary) if len(dictionary) <= ZONE_MEMBER_LIMIT else None
+        )
+        kind: str | None = None
+        lo = hi = None
+        if dictionary:
+            if all(
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+                for value in dictionary
+            ):
+                ordered = [
+                    value
+                    for value in dictionary
+                    if not (isinstance(value, float) and value != value)
+                ]
+                if ordered:
+                    kind = "num"
+                    lo, hi = min(ordered), max(ordered)
+            elif all(isinstance(value, str) for value in dictionary):
+                kind = "str"
+                lo, hi = min(dictionary), max(dictionary)
+        return ChunkZone(
+            kind=kind,
+            min_value=lo,
+            max_value=hi,
+            null_count=column.null_count,
+            members=members,
+        )
+
+    @staticmethod
     def _validate_value(attr, value):
         if value is None:
             if not attr.nullable:
@@ -176,6 +223,7 @@ class StoreWriter:
             state.codes_file.write(codes.tobytes())
             state.null_count += column.null_count
             state.chunk_cardinalities.append(column.cardinality)
+            state.chunk_zones.append(self._chunk_zone(column))
             # Local dictionary, one JSON value per line.
             lines = b"".join(
                 dumps_value(value) + b"\n" for value in column.dictionary
@@ -222,15 +270,19 @@ class StoreWriter:
             state.codes_file.close()
             state.localdict_file.close()
             state.spill_file.flush()
-            cardinality, dict_bytes = self._merge_dictionaries(state)
+            cardinality, dict_bytes, code_spans = self._merge_dictionaries(state)
             state.spill_file.close()
             os.unlink(state.spill_file.name)
+            for zone, (min_code, max_code) in zip(state.chunk_zones, code_spans):
+                zone.min_code = min_code
+                zone.max_code = max_code
             columns[attr.name] = ColumnMeta(
                 cardinality=cardinality,
                 null_count=state.null_count,
                 chunk_cardinalities=state.chunk_cardinalities,
                 chunk_dict_spans=state.chunk_dict_spans,
                 dict_bytes=dict_bytes,
+                chunk_zones=state.chunk_zones,
             )
         manifest = StoreManifest(
             name=self.schema.name,
@@ -246,12 +298,15 @@ class StoreWriter:
 
         return StoredRelation(self.directory, manifest)
 
-    def _merge_dictionaries(self, state: _ColumnState) -> tuple[int, int]:
+    def _merge_dictionaries(
+        self, state: _ColumnState
+    ) -> tuple[int, int, list[tuple[int, int]]]:
         """K-way merge of the sorted spill runs → global dict + remaps.
 
-        Returns ``(global cardinality, dictionary bytes)``.  Only the
-        remap tables (one ``int64`` per distinct value per chunk) are
-        RAM-resident; values stream run → merged dictionary file.
+        Returns ``(global cardinality, dictionary bytes, per-chunk
+        (min, max) global-code spans)``.  Only the remap tables (one
+        ``int64`` per distinct value per chunk) are RAM-resident;
+        values stream run → merged dictionary file.
         """
         remaps = [
             array("q", bytes(8 * (cardinality + 1)))
@@ -285,7 +340,11 @@ class StoreWriter:
         with open(remap_path(self.directory, state.position), "wb") as remap_file:
             for remap in remaps:
                 remap_file.write(remap.tobytes())
-        return global_code + 1, offset
+        code_spans = [
+            (min(remap[:-1]), max(remap[:-1])) if len(remap) > 1 else (-1, -1)
+            for remap in remaps
+        ]
+        return global_code + 1, offset, code_spans
 
 
 def _run_records(

@@ -132,6 +132,22 @@ class TestQuery:
         assert main(["query", str(db), "SELECT District FROM Places LIMIT 3"]) == 0
         assert "Brookside" in capsys.readouterr().out
 
+    def test_explain_prints_plan(self, db, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(db),
+                    "SELECT District FROM Places WHERE Region = 'North'",
+                    "--explain",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "scan Places: in-memory relation (no zone maps)" in out
+
 
 class TestImport:
     def test_imports_csv(self, db, tmp_path, capsys):
